@@ -1,0 +1,110 @@
+// Example: exploring concurrency interleavings with the deterministic
+// scheduler.
+//
+// GFSL's split/merge/traversal races are hard to hit on demand with free-
+// running threads.  The StepScheduler turns every simulated memory access
+// into a scheduling decision driven by a seed, so each seed is a distinct,
+// perfectly reproducible interleaving.  This example sweeps seeds over a
+// two-team split-heavy history, verifies invariants after each, and then
+// replays one seed twice to demonstrate reproducibility — the workflow a
+// developer would use to corner a concurrency bug.
+//
+//   $ ./examples/interleaving_explorer [num_seeds]
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "core/gfsl.h"
+#include "device/device_memory.h"
+#include "sched/step_scheduler.h"
+#include "simt/team.h"
+
+using namespace gfsl;
+
+namespace {
+
+struct Outcome {
+  std::vector<Key> contents;
+  std::uint64_t steps = 0;
+  bool valid = false;
+  std::string error;
+};
+
+Outcome explore(std::uint64_t seed) {
+  device::DeviceMemory mem;
+  sched::StepScheduler sched(sched::StepScheduler::Mode::Deterministic, seed,
+                             2);
+  core::GfslConfig cfg;
+  cfg.team_size = 8;  // tiny chunks: splits and merges every few ops
+  cfg.pool_chunks = 1u << 12;
+  core::Gfsl list(cfg, &mem, &sched);
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&, t] {
+      simt::Team team(8, t, 3);
+      Xoshiro256ss rng(derive_seed(13, static_cast<std::uint64_t>(t)));
+      sched.enter(t);
+      for (int i = 0; i < 120; ++i) {
+        // Both teams work the same hot range: constant chunk contention.
+        const Key k = static_cast<Key>(1 + rng.below(60));
+        if (rng.below(3) == 0) {
+          list.erase(team, k);
+        } else {
+          list.insert(team, k, static_cast<Value>(t));
+        }
+      }
+      sched.leave(t);
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  Outcome out;
+  out.steps = sched.global_steps();
+  const auto rep = list.validate(/*strict=*/false);
+  out.valid = rep.ok;
+  out.error = rep.error;
+  for (const auto& [k, v] : list.collect()) out.contents.push_back(k);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int seeds = argc > 1 ? std::atoi(argv[1]) : 16;
+  std::printf("sweeping %d interleavings of a 2-team split/merge-heavy history\n\n",
+              seeds);
+
+  std::set<std::vector<Key>> distinct_outcomes;
+  int invalid = 0;
+  for (int s = 1; s <= seeds; ++s) {
+    const Outcome o = explore(static_cast<std::uint64_t>(s));
+    distinct_outcomes.insert(o.contents);
+    if (!o.valid) {
+      ++invalid;
+      std::printf("seed %3d: INVALID STRUCTURE: %s\n", s, o.error.c_str());
+    } else {
+      std::printf("seed %3d: %5llu scheduler steps, %3zu keys, valid\n", s,
+                  static_cast<unsigned long long>(o.steps),
+                  o.contents.size());
+    }
+  }
+  std::printf("\n%zu distinct final states across %d interleavings"
+              " (timing-dependent races resolve differently), %d invalid\n",
+              distinct_outcomes.size(), seeds, invalid);
+
+  std::printf("\nreplaying seed 1 twice to demonstrate exact reproducibility:\n");
+  const Outcome a = explore(1);
+  const Outcome b = explore(1);
+  std::printf("  run 1: %llu steps, %zu keys\n",
+              static_cast<unsigned long long>(a.steps), a.contents.size());
+  std::printf("  run 2: %llu steps, %zu keys\n",
+              static_cast<unsigned long long>(b.steps), b.contents.size());
+  std::printf("  identical: %s\n",
+              (a.contents == b.contents && a.steps == b.steps) ? "yes" : "NO");
+  return invalid == 0 ? 0 : 1;
+}

@@ -1,0 +1,329 @@
+#include "baseline/mc_skiplist.h"
+
+#include <new>
+#include <stdexcept>
+#include <string>
+
+namespace gfsl::baseline {
+
+namespace {
+constexpr std::uint64_t pack_next(std::uint32_t ref, bool mark) {
+  return static_cast<std::uint64_t>(ref) | (mark ? (1ull << 32) : 0ull);
+}
+constexpr std::uint32_t next_ref(std::uint64_t w) {
+  return static_cast<std::uint32_t>(w & 0xFFFFFFFFull);
+}
+constexpr bool next_mark(std::uint64_t w) { return (w & (1ull << 32)) != 0; }
+}  // namespace
+
+McSkiplist::McSkiplist(const Config& cfg, device::DeviceMemory* mem,
+                       sched::StepScheduler* scheduler)
+    : cfg_(cfg),
+      mem_(mem),
+      sched_(scheduler),
+      slots_(new std::atomic<std::uint64_t>[cfg.pool_slots]),
+      next_slot_(0) {
+  if (mem_ == nullptr) throw std::invalid_argument("DeviceMemory required");
+  if (cfg_.max_height < 1 || cfg_.max_height > 32) {
+    throw std::invalid_argument("max_height must be in [1, 32]");
+  }
+  tail_ = alloc_node(KEY_INF, 0, cfg_.max_height, kNull);
+  head_ = alloc_node(KEY_NEG_INF, 0, cfg_.max_height, tail_);
+}
+
+McSkiplist::NodeRef McSkiplist::alloc_node(Key k, Value v, int height,
+                                           NodeRef init_next) {
+  const std::uint32_t need = 2u + static_cast<std::uint32_t>(height);
+  const std::uint32_t s = next_slot_.fetch_add(need, std::memory_order_relaxed);
+  if (s + need > cfg_.pool_slots) {
+    next_slot_.fetch_sub(need, std::memory_order_relaxed);
+    throw std::bad_alloc();  // M&C "runs out of memory for larger structures"
+  }
+  slots_[s].store(make_kv(k, v), std::memory_order_relaxed);
+  slots_[s + 1].store(static_cast<std::uint64_t>(height),
+                      std::memory_order_relaxed);
+  for (int i = 0; i < height; ++i) {
+    slots_[s + 2 + static_cast<std::uint32_t>(i)].store(
+        pack_next(init_next, false), std::memory_order_release);
+  }
+  return s;
+}
+
+Key McSkiplist::node_key(McContext& ctx, NodeRef n) {
+  sync_point(ctx);
+  mem_->lane_read(slot_addr(n), 8);
+  return kv_key(slot(n).load(std::memory_order_acquire));
+}
+
+Value McSkiplist::node_value(McContext& ctx, NodeRef n) {
+  sync_point(ctx);
+  mem_->lane_read(slot_addr(n), 8);
+  return kv_value(slot(n).load(std::memory_order_acquire));
+}
+
+int McSkiplist::node_height(NodeRef n) const {
+  return static_cast<int>(slots_[n + 1].load(std::memory_order_relaxed));
+}
+
+std::pair<McSkiplist::NodeRef, bool> McSkiplist::read_next(McContext& ctx,
+                                                           NodeRef n,
+                                                           int level) {
+  sync_point(ctx);
+  const std::uint32_t s = n + 2 + static_cast<std::uint32_t>(level);
+  mem_->lane_read(slot_addr(s), 8);
+  ctx.hop();
+  const std::uint64_t w = slot(s).load(std::memory_order_acquire);
+  return {next_ref(w), next_mark(w)};
+}
+
+bool McSkiplist::cas_next(McContext& ctx, NodeRef n, int level,
+                          NodeRef exp_ref, bool exp_mark, NodeRef new_ref,
+                          bool new_mark) {
+  sync_point(ctx);
+  const std::uint32_t s = n + 2 + static_cast<std::uint32_t>(level);
+  mem_->atomic_rmw(slot_addr(s));
+  std::uint64_t expected = pack_next(exp_ref, exp_mark);
+  const bool ok = slot(s).compare_exchange_strong(
+      expected, pack_next(new_ref, new_mark), std::memory_order_acq_rel,
+      std::memory_order_acquire);
+  ctx.cas_attempt(ok);
+  return ok;
+}
+
+int McSkiplist::random_height(Xoshiro256ss& rng) const {
+  int h = 1;
+  while (h < cfg_.max_height && rng.bernoulli(cfg_.p_key)) ++h;
+  return h;
+}
+
+bool McSkiplist::find(McContext& ctx, Key k, NodeRef* preds, NodeRef* succs) {
+  // Herlihy-Shavit `find`: descend while physically unlinking marked nodes.
+retry:
+  NodeRef pred = head_;
+  NodeRef curr = kNull;
+  for (int level = cfg_.max_height - 1; level >= 0; --level) {
+    curr = read_next(ctx, pred, level).first;
+    for (;;) {
+      auto [succ, marked] = read_next(ctx, curr, level);
+      while (marked) {
+        if (!cas_next(ctx, pred, level, curr, false, succ, false)) {
+          ctx.restart();
+          goto retry;
+        }
+        curr = read_next(ctx, pred, level).first;
+        std::tie(succ, marked) = read_next(ctx, curr, level);
+      }
+      if (node_key(ctx, curr) < k) {
+        pred = curr;
+        curr = succ;
+      } else {
+        break;
+      }
+    }
+    preds[level] = pred;
+    succs[level] = curr;
+  }
+  return node_key(ctx, curr) == k;
+}
+
+bool McSkiplist::contains(McContext& ctx, Key k) {
+  // Wait-free traversal: jump over marked nodes without snipping.
+  NodeRef pred = head_;
+  NodeRef curr = kNull;
+  for (int level = cfg_.max_height - 1; level >= 0; --level) {
+    curr = read_next(ctx, pred, level).first;
+    for (;;) {
+      auto [succ, marked] = read_next(ctx, curr, level);
+      while (marked) {
+        curr = succ;
+        std::tie(succ, marked) = read_next(ctx, curr, level);
+      }
+      if (node_key(ctx, curr) < k) {
+        pred = curr;
+        curr = succ;
+      } else {
+        break;
+      }
+    }
+  }
+  const bool found = node_key(ctx, curr) == k;
+  ctx.end_op();
+  return found;
+}
+
+bool McSkiplist::insert(McContext& ctx, Key k, Value v, int height) {
+  if (k < MIN_USER_KEY || k > MAX_USER_KEY) {
+    throw std::invalid_argument("key outside the user key range");
+  }
+  if (height < 1) height = 1;
+  if (height > cfg_.max_height) height = cfg_.max_height;
+
+  NodeRef preds[32];
+  NodeRef succs[32];
+  for (;;) {
+    if (find(ctx, k, preds, succs)) {
+      ctx.end_op();
+      return false;
+    }
+    const NodeRef node = alloc_node(k, v, height, kNull);
+    for (int i = 0; i < height; ++i) {
+      slots_[node + 2 + static_cast<std::uint32_t>(i)].store(
+          pack_next(succs[i], false), std::memory_order_release);
+    }
+    mem_->lane_write(slot_addr(node), 8u * (2u + static_cast<std::uint32_t>(height)));
+
+    // Linearize by linking the bottom level.
+    if (!cas_next(ctx, preds[0], 0, succs[0], false, node, false)) {
+      ctx.restart();
+      continue;  // re-find and retry
+    }
+    // Link the upper levels, refreshing preds/succs as needed.
+    for (int level = 1; level < height; ++level) {
+      for (;;) {
+        if (cas_next(ctx, preds[level], level, succs[level], false, node,
+                     false)) {
+          break;
+        }
+        find(ctx, k, preds, succs);  // refresh; also snips
+        // If our node got marked at this level meanwhile, stop linking it.
+        if (read_next(ctx, node, level).second) {
+          level = height;  // bail out of the outer loop too
+          break;
+        }
+        slots_[node + 2 + static_cast<std::uint32_t>(level)].store(
+            pack_next(succs[level], false), std::memory_order_release);
+      }
+    }
+    ctx.end_op();
+    return true;
+  }
+}
+
+bool McSkiplist::erase(McContext& ctx, Key k) {
+  NodeRef preds[32];
+  NodeRef succs[32];
+  if (!find(ctx, k, preds, succs)) {
+    ctx.end_op();
+    return false;
+  }
+  const NodeRef victim = succs[0];
+  const int height = node_height(victim);
+
+  // Mark the upper levels top-down.
+  for (int level = height - 1; level >= 1; --level) {
+    auto [succ, marked] = read_next(ctx, victim, level);
+    while (!marked) {
+      cas_next(ctx, victim, level, succ, false, succ, true);
+      std::tie(succ, marked) = read_next(ctx, victim, level);
+    }
+  }
+
+  // Marking the bottom level is the linearization point; only the thread
+  // whose CAS lands owns the deletion.
+  auto [succ, marked] = read_next(ctx, victim, 0);
+  for (;;) {
+    const bool i_marked_it =
+        cas_next(ctx, victim, 0, succ, false, succ, true);
+    std::tie(succ, marked) = read_next(ctx, victim, 0);
+    if (i_marked_it) {
+      find(ctx, k, preds, succs);  // physically snip
+      ctx.end_op();
+      return true;
+    }
+    if (marked) {
+      ctx.end_op();
+      return false;  // somebody else deleted it first
+    }
+  }
+}
+
+void McSkiplist::bulk_load(const std::vector<std::pair<Key, Value>>& pairs,
+                           std::uint64_t seed) {
+  next_slot_.store(0, std::memory_order_relaxed);
+  tail_ = alloc_node(KEY_INF, 0, cfg_.max_height, kNull);
+  head_ = alloc_node(KEY_NEG_INF, 0, cfg_.max_height, tail_);
+
+  Xoshiro256ss rng(seed);
+  // §5.1: prefill keys are "inserted in a random order", so adjacent keys
+  // land in scattered pool slots — the locality-free layout that makes M&C's
+  // hops uncoalesced.  Allocate in a shuffled order, then link in key order.
+  std::vector<std::size_t> order(pairs.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.below(i)]);
+  }
+  std::vector<NodeRef> node_of(pairs.size());
+  std::vector<int> height_of(pairs.size());
+  for (const std::size_t idx : order) {
+    height_of[idx] = random_height(rng);
+    node_of[idx] =
+        alloc_node(pairs[idx].first, pairs[idx].second, height_of[idx], tail_);
+  }
+
+  std::vector<NodeRef> level_tail(static_cast<std::size_t>(cfg_.max_height),
+                                  head_);
+  for (std::size_t idx = 0; idx < pairs.size(); ++idx) {
+    for (int i = 0; i < height_of[idx]; ++i) {
+      slots_[level_tail[static_cast<std::size_t>(i)] + 2 +
+             static_cast<std::uint32_t>(i)]
+          .store(pack_next(node_of[idx], false), std::memory_order_release);
+      level_tail[static_cast<std::size_t>(i)] = node_of[idx];
+    }
+  }
+}
+
+std::vector<std::pair<Key, Value>> McSkiplist::collect() const {
+  std::vector<std::pair<Key, Value>> out;
+  NodeRef cur = next_ref(slots_[head_ + 2].load(std::memory_order_acquire));
+  while (cur != tail_ && cur != kNull) {
+    const std::uint64_t w = slots_[cur + 2].load(std::memory_order_acquire);
+    const KV header = slots_[cur].load(std::memory_order_acquire);
+    if (!next_mark(w)) out.emplace_back(kv_key(header), kv_value(header));
+    cur = next_ref(w);
+  }
+  return out;
+}
+
+bool McSkiplist::validate(std::string* error) const {
+  auto fail = [&](const std::string& msg) {
+    if (error != nullptr) *error = msg;
+    return false;
+  };
+  // Bottom level strictly sorted among unmarked nodes.
+  const auto pairs = collect();
+  for (std::size_t i = 1; i < pairs.size(); ++i) {
+    if (pairs[i - 1].first >= pairs[i].first) {
+      return fail("bottom level not strictly sorted at index " +
+                  std::to_string(i));
+    }
+  }
+  // Every level's unmarked list is a sorted sublist ending at the tail.
+  for (int level = 0; level < cfg_.max_height; ++level) {
+    NodeRef cur = head_;
+    Key prev = KEY_NEG_INF;
+    bool first = true;
+    std::uint64_t steps = 0;
+    while (cur != tail_) {
+      if (++steps > static_cast<std::uint64_t>(cfg_.pool_slots)) {
+        return fail("cycle at level " + std::to_string(level));
+      }
+      const std::uint64_t w =
+          slots_[cur + 2 + static_cast<std::uint32_t>(level)].load(
+              std::memory_order_acquire);
+      const NodeRef nxt = next_ref(w);
+      if (nxt == kNull) return fail("broken link at level " + std::to_string(level));
+      if (!next_mark(w) && cur != head_) {
+        const Key key = kv_key(slots_[cur].load(std::memory_order_acquire));
+        if (!first && key <= prev) {
+          return fail("level " + std::to_string(level) + " not sorted");
+        }
+        prev = key;
+        first = false;
+      }
+      cur = nxt;
+    }
+  }
+  return true;
+}
+
+}  // namespace gfsl::baseline

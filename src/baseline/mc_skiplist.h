@@ -1,0 +1,166 @@
+// M&C baseline: the lock-free skiplist Misra & Chaudhuri ported to the GPU
+// (Chapter 5; [MC12b]).  One *thread* executes one operation — the classic
+// CPU execution model whose uncoalesced node hops, per-thread local path
+// arrays and warp divergence are exactly what GFSL is designed to avoid.
+//
+// The algorithm is the standard lock-free skiplist (Pugh/Fraser/
+// Herlihy-Shavit): per-key towers of marked next pointers, CAS-based
+// insertion and logical-then-physical deletion.  Tower heights are drawn
+// host-side with probability p_key, matching the paper's input format ("a
+// value indicating level to which each key should be inserted", §5.1).
+//
+// Every node access is routed through the device memory model as a
+// *single-lane* (uncoalesced) transaction, and an McContext aggregates
+// per-op hop counts into warp epochs: a warp of 32 independent operations
+// advances at the pace of its slowest lane (SIMT divergence, §2.2).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "common/types.h"
+#include "device/device_memory.h"
+#include "sched/step_scheduler.h"
+
+namespace gfsl::baseline {
+
+/// Per-thread execution context: divergence accounting + scheduler identity.
+class McContext {
+ public:
+  McContext(int thread_id, int lanes_per_warp = 32)
+      : id_(thread_id), lanes_(lanes_per_warp) {}
+
+  int id() const { return id_; }
+
+  void hop() { ++op_hops_; }
+  void cas_attempt(bool ok) {
+    ++cas_ops_;
+    if (!ok) ++cas_failures_;
+  }
+  void restart() { ++restarts_; }
+
+  /// Close out one operation: fold its hop count into the current warp
+  /// group (the warp's cost is the max over its 32 lanes).
+  void end_op() {
+    total_hops_ += op_hops_;
+    if (op_hops_ > group_max_) group_max_ = op_hops_;
+    op_hops_ = 0;
+    ++ops_;
+    if (++group_n_ == lanes_) flush_group();
+  }
+
+  /// Total serialized memory epochs experienced by this thread's warps.
+  std::uint64_t warp_epochs() {
+    if (group_n_ > 0) flush_group();
+    return warp_epochs_;
+  }
+
+  std::uint64_t ops() const { return ops_; }
+  std::uint64_t total_hops() const { return total_hops_; }
+  std::uint64_t cas_ops() const { return cas_ops_; }
+  std::uint64_t cas_failures() const { return cas_failures_; }
+  std::uint64_t restarts() const { return restarts_; }
+
+ private:
+  void flush_group() {
+    warp_epochs_ += group_max_;
+    group_max_ = 0;
+    group_n_ = 0;
+  }
+
+  int id_;
+  int lanes_;
+  std::uint64_t op_hops_ = 0;
+  std::uint64_t group_max_ = 0;
+  int group_n_ = 0;
+  std::uint64_t warp_epochs_ = 0;
+  std::uint64_t total_hops_ = 0;
+  std::uint64_t ops_ = 0;
+  std::uint64_t cas_ops_ = 0;
+  std::uint64_t cas_failures_ = 0;
+  std::uint64_t restarts_ = 0;
+};
+
+class McSkiplist {
+ public:
+  struct Config {
+    std::uint32_t pool_slots = 1u << 24;  // 8-byte slots in the node pool
+    int max_height = 32;
+    double p_key = 0.5;  // §5.2: "the best results were received for 0.5"
+  };
+
+  McSkiplist(const Config& cfg, device::DeviceMemory* mem,
+             sched::StepScheduler* scheduler = nullptr);
+
+  bool contains(McContext& ctx, Key k);
+  bool insert(McContext& ctx, Key k, Value v, int height);
+  bool erase(McContext& ctx, Key k);
+
+  /// Draw a tower height host-side at p_key (used by the workload gen).
+  int random_height(Xoshiro256ss& rng) const;
+
+  const Config& config() const { return cfg_; }
+  std::uint32_t slots_allocated() const {
+    const auto v = next_slot_.load(std::memory_order_relaxed);
+    return v < cfg_.pool_slots ? v : cfg_.pool_slots;
+  }
+
+  /// Host-side bulk construction from sorted, distinct pairs with heights
+  /// drawn at p_key (the untimed initial-structure setup of §5.1).
+  /// Replaces the current contents.  Quiescent only.
+  void bulk_load(const std::vector<std::pair<Key, Value>>& sorted_pairs,
+                 std::uint64_t seed);
+
+  // --- quiescent inspection ---
+  std::vector<std::pair<Key, Value>> collect() const;
+  std::uint64_t size() const { return collect().size(); }
+  /// Checks bottom-level sortedness and level-list consistency.
+  bool validate(std::string* error = nullptr) const;
+
+ private:
+  using NodeRef = std::uint32_t;
+  static constexpr NodeRef kNull = 0xFFFFFFFFu;
+  static constexpr std::uint64_t kMark = 1ull << 32;
+
+  // Node layout in the slot pool:
+  //   slot s     : header  (key | value)
+  //   slot s + 1 : meta    (tower height)
+  //   slot s+2+i : next pointer for level i  (ref in low 32 bits, mark bit 32)
+  NodeRef alloc_node(Key k, Value v, int height, NodeRef init_next);
+
+  std::atomic<std::uint64_t>& slot(std::uint32_t s) { return slots_[s]; }
+  const std::atomic<std::uint64_t>& slot(std::uint32_t s) const {
+    return slots_[s];
+  }
+  std::uint64_t slot_addr(std::uint32_t s) const {
+    return static_cast<std::uint64_t>(s) * 8u;
+  }
+
+  Key node_key(McContext& ctx, NodeRef n);
+  Value node_value(McContext& ctx, NodeRef n);
+  int node_height(NodeRef n) const;
+  std::pair<NodeRef, bool> read_next(McContext& ctx, NodeRef n, int level);
+  bool cas_next(McContext& ctx, NodeRef n, int level, NodeRef exp_ref,
+                bool exp_mark, NodeRef new_ref, bool new_mark);
+
+  /// Herlihy-Shavit find: fills preds/succs per level, snipping marked nodes.
+  bool find(McContext& ctx, Key k, NodeRef* preds, NodeRef* succs);
+
+  void sync_point(McContext& ctx) {
+    if (sched_ != nullptr) sched_->yield(ctx.id());
+  }
+
+  Config cfg_;
+  device::DeviceMemory* mem_;
+  sched::StepScheduler* sched_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> slots_;
+  std::atomic<std::uint32_t> next_slot_;
+  NodeRef head_;
+  NodeRef tail_;
+};
+
+}  // namespace gfsl::baseline

@@ -1,0 +1,35 @@
+#include "common/env.h"
+
+#include <cstdlib>
+
+namespace gfsl {
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(v, &end, 10);
+  if (end == v) return fallback;
+  return static_cast<std::uint64_t>(parsed);
+}
+
+double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  if (end == v) return fallback;
+  return parsed;
+}
+
+Scale Scale::from_env() {
+  Scale s;
+  s.ops = env_u64("GFSL_OPS", 60'000);
+  s.max_range = env_u64("GFSL_MAX_RANGE", 1'000'000);
+  s.reps = env_u64("GFSL_REPS", 3);
+  s.teams = env_u64("GFSL_TEAMS", 8);
+  s.seed = env_u64("GFSL_SEED", 0x5EEDFU);
+  return s;
+}
+
+}  // namespace gfsl

@@ -1,0 +1,36 @@
+// Environment-variable knobs for scaling experiments.
+//
+// Default bench sizes are reduced so the whole suite runs in minutes on a
+// laptop-class machine; the paper-scale sweep is reached by exporting:
+//
+//   GFSL_OPS        operations per measurement        (paper: 10'000'000)
+//   GFSL_MAX_RANGE  largest key range in sweeps       (paper: up to 100M/10M)
+//   GFSL_REPS       repetitions per configuration     (paper: 10)
+//   GFSL_TEAMS      concurrent teams / worker threads (paper: 13 SMs x 16 warps)
+//   GFSL_SEED       master RNG seed
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace gfsl {
+
+/// Returns the integer value of environment variable `name`, or
+/// `fallback` when unset or unparsable.
+std::uint64_t env_u64(const char* name, std::uint64_t fallback);
+
+/// Returns the floating value of `name`, or `fallback`.
+double env_double(const char* name, double fallback);
+
+/// Aggregated experiment scale knobs with bench-friendly defaults.
+struct Scale {
+  std::uint64_t ops;
+  std::uint64_t max_range;
+  std::uint64_t reps;
+  std::uint64_t teams;
+  std::uint64_t seed;
+
+  static Scale from_env();
+};
+
+}  // namespace gfsl

@@ -1,0 +1,80 @@
+// Deterministic random number generation.
+//
+// Two generators are provided:
+//  * SplitMix64   — seed scrambler / cheap stream splitter.
+//  * Xoshiro256ss — main sequential generator (xoshiro256**), used by the
+//                   workload generator and by GFSL's on-device key-raising
+//                   decision (§4.2.2: "randomly generated (on-device)
+//                   according to p_chunk").
+//
+// Everything is seedable so tests and experiments are reproducible run to
+// run; per-team streams are derived with SplitMix64 jumps so concurrent
+// executions never share a stream.
+#pragma once
+
+#include <cstdint>
+
+namespace gfsl {
+
+struct SplitMix64 {
+  std::uint64_t state;
+
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+};
+
+class Xoshiro256ss {
+ public:
+  explicit constexpr Xoshiro256ss(std::uint64_t seed) noexcept : s_{} {
+    SplitMix64 sm(seed);
+    for (auto& w : s_) w = sm.next();
+  }
+
+  constexpr std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) via Lemire's multiply-shift reduction
+  /// (bias is negligible for bound << 2^64 and irrelevant for workloads).
+  constexpr std::uint64_t below(std::uint64_t bound) noexcept {
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next()) * bound) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with probability p.
+  constexpr bool bernoulli(double p) noexcept { return uniform() < p; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+/// Derive an independent stream seed for worker `index` from a master seed.
+constexpr std::uint64_t derive_seed(std::uint64_t master, std::uint64_t index) noexcept {
+  SplitMix64 sm(master ^ (0xA0761D6478BD642Full * (index + 1)));
+  std::uint64_t s = sm.next();
+  return sm.next() ^ s;
+}
+
+}  // namespace gfsl

@@ -1,0 +1,48 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gfsl {
+
+double t_critical_95(std::size_t dof) {
+  // Two-sided 95% critical values of Student's t distribution.
+  static constexpr double table[] = {
+      0.0,    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+      2.228,  2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093,
+      2.086,  2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045,
+      2.042};
+  if (dof == 0) return 0.0;
+  if (dof < std::size(table)) return table[dof];
+  return 1.96;
+}
+
+Summary RunStats::summarize() const {
+  Summary s;
+  s.n = samples_.size();
+  if (s.n == 0) return s;
+
+  double sum = 0.0;
+  s.min = samples_.front();
+  s.max = samples_.front();
+  for (double x : samples_) {
+    sum += x;
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+  }
+  s.mean = sum / static_cast<double>(s.n);
+
+  if (s.n > 1) {
+    double ss = 0.0;
+    for (double x : samples_) {
+      const double d = x - s.mean;
+      ss += d * d;
+    }
+    s.stddev = std::sqrt(ss / static_cast<double>(s.n - 1));
+    s.ci95_half =
+        t_critical_95(s.n - 1) * s.stddev / std::sqrt(static_cast<double>(s.n));
+  }
+  return s;
+}
+
+}  // namespace gfsl

@@ -1,0 +1,39 @@
+// Summary statistics for repeated experiment runs.
+//
+// The paper (§5.1) runs every experiment ten times and reports means with 95%
+// confidence intervals; RunStats reproduces that reduction (Student-t CI for
+// small sample counts).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace gfsl {
+
+struct Summary {
+  double mean = 0.0;
+  double stddev = 0.0;       // sample standard deviation (n-1)
+  double ci95_half = 0.0;    // half-width of the 95% confidence interval
+  double min = 0.0;
+  double max = 0.0;
+  std::size_t n = 0;
+};
+
+class RunStats {
+ public:
+  void add(double x) { samples_.push_back(x); }
+  void clear() { samples_.clear(); }
+  std::size_t count() const { return samples_.size(); }
+  const std::vector<double>& samples() const { return samples_; }
+
+  Summary summarize() const;
+
+ private:
+  std::vector<double> samples_;
+};
+
+/// Two-sided 95% Student-t critical value for `dof` degrees of freedom.
+/// Exact table for dof <= 30, asymptotic 1.96 beyond.
+double t_critical_95(std::size_t dof);
+
+}  // namespace gfsl

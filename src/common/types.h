@@ -1,0 +1,61 @@
+// Fundamental value types shared by every subsystem.
+//
+// The thesis (§4.1, Table 4.1) fixes keys and values to 32-bit unsigned
+// integers packed into a single 64-bit chunk entry: the lower 32 bits hold the
+// key and the upper 32 bits hold the value (Figure 3.1).  Two key values are
+// reserved as sentinels distinct from user keys:
+//
+//   * KEY_NEG_INF (0)          — the -inf key stored in the first chunk of
+//                                 every level.
+//   * KEY_INF (0xFFFFFFFF)     — the "infinity"/EMPTY marker used both for
+//                                 vacant data entries and for the max field of
+//                                 the last chunk in a level.
+//
+// User keys therefore live in [1, 0xFFFFFFFE].
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace gfsl {
+
+using Key = std::uint32_t;
+using Value = std::uint32_t;
+
+/// Packed key/value chunk entry (Figure 3.1): key in the low half, value in
+/// the high half.  Packing keeps key ordering compatible with integer
+/// ordering of the low 32 bits and lets a lane read one entry in one load.
+using KV = std::uint64_t;
+
+inline constexpr Key KEY_NEG_INF = 0;
+inline constexpr Key KEY_INF = std::numeric_limits<Key>::max();
+inline constexpr Key MIN_USER_KEY = 1;
+inline constexpr Key MAX_USER_KEY = KEY_INF - 1;
+
+constexpr KV make_kv(Key k, Value v) noexcept {
+  return static_cast<KV>(k) | (static_cast<KV>(v) << 32);
+}
+constexpr Key kv_key(KV kv) noexcept { return static_cast<Key>(kv & 0xFFFFFFFFu); }
+constexpr Value kv_value(KV kv) noexcept { return static_cast<Value>(kv >> 32); }
+
+/// An EMPTY data entry is a whole-entry sentinel: key == KEY_INF.
+inline constexpr KV KV_EMPTY = make_kv(KEY_INF, 0);
+constexpr bool kv_is_empty(KV kv) noexcept { return kv_key(kv) == KEY_INF; }
+
+/// Chunks are addressed by 32-bit indices into the device memory pool
+/// (§4.2: "chunks are accessed using 32-bit indexes to the memory pool").
+using ChunkRef = std::uint32_t;
+inline constexpr ChunkRef NULL_CHUNK = std::numeric_limits<ChunkRef>::max();
+
+/// Operation kinds for workloads ([i,d,c] mixes, §5.1).
+enum class OpKind : std::uint8_t { Insert = 0, Delete = 1, Contains = 2 };
+
+/// One entry of the host-side operation array handed to a "kernel" (§5.1).
+struct Op {
+  OpKind kind;
+  Key key;
+  Value value;      // NULL (0) for non-inserts, as in the paper's tests
+  std::uint8_t mc_height;  // M&C only: tower height drawn host-side at p_key
+};
+
+}  // namespace gfsl

@@ -1,0 +1,40 @@
+#include "core/chunk.h"
+
+#include <new>
+#include <stdexcept>
+
+namespace gfsl::core {
+
+ChunkArena::ChunkArena(int entries_per_chunk, std::uint32_t capacity)
+    : n_(entries_per_chunk),
+      capacity_(capacity),
+      slots_(new std::atomic<KV>[static_cast<std::size_t>(entries_per_chunk) *
+                                 capacity]),
+      next_(0) {
+  if (n_ < 8 || n_ > 32 || (n_ & (n_ - 1)) != 0) {
+    throw std::invalid_argument("chunk size must be a power of two in [8, 32]");
+  }
+  if (capacity == 0) {
+    throw std::invalid_argument("chunk arena capacity must be positive");
+  }
+}
+
+ChunkRef ChunkArena::alloc_locked() {
+  const std::uint32_t ref = next_.fetch_add(1, std::memory_order_relaxed);
+  if (ref >= capacity_) {
+    next_.fetch_sub(1, std::memory_order_relaxed);
+    throw std::bad_alloc();
+  }
+  std::atomic<KV>* e = entries(ref);
+  for (int i = 0; i < dsize(); ++i) {
+    e[i].store(KV_EMPTY, std::memory_order_relaxed);
+  }
+  e[next_slot()].store(make_next_entry(KEY_INF, NULL_CHUNK),
+                       std::memory_order_relaxed);
+  // Release so a team that later reaches this chunk through an atomically
+  // published pointer observes the initialized contents.
+  e[lock_slot()].store(make_lock_entry(kLocked), std::memory_order_release);
+  return ref;
+}
+
+}  // namespace gfsl::core

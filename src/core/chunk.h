@@ -1,0 +1,99 @@
+// Chunk storage for GFSL (§3, Figure 3.1; §4.1).
+//
+// A chunk of size N is an array of N 8-byte entries:
+//
+//   [ DATA 0 .. DATA N-3 | NEXT (max key | next ref) | LOCK ]
+//
+// The first N-2 entries hold sorted key/value pairs with EMPTY (key == inf)
+// entries grouped at the end.  The NEXT entry packs the chunk's max key in
+// its key half and the next-chunk reference in its value half, so both are
+// updated with one atomic 64-bit write (§4.2.2: "Both of these changes are
+// performed with a single atomic write by the NEXT thread").  The LOCK entry
+// encodes unlocked / locked / zombie.
+//
+// Chunks live in a dense arena addressed by 32-bit ChunkRefs; a chunk of N
+// entries is N*8 bytes (128 B for N=16, 256 B for N=32 — the two sizes the
+// paper evaluates), so ChunkRef * N * 8 is the chunk's synthetic device
+// address for the coalescing/cache model.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "common/types.h"
+
+namespace gfsl::core {
+
+/// LOCK entry states, stored in the key half of the LOCK entry.
+enum LockState : Key {
+  kUnlocked = 0,
+  kLocked = 1,
+  kZombie = 2,  // terminal: zombies are never unlocked or relocked (§4.1)
+};
+
+class ChunkArena {
+ public:
+  /// `entries_per_chunk` is N (== team size); must be a power of two in
+  /// [8, 32].  `capacity` is the total number of chunks in the pool.
+  ChunkArena(int entries_per_chunk, std::uint32_t capacity);
+
+  /// Allocate one chunk, "allocated locked with inf values in all key-data
+  /// pairs, as well as in the max field" (§4.1).  The inf max marks it as a
+  /// (potential) last chunk until the split fills it in.
+  ChunkRef alloc_locked();
+
+  bool can_alloc(std::uint32_t count = 1) const {
+    return next_.load(std::memory_order_relaxed) + count <= capacity_;
+  }
+
+  std::atomic<KV>* entries(ChunkRef ref) {
+    return slots_.get() + static_cast<std::size_t>(ref) * n_;
+  }
+  const std::atomic<KV>* entries(ChunkRef ref) const {
+    return slots_.get() + static_cast<std::size_t>(ref) * n_;
+  }
+
+  std::atomic<KV>& entry(ChunkRef ref, int i) { return entries(ref)[i]; }
+
+  int entries_per_chunk() const { return n_; }
+  int dsize() const { return n_ - 2; }
+  int next_slot() const { return n_ - 2; }
+  int lock_slot() const { return n_ - 1; }
+
+  std::uint32_t capacity() const { return capacity_; }
+  std::uint32_t allocated() const {
+    const auto v = next_.load(std::memory_order_relaxed);
+    return v < capacity_ ? v : capacity_;
+  }
+  std::uint32_t chunk_bytes() const { return static_cast<std::uint32_t>(n_) * 8u; }
+
+  std::uint64_t device_address(ChunkRef ref) const {
+    return static_cast<std::uint64_t>(ref) * chunk_bytes();
+  }
+  std::uint64_t entry_address(ChunkRef ref, int i) const {
+    return device_address(ref) + static_cast<std::uint64_t>(i) * 8u;
+  }
+
+  /// Reset the bump pointer (quiescent only; used by Gfsl::compact()).
+  void reset() { next_.store(0, std::memory_order_relaxed); }
+
+ private:
+  int n_;
+  std::uint32_t capacity_;
+  std::unique_ptr<std::atomic<KV>[]> slots_;
+  std::atomic<std::uint32_t> next_;
+};
+
+// --- Entry helpers ----------------------------------------------------------
+
+constexpr KV make_next_entry(Key max_key, ChunkRef next) {
+  return make_kv(max_key, static_cast<Value>(next));
+}
+constexpr Key next_entry_max(KV e) { return kv_key(e); }
+constexpr ChunkRef next_entry_ref(KV e) { return static_cast<ChunkRef>(kv_value(e)); }
+
+constexpr KV make_lock_entry(LockState s) { return make_kv(static_cast<Key>(s), 0); }
+constexpr LockState lock_entry_state(KV e) { return static_cast<LockState>(kv_key(e)); }
+
+}  // namespace gfsl::core

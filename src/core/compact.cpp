@@ -1,0 +1,92 @@
+// Between-kernel compaction — the memory-reclamation scheme the thesis
+// sketches as future work (§4.1: "A possible reclamation scheme would be to
+// compact the structure between kernel launches").
+//
+// Runs host-side at quiescence: collects the live bottom-level pairs, resets
+// the pool, and rebuilds a dense structure with every chunk filled to a
+// target factor and exactly one key raised per chunk (the ideal p_chunk = 1
+// shape, §3).  All zombie and stale chunks are reclaimed.
+#include "core/gfsl.h"
+
+#include <algorithm>
+
+namespace gfsl::core {
+
+void Gfsl::compact() {
+  bulk_load(collect());  // collect() is sorted: the bottom level is ordered
+}
+
+void Gfsl::bulk_load(const std::vector<std::pair<Key, Value>>& pairs) {
+  arena_.reset();
+  // Recreate the per-level head chunks exactly as construction does.
+  ChunkRef below = NULL_CHUNK;
+  for (int level = 0; level < max_levels(); ++level) {
+    const ChunkRef ch = arena_.alloc_locked();
+    const Value down = (level == 0) ? Value{0} : static_cast<Value>(below);
+    arena_.entry(ch, 0).store(make_kv(KEY_NEG_INF, down),
+                              std::memory_order_relaxed);
+    arena_.entry(ch, arena_.lock_slot())
+        .store(make_lock_entry(kUnlocked), std::memory_order_release);
+    head_[static_cast<std::size_t>(level)].store(ch, std::memory_order_relaxed);
+    level_chunks_[static_cast<std::size_t>(level)].store(
+        0, std::memory_order_relaxed);
+    below = ch;
+  }
+
+  // Fill to 3/4 so the rebuilt chunks absorb inserts without immediate
+  // splits and deletes without immediate merges.
+  const int fill = std::max(1, arena_.dsize() * 3 / 4);
+
+  // Entries to place at the current level; values are user values at level 0
+  // and chunk references above.
+  std::vector<std::pair<Key, Value>> current;
+  current.reserve(pairs.size());
+  for (const auto& [k, v] : pairs) current.emplace_back(k, v);
+
+  for (int level = 0; level < max_levels(); ++level) {
+    ChunkRef tail = head_[static_cast<std::size_t>(level)].load(
+        std::memory_order_relaxed);
+    std::vector<std::pair<Key, Value>> raised;
+    std::int64_t made = 0;
+
+    for (std::size_t at = 0; at < current.size(); at += fill) {
+      const std::size_t n = std::min<std::size_t>(fill, current.size() - at);
+      const ChunkRef ch = arena_.alloc_locked();
+      for (std::size_t i = 0; i < n; ++i) {
+        arena_.entry(ch, static_cast<int>(i))
+            .store(make_kv(current[at + i].first, current[at + i].second),
+                   std::memory_order_relaxed);
+      }
+      const bool is_final = (at + n >= current.size());
+      const Key max_key = is_final ? KEY_INF : current[at + n - 1].first;
+      arena_.entry(ch, arena_.next_slot())
+          .store(make_next_entry(max_key, NULL_CHUNK),
+                 std::memory_order_relaxed);
+      arena_.entry(ch, arena_.lock_slot())
+          .store(make_lock_entry(kUnlocked), std::memory_order_relaxed);
+
+      // Link after the tail.  Every data chunk is created with its final max
+      // already in place; only the head chunk starts with the inf max of a
+      // last chunk and must drop to its own largest key (-inf) when a data
+      // chunk is linked after it.
+      const KV tail_next = arena_.entry(tail, arena_.next_slot())
+                               .load(std::memory_order_relaxed);
+      const Key tail_max = (next_entry_max(tail_next) == KEY_INF)
+                               ? KEY_NEG_INF
+                               : next_entry_max(tail_next);
+      arena_.entry(tail, arena_.next_slot())
+          .store(make_next_entry(tail_max, ch), std::memory_order_relaxed);
+
+      raised.emplace_back(current[at].first, static_cast<Value>(ch));
+      tail = ch;
+      ++made;
+    }
+
+    level_chunks_[static_cast<std::size_t>(level)].store(
+        made, std::memory_order_relaxed);
+    if (raised.size() <= 1 || level + 1 >= max_levels()) break;
+    current = std::move(raised);
+  }
+}
+
+}  // namespace gfsl::core

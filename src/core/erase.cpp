@@ -1,0 +1,158 @@
+// Delete (Algorithms 4.11, 4.12; Figures 4.5, 4.6): top-down removal under
+// the bottom-level lock, with merge of underfull chunks.
+#include "core/gfsl.h"
+
+#include <stdexcept>
+
+namespace gfsl::core {
+
+using simt::LaneVec;
+using simt::Team;
+
+bool Gfsl::erase(Team& team, Key k) {
+  if (k < MIN_USER_KEY || k > MAX_USER_KEY) {
+    throw std::invalid_argument("key outside the user key range");
+  }
+  SlowSearchResult sr = search_slow(team, k);
+  if (!sr.found) return false;
+
+  ChunkRef bottom = team.shfl(sr.path, 0);
+  bottom = find_and_lock_enclosing(team, bottom, k);
+  {
+    const LaneVec<KV> bkv = read_chunk(team, bottom);
+    if (!chunk_contains(team, bkv, k)) {
+      // Concurrently deleted between search and lock.
+      unlock(team, bottom);
+      return false;
+    }
+  }
+
+  // Re-read the height so levels added after the search are not missed
+  // (Algorithm 4.11 line 12); their path lanes were initialised to the head
+  // chunks by search_slow.  Holding the bottom lock, no other team can add
+  // or remove k anywhere, so containment per level is stable.
+  const int height = height_coop(team);
+  for (int i = height; i > 0; --i) {
+    const ChunkRef start = team.shfl(sr.path, i);
+    // Probe before locking: checking containment first "significantly
+    // reduces contention on the higher and less populated levels" (§4.2.3).
+    const auto [found, ch] = find_lateral(team, k, start);
+    if (!found) continue;
+    const ChunkRef enc = find_and_lock_enclosing(team, ch, k);
+    remove_from_chunk(team, k, enc, i);  // unlocks (or zombifies) enc
+  }
+
+  // Only after k is gone from every upper level is it removed from the
+  // bottom, and the bottom lock released (Algorithm 4.11 line 22).
+  remove_from_chunk(team, k, bottom, 0);
+  return true;
+}
+
+void Gfsl::remove_from_chunk(Team& team, Key k, ChunkRef enc_ref, int level) {
+  const LaneVec<KV> kv = read_chunk(team, enc_ref);
+  const int count = num_nonempty(team, kv);
+  const int threshold = team.dsize() / 3;
+
+  if (count > threshold) {  // plain removal, no merge
+    const bool is_last = max_of(team, kv) == KEY_INF;
+    execute_remove_no_merge(team, kv, enc_ref, k, is_last);
+    unlock(team, enc_ref);
+    return;
+  }
+
+  // Merge path: push the survivors into the next chunk.
+  const ChunkRef next_ref = lock_next_chunk(team, enc_ref);
+  if (next_ref == NULL_CHUNK) {
+    // Never merge the last chunk in a level (§4.2.3 "Deleting From Last
+    // Chunk in Level"): just remove, even if the chunk empties completely.
+    remove_from_last_chunk(team, k, enc_ref, level);
+    return;
+  }
+
+  const LaneVec<KV> nkv = read_chunk(team, next_ref);
+  MovedKeys split_moved;
+  bool did_split = false;
+  if (num_nonempty(team, nkv) + count - 1 > team.dsize()) {
+    // The receiver is too full: split it first (no key inserted).
+    split_moved = split_remove(team, next_ref, level);
+    bump_level(level, +1);
+    did_split = true;
+  }
+
+  execute_remove_merge(team, kv, enc_ref, next_ref, k);
+  mark_zombie(team, enc_ref);  // terminal; the zombie is never unlocked
+  bump_level(level, -1);
+  unlock(team, next_ref);
+
+  // Down-pointer repair after the locks are gone (Algorithm 4.12 line 27):
+  // keys that migrated out of the zombie, plus any moved by the split.
+  MovedKeys merged_moved;
+  merged_moved.moved_to = next_ref;
+  for (int i = 0; i < team.dsize(); ++i) {
+    if (!kv_is_empty(kv[i]) && kv_key(kv[i]) != k) {
+      merged_moved.keys[merged_moved.count++] = kv_key(kv[i]);
+    }
+  }
+  update_down_ptrs(team, level, merged_moved);
+  if (did_split) update_down_ptrs(team, level, split_moved);
+}
+
+void Gfsl::execute_remove_no_merge(Team& team, const LaneVec<KV>& kv,
+                                   ChunkRef ref, Key k, bool is_last_chunk) {
+  // Figure 4.6: shift everything right of k one entry to the left, writing
+  // from k's index upward so no key momentarily disappears.
+  const int dsz = team.dsize();
+  const std::uint32_t kb = team.ballot_fn(
+      [&](int i) { return i < dsz && kv_key(kv[i]) == k; });
+  const int idx = Team::lowest_lane(kb);
+  const std::uint32_t nb = team.ballot_fn(
+      [&](int i) { return i < dsz && !kv_is_empty(kv[i]); });
+  const int last = Team::highest_lane(nb);
+
+  if (!is_last_chunk && idx == last) {
+    // k is this chunk's max: lower the max field *before* removing it so a
+    // concurrent search never sees a max that is absent from the data
+    // (§4.2.3 "Delete With No Merge").  The chunk is above the merge
+    // threshold, so a predecessor key exists.
+    const Key new_max = kv_key(team.shfl(kv, last - 1));
+    const ChunkRef nxt = next_of(team, kv);
+    atomic_entry_write(team, ref, arena_.next_slot(),
+                       make_next_entry(new_max, nxt));
+  }
+
+  for (int i = idx + 1; i <= last; ++i) {
+    atomic_entry_write(team, ref, i - 1, kv[i]);
+  }
+  // The vacated last slot now duplicates its old content (or still holds k
+  // when k was the last key); clear it.
+  atomic_entry_write(team, ref, last, KV_EMPTY);
+}
+
+void Gfsl::remove_from_last_chunk(Team& team, Key k, ChunkRef ref,
+                                  int level) {
+  const LaneVec<KV> kv = read_chunk(team, ref);
+  execute_remove_no_merge(team, kv, ref, k, /*is_last_chunk=*/true);
+
+  // If the whole level is now just the -inf key in this (first == last)
+  // chunk, mark the level empty so traversals skip it (§4.2.3).
+  if (level > 0) {
+    const LaneVec<KV> after = read_chunk(team, ref);
+    const std::uint32_t users = team.ballot_fn([&](int i) {
+      return i < team.dsize() && !kv_is_empty(after[i]) &&
+             kv_key(after[i]) != KEY_NEG_INF;
+    });
+    if (users == 0 &&
+        head_[static_cast<std::size_t>(level)].load(
+            std::memory_order_acquire) == ref) {
+      auto& ctr = level_chunks_[static_cast<std::size_t>(level)];
+      std::int64_t cur = ctr.load(std::memory_order_acquire);
+      while (cur > 0 && !ctr.compare_exchange_weak(cur, cur - 1,
+                                                   std::memory_order_acq_rel,
+                                                   std::memory_order_acquire)) {
+      }
+    }
+  }
+  unlock(team, ref);
+}
+
+}  // namespace gfsl::core

@@ -1,0 +1,242 @@
+// GFSL — the GPU-Friendly Skiplist (the paper's contribution, Chapters 3-4).
+//
+// GFSL is a fine-grained lock-based skiplist made of levels of chunked linked
+// lists.  A *team* of N lanes executes each operation cooperatively: every
+// lane reads one chunk entry, the team ballots on the comparison results and
+// decides the next traversal step together.  Contains is lock-free; Insert
+// and Delete lock the affected chunks (bottom-level lock held for the whole
+// operation, upper-level locks taken lock-update-unlock, §4.2.2/§4.2.3).
+//
+// A key is raised to level i+1 only when a chunk split occurs in level i,
+// with probability p_chunk (§3), which ties the level fan-out to the chunk
+// capacity instead of to individual keys.
+//
+// Execution/measurement context: all global-memory traffic flows through a
+// device::DeviceMemory (coalescing + L2 model) and, optionally, every memory
+// step is a sched::StepScheduler yield point so tests can replay exact
+// interleavings.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "core/chunk.h"
+#include "device/device_memory.h"
+#include "sched/step_scheduler.h"
+#include "simt/team.h"
+
+namespace gfsl::core {
+
+struct GfslConfig {
+  /// Team size == chunk entry count N.  The paper evaluates 16 (128 B chunks,
+  /// one transaction) and 32 (256 B chunks, two transactions); 8 is supported
+  /// for tests.
+  int team_size = 32;
+  /// Total chunks in the device memory pool.
+  std::uint32_t pool_chunks = 1u << 20;
+  /// Probability that a split raises a key to the next level (§3, §5.2:
+  /// "p_chunk ≈ 1 ... gave the best results in all operation mixtures").
+  double p_chunk = 1.0;
+};
+
+/// Result of a quiescent structural check (no concurrent teams may run).
+struct ValidationReport {
+  bool ok = true;
+  std::string error;             // first violated invariant, if any
+  int height = 0;                // levels in use above the bottom
+  std::uint64_t bottom_keys = 0; // user keys in the bottom level
+  std::uint64_t live_chunks = 0;
+  std::uint64_t zombie_chunks = 0;
+};
+
+class Gfsl {
+ public:
+  static constexpr int kMaxLevels = 32;  // hard bound; runtime bound = team size
+
+  /// `mem` must outlive the structure; `scheduler` may be null (free-running).
+  Gfsl(const GfslConfig& cfg, device::DeviceMemory* mem,
+       sched::StepScheduler* scheduler = nullptr);
+
+  Gfsl(const Gfsl&) = delete;
+  Gfsl& operator=(const Gfsl&) = delete;
+
+  // --- Operations (each executed cooperatively by `team`) -------------------
+
+  /// Lock-free membership test (§4.2.1).
+  bool contains(simt::Team& team, Key k);
+
+  /// Lock-free lookup returning the value stored with `k`.
+  std::optional<Value> find(simt::Team& team, Key k);
+
+  /// Insert <k, v>; false if `k` is already present (§4.2.2).
+  bool insert(simt::Team& team, Key k, Value v);
+
+  /// Remove `k`; false if not present (§4.2.3).
+  bool erase(simt::Team& team, Key k);
+
+  /// Lock-free cooperative range scan (extension): append up to `limit`
+  /// pairs with keys in [lo, hi] to `out`, in ascending key order.  The
+  /// chunked layout makes this a sequence of coalesced chunk reads — the
+  /// ordered-scan operation key-value stores need from their memtables.
+  /// Concurrent updates may or may not be observed (same guarantee as a
+  /// lock-free iterator); keys present for the whole scan are returned.
+  std::size_t scan(simt::Team& team, Key lo, Key hi,
+                   std::vector<std::pair<Key, Value>>& out,
+                   std::size_t limit = SIZE_MAX);
+
+  // --- Configuration & quiescent introspection ------------------------------
+
+  const GfslConfig& config() const { return cfg_; }
+  int team_size() const { return cfg_.team_size; }
+  int max_levels() const { return cfg_.team_size; }
+
+  /// Highest level currently in use (0 = only the bottom level).
+  int current_height() const;
+
+  std::uint32_t chunks_allocated() const { return arena_.allocated(); }
+  std::int64_t chunks_in_level(int level) const {
+    return level_chunks_[static_cast<std::size_t>(level)].load(
+        std::memory_order_relaxed);
+  }
+
+  /// Quiescent: collect all <key, value> pairs in the bottom level, sorted.
+  std::vector<std::pair<Key, Value>> collect() const;
+
+  /// Quiescent: number of user keys in the structure.
+  std::uint64_t size() const;
+
+  /// Quiescent structural validation.  `strict` additionally requires every
+  /// upper-level key to exist in the level below (holds after sequential
+  /// histories; concurrent deletes may legally leave stale upper keys).
+  ValidationReport validate(bool strict = true) const;
+
+  /// Between-kernel compaction (the thesis's future-work reclamation scheme,
+  /// §4.1): rebuilds the structure densely into the start of the pool,
+  /// discarding zombies and reclaiming all chunk memory.  Quiescent only.
+  void compact();
+
+  /// Host-side bulk construction from sorted, distinct pairs (the untimed
+  /// initial-structure setup of §5.1).  Replaces the current contents.
+  /// Quiescent only.
+  void bulk_load(const std::vector<std::pair<Key, Value>>& sorted_pairs);
+
+  /// Average number of chunks read per traversal since construction — the
+  /// §5.2 metric ("between structure-height+1 and structure-height+2").
+  double avg_chunks_per_traversal() const;
+
+  /// Quiescent: render the structure level by level for debugging
+  /// (chunk refs, lock states, key ranges, down pointers).
+  void dump(std::ostream& os) const;
+
+  const ChunkArena& arena() const { return arena_; }
+
+ private:
+  // ---- cooperative building blocks (gfsl.cpp) ----
+  simt::LaneVec<KV> read_chunk(simt::Team& team, ChunkRef ref);
+  void sync_point(simt::Team& team);
+  bool is_zombie(simt::Team& team, const simt::LaneVec<KV>& kv);
+  bool is_locked_or_zombie(simt::Team& team, const simt::LaneVec<KV>& kv);
+  ChunkRef ptr_from_tid(simt::Team& team, int lane, const simt::LaneVec<KV>& kv);
+  Key max_of(simt::Team& team, const simt::LaneVec<KV>& kv);
+  ChunkRef next_of(simt::Team& team, const simt::LaneVec<KV>& kv);
+  int num_nonempty(simt::Team& team, const simt::LaneVec<KV>& kv);
+  bool chunk_contains(simt::Team& team, const simt::LaneVec<KV>& kv, Key k);
+  bool chunk_not_enclosing(simt::Team& team, const simt::LaneVec<KV>& kv, Key k);
+
+  int height_coop(simt::Team& team);
+  ChunkRef head_of(simt::Team& team, int level);
+
+  bool try_lock(simt::Team& team, ChunkRef ref);
+  void unlock(simt::Team& team, ChunkRef ref);
+  void mark_zombie(simt::Team& team, ChunkRef ref);
+  ChunkRef find_and_lock_enclosing(simt::Team& team, ChunkRef start, Key k);
+  /// Lock the next non-zombie chunk after `locked` (whose lock we hold),
+  /// unlinking zombies on the way; NULL_CHUNK if `locked` is last in level.
+  ChunkRef lock_next_chunk(simt::Team& team, ChunkRef locked);
+
+  void write_entry(simt::Team& team, ChunkRef ref, int slot, KV v);
+  void atomic_entry_write(simt::Team& team, ChunkRef ref, int slot, KV v);
+
+  void bump_level(int level, std::int64_t delta);
+
+  // ---- traversal (search.cpp) ----
+  static constexpr int kNone = -1;
+  int tid_for_next_step(simt::Team& team, Key k, const simt::LaneVec<KV>& kv);
+  int tid_with_equal_key(simt::Team& team, Key k, const simt::LaneVec<KV>& kv);
+  ChunkRef search_down(simt::Team& team, Key k);
+  bool search_lateral(simt::Team& team, Key k, ChunkRef start, Value* out_value);
+
+  struct SlowSearchResult {
+    bool found = false;
+    simt::LaneVec<ChunkRef> path;  // lane l: chunk in level l to start from
+  };
+  SlowSearchResult search_slow(simt::Team& team, Key k);
+
+  /// Exact-key lateral search at any level; returns {found, chunk reached}.
+  std::pair<bool, ChunkRef> find_lateral(simt::Team& team, Key k, ChunkRef start);
+
+  /// searchDown that stops when reaching `target_level` (Algorithm 4.10).
+  ChunkRef search_down_to_level(simt::Team& team, int target_level, Key k);
+
+  /// Follow next pointers from a zombie to the first non-zombie chunk.
+  ChunkRef first_non_zombie(simt::Team& team, const simt::LaneVec<KV>& kv);
+  /// Lazily unlink zombies between prev and `first_nz` (searchSlow, §4.2.2).
+  void redirect_to_remove_zombie(simt::Team& team, ChunkRef prev,
+                                 ChunkRef first_nz);
+
+  // ---- insert (insert.cpp) ----
+  bool insert_to_level(simt::Team& team, int level, ChunkRef& enc, Key& k,
+                       Value v, bool& raise);
+  void execute_insert(simt::Team& team, ChunkRef ref,
+                      const simt::LaneVec<KV>& kv, Key k, Value v);
+
+  // ---- split & merge (split_merge.cpp) ----
+  struct MovedKeys {
+    simt::LaneVec<Key> keys;  // ascending; lane i holds the i-th moved key
+    int count = 0;
+    ChunkRef moved_to = NULL_CHUNK;
+  };
+  struct SplitOutcome {
+    ChunkRef locked;   // chunk (old or new) containing k; still locked
+    ChunkRef fresh;    // the newly allocated chunk
+    Key raised_key;    // key to raise if the coin flip says so
+    MovedKeys moved;
+  };
+  SplitOutcome split_insert(simt::Team& team, ChunkRef split_ref, Key k,
+                            Value v, int level);
+  /// Split `next_ref` (locked) during a merge; no key inserted.  Returns the
+  /// keys moved into the fresh chunk for down-pointer repair.
+  MovedKeys split_remove(simt::Team& team, ChunkRef next_ref, int level);
+  void execute_remove_merge(simt::Team& team, const simt::LaneVec<KV>& enc_kv,
+                            ChunkRef enc_ref, ChunkRef next_ref, Key k);
+
+  // ---- erase (erase.cpp) ----
+  void remove_from_chunk(simt::Team& team, Key k, ChunkRef enc_ref, int level);
+  void execute_remove_no_merge(simt::Team& team, const simt::LaneVec<KV>& kv,
+                               ChunkRef ref, Key k, bool is_last_chunk);
+  void remove_from_last_chunk(simt::Team& team, Key k, ChunkRef ref, int level);
+
+  // ---- down-pointer repair (update_down.cpp) ----
+  void update_down_ptrs(simt::Team& team, int level, const MovedKeys& moved);
+
+  // ---- data ----
+  GfslConfig cfg_;
+  device::DeviceMemory* mem_;
+  sched::StepScheduler* sched_;
+  ChunkArena arena_;
+  std::uint64_t head_device_base_;  // synthetic address of the head array
+  std::array<std::atomic<ChunkRef>, kMaxLevels> head_;
+  std::array<std::atomic<std::int64_t>, kMaxLevels> level_chunks_;
+  std::atomic<std::uint64_t> traversals_{0};
+  std::atomic<std::uint64_t> traversal_chunk_reads_{0};
+
+  friend class GfslInspector;  // white-box test access
+};
+
+}  // namespace gfsl::core

@@ -1,0 +1,64 @@
+// White-box quiescent inspection shared by validate/shape/debug code.
+// GfslInspector is a friend of Gfsl; everything here reads the structure
+// host-side and must only run while no team is operating.
+#pragma once
+
+#include <set>
+#include <vector>
+
+#include "core/gfsl.h"
+
+namespace gfsl::core {
+
+struct ChunkView {
+  ChunkRef ref;
+  std::vector<KV> data;  // non-empty data entries, in slot order
+  Key max;
+  ChunkRef next;
+  LockState lock;
+};
+
+class GfslInspector {
+ public:
+  explicit GfslInspector(const Gfsl& g) : g_(g) {}
+
+  ChunkView view(ChunkRef ref) const {
+    const auto& arena = g_.arena_;
+    ChunkView v;
+    v.ref = ref;
+    const std::atomic<KV>* e = arena.entries(ref);
+    for (int i = 0; i < arena.dsize(); ++i) {
+      const KV kv = e[i].load(std::memory_order_acquire);
+      if (!kv_is_empty(kv)) v.data.push_back(kv);
+    }
+    const KV nx = e[arena.next_slot()].load(std::memory_order_acquire);
+    v.max = next_entry_max(nx);
+    v.next = next_entry_ref(nx);
+    v.lock = lock_entry_state(
+        e[arena.lock_slot()].load(std::memory_order_acquire));
+    return v;
+  }
+
+  /// All chunks in a level's chain (zombies included), bounded against
+  /// cycles.
+  std::vector<ChunkView> level_chain(int level, bool* cycle) const {
+    std::vector<ChunkView> out;
+    std::set<ChunkRef> seen;
+    ChunkRef cur = g_.head_[static_cast<std::size_t>(level)].load(
+        std::memory_order_acquire);
+    while (cur != NULL_CHUNK) {
+      if (!seen.insert(cur).second) {
+        if (cycle != nullptr) *cycle = true;
+        return out;
+      }
+      out.push_back(view(cur));
+      cur = out.back().next;
+    }
+    if (cycle != nullptr) *cycle = false;
+    return out;
+  }
+
+  const Gfsl& g_;
+};
+
+}  // namespace gfsl::core

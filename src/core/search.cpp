@@ -1,0 +1,353 @@
+// Traversal: Contains (Algorithms 4.1-4.4) and the path-recording searchSlow
+// used by Insert and Delete (Algorithm 4.6).
+#include "core/gfsl.h"
+
+namespace gfsl::core {
+
+using simt::LaneVec;
+using simt::Team;
+
+int Gfsl::tid_for_next_step(Team& team, Key k, const LaneVec<KV>& kv) {
+  // Algorithm 4.3.  DATA lanes vote "my key <= k" (EMPTY keys are inf, so
+  // they vote false); the NEXT lane votes "max < k" (lateral step); the LOCK
+  // lane always votes false.  The highest voting lane wins — precedence to
+  // higher tIds is what makes concurrent shifts/splits safe for readers
+  // (§4.2.2).
+  const int dsz = team.dsize();
+  const int nxt = team.next_lane();
+  const std::uint32_t bal = team.ballot_fn([&](int i) {
+    if (i < dsz) return kv_key(kv[i]) <= k;
+    if (i == nxt) return next_entry_max(kv[i]) < k;
+    return false;
+  });
+  if (bal == 0) return kNone;
+  return Team::highest_lane(bal);
+}
+
+int Gfsl::tid_with_equal_key(Team& team, Key k, const LaneVec<KV>& kv) {
+  // Bottom-level variant: DATA lanes vote equality instead of <= (§4.2.1).
+  const int dsz = team.dsize();
+  const int nxt = team.next_lane();
+  const std::uint32_t bal = team.ballot_fn([&](int i) {
+    if (i < dsz) return kv_key(kv[i]) == k;
+    if (i == nxt) return next_entry_max(kv[i]) < k;
+    return false;
+  });
+  if (bal == 0) return kNone;
+  return Team::highest_lane(bal);
+}
+
+ChunkRef Gfsl::search_down(Team& team, Key k) {
+  // Algorithm 4.2: lock-free descent through the upper levels.  Returns the
+  // level-0 chunk reached by the last down step.
+  std::uint64_t reads = 0;
+  for (;;) {  // restart loop (the §4.2.1 lock-freedom edge case)
+    LaneVec<KV> prev_kv;
+    bool have_prev = false;
+    int height = height_coop(team);
+    ChunkRef cur = head_of(team, height);
+    bool restart = false;
+
+    while (height > 0) {
+      const LaneVec<KV> kv = read_chunk(team, cur);
+      ++reads;
+      if (is_zombie(team, kv)) {
+        // Zombies are skipped laterally; their contents moved right (§4.2.1).
+        cur = next_of(team, kv);
+        continue;
+      }
+      const int step = tid_for_next_step(team, k, kv);
+      if (step == team.next_lane()) {  // lateral step
+        prev_kv = kv;
+        have_prev = true;
+        cur = next_of(team, kv);
+      } else if (step != kNone) {  // down step
+        --height;
+        have_prev = false;
+        cur = ptr_from_tid(team, step, kv);
+      } else {  // backtrack
+        if (!have_prev) {
+          ++team.counters().restarts;
+          team.record(simt::TraceEvent::kRestart, cur, k);
+          restart = true;
+          break;
+        }
+        // All keys here are > k; step down through the previous chunk, whose
+        // max (its last key) is < k because we stepped laterally past it.
+        const std::uint32_t bal = team.ballot_fn([&](int i) {
+          return i < team.dsize() && kv_key(prev_kv[i]) <= k;
+        });
+        --height;
+        cur = ptr_from_tid(team, Team::highest_lane(bal), prev_kv);
+        have_prev = false;
+      }
+    }
+    if (!restart) {
+      traversal_chunk_reads_.fetch_add(reads, std::memory_order_relaxed);
+      traversals_.fetch_add(1, std::memory_order_relaxed);
+      return cur;
+    }
+  }
+}
+
+bool Gfsl::search_lateral(Team& team, Key k, ChunkRef start, Value* out_value) {
+  // Algorithm 4.4: bottom-level lateral walk to k's enclosing chunk.
+  ChunkRef cur = start;
+  std::uint64_t reads = 0;
+  for (;;) {
+    const LaneVec<KV> kv = read_chunk(team, cur);
+    ++reads;
+    const int found = tid_with_equal_key(team, k, kv);
+    if (found == team.next_lane() || is_zombie(team, kv)) {
+      cur = next_of(team, kv);
+      continue;
+    }
+    traversal_chunk_reads_.fetch_add(reads, std::memory_order_relaxed);
+    if (found == kNone) return false;
+    if (out_value != nullptr) *out_value = kv_value(team.shfl(kv, found));
+    return true;
+  }
+}
+
+bool Gfsl::contains(Team& team, Key k) {
+  return search_lateral(team, k, search_down(team, k), nullptr);
+}
+
+std::optional<Value> Gfsl::find(Team& team, Key k) {
+  Value v{};
+  if (search_lateral(team, k, search_down(team, k), &v)) return v;
+  return std::nullopt;
+}
+
+ChunkRef Gfsl::first_non_zombie(Team& team, const LaneVec<KV>& kv) {
+  // Follow next pointers until a non-zombie chunk; the last chunk in a level
+  // is never a zombie (§4.2.3), so this terminates.
+  ChunkRef cur = next_of(team, kv);
+  for (;;) {
+    const LaneVec<KV> nkv = read_chunk(team, cur);
+    if (!is_zombie(team, nkv)) return cur;
+    cur = next_of(team, nkv);
+  }
+}
+
+void Gfsl::redirect_to_remove_zombie(Team& team, ChunkRef prev, ChunkRef) {
+  // Lazy unlinking (§4.2.2): try-lock the predecessor; on failure just move
+  // on.  Under the lock, re-resolve the first non-zombie successor — the
+  // previously computed one may be stale if prev was split meanwhile.
+  // A zombie's lock field is the zombie mark itself, so try_lock can only
+  // succeed on a live chunk — once locked, prev cannot be merged away.
+  if (!try_lock(team, prev)) return;
+  const LaneVec<KV> pkv = read_chunk(team, prev);
+  ChunkRef target = next_of(team, pkv);
+  bool changed = false;
+  while (target != NULL_CHUNK) {
+    const LaneVec<KV> tkv = read_chunk(team, target);
+    if (!is_zombie(team, tkv)) break;
+    target = next_of(team, tkv);
+    changed = true;
+  }
+  if (changed) {
+    atomic_entry_write(team, prev, arena_.next_slot(),
+                       make_next_entry(max_of(team, pkv), target));
+  }
+  unlock(team, prev);
+}
+
+Gfsl::SlowSearchResult Gfsl::search_slow(Team& team, Key k) {
+  // Algorithm 4.6: the Contains traversal plus (a) the per-lane path
+  // "artificial array" — lane l records the chunk in level l through which
+  // the down step was taken — and (b) lazy zombie unlinking.
+  std::uint64_t reads = 0;
+  for (;;) {
+    SlowSearchResult r;
+    for (int l = 0; l < simt::kWarpSize; ++l) {
+      r.path[l] = (l < max_levels())
+                      ? head_[static_cast<std::size_t>(l)].load(
+                            std::memory_order_acquire)
+                      : NULL_CHUNK;
+    }
+    team.step();  // the headPtrAtHeight lockstep read
+
+    LaneVec<KV> prev_kv;
+    ChunkRef prev_ref = NULL_CHUNK;
+    bool have_prev = false;
+    int height = height_coop(team);
+    ChunkRef cur = head_of(team, height);
+    bool restart = false;
+
+    while (height > 0) {
+      LaneVec<KV> kv = read_chunk(team, cur);
+      ++reads;
+      if (is_zombie(team, kv)) {
+        const ChunkRef fnz = first_non_zombie(team, kv);
+        if (have_prev) {
+          redirect_to_remove_zombie(team, prev_ref, fnz);
+        } else if (head_[static_cast<std::size_t>(height)].load(
+                       std::memory_order_acquire) == cur) {
+          // The zombie was the first chunk in the level: swing the head.
+          ChunkRef expected = cur;
+          mem_->atomic_rmw(head_device_base_ + 256 +
+                           static_cast<std::uint64_t>(height) * 4u);
+          head_[static_cast<std::size_t>(height)].compare_exchange_strong(
+              expected, fnz, std::memory_order_acq_rel,
+              std::memory_order_acquire);
+          team.step();
+        }
+        cur = fnz;
+        continue;
+      }
+      const int step = tid_for_next_step(team, k, kv);
+      if (step == team.next_lane()) {  // lateral
+        prev_kv = kv;
+        prev_ref = cur;
+        have_prev = true;
+        cur = next_of(team, kv);
+      } else if (step != kNone) {  // down
+        r.path[height] = cur;
+        --height;
+        have_prev = false;
+        cur = ptr_from_tid(team, step, kv);
+      } else {  // backtrack
+        if (!have_prev) {
+          ++team.counters().restarts;
+          team.record(simt::TraceEvent::kRestart, cur, k);
+          restart = true;
+          break;
+        }
+        r.path[height] = prev_ref;
+        const std::uint32_t bal = team.ballot_fn([&](int i) {
+          return i < team.dsize() && kv_key(prev_kv[i]) <= k;
+        });
+        --height;
+        cur = ptr_from_tid(team, Team::highest_lane(bal), prev_kv);
+        have_prev = false;
+      }
+    }
+    if (restart) continue;
+
+    // Bottom level: lateral walk with zombie unlinking; the enclosing chunk
+    // becomes path[0].
+    ChunkRef bprev = NULL_CHUNK;
+    for (;;) {
+      const LaneVec<KV> kv = read_chunk(team, cur);
+      ++reads;
+      if (is_zombie(team, kv)) {
+        const ChunkRef fnz = first_non_zombie(team, kv);
+        if (bprev != NULL_CHUNK) redirect_to_remove_zombie(team, bprev, fnz);
+        cur = fnz;
+        continue;
+      }
+      const int found = tid_with_equal_key(team, k, kv);
+      if (found == team.next_lane()) {
+        bprev = cur;
+        cur = next_of(team, kv);
+        continue;
+      }
+      r.path[0] = cur;
+      r.found = (found != kNone);
+      break;
+    }
+    traversal_chunk_reads_.fetch_add(reads, std::memory_order_relaxed);
+    traversals_.fetch_add(1, std::memory_order_relaxed);
+    return r;
+  }
+}
+
+std::size_t Gfsl::scan(Team& team, Key lo, Key hi,
+                       std::vector<std::pair<Key, Value>>& out,
+                       std::size_t limit) {
+  if (lo < MIN_USER_KEY) lo = MIN_USER_KEY;
+  if (hi > MAX_USER_KEY) hi = MAX_USER_KEY;
+  if (lo > hi || limit == 0) return 0;
+
+  const std::size_t start_size = out.size();
+  ChunkRef cur = search_down(team, lo);
+  for (;;) {
+    const LaneVec<KV> kv = read_chunk(team, cur);
+    if (is_zombie(team, kv)) {
+      // Zombie contents moved right; skip without collecting.
+      cur = next_of(team, kv);
+      continue;
+    }
+    // Cooperative in-range vote; entries are sorted within the chunk, so
+    // gathering in slot order keeps the output ordered.
+    const std::uint32_t in_range = team.ballot_fn([&](int i) {
+      if (i >= team.dsize()) return false;
+      const Key k = kv_key(kv[i]);
+      return k >= lo && k <= hi && k != KEY_NEG_INF && !kv_is_empty(kv[i]);
+    });
+    for (int i = 0; i < team.dsize(); ++i) {
+      if ((in_range & (1u << i)) == 0) continue;
+      if (out.size() - start_size >= limit) return out.size() - start_size;
+      out.emplace_back(kv_key(kv[i]), kv_value(kv[i]));
+    }
+    const Key max = max_of(team, kv);
+    const ChunkRef nxt = next_of(team, kv);
+    if (max >= hi || nxt == NULL_CHUNK) break;
+    cur = nxt;
+  }
+  return out.size() - start_size;
+}
+
+std::pair<bool, ChunkRef> Gfsl::find_lateral(Team& team, Key k,
+                                             ChunkRef start) {
+  // Exact-key lateral search usable at any level (Delete's per-level
+  // containment probe, updateDownPtrs' upper-level search).
+  ChunkRef cur = start;
+  for (;;) {
+    const LaneVec<KV> kv = read_chunk(team, cur);
+    const int found = tid_with_equal_key(team, k, kv);
+    if (found == team.next_lane() || is_zombie(team, kv)) {
+      cur = next_of(team, kv);
+      continue;
+    }
+    return {found != kNone, cur};
+  }
+}
+
+ChunkRef Gfsl::search_down_to_level(Team& team, int target_level, Key k) {
+  // Algorithm 4.10's helper: "identical to searchDown except that it
+  // searches until level i and not level 0".
+  for (;;) {
+    LaneVec<KV> prev_kv;
+    bool have_prev = false;
+    int height = height_coop(team);
+    if (height <= target_level) return head_of(team, target_level);
+    ChunkRef cur = head_of(team, height);
+    bool restart = false;
+
+    while (height > target_level) {
+      const LaneVec<KV> kv = read_chunk(team, cur);
+      if (is_zombie(team, kv)) {
+        cur = next_of(team, kv);
+        continue;
+      }
+      const int step = tid_for_next_step(team, k, kv);
+      if (step == team.next_lane()) {
+        prev_kv = kv;
+        have_prev = true;
+        cur = next_of(team, kv);
+      } else if (step != kNone) {
+        --height;
+        have_prev = false;
+        cur = ptr_from_tid(team, step, kv);
+      } else {
+        if (!have_prev) {
+          ++team.counters().restarts;
+          team.record(simt::TraceEvent::kRestart, cur, k);
+          restart = true;
+          break;
+        }
+        const std::uint32_t bal = team.ballot_fn([&](int i) {
+          return i < team.dsize() && kv_key(prev_kv[i]) <= k;
+        });
+        --height;
+        cur = ptr_from_tid(team, Team::highest_lane(bal), prev_kv);
+        have_prev = false;
+      }
+    }
+    if (!restart) return cur;
+  }
+}
+
+}  // namespace gfsl::core

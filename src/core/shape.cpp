@@ -1,0 +1,61 @@
+#include "core/shape.h"
+
+#include <algorithm>
+
+#include "core/inspect.h"
+
+namespace gfsl::core {
+
+ShapeStats measure_shape(const Gfsl& g) {
+  GfslInspector insp(g);
+  ShapeStats s;
+  s.levels.resize(static_cast<std::size_t>(g.max_levels()));
+
+  for (int l = 0; l < g.max_levels(); ++l) {
+    LevelShape& ls = s.levels[static_cast<std::size_t>(l)];
+    const auto chain = insp.level_chain(l, nullptr);
+    double fill_sum = 0.0;
+    double fill_min = 1e30;
+    double fill_max = 0.0;
+    for (const auto& ch : chain) {
+      if (ch.lock == kZombie) {
+        ++ls.zombie_chunks;
+        continue;
+      }
+      ++ls.live_chunks;
+      std::uint64_t user = 0;
+      for (const KV kv : ch.data) {
+        if (kv_key(kv) != KEY_NEG_INF) ++user;
+      }
+      ls.keys += user;
+      const auto fill = static_cast<double>(ch.data.size());
+      fill_sum += fill;
+      fill_min = std::min(fill_min, fill);
+      fill_max = std::max(fill_max, fill);
+    }
+    if (ls.live_chunks > 0) {
+      ls.avg_fill = fill_sum / static_cast<double>(ls.live_chunks);
+      ls.min_fill = fill_min;
+      ls.max_fill = fill_max;
+    }
+    s.live_chunks += ls.live_chunks;
+    s.zombie_chunks += ls.zombie_chunks;
+    if (ls.keys > 0) s.height = l;
+  }
+
+  s.total_keys = s.levels[0].keys;
+  // Average user keys per live bottom chunk, counting only chunks that hold
+  // data (the head chunk carries just -inf when the first split has not
+  // reached it).
+  if (s.levels[0].live_chunks > 0) {
+    s.avg_keys_per_chunk = static_cast<double>(s.levels[0].keys) /
+                           static_cast<double>(s.levels[0].live_chunks);
+  }
+  if (s.levels.size() > 1 && s.levels[1].keys > 0) {
+    s.fanout = static_cast<double>(s.levels[0].keys) /
+               static_cast<double>(s.levels[1].keys);
+  }
+  return s;
+}
+
+}  // namespace gfsl::core

@@ -1,0 +1,47 @@
+// Quiescent structure-shape statistics.
+//
+// Chapter 3 makes quantitative claims about the shape GFSL converges to:
+// "chunks of size 16 hold an average of 10 keys ... chunks of size 32 ...
+// an average of 20 keys", "GFSL-16 contains 25% more levels on average than
+// GFSL-32", and §5.2 ties traversal length to fill and p_chunk.  ShapeStats
+// measures those properties so tests and benches can check them directly.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace gfsl::core {
+
+class Gfsl;
+
+struct LevelShape {
+  std::uint64_t live_chunks = 0;
+  std::uint64_t zombie_chunks = 0;
+  std::uint64_t keys = 0;          // user keys (excluding -inf)
+  double avg_fill = 0.0;           // mean non-empty data entries per live chunk
+  double min_fill = 0.0;
+  double max_fill = 0.0;
+};
+
+struct ShapeStats {
+  int height = 0;                   // highest non-empty level
+  std::uint64_t total_keys = 0;     // bottom-level user keys
+  std::uint64_t live_chunks = 0;
+  std::uint64_t zombie_chunks = 0;
+  double avg_keys_per_chunk = 0.0;  // over live bottom-level chunks
+  double fanout = 0.0;              // keys(level 0) / keys(level 1), 0 if flat
+  std::vector<LevelShape> levels;   // index = level
+
+  /// Fraction of allocated pool chunks that are zombies (reclaimable by
+  /// compact()).
+  double zombie_fraction() const {
+    const double total = static_cast<double>(live_chunks + zombie_chunks);
+    return total > 0 ? static_cast<double>(zombie_chunks) / total : 0.0;
+  }
+};
+
+/// Walk the structure host-side (quiescent only) and measure its shape.
+ShapeStats measure_shape(const Gfsl& g);
+
+}  // namespace gfsl::core

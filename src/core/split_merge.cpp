@@ -1,0 +1,161 @@
+// Split (Algorithm 4.9, Figure 4.4) and merge-copy (Figure 4.5c) machinery.
+#include "core/gfsl.h"
+
+#include <algorithm>
+
+namespace gfsl::core {
+
+using simt::LaneVec;
+using simt::Team;
+
+/// Core split: allocate a fresh chunk, copy the top DSIZE/2 entries into it,
+/// publish it with one atomic NEXT write, and empty the moved entries.
+/// Shared by insert-splits and merge-splits; the caller owns `split_ref`'s
+/// lock and the lock of the chunk after it (via lock_next_chunk).  The fresh
+/// chunk is returned still locked.
+Gfsl::MovedKeys Gfsl::split_remove(Team& team, ChunkRef next_ref, int level) {
+  team.record(simt::TraceEvent::kSplit, next_ref, static_cast<std::uint64_t>(level));
+  const ChunkRef after = lock_next_chunk(team, next_ref);
+  const ChunkRef fresh = arena_.alloc_locked();
+  const LaneVec<KV> skv = read_chunk(team, next_ref);
+  const int dsz = team.dsize();
+  const int half = dsz / 2;
+  const Key thresh = kv_key(team.shfl(skv, half - 1));
+  const Key old_max = max_of(team, skv);
+  const ChunkRef old_next = next_of(team, skv);
+
+  // Fresh chunk: top half of the data, inheriting the split chunk's max and
+  // next pointer ("the new chunk receives the max field of the chunk being
+  // split", §4.3).  One coalesced team write; published below.
+  sync_point(team);
+  for (int i = half; i < dsz; ++i) {
+    arena_.entry(fresh, i - half).store(skv[i], std::memory_order_relaxed);
+  }
+  arena_.entry(fresh, arena_.next_slot())
+      .store(make_next_entry(old_max, old_next), std::memory_order_relaxed);
+  mem_->warp_write(arena_.device_address(fresh),
+                   static_cast<std::uint32_t>(half + 1) * 8u);
+  team.step();
+
+  // Publish: new max + new next pointer in a single atomic write (§4.2.2).
+  atomic_entry_write(team, next_ref, arena_.next_slot(),
+                     make_next_entry(thresh, fresh));
+
+  // Empty the moved entries, highest tId first; traversals give precedence
+  // to the NEXT lane's (already lowered) max, so stale high entries are
+  // never considered (§4.2.2).
+  for (int i = dsz - 1; i >= half; --i) {
+    atomic_entry_write(team, next_ref, i, KV_EMPTY);
+  }
+
+  MovedKeys moved;
+  moved.count = half;
+  moved.moved_to = fresh;
+  for (int i = 0; i < half; ++i) moved.keys[i] = kv_key(skv[half + i]);
+
+  unlock(team, fresh);
+  if (after != NULL_CHUNK) unlock(team, after);
+  return moved;
+}
+
+Gfsl::SplitOutcome Gfsl::split_insert(Team& team, ChunkRef split_ref, Key k,
+                                      Value v, int level) {
+  team.record(simt::TraceEvent::kSplit, split_ref, static_cast<std::uint64_t>(level));
+  // preSplit: lock the successor so it cannot merge away mid-split.
+  const ChunkRef after = lock_next_chunk(team, split_ref);
+  const ChunkRef fresh = arena_.alloc_locked();
+  const LaneVec<KV> skv = read_chunk(team, split_ref);
+  const int dsz = team.dsize();
+  const int half = dsz / 2;
+  const Key thresh = kv_key(team.shfl(skv, half - 1));
+  const Key old_max = max_of(team, skv);
+  const ChunkRef old_next = next_of(team, skv);
+
+  // splitCopy (Algorithm 4.9 lines 23-33).
+  sync_point(team);
+  for (int i = half; i < dsz; ++i) {
+    arena_.entry(fresh, i - half).store(skv[i], std::memory_order_relaxed);
+  }
+  arena_.entry(fresh, arena_.next_slot())
+      .store(make_next_entry(old_max, old_next), std::memory_order_relaxed);
+  mem_->warp_write(arena_.device_address(fresh),
+                   static_cast<std::uint32_t>(half + 1) * 8u);
+  team.step();
+
+  atomic_entry_write(team, split_ref, arena_.next_slot(),
+                     make_next_entry(thresh, fresh));
+  for (int i = dsz - 1; i >= half; --i) {
+    atomic_entry_write(team, split_ref, i, KV_EMPTY);
+  }
+
+  SplitOutcome out;
+  out.fresh = fresh;
+  out.moved.count = half;
+  out.moved.moved_to = fresh;
+  for (int i = 0; i < half; ++i) out.moved.keys[i] = kv_key(skv[half + i]);
+  const Key min_new = out.moved.keys[0];
+
+  // insertNewData: the key lands in whichever side now encloses it.  The
+  // side holding k stays locked (at level 0 it carries the bottom lock for
+  // the rest of the Insert); the other side is released.
+  if (k <= thresh) {
+    const LaneVec<KV> cur = read_chunk(team, split_ref);
+    execute_insert(team, split_ref, cur, k, v);
+    out.locked = split_ref;
+    unlock(team, fresh);
+  } else {
+    const LaneVec<KV> cur = read_chunk(team, fresh);
+    execute_insert(team, fresh, cur, k, v);
+    out.locked = fresh;
+    unlock(team, split_ref);
+  }
+  if (after != NULL_CHUNK) unlock(team, after);
+
+  // keyForNextLevel (§4.2.2): at level 0 raise max(k, minK) — raising minK
+  // directly would need a fresh traversal; above level 0 only the key that
+  // caused the split may be raised, since the bottom lock protects only it.
+  out.raised_key = (level == 0) ? std::max(k, min_new) : k;
+
+  // Repair level+1 down-pointers for the moved keys (Algorithm 4.10).
+  update_down_ptrs(team, level, out.moved);
+  return out;
+}
+
+void Gfsl::execute_remove_merge(Team& team, const LaneVec<KV>& enc_kv,
+                                ChunkRef enc_ref, ChunkRef next_ref, Key k) {
+  // Figure 4.5c: move every key but k from the underfull chunk into its
+  // successor.  Both chunks are locked and adjacent, so every key in enc is
+  // smaller than every key in next; the merged array is just the
+  // concatenation.  On the device the new per-lane values come from a series
+  // of shfls; writes land right-to-left so a concurrent traversal (which
+  // gives precedence to higher tIds) never loses a key.
+  team.record(simt::TraceEvent::kMerge, enc_ref, next_ref);
+  const LaneVec<KV> nkv = read_chunk(team, next_ref);
+  const int dsz = team.dsize();
+
+  LaneVec<KV> merged(KV_EMPTY);
+  int m = 0;
+  for (int i = 0; i < dsz; ++i) {
+    if (!kv_is_empty(enc_kv[i]) && kv_key(enc_kv[i]) != k) {
+      merged[m++] = enc_kv[i];
+    }
+  }
+  const int moved_in = m;
+  for (int i = 0; i < dsz; ++i) {
+    if (!kv_is_empty(nkv[i])) merged[m++] = nkv[i];
+  }
+  // Model the shfl cascade that distributes merged values to lanes.
+  team.counters().shfls += static_cast<std::uint64_t>(moved_in);
+  team.counters().instructions += static_cast<std::uint64_t>(moved_in);
+
+  for (int i = m - 1; i >= 0; --i) {
+    if (nkv[i] != merged[i]) {
+      atomic_entry_write(team, next_ref, i, merged[i]);
+    } else {
+      team.step();
+    }
+  }
+  // next's max field is unchanged: it only gained smaller keys.
+}
+
+}  // namespace gfsl::core

@@ -1,0 +1,202 @@
+// Quiescent structural validation and inspection.  These walk the structure
+// host-side (no team, no accounting) and check the invariants Chapter 4.3
+// argues for.  They must only run while no team is operating.
+#include "core/gfsl.h"
+
+#include <map>
+#include <ostream>
+#include <set>
+#include <sstream>
+
+#include "core/inspect.h"
+
+namespace gfsl::core {
+
+std::vector<std::pair<Key, Value>> Gfsl::collect() const {
+  GfslInspector insp(*this);
+  std::vector<std::pair<Key, Value>> out;
+  for (const auto& ch : insp.level_chain(0, nullptr)) {
+    if (ch.lock == kZombie) continue;
+    for (const KV kv : ch.data) {
+      if (kv_key(kv) != KEY_NEG_INF) out.emplace_back(kv_key(kv), kv_value(kv));
+    }
+  }
+  return out;
+}
+
+std::uint64_t Gfsl::size() const { return collect().size(); }
+
+ValidationReport Gfsl::validate(bool strict) const {
+  GfslInspector insp(*this);
+  ValidationReport rep;
+  auto fail = [&](const std::string& msg) {
+    if (rep.ok) {
+      rep.ok = false;
+      rep.error = msg;
+    }
+  };
+
+  std::vector<std::set<Key>> level_keys(static_cast<std::size_t>(max_levels()));
+  std::vector<std::map<Key, ChunkRef>> down_ptr(
+      static_cast<std::size_t>(max_levels()));
+  std::vector<std::set<ChunkRef>> live_refs(
+      static_cast<std::size_t>(max_levels()));
+
+  for (int l = 0; l < max_levels(); ++l) {
+    bool cycle = false;
+    const auto chain = insp.level_chain(l, &cycle);
+    if (cycle) {
+      fail("cycle in level " + std::to_string(l));
+      break;
+    }
+    if (chain.empty()) {
+      fail("level " + std::to_string(l) + " has no chunks");
+      break;
+    }
+
+    bool saw_neg_inf = false;
+    Key prev_max_key = 0;
+    bool have_prev = false;
+    for (std::size_t ci = 0; ci < chain.size(); ++ci) {
+      const ChunkView& ch = chain[ci];
+      std::ostringstream where;
+      where << "level " << l << " chunk " << ch.ref;
+
+      if (ch.lock == kLocked) fail(where.str() + " left locked at quiescence");
+      if (ch.lock == kZombie) {
+        ++rep.zombie_chunks;
+        continue;  // zombie contents are stale by design
+      }
+      ++rep.live_chunks;
+      live_refs[static_cast<std::size_t>(l)].insert(ch.ref);
+
+      // EMPTY entries grouped at the end: the inspector's view already drops
+      // empties, so verify no empty slot precedes a non-empty one directly.
+      {
+        const std::atomic<KV>* e = arena_.entries(ch.ref);
+        bool seen_empty = false;
+        for (int i = 0; i < arena_.dsize(); ++i) {
+          const bool empty = kv_is_empty(e[i].load(std::memory_order_acquire));
+          if (empty) {
+            seen_empty = true;
+          } else if (seen_empty) {
+            fail(where.str() + ": non-empty entry after an empty one");
+          }
+        }
+      }
+
+      // Internal sortedness, strictly ascending.
+      for (std::size_t i = 1; i < ch.data.size(); ++i) {
+        if (kv_key(ch.data[i - 1]) >= kv_key(ch.data[i])) {
+          fail(where.str() + ": data not strictly sorted");
+        }
+      }
+
+      // Max-field discipline: last chunk carries inf; any other non-zombie
+      // chunk's max equals its largest key.
+      const bool is_last = (ch.next == NULL_CHUNK);
+      if (is_last) {
+        if (ch.max != KEY_INF) fail(where.str() + ": last chunk max != inf");
+      } else if (ch.data.empty()) {
+        fail(where.str() + ": empty non-last chunk");
+      } else if (ch.max != kv_key(ch.data.back())) {
+        fail(where.str() + ": max field != largest key");
+      }
+
+      // Lateral ordering between consecutive non-zombie chunks (§4.3).
+      if (!ch.data.empty()) {
+        if (have_prev && kv_key(ch.data.front()) <= prev_max_key) {
+          fail(where.str() + ": overlaps previous chunk's range");
+        }
+        prev_max_key = kv_key(ch.data.back());
+        have_prev = true;
+      }
+
+      for (const KV kv : ch.data) {
+        const Key key = kv_key(kv);
+        if (key == KEY_NEG_INF) {
+          saw_neg_inf = true;
+          continue;
+        }
+        if (!level_keys[static_cast<std::size_t>(l)].insert(key).second) {
+          fail(where.str() + ": duplicate key " + std::to_string(key));
+        }
+        if (l > 0) {
+          down_ptr[static_cast<std::size_t>(l)][key] =
+              static_cast<ChunkRef>(kv_value(kv));
+        }
+      }
+    }
+    if (!saw_neg_inf) fail("level " + std::to_string(l) + " lost its -inf key");
+  }
+
+  rep.bottom_keys = level_keys[0].size();
+  rep.height = current_height();
+
+  // Down-pointer validity: from the pointed-to chunk, the key's enclosing
+  // chunk must be laterally reachable (§4.3 "Order Between Down Pointers").
+  for (int l = 1; l < max_levels() && rep.ok; ++l) {
+    for (const auto& [key, target] : down_ptr[static_cast<std::size_t>(l)]) {
+      ChunkRef cur = target;
+      bool reached = false;
+      std::set<ChunkRef> seen;
+      while (cur != NULL_CHUNK && seen.insert(cur).second) {
+        const auto ch = insp.view(cur);
+        if (ch.lock != kZombie && ch.max >= key) {
+          reached = live_refs[static_cast<std::size_t>(l - 1)].count(cur) > 0;
+          break;
+        }
+        cur = ch.next;
+      }
+      if (!reached) {
+        fail("level " + std::to_string(l) + " key " + std::to_string(key) +
+             ": enclosing chunk below not reachable from its down pointer");
+      }
+      if (strict &&
+          level_keys[static_cast<std::size_t>(l - 1)].count(key) == 0) {
+        fail("level " + std::to_string(l) + " key " + std::to_string(key) +
+             " missing from level below (strict)");
+      }
+    }
+  }
+  return rep;
+}
+
+void Gfsl::dump(std::ostream& os) const {
+  GfslInspector insp(*this);
+  for (int l = current_height(); l >= 0; --l) {
+    os << "level " << l << ":\n";
+    bool cycle = false;
+    for (const auto& ch : insp.level_chain(l, &cycle)) {
+      os << "  [" << ch.ref << "] ";
+      switch (ch.lock) {
+        case kUnlocked: break;
+        case kLocked: os << "LOCKED "; break;
+        case kZombie: os << "ZOMBIE "; break;
+      }
+      os << "{";
+      for (std::size_t i = 0; i < ch.data.size(); ++i) {
+        if (i != 0) os << " ";
+        const Key key = kv_key(ch.data[i]);
+        if (key == KEY_NEG_INF) {
+          os << "-inf";
+        } else {
+          os << key;
+        }
+        if (l > 0) os << "->" << kv_value(ch.data[i]);
+      }
+      os << "} max=";
+      if (ch.max == KEY_INF) {
+        os << "inf";
+      } else {
+        os << ch.max;
+      }
+      os << "\n";
+    }
+    if (cycle) os << "  !! cycle detected\n";
+  }
+}
+
+}  // namespace gfsl::core
+
+

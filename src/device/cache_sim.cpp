@@ -1,0 +1,57 @@
+#include "device/cache_sim.h"
+
+#include <bit>
+#include <stdexcept>
+
+namespace gfsl::device {
+
+CacheSim::CacheSim(const CacheConfig& cfg) : cfg_(cfg) {
+  if (cfg_.line_bytes == 0 || (cfg_.line_bytes & (cfg_.line_bytes - 1)) != 0) {
+    throw std::invalid_argument("cache line size must be a power of two");
+  }
+  if (cfg_.associativity == 0) {
+    throw std::invalid_argument("associativity must be positive");
+  }
+  const std::uint64_t lines = cfg_.capacity_bytes / cfg_.line_bytes;
+  num_sets_ = static_cast<std::uint32_t>(lines / cfg_.associativity);
+  if (num_sets_ == 0) num_sets_ = 1;
+  ways_.assign(static_cast<std::size_t>(num_sets_) * cfg_.associativity, Way{});
+}
+
+bool CacheSim::access(std::uint64_t byte_addr) {
+  const std::uint64_t line = byte_addr / cfg_.line_bytes;
+  const std::uint32_t set = static_cast<std::uint32_t>(line % num_sets_);
+  const std::uint64_t tag = line / num_sets_;
+
+  std::lock_guard<std::mutex> lk(mu_);
+  ++tick_;
+  Way* base = &ways_[static_cast<std::size_t>(set) * cfg_.associativity];
+
+  Way* victim = base;
+  for (std::uint32_t w = 0; w < cfg_.associativity; ++w) {
+    Way& way = base[w];
+    if (way.valid && way.tag == tag) {
+      way.lru = tick_;
+      ++hits_;
+      return true;
+    }
+    if (!way.valid) {
+      victim = &way;  // prefer an empty way over evicting
+    } else if (victim->valid && way.lru < victim->lru) {
+      victim = &way;
+    }
+  }
+
+  victim->valid = true;
+  victim->tag = tag;
+  victim->lru = tick_;
+  ++misses_;
+  return false;
+}
+
+void CacheSim::invalidate_all() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& w : ways_) w.valid = false;
+}
+
+}  // namespace gfsl::device

@@ -1,0 +1,56 @@
+// Set-associative LRU cache simulator standing in for the GTX 970's L2.
+//
+// The evaluation's central effect (§5.3) is cache residency: "In the smaller
+// range (10K), the entire structure fits into the L2 cache in both
+// implementations ... in larger key ranges, M&C requires frequent uncoalesced
+// accesses to the global memory that causes a sharp degradation".  We model
+// that with the thesis's own L2 geometry: 1.75 MB, 128 B lines (the memory
+// transaction granularity from §2.2).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace gfsl::device {
+
+struct CacheConfig {
+  std::uint64_t capacity_bytes = 1792ull * 1024;  // 1.75 MB (GTX 970 L2)
+  std::uint32_t line_bytes = 128;                 // transaction granularity
+  std::uint32_t associativity = 16;
+};
+
+class CacheSim {
+ public:
+  explicit CacheSim(const CacheConfig& cfg = CacheConfig{});
+
+  /// Access one cache line by byte address; returns true on hit.
+  /// Thread-safe (internally locked): the simulator runs teams on separate
+  /// host threads while sharing one modeled L2.
+  bool access(std::uint64_t byte_addr);
+
+  /// Drop all cached lines (used between kernel launches).
+  void invalidate_all();
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  const CacheConfig& config() const { return cfg_; }
+  std::uint32_t num_sets() const { return num_sets_; }
+
+ private:
+  struct Way {
+    std::uint64_t tag = 0;
+    std::uint64_t lru = 0;  // last-use stamp
+    bool valid = false;
+  };
+
+  CacheConfig cfg_;
+  std::uint32_t num_sets_;
+  std::vector<Way> ways_;  // num_sets_ * associativity, row-major by set
+  std::uint64_t tick_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::mutex mu_;
+};
+
+}  // namespace gfsl::device

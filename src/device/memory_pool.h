@@ -1,0 +1,71 @@
+// Bump-pointer device memory pool (§4.1).
+//
+// "During the initialization stage we create the structure and allocate an
+//  array of chunks in the device memory for a memory pool. ... Allocations
+//  from the memory pool are performed by incrementing a global counter and
+//  using the resulting index as a pointer."
+//
+// The pool is index-addressed: a 32-bit index stands in for a device pointer
+// (§4.2: for 128 B chunks a 32-bit index covers 512 GB).  Indices double as
+// synthetic device addresses (index * sizeof(T)) for the cache/coalescing
+// model, so the simulated memory layout is exactly the dense array layout the
+// real implementation would have.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <stdexcept>
+
+namespace gfsl::device {
+
+template <typename T>
+class MemoryPool {
+ public:
+  explicit MemoryPool(std::uint32_t capacity)
+      : capacity_(capacity),
+        storage_(std::make_unique<T[]>(capacity)),
+        next_(0) {}
+
+  /// Allocate one object; returns its index.  Throws std::bad_alloc on
+  /// exhaustion — the paper's M&C runs "run out of memory for larger
+  /// structures" the same way (§5.3).
+  std::uint32_t alloc() {
+    const std::uint32_t idx = next_.fetch_add(1, std::memory_order_relaxed);
+    if (idx >= capacity_) {
+      next_.fetch_sub(1, std::memory_order_relaxed);
+      throw std::bad_alloc();
+    }
+    return idx;
+  }
+
+  /// True if `count` more allocations would succeed right now.
+  bool can_alloc(std::uint32_t count = 1) const {
+    return next_.load(std::memory_order_relaxed) + count <= capacity_;
+  }
+
+  T& operator[](std::uint32_t idx) { return storage_[idx]; }
+  const T& operator[](std::uint32_t idx) const { return storage_[idx]; }
+
+  std::uint32_t capacity() const { return capacity_; }
+  std::uint32_t allocated() const {
+    return std::min(next_.load(std::memory_order_relaxed), capacity_);
+  }
+
+  /// Synthetic device byte address of element `idx` for the memory model.
+  std::uint64_t device_address(std::uint32_t idx) const {
+    return static_cast<std::uint64_t>(idx) * sizeof(T);
+  }
+
+  /// Reset the bump pointer.  Only legal when no other thread is using the
+  /// pool (used by tests and by Gfsl::compact()).
+  void reset() { next_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::uint32_t capacity_;
+  std::unique_ptr<T[]> storage_;
+  std::atomic<std::uint32_t> next_;
+};
+
+}  // namespace gfsl::device

@@ -1,0 +1,321 @@
+#include "harness/experiment.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+
+namespace gfsl::harness {
+
+namespace {
+
+/// GTX 970 device memory budget for structure pools (§5.1: 4 GB total; some
+/// headroom is reserved for the op arrays and runtime).
+constexpr std::uint64_t kDeviceBudgetBytes = 3500ull * 1024 * 1024;
+
+WorkloadConfig warmup_config(const WorkloadConfig& wl, std::uint64_t ops) {
+  WorkloadConfig w = wl;
+  w.num_ops = ops;
+  w.seed = derive_seed(wl.seed, 0xCAFE);
+  // Warm the cache with reads only so the structure is unchanged when the
+  // measured run starts.
+  w.mix = kContainsOnly;
+  return w;
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> sweep_ranges(std::uint64_t max_range) {
+  static constexpr std::uint64_t kAll[] = {
+      10'000,     30'000,     100'000,    300'000,    1'000'000,
+      3'000'000,  10'000'000, 30'000'000, 100'000'000};
+  std::vector<std::uint64_t> out;
+  for (const auto r : kAll) {
+    if (r <= max_range) out.push_back(r);
+  }
+  return out;
+}
+
+std::uint32_t gfsl_pool_chunks(const WorkloadConfig& wl, int team_size) {
+  const std::uint64_t prefill =
+      wl.prefill == Prefill::Empty
+          ? 0
+          : (wl.prefill == Prefill::HalfRange ? wl.key_range / 2 : wl.key_range);
+  const std::uint64_t updates =
+      wl.num_ops *
+      static_cast<std::uint64_t>(wl.mix.insert_pct + wl.mix.delete_pct) / 100;
+  const int dsize = team_size - 2;
+  std::uint64_t chunks =
+      (prefill + updates) * 3 / static_cast<std::uint64_t>(dsize) + 4096;
+  const std::uint64_t cap =
+      kDeviceBudgetBytes / (static_cast<std::uint64_t>(team_size) * 8);
+  chunks = std::min(chunks, cap);
+  return static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(chunks, 0xFFFFFFFEull));
+}
+
+std::uint32_t mc_pool_slots(const WorkloadConfig& wl) {
+  const std::uint64_t prefill =
+      wl.prefill == Prefill::Empty
+          ? 0
+          : (wl.prefill == Prefill::HalfRange ? wl.key_range / 2 : wl.key_range);
+  const std::uint64_t inserts =
+      wl.num_ops * static_cast<std::uint64_t>(wl.mix.insert_pct) / 100;
+  // ~4 slots per node at p_key = 0.5 (header + meta + E[height] = 2 links),
+  // with slack for CAS-failure re-allocations.
+  std::uint64_t slots = (prefill + inserts) * 6 + 4096;
+  const std::uint64_t cap = kDeviceBudgetBytes / 8;
+  slots = std::min(slots, cap);
+  return static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(slots, 0xFFFFFFFEull));
+}
+
+namespace {
+
+ContentionInputs contention_inputs(const WorkloadConfig& wl) {
+  ContentionInputs c;
+  const double prefill =
+      wl.prefill == Prefill::Empty
+          ? 0.0
+          : (wl.prefill == Prefill::HalfRange
+                 ? static_cast<double>(wl.key_range) / 2
+                 : static_cast<double>(wl.key_range));
+  // Uniform keys: net growth is bounded by the insert/delete imbalance; the
+  // average live size is well approximated by the prefill for the paper's
+  // symmetric mixes and by half the op count for grow-from-empty runs.
+  const double grow =
+      static_cast<double>(wl.num_ops) *
+      static_cast<double>(wl.mix.insert_pct - wl.mix.delete_pct) / 100.0 / 2.0;
+  c.structure_keys = std::max(64.0, prefill + std::max(0.0, grow));
+  c.update_fraction =
+      static_cast<double>(wl.mix.insert_pct + wl.mix.delete_pct) / 100.0;
+  return c;
+}
+
+double conflict_rate(double in_flight, double u, double window,
+                     double targets) {
+  const double raw = in_flight * u * u * window / std::max(targets, 1.0);
+  const double p = std::min(raw, 0.80);  // retry feedback diverges at 1
+  return p / (1.0 - p);
+}
+
+}  // namespace
+
+void apply_gfsl_contention(model::KernelRun& k,
+                           const model::OccupancyResult& occ,
+                           const ContentionInputs& c, int team_size) {
+  if (c.update_fraction <= 0.0 || k.ops == 0) return;
+  const auto& gpu = model::gtx970();
+  const double teams_in_flight =
+      occ.achieved_occupancy * gpu.max_warps_per_sm * gpu.num_sms;
+  // Lock conflicts target bottom-level chunks; the bottom lock is held for
+  // the rest of the update (§4.2.2: "It remains locked until the Insert
+  // operation is completed"), so the window spans the whole operation.
+  constexpr double kLockWindow = 1.0;
+  const double chunks =
+      c.structure_keys / (static_cast<double>(team_size - 2) * 0.6);
+  const double extra = conflict_rate(teams_in_flight, c.update_fraction,
+                                     kLockWindow, chunks);
+  const auto spins =
+      static_cast<std::uint64_t>(extra * static_cast<double>(k.ops));
+  k.lock_spins += spins;
+  k.mem_epochs += spins;  // each failed attempt re-reads the chunk
+}
+
+void apply_mc_contention(model::KernelRun& k,
+                         const model::OccupancyResult& occ,
+                         const ContentionInputs& c) {
+  if (c.update_fraction <= 0.0 || k.ops == 0) return;
+  const auto& gpu = model::gtx970();
+  const double lanes_in_flight = occ.achieved_occupancy *
+                                 gpu.max_warps_per_sm * gpu.num_sms *
+                                 gpu.warp_size;
+  // Optimistic find-then-CAS: the conflict window is the whole operation and
+  // every retry repeats the traversal, including its memory traffic.
+  const double extra =
+      conflict_rate(lanes_in_flight, c.update_fraction, 1.0, c.structure_keys);
+  const double scale = 1.0 + extra;
+  auto grow = [&](std::uint64_t& v) {
+    v = static_cast<std::uint64_t>(static_cast<double>(v) * scale);
+  };
+  grow(k.mem_epochs);
+  grow(k.warp_steps);
+  grow(k.mem.transactions);
+  grow(k.mem.l2_hits);
+  grow(k.mem.dram_transactions);
+  grow(k.mem.bytes_moved);
+  grow(k.mem.atomics);
+  grow(k.mem.lane_reads);
+}
+
+Measurement measure_gfsl(const WorkloadConfig& wl,
+                         const StructureSetup& setup) {
+  Measurement m;
+  device::DeviceMemory mem;
+  core::GfslConfig cfg;
+  cfg.team_size = setup.team_size;
+  cfg.p_chunk = setup.p_chunk;
+  cfg.pool_chunks = gfsl_pool_chunks(wl, setup.team_size);
+  core::Gfsl sl(cfg, &mem);
+
+  sl.bulk_load(generate_prefill(wl));
+
+  RunConfig rc;
+  rc.num_workers = setup.num_workers;
+  rc.seed = derive_seed(wl.seed, 0x6F51);
+
+  if (setup.warmup_ops > 0) {
+    const auto warm = generate_ops(warmup_config(wl, setup.warmup_ops));
+    rc.flush_cache_before = true;
+    (void)run_gfsl(sl, warm, rc, mem);
+    rc.flush_cache_before = false;  // measured run starts warm, as in steady
+                                    // state of the paper's 10M-op launches
+  }
+
+  const auto ops = generate_ops(wl);
+  RunResult rr = run_gfsl(sl, ops, rc, mem);
+
+  const model::Occupancy occ_calc;
+  const auto occ = occ_calc.compute(model::kGfslKernel, setup.warps_per_block);
+  apply_gfsl_contention(rr.kernel, occ, contention_inputs(wl),
+                        setup.team_size);
+  const model::CostModel cm;
+  m.detail = cm.throughput(rr.kernel, occ);
+  m.model_mops = m.detail.mops;
+  m.sim_mops = rr.sim_wall_seconds > 0
+                   ? static_cast<double>(ops.size()) / rr.sim_wall_seconds / 1e6
+                   : 0.0;
+  m.oom = rr.out_of_memory;
+  m.kernel = rr.kernel;
+  m.team_totals = rr.team_totals;
+  m.avg_chunks_per_traversal = sl.avg_chunks_per_traversal();
+  return m;
+}
+
+Measurement measure_mc(const WorkloadConfig& wl, const StructureSetup& setup) {
+  Measurement m;
+  device::DeviceMemory mem;
+  baseline::McSkiplist::Config cfg;
+  cfg.p_key = wl.p_key;
+  cfg.max_height = wl.mc_max_height;
+  cfg.pool_slots = mc_pool_slots(wl);
+  baseline::McSkiplist sl(cfg, &mem);
+
+  sl.bulk_load(generate_prefill(wl), derive_seed(wl.seed, 0xB0B));
+
+  RunConfig rc;
+  rc.num_workers = setup.num_workers;
+  rc.seed = derive_seed(wl.seed, 0x6F52);
+
+  if (setup.warmup_ops > 0) {
+    const auto warm = generate_ops(warmup_config(wl, setup.warmup_ops));
+    rc.flush_cache_before = true;
+    (void)run_mc(sl, warm, rc, mem);
+    rc.flush_cache_before = false;
+  }
+
+  const auto ops = generate_ops(wl);
+  RunResult rr = run_mc(sl, ops, rc, mem);
+
+  const model::Occupancy occ_calc;
+  const auto occ = occ_calc.compute(model::kMcKernel, setup.warps_per_block);
+  apply_mc_contention(rr.kernel, occ, contention_inputs(wl));
+  const model::CostModel cm;
+  m.detail = cm.throughput(rr.kernel, occ);
+  m.model_mops = m.detail.mops;
+  m.sim_mops = rr.sim_wall_seconds > 0
+                   ? static_cast<double>(ops.size()) / rr.sim_wall_seconds / 1e6
+                   : 0.0;
+  m.oom = rr.out_of_memory;
+  m.kernel = rr.kernel;
+  return m;
+}
+
+Measurement measure_gfsl_dual(const WorkloadConfig& wl,
+                              const StructureSetup& setup_in) {
+  StructureSetup setup = setup_in;
+  setup.team_size = 16;  // two 16-lane teams fill one 32-lane warp
+  if (setup.num_workers % 2 != 0) ++setup.num_workers;
+
+  Measurement m;
+  device::DeviceMemory mem;
+  core::GfslConfig cfg;
+  cfg.team_size = setup.team_size;
+  cfg.p_chunk = setup.p_chunk;
+  cfg.pool_chunks = gfsl_pool_chunks(wl, setup.team_size);
+  core::Gfsl sl(cfg, &mem);
+
+  sl.bulk_load(generate_prefill(wl));
+
+  RunConfig rc;
+  rc.num_workers = setup.num_workers;
+  rc.seed = derive_seed(wl.seed, 0x6F53);
+
+  if (setup.warmup_ops > 0) {
+    const auto warm = generate_ops(warmup_config(wl, setup.warmup_ops));
+    rc.flush_cache_before = true;
+    (void)run_gfsl_paired(sl, warm, rc, mem);
+    rc.flush_cache_before = false;
+  }
+
+  const auto ops = generate_ops(wl);
+  RunResult rr = run_gfsl_paired(sl, ops, rc, mem);
+
+  const model::Occupancy occ_calc;
+  const auto occ = occ_calc.compute(model::kGfslKernel, setup.warps_per_block);
+  apply_gfsl_contention(rr.kernel, occ, contention_inputs(wl),
+                        setup.team_size);
+  const model::CostModel cm;
+  m.detail = cm.throughput(rr.kernel, occ, /*teams_per_warp=*/2);
+  m.model_mops = m.detail.mops;
+  m.sim_mops = rr.sim_wall_seconds > 0
+                   ? static_cast<double>(ops.size()) / rr.sim_wall_seconds / 1e6
+                   : 0.0;
+  m.oom = rr.out_of_memory;
+  m.kernel = rr.kernel;
+  m.team_totals = rr.team_totals;
+  m.avg_chunks_per_traversal = sl.avg_chunks_per_traversal();
+  return m;
+}
+
+Repeated repeat_gfsl_dual(WorkloadConfig wl, const StructureSetup& setup,
+                          int reps) {
+  Repeated out;
+  RunStats stats;
+  for (int r = 0; r < reps; ++r) {
+    wl.seed = derive_seed(wl.seed, static_cast<std::uint64_t>(r) + 1);
+    const auto m = measure_gfsl_dual(wl, setup);
+    out.oom = out.oom || m.oom;
+    stats.add(m.model_mops);
+  }
+  out.mops = stats.summarize();
+  return out;
+}
+
+Repeated repeat_gfsl(WorkloadConfig wl, const StructureSetup& setup,
+                     int reps) {
+  Repeated out;
+  RunStats stats;
+  for (int r = 0; r < reps; ++r) {
+    wl.seed = derive_seed(wl.seed, static_cast<std::uint64_t>(r) + 1);
+    const auto m = measure_gfsl(wl, setup);
+    out.oom = out.oom || m.oom;
+    stats.add(m.model_mops);
+  }
+  out.mops = stats.summarize();
+  return out;
+}
+
+Repeated repeat_mc(WorkloadConfig wl, const StructureSetup& setup, int reps) {
+  Repeated out;
+  RunStats stats;
+  for (int r = 0; r < reps; ++r) {
+    wl.seed = derive_seed(wl.seed, static_cast<std::uint64_t>(r) + 1);
+    const auto m = measure_mc(wl, setup);
+    out.oom = out.oom || m.oom;
+    stats.add(m.model_mops);
+  }
+  out.mops = stats.summarize();
+  return out;
+}
+
+}  // namespace gfsl::harness

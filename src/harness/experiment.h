@@ -1,0 +1,90 @@
+// Shared experiment drivers: build a structure, prefill it per §5.1, run the
+// operation array with concurrent workers, and feed the measured events
+// through the GPU cost model.  Every bench binary is a thin loop over these.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/env.h"
+#include "common/stats.h"
+#include "harness/runner.h"
+#include "harness/workload.h"
+#include "model/cost_model.h"
+#include "model/occupancy.h"
+
+namespace gfsl::harness {
+
+struct StructureSetup {
+  int team_size = 32;        // GFSL chunk/team size
+  double p_chunk = 1.0;      // GFSL raise probability
+  int warps_per_block = 16;  // launch config for the occupancy model
+  int num_workers = 8;       // concurrent host threads in the simulator
+  std::uint64_t warmup_ops = 10'000;  // untimed cache-warming operations
+};
+
+struct Measurement {
+  double model_mops = 0.0;  // modeled GTX-970 throughput (the paper's metric)
+  double sim_mops = 0.0;    // raw simulator throughput (informational)
+  bool oom = false;         // device pool exhausted (paper: M&C at 30M+)
+  model::ModelResult detail;
+  model::KernelRun kernel;
+  simt::TeamCounters team_totals;  // GFSL only
+  double avg_chunks_per_traversal = 0.0;  // GFSL only (§5.2 p_chunk metric)
+};
+
+/// One measured GFSL launch: fresh structure + prefill + warmup + timed run.
+Measurement measure_gfsl(const WorkloadConfig& wl, const StructureSetup& setup);
+
+/// One measured M&C launch.
+Measurement measure_mc(const WorkloadConfig& wl, const StructureSetup& setup);
+
+/// One measured launch of the sub-warp-teams extension: GFSL-16 with two
+/// teams per warp (thesis Chapter 7 future work).  `setup.team_size` is
+/// forced to 16 and `setup.num_workers` rounded to even.
+Measurement measure_gfsl_dual(const WorkloadConfig& wl,
+                              const StructureSetup& setup);
+
+/// Repeat with per-repetition seeds and summarize the modeled throughput
+/// (the paper reports means of 10 runs with 95% CIs, §5.1).
+struct Repeated {
+  Summary mops;
+  bool oom = false;
+};
+Repeated repeat_gfsl(WorkloadConfig wl, const StructureSetup& setup, int reps);
+Repeated repeat_mc(WorkloadConfig wl, const StructureSetup& setup, int reps);
+Repeated repeat_gfsl_dual(WorkloadConfig wl, const StructureSetup& setup,
+                          int reps);
+
+/// The paper's key-range sweep points (10K ... max_range).
+std::vector<std::uint64_t> sweep_ranges(std::uint64_t max_range);
+
+/// Device pool capacities emulating the GTX 970's 4 GB memory (§5.3: M&C
+/// "runs out of memory for larger structures").
+std::uint32_t gfsl_pool_chunks(const WorkloadConfig& wl, int team_size);
+std::uint32_t mc_pool_slots(const WorkloadConfig& wl);
+
+/// First-order update-contention correction.
+///
+/// The simulator runs ~8 concurrent workers; the modeled GPU runs thousands
+/// of lanes (M&C) / hundreds of teams (GFSL), so conflict-driven retries —
+/// CAS retry storms in M&C, lock waits in GFSL — are drastically
+/// under-sampled in the measured events.  The correction adds the expected
+/// extra work analytically: two operations conflict when both are updates
+/// and their windows overlap on the same target, so the per-op conflict rate
+/// is  p = C_eff * u^2 * window / targets  (C_eff = modeled ops in flight,
+/// u = update fraction, targets = nodes or chunks), amplified by retry
+/// feedback 1/(1-p).  M&C's optimistic window spans the whole operation;
+/// GFSL holds its chunk locks for only a small fraction of one.
+/// Negligible for read-mostly mixes; decisive for the §5.1 single-op-type
+/// tests at small key ranges.
+struct ContentionInputs {
+  double structure_keys;    // average live keys during the run
+  double update_fraction;   // (i + d) / 100
+};
+void apply_gfsl_contention(model::KernelRun& k, const model::OccupancyResult& occ,
+                           const ContentionInputs& c, int team_size);
+void apply_mc_contention(model::KernelRun& k, const model::OccupancyResult& occ,
+                         const ContentionInputs& c);
+
+}  // namespace gfsl::harness

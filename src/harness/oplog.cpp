@@ -1,0 +1,83 @@
+#include "harness/oplog.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace gfsl::harness {
+
+namespace {
+constexpr char kHeader[] = "gfsl-oplog v1";
+
+char kind_char(OpKind k) {
+  switch (k) {
+    case OpKind::Insert: return 'I';
+    case OpKind::Delete: return 'D';
+    case OpKind::Contains: return 'C';
+  }
+  return '?';
+}
+}  // namespace
+
+void save_oplog(std::ostream& os, const std::vector<Op>& ops) {
+  os << kHeader << '\n';
+  os << "# " << ops.size() << " operations\n";
+  for (const Op& op : ops) {
+    os << kind_char(op.kind) << ' ' << op.key << ' ' << op.value << ' '
+       << static_cast<int>(op.mc_height) << '\n';
+  }
+}
+
+void save_oplog_file(const std::string& path, const std::vector<Op>& ops) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("cannot open for writing: " + path);
+  save_oplog(f, ops);
+}
+
+std::vector<Op> load_oplog(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line) || line != kHeader) {
+    throw std::runtime_error("not a gfsl-oplog v1 file");
+  }
+  std::vector<Op> ops;
+  std::size_t lineno = 1;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ss(line);
+    char kind = 0;
+    unsigned long long key = 0, value = 0;
+    int height = 0;
+    if (!(ss >> kind >> key >> value >> height)) {
+      throw std::runtime_error("malformed record at line " +
+                               std::to_string(lineno));
+    }
+    Op op{};
+    switch (kind) {
+      case 'I': op.kind = OpKind::Insert; break;
+      case 'D': op.kind = OpKind::Delete; break;
+      case 'C': op.kind = OpKind::Contains; break;
+      default:
+        throw std::runtime_error("unknown op kind '" + std::string(1, kind) +
+                                 "' at line " + std::to_string(lineno));
+    }
+    if (key < MIN_USER_KEY || key > MAX_USER_KEY) {
+      throw std::runtime_error("key out of range at line " +
+                               std::to_string(lineno));
+    }
+    op.key = static_cast<Key>(key);
+    op.value = static_cast<Value>(value);
+    op.mc_height = static_cast<std::uint8_t>(
+        height < 1 ? 1 : (height > 32 ? 32 : height));
+    ops.push_back(op);
+  }
+  return ops;
+}
+
+std::vector<Op> load_oplog_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open: " + path);
+  return load_oplog(f);
+}
+
+}  // namespace gfsl::harness

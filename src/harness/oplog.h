@@ -1,0 +1,27 @@
+// Operation-log serialization: save the exact op array of a run to a text
+// file and load it back — deterministic bug reproduction across processes
+// ("here is the 40-op sequence that breaks seed 7").
+//
+// Format (one record per line, '#' comments allowed):
+//   gfsl-oplog v1
+//   I <key> <value> <mc_height>
+//   D <key> 0 <mc_height>
+//   C <key> 0 <mc_height>
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace gfsl::harness {
+
+void save_oplog(std::ostream& os, const std::vector<Op>& ops);
+void save_oplog_file(const std::string& path, const std::vector<Op>& ops);
+
+/// Throws std::runtime_error on malformed input (bad header, bad record).
+std::vector<Op> load_oplog(std::istream& is);
+std::vector<Op> load_oplog_file(const std::string& path);
+
+}  // namespace gfsl::harness

@@ -1,0 +1,77 @@
+#include "harness/options.h"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace gfsl::harness {
+
+Options Options::parse(int argc, const char* const* argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      o.positionals_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    if (body.empty()) throw std::invalid_argument("bare '--' argument");
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      o.values_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // "--key value" when the next token is not an option; "--flag" otherwise.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      o.values_[body] = argv[++i];
+    } else {
+      o.values_[body] = "true";
+    }
+  }
+  return o;
+}
+
+bool Options::has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+std::string Options::get(const std::string& name,
+                         const std::string& fallback) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::uint64_t Options::get_u64(const std::string& name,
+                               std::uint64_t fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const auto v = std::strtoull(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str()) return fallback;
+  return static_cast<std::uint64_t>(v);
+}
+
+double Options::get_double(const std::string& name, double fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str()) return fallback;
+  return v;
+}
+
+bool Options::get_bool(const std::string& name, bool fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+std::vector<std::string> Options::unknown(
+    const std::set<std::string>& known) const {
+  std::vector<std::string> out;
+  for (const auto& [k, v] : values_) {
+    if (known.count(k) == 0) out.push_back(k);
+  }
+  return out;
+}
+
+}  // namespace gfsl::harness

@@ -1,0 +1,37 @@
+// Minimal command-line option parsing for the CLI driver and tools.
+// Supports --flag, --key=value and --key value forms, with typed accessors
+// and unknown-option detection.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace gfsl::harness {
+
+class Options {
+ public:
+  /// Parse argv.  Non-option arguments are collected as positionals.
+  /// Throws std::invalid_argument on malformed input ("--" without a name).
+  static Options parse(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+
+  std::string get(const std::string& name, const std::string& fallback) const;
+  std::uint64_t get_u64(const std::string& name, std::uint64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback = false) const;
+
+  const std::vector<std::string>& positionals() const { return positionals_; }
+
+  /// Names that were provided but never queried — for catching typos.
+  std::vector<std::string> unknown(const std::set<std::string>& known) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positionals_;
+};
+
+}  // namespace gfsl::harness

@@ -1,0 +1,77 @@
+#include "harness/report.h"
+
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace gfsl::harness {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+Table& Table::add_row(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    width[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "| " : " | ") << std::left << std::setw(static_cast<int>(width[c]))
+         << cells[c];
+    }
+    os << " |\n";
+  };
+  line(header_);
+  os << '|';
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << std::string(width[c] + 2, '-') << '|';
+  }
+  os << '\n';
+  for (const auto& row : rows_) line(row);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c != 0) os << ',';
+      os << cells[c];
+    }
+    os << '\n';
+  };
+  line(header_);
+  for (const auto& row : rows_) line(row);
+}
+
+std::string fmt(double v, int precision) {
+  if (std::isnan(v)) return "-";
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(precision) << v;
+  return ss.str();
+}
+
+std::string fmt_ci(double mean, double ci, int precision) {
+  return fmt(mean, precision) + " ±" + fmt(ci, precision);
+}
+
+std::string fmt_range(std::uint64_t range) {
+  if (range % 1'000'000 == 0) return std::to_string(range / 1'000'000) + "M";
+  if (range % 1'000 == 0) return std::to_string(range / 1'000) + "K";
+  return std::to_string(range);
+}
+
+std::string fmt_pct(double frac, int precision) {
+  return fmt(frac * 100.0, precision) + "%";
+}
+
+}  // namespace gfsl::harness

@@ -1,0 +1,255 @@
+#include "harness/runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <new>
+#include <stdexcept>
+#include <thread>
+
+namespace gfsl::harness {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Instruction-issue proxy for an M&C warp: lockstep instructions per
+/// serialized hop epoch (compare + address arithmetic + branch per level
+/// step, executed by the warp at the pace of its slowest lane).
+constexpr std::uint64_t kMcInstrPerHop = 8;
+
+std::pair<std::size_t, std::size_t> slice(std::size_t total, int workers,
+                                          int w) {
+  const std::size_t base = total / static_cast<std::size_t>(workers);
+  const std::size_t extra = total % static_cast<std::size_t>(workers);
+  const auto uw = static_cast<std::size_t>(w);
+  const std::size_t begin = uw * base + std::min(uw, extra);
+  const std::size_t len = base + (uw < extra ? 1 : 0);
+  return {begin, begin + len};
+}
+
+}  // namespace
+
+RunResult run_gfsl(core::Gfsl& sl, const std::vector<Op>& ops,
+                   const RunConfig& cfg, device::DeviceMemory& mem) {
+  RunResult res;
+  if (cfg.flush_cache_before) mem.flush_cache();
+  const device::MemStats before = mem.snapshot();
+  if (cfg.results != nullptr) cfg.results->assign(ops.size(), 0);
+  std::atomic<std::uint64_t> ops_true{0};
+  std::atomic<bool> oom{false};
+
+  std::vector<simt::TeamCounters> counters(
+      static_cast<std::size_t>(cfg.num_workers));
+
+  const auto t0 = Clock::now();
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(cfg.num_workers));
+    for (int w = 0; w < cfg.num_workers; ++w) {
+      threads.emplace_back([&, w] {
+        simt::Team team(sl.team_size(), w, cfg.seed);
+        if (cfg.scheduler != nullptr) cfg.scheduler->enter(w);
+        const auto [begin, end] =
+            slice(ops.size(), cfg.num_workers, w);
+        std::uint64_t mine_true = 0;
+        try {
+          for (std::size_t i = begin; i < end; ++i) {
+            const Op& op = ops[i];
+            bool r = false;
+            switch (op.kind) {
+              case OpKind::Insert:
+                r = sl.insert(team, op.key, op.value);
+                break;
+              case OpKind::Delete:
+                r = sl.erase(team, op.key);
+                break;
+              case OpKind::Contains:
+                r = sl.contains(team, op.key);
+                break;
+            }
+            if (r) ++mine_true;
+            if (cfg.results != nullptr) {
+              (*cfg.results)[i] = r ? 1 : 0;
+            }
+          }
+        } catch (const std::bad_alloc&) {
+          oom.store(true, std::memory_order_relaxed);
+        } catch (const sched::TeamKilled&) {
+          // Failure injection: abandon remaining work.
+        }
+        ops_true.fetch_add(mine_true, std::memory_order_relaxed);
+        counters[static_cast<std::size_t>(w)] = team.counters();
+        if (cfg.scheduler != nullptr) cfg.scheduler->leave(w);
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  const auto t1 = Clock::now();
+
+  res.sim_wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  res.ops_true = ops_true.load(std::memory_order_relaxed);
+  res.out_of_memory = oom.load(std::memory_order_relaxed);
+  for (const auto& c : counters) res.team_totals += c;
+
+  res.kernel.ops = ops.size();
+  res.kernel.mem = mem.snapshot() - before;
+  // A coalesced team read is one serialized wait; so is each atomic.
+  res.kernel.mem_epochs = res.kernel.mem.warp_reads + res.kernel.mem.atomics;
+  res.kernel.warp_steps = res.team_totals.instructions;
+  res.kernel.lock_spins = res.team_totals.lock_spins;
+  return res;
+}
+
+RunResult run_gfsl_paired(core::Gfsl& sl, const std::vector<Op>& ops,
+                          const RunConfig& cfg, device::DeviceMemory& mem) {
+  RunResult res;
+  if (cfg.num_workers < 2 || cfg.num_workers % 2 != 0) {
+    throw std::invalid_argument("paired execution needs an even worker count");
+  }
+  if (cfg.flush_cache_before) mem.flush_cache();
+  const device::MemStats before = mem.snapshot();
+  if (cfg.results != nullptr) cfg.results->assign(ops.size(), 0);
+  std::atomic<std::uint64_t> ops_true{0};
+  std::atomic<bool> oom{false};
+
+  const int pairs = cfg.num_workers / 2;
+  std::vector<std::unique_ptr<sched::StepScheduler>> warp_sched;
+  warp_sched.reserve(static_cast<std::size_t>(pairs));
+  for (int p = 0; p < pairs; ++p) {
+    warp_sched.push_back(std::make_unique<sched::StepScheduler>(
+        sched::StepScheduler::Mode::RoundRobin, cfg.seed, 2));
+  }
+
+  std::vector<simt::TeamCounters> counters(
+      static_cast<std::size_t>(cfg.num_workers));
+
+  const auto t0 = Clock::now();
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(cfg.num_workers));
+    for (int w = 0; w < cfg.num_workers; ++w) {
+      threads.emplace_back([&, w] {
+        sched::StepScheduler* warp = warp_sched[static_cast<std::size_t>(w / 2)].get();
+        const int lane_team = w % 2;
+        simt::Team team(sl.team_size(), w, cfg.seed);
+        team.set_yield_hook([warp, lane_team] { warp->yield(lane_team); });
+        warp->enter(lane_team);
+        const auto [begin, end] = slice(ops.size(), cfg.num_workers, w);
+        std::uint64_t mine_true = 0;
+        try {
+          for (std::size_t i = begin; i < end; ++i) {
+            const Op& op = ops[i];
+            bool r = false;
+            switch (op.kind) {
+              case OpKind::Insert:
+                r = sl.insert(team, op.key, op.value);
+                break;
+              case OpKind::Delete:
+                r = sl.erase(team, op.key);
+                break;
+              case OpKind::Contains:
+                r = sl.contains(team, op.key);
+                break;
+            }
+            if (r) ++mine_true;
+            if (cfg.results != nullptr) {
+              (*cfg.results)[i] = r ? 1 : 0;
+            }
+          }
+        } catch (const std::bad_alloc&) {
+          oom.store(true, std::memory_order_relaxed);
+        }
+        ops_true.fetch_add(mine_true, std::memory_order_relaxed);
+        counters[static_cast<std::size_t>(w)] = team.counters();
+        warp->leave(lane_team);
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  const auto t1 = Clock::now();
+
+  res.sim_wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  res.ops_true = ops_true.load(std::memory_order_relaxed);
+  res.out_of_memory = oom.load(std::memory_order_relaxed);
+  for (const auto& c : counters) res.team_totals += c;
+
+  res.kernel.ops = ops.size();
+  res.kernel.mem = mem.snapshot() - before;
+  res.kernel.mem_epochs = res.kernel.mem.warp_reads + res.kernel.mem.atomics;
+  res.kernel.warp_steps = res.team_totals.instructions;
+  res.kernel.lock_spins = res.team_totals.lock_spins;
+  return res;
+}
+
+RunResult run_mc(baseline::McSkiplist& sl, const std::vector<Op>& ops,
+                 const RunConfig& cfg, device::DeviceMemory& mem) {
+  RunResult res;
+  if (cfg.flush_cache_before) mem.flush_cache();
+  const device::MemStats before = mem.snapshot();
+  if (cfg.results != nullptr) cfg.results->assign(ops.size(), 0);
+  std::atomic<std::uint64_t> ops_true{0};
+  std::atomic<std::uint64_t> warp_epochs{0};
+  std::atomic<bool> oom{false};
+
+  const auto t0 = Clock::now();
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(cfg.num_workers));
+    for (int w = 0; w < cfg.num_workers; ++w) {
+      threads.emplace_back([&, w] {
+        baseline::McContext ctx(w);
+        if (cfg.scheduler != nullptr) cfg.scheduler->enter(w);
+        const auto [begin, end] = slice(ops.size(), cfg.num_workers, w);
+        std::uint64_t mine_true = 0;
+        try {
+          for (std::size_t i = begin; i < end; ++i) {
+            const Op& op = ops[i];
+            bool r = false;
+            switch (op.kind) {
+              case OpKind::Insert:
+                r = sl.insert(ctx, op.key, op.value, op.mc_height);
+                break;
+              case OpKind::Delete:
+                r = sl.erase(ctx, op.key);
+                break;
+              case OpKind::Contains:
+                r = sl.contains(ctx, op.key);
+                break;
+            }
+            if (r) ++mine_true;
+            if (cfg.results != nullptr) {
+              (*cfg.results)[i] = r ? 1 : 0;
+            }
+          }
+        } catch (const std::bad_alloc&) {
+          oom.store(true, std::memory_order_relaxed);
+        } catch (const sched::TeamKilled&) {
+        }
+        ops_true.fetch_add(mine_true, std::memory_order_relaxed);
+        warp_epochs.fetch_add(ctx.warp_epochs(), std::memory_order_relaxed);
+        if (cfg.scheduler != nullptr) cfg.scheduler->leave(w);
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  const auto t1 = Clock::now();
+
+  res.sim_wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  res.ops_true = ops_true.load(std::memory_order_relaxed);
+  res.out_of_memory = oom.load(std::memory_order_relaxed);
+
+  res.kernel.ops = ops.size();
+  res.kernel.mem = mem.snapshot() - before;
+  // Divergence model: a warp of 32 independent lanes advances at its slowest
+  // lane; the contexts already folded per-op hop counts into warp epochs.
+  // Atomics serialize on top of that (§2.2 "Synchronization").
+  res.kernel.mem_epochs =
+      warp_epochs.load(std::memory_order_relaxed) + res.kernel.mem.atomics;
+  res.kernel.warp_steps = res.kernel.mem_epochs * kMcInstrPerHop;
+  res.kernel.lock_spins = 0;  // lock-free
+  return res;
+}
+
+}  // namespace gfsl::harness

@@ -1,0 +1,54 @@
+// Concurrent kernel runner: executes an operation array against GFSL (one
+// host thread per team) or M&C (one host thread per lane stream), collecting
+// the event counts the cost model consumes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "baseline/mc_skiplist.h"
+#include "common/types.h"
+#include "core/gfsl.h"
+#include "device/device_memory.h"
+#include "model/cost_model.h"
+#include "sched/step_scheduler.h"
+#include "simt/team.h"
+
+namespace gfsl::harness {
+
+struct RunConfig {
+  int num_workers = 8;     // concurrent teams (GFSL) / op streams (M&C)
+  std::uint64_t seed = 1;
+  sched::StepScheduler* scheduler = nullptr;  // optional deterministic mode
+  bool flush_cache_before = true;  // a fresh kernel starts with a cold L2
+  /// Optional per-op result array — the kernel's output buffer (§5.1).
+  /// Resized to ops.size(); entry i is the boolean result of ops[i].
+  std::vector<std::uint8_t>* results = nullptr;
+};
+
+struct RunResult {
+  model::KernelRun kernel;        // measured events for the cost model
+  simt::TeamCounters team_totals; // GFSL only
+  double sim_wall_seconds = 0.0;  // host time spent simulating (not modeled)
+  std::uint64_t ops_true = 0;     // operations that returned true
+  bool out_of_memory = false;     // pool exhausted mid-run (M&C at big ranges)
+};
+
+/// Execute `ops` against a GFSL instance with `cfg.num_workers` teams.
+RunResult run_gfsl(core::Gfsl& sl, const std::vector<Op>& ops,
+                   const RunConfig& cfg, device::DeviceMemory& mem);
+
+/// Execute `ops` against the M&C baseline.
+RunResult run_mc(baseline::McSkiplist& sl, const std::vector<Op>& ops,
+                 const RunConfig& cfg, device::DeviceMemory& mem);
+
+/// Sub-warp-teams extension (thesis Chapter 7): pairs of half-warp teams
+/// share a warp under round-robin lockstep alternation, so one warp carries
+/// two concurrent operations.  Spinning teams yield every iteration, which
+/// is what makes the scheme deadlock-free (a spinner can never starve its
+/// warp-mate).  `cfg.num_workers` must be even; `sl.team_size()` should be
+/// 16 (two teams fill one 32-lane warp).
+RunResult run_gfsl_paired(core::Gfsl& sl, const std::vector<Op>& ops,
+                          const RunConfig& cfg, device::DeviceMemory& mem);
+
+}  // namespace gfsl::harness

@@ -1,0 +1,50 @@
+#include "harness/session.h"
+
+#include <stdexcept>
+
+#include "model/occupancy.h"
+
+namespace gfsl::harness {
+
+GfslSession::GfslSession(const Config& cfg)
+    : cfg_(cfg),
+      mem_(std::make_unique<device::DeviceMemory>()),
+      list_(std::make_unique<core::Gfsl>(cfg.structure, mem_.get())) {
+  if (cfg_.dual_teams_per_warp) {
+    if (cfg_.structure.team_size != 16) {
+      throw std::invalid_argument(
+          "dual-teams-per-warp needs 16-lane teams (two per 32-lane warp)");
+    }
+    if (cfg_.num_workers % 2 != 0) {
+      throw std::invalid_argument(
+          "dual-teams-per-warp needs an even worker count");
+    }
+  }
+}
+
+std::vector<std::uint8_t> GfslSession::launch(const std::vector<Op>& ops) {
+  std::vector<std::uint8_t> results;
+  RunConfig rc;
+  rc.num_workers = cfg_.num_workers;
+  rc.seed = derive_seed(cfg_.seed, launches_);
+  rc.results = &results;
+  // Each launch starts with whatever the L2 holds from the previous one —
+  // consecutive kernels on a device share cache state.
+  rc.flush_cache_before = (launches_ == 0);
+  last_ = cfg_.dual_teams_per_warp ? run_gfsl_paired(*list_, ops, rc, *mem_)
+                                   : run_gfsl(*list_, ops, rc, *mem_);
+  ++launches_;
+  if (last_.out_of_memory) throw std::bad_alloc();
+  return results;
+}
+
+double GfslSession::modeled_mops(int warps_per_block) const {
+  const model::Occupancy occ_calc;
+  const auto occ = occ_calc.compute(model::kGfslKernel, warps_per_block);
+  const model::CostModel cm;
+  return cm
+      .throughput(last_.kernel, occ, cfg_.dual_teams_per_warp ? 2 : 1)
+      .mops;
+}
+
+}  // namespace gfsl::harness

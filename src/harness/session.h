@@ -1,0 +1,66 @@
+// GfslSession — the host-side interface the paper's evaluation uses (§5.1):
+// hand the device an array of operations, get back an array of results.
+//
+// The session owns the device memory, the structure and the launch
+// configuration; each launch() executes the op array with a pool of
+// concurrent teams (one host thread per team) and accumulates the kernel
+// statistics the performance model consumes.  This is the API an
+// application would embed; the lower-level run_gfsl() is for harness code
+// that wants to manage structures itself.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/gfsl.h"
+#include "device/device_memory.h"
+#include "harness/runner.h"
+#include "model/cost_model.h"
+
+namespace gfsl::harness {
+
+class GfslSession {
+ public:
+  struct Config {
+    core::GfslConfig structure;
+    int num_workers = 8;
+    std::uint64_t seed = 1;
+    /// Two 16-lane teams per warp (the Chapter 7 extension).  Requires
+    /// structure.team_size == 16 and an even worker count.
+    bool dual_teams_per_warp = false;
+  };
+
+  explicit GfslSession(const Config& cfg);
+
+  /// Execute one "kernel launch": ops in, per-op boolean results out.
+  std::vector<std::uint8_t> launch(const std::vector<Op>& ops);
+
+  /// Host-side bulk initialization between launches (untimed, §5.1).
+  void load(const std::vector<std::pair<Key, Value>>& sorted_pairs) {
+    list_->bulk_load(sorted_pairs);
+  }
+
+  /// Between-kernel compaction (§4.1 future work).
+  void compact() { list_->compact(); }
+
+  core::Gfsl& structure() { return *list_; }
+  device::DeviceMemory& memory() { return *mem_; }
+
+  /// Events of the most recent launch.
+  const model::KernelRun& last_kernel() const { return last_.kernel; }
+  const RunResult& last_run() const { return last_; }
+  std::uint64_t launches() const { return launches_; }
+
+  /// Modeled GTX-970 throughput of the most recent launch.
+  double modeled_mops(int warps_per_block = 16) const;
+
+ private:
+  Config cfg_;
+  std::unique_ptr<device::DeviceMemory> mem_;
+  std::unique_ptr<core::Gfsl> list_;
+  RunResult last_;
+  std::uint64_t launches_ = 0;
+};
+
+}  // namespace gfsl::harness

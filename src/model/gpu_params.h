@@ -1,0 +1,61 @@
+// Architectural constants of the evaluation platform (§5.1).
+//
+// "Both GFSL and M&C were evaluated on a GM204 GeForce GTX 970 (Maxwell
+//  architecture) GPU ... 13 active streaming multiprocessors and a total of
+//  1,664 cores.  The device memory capacity is 4 GB GDDR5.  The L2 Cache size
+//  is 1.75 MB.  The core and memory clocks are 1050MHz and 1750MHz."
+//
+// Everything here is either quoted from the thesis or a published GM204 /
+// CUDA compute-capability-5.2 datasheet number.
+#pragma once
+
+#include <cstdint>
+
+namespace gfsl::model {
+
+struct GpuParams {
+  // SM / scheduling
+  int num_sms = 13;
+  int max_warps_per_sm = 64;
+  int max_threads_per_sm = 2048;
+  int max_blocks_per_sm = 32;
+  int warp_size = 32;
+
+  // Register file (CC 5.2)
+  int registers_per_sm = 65536;
+  int register_alloc_granularity = 256;  // registers, allocated per warp
+  int register_round = 8;                // compiler rounds regs/thread to 8
+  int max_registers_per_thread = 255;
+
+  // Memory system
+  std::uint64_t l2_bytes = 1792ull * 1024;  // 1.75 MB
+  std::uint32_t line_bytes = 128;
+  double dram_bandwidth_gbps = 224.0;  // GTX 970 aggregate (GB/s)
+
+  // Clocks
+  double core_clock_ghz = 1.050;
+
+  // Host <-> device path (§2.1: "Communication between the host and the
+  // device is achieved by transferring large datasets ... a slow process
+  // that poses a significant bottleneck").
+  double pcie_bandwidth_gbps = 12.0;  // PCIe 3.0 x16, effective
+  double kernel_launch_seconds = 10e-6;
+
+  // Latencies (cycles) — Maxwell microbenchmark consensus values.
+  double dram_latency = 368.0;
+  double l2_latency = 194.0;
+  double issue_cost = 6.0;     // cycles per lockstep instruction issued
+  double atomic_cost = 40.0;   // extra serialization per atomic
+  // Issue-side cost per extra transaction of an uncoalesced access.  Replays
+  // are throughput-limited, not latency-limited: the lanes' transactions
+  // overlap in the memory system, so only the extra issue slots count here
+  // (their DRAM-side cost shows up in the bandwidth bound).
+  double replay_cost = 2.0;
+};
+
+inline const GpuParams& gtx970() {
+  static const GpuParams p{};
+  return p;
+}
+
+}  // namespace gfsl::model

@@ -1,0 +1,60 @@
+// Maxwell occupancy and register-spill calculator (Tables 5.1 / 5.2).
+//
+// The thesis studies the concurrency-vs-resources tradeoff by sweeping warps
+// per block: more resident warps hide latency better, but shrink the register
+// budget per thread until local variables spill to global memory (§2.2
+// "Resource Management", §5.2 "Warps Per Block").
+//
+// The calculator reproduces the authors' compilation policy: given a kernel's
+// *register demand* (what the compiler would use unconstrained), registers
+// per thread are capped so at least `target_blocks` blocks stay resident,
+// then active blocks, occupancy and the spill-traffic fraction follow from
+// CC 5.2 hardware rules.  With demand = 79 (GFSL) and demand = 42 (M&C) this
+// reproduces every row of Tables 5.1 and 5.2.
+#pragma once
+
+#include "model/gpu_params.h"
+
+namespace gfsl::model {
+
+struct KernelResources {
+  int register_demand;      // registers/thread the kernel wants, uncapped
+  // Bytes of thread-local arrays that live in "local" (spilled) memory
+  // regardless of register pressure.  GFSL keeps its path in a shfl-accessed
+  // "artificial array" so this is 0; M&C holds the traversal path in a real
+  // local array (§5.2: "they use thread-local arrays to hold the traversal
+  // path"), giving it a ~23% spill-traffic floor at every block size.
+  int local_array_bytes;
+  // Fraction of theoretical occupancy actually achieved; calibrated from the
+  // thesis (GFSL ~0.977, M&C ~0.83 — M&C warps stall on memory dependencies
+  // "between 86% and 91% of the latency").
+  double stall_efficiency;
+};
+
+inline constexpr KernelResources kGfslKernel{79, 0, 0.977};
+inline constexpr KernelResources kMcKernel{42, 80, 0.83};
+
+struct OccupancyResult {
+  int warps_per_block;
+  int registers_per_thread;  // after the cap policy
+  int active_blocks;
+  int active_warps;             // per SM
+  double theoretical_occupancy; // active_warps / max_warps_per_sm
+  double achieved_occupancy;    // theoretical * stall_efficiency
+  double spill_fraction;        // share of memory traffic that is spill
+};
+
+class Occupancy {
+ public:
+  explicit Occupancy(const GpuParams& gpu = gtx970(), int target_blocks = 2)
+      : gpu_(gpu), target_blocks_(target_blocks) {}
+
+  OccupancyResult compute(const KernelResources& kernel,
+                          int warps_per_block) const;
+
+ private:
+  GpuParams gpu_;
+  int target_blocks_;
+};
+
+}  // namespace gfsl::model

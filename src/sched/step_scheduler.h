@@ -1,0 +1,86 @@
+// Deterministic interleaving scheduler for concurrency testing.
+//
+// GFSL's correctness argument (§4.3) rests on delicate orderings: right-to-
+// left shifts during insert, max-field monotonicity, zombie reachability.
+// Exercising those orderings reliably needs control over *which team runs
+// next*.  StepScheduler provides that: in Deterministic mode every simulated
+// global-memory step is a yield point, and a seeded RNG picks the next team
+// to advance.  Re-running with the same seed reproduces the exact
+// interleaving; sweeping seeds explores distinct interleavings.
+//
+// In Free mode every call is a no-op and teams run at native speed on their
+// own OS threads (the measurement configuration).
+//
+// Failure injection: kill_at(step) makes the scheduler throw TeamKilled out
+// of the victim's next yield once the global step counter passes `step`.
+// The test harness catches it and abandons the team mid-operation, modeling
+// a stalled warp.  (Killing a lock *holder* blocks peers by design — the
+// algorithm is blocking for updates, lock-free only for Contains — so tests
+// inject failures into readers or at points outside critical sections.)
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/random.h"
+
+namespace gfsl::sched {
+
+struct TeamKilled {
+  int team_id;
+};
+
+class StepScheduler {
+ public:
+  // Free          — every call is a no-op; native threading (measurement).
+  // Deterministic — a seeded RNG picks the next participant at every step.
+  // RoundRobin    — participants advance strictly in id order, one step
+  //                 each: the SIMT-like lockstep alternation used to model
+  //                 two teams sharing a warp (the thesis's future-work
+  //                 extension, Chapter 7).  A participant blocked in a spin
+  //                 loop still yields every iteration, so its warp-mates
+  //                 keep advancing — exactly the property that makes the
+  //                 sub-warp scheme deadlock-free here.
+  enum class Mode { Free, Deterministic, RoundRobin };
+
+  explicit StepScheduler(Mode mode = Mode::Free, std::uint64_t seed = 1,
+                         int participants = 0);
+
+  Mode mode() const { return mode_; }
+
+  /// A participant thread announces it is ready to be scheduled.  Blocks
+  /// until the scheduler grants it its first step.  No-op in Free mode.
+  void enter(int id);
+
+  /// Yield point: give other participants a chance to run.  Called at every
+  /// simulated global memory access.  No-op in Free mode.
+  void yield(int id);
+
+  /// Participant finished all its work; releases its slot.  No-op in Free.
+  void leave(int id);
+
+  /// Schedule participant `id` to be killed at its first yield at/after
+  /// global step `step`.  Deterministic mode only.
+  void kill_at(int id, std::uint64_t step);
+
+  std::uint64_t global_steps() const { return steps_; }
+
+ private:
+  void grant_next_locked();
+
+  Mode mode_;
+  Xoshiro256ss rng_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<bool> active_;   // participant is between enter() and leave()
+  std::vector<bool> waiting_;  // participant is blocked in enter()/yield()
+  std::vector<std::uint64_t> kill_step_;  // UINT64_MAX = never
+  int granted_ = -1;           // participant currently allowed to run
+  int n_ = 0;
+  int entered_ = 0;            // participants that have called enter()
+  std::uint64_t steps_ = 0;
+};
+
+}  // namespace gfsl::sched

@@ -1,0 +1,38 @@
+// Per-lane register file for lockstep team execution.
+//
+// A LaneVec<T> models one named register across all lanes of a team: element
+// i is the value held by the lane with tId == i.  The simulator executes all
+// lanes of a team on one host thread in lockstep, so a "kernel instruction"
+// becomes a loop over active lanes — exactly the SIMT contract (§2.1: threads
+// in a warp share a program counter and proceed through kernel code in
+// lockstep).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace gfsl::simt {
+
+inline constexpr int kWarpSize = 32;
+inline constexpr int kHalfWarp = kWarpSize / 2;
+
+template <typename T>
+class LaneVec {
+ public:
+  constexpr LaneVec() : v_{} {}
+  explicit constexpr LaneVec(T fill) {
+    for (auto& x : v_) x = fill;
+  }
+
+  constexpr T& operator[](int lane) { return v_[static_cast<std::size_t>(lane)]; }
+  constexpr const T& operator[](int lane) const {
+    return v_[static_cast<std::size_t>(lane)];
+  }
+
+  static constexpr int capacity() { return kWarpSize; }
+
+ private:
+  std::array<T, kWarpSize> v_;
+};
+
+}  // namespace gfsl::simt

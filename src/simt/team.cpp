@@ -1,0 +1,26 @@
+#include "simt/team.h"
+
+#include <stdexcept>
+
+namespace gfsl::simt {
+
+TeamCounters& TeamCounters::operator+=(const TeamCounters& o) {
+  instructions += o.instructions;
+  ballots += o.ballots;
+  shfls += o.shfls;
+  divergent_branches += o.divergent_branches;
+  lock_acquires += o.lock_acquires;
+  lock_spins += o.lock_spins;
+  restarts += o.restarts;
+  return *this;
+}
+
+Team::Team(int size, int team_id, std::uint64_t seed)
+    : size_(size), id_(team_id), rng_(derive_seed(seed, static_cast<std::uint64_t>(team_id))) {
+  if (size < 4 || size > kWarpSize || (size & (size - 1)) != 0) {
+    throw std::invalid_argument(
+        "team size must be a power of two in [4, 32]");
+  }
+}
+
+}  // namespace gfsl::simt

@@ -1,0 +1,182 @@
+// Team: the warp-cooperative execution context (§3).
+//
+// A team is a group of up to 32 lanes that cooperates on one skiplist
+// operation.  The simulator runs every lane of a team on a single host
+// thread, in lockstep; real concurrency exists *between* teams (one host
+// thread per team), which is where all the locking/lock-free interactions of
+// the algorithm happen.
+//
+// Cooperative primitives mirror CUDA intra-warp operations:
+//   ballot(pred)       -> 32-bit mask, bit i = predicate of lane i
+//   shfl(vec, src)     -> broadcast lane src's value to the whole team
+//   shfl_from(vec, idx)-> per-lane gather: lane i reads vec[idx[i]]
+//   clz/popc/ffs       -> the bit utilities the pseudocode uses
+//
+// Lanes with tId >= size() are inactive and contribute the CUDA default
+// (false / 0) to ballots, matching §2.2's warning that divergent lanes return
+// default values.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+#include "common/random.h"
+#include "simt/lane_vec.h"
+#include "simt/trace.h"
+
+namespace gfsl::simt {
+
+/// Per-team event counters.  These are the raw material for the performance
+/// model: every cooperative step, ballot and shfl is one lockstep kernel
+/// instruction.
+struct TeamCounters {
+  std::uint64_t instructions = 0;  // lockstep instructions executed
+  std::uint64_t ballots = 0;
+  std::uint64_t shfls = 0;
+  std::uint64_t divergent_branches = 0;  // explicit divergence annotations
+  std::uint64_t lock_acquires = 0;
+  std::uint64_t lock_spins = 0;  // failed lock attempts (contention measure)
+  std::uint64_t restarts = 0;    // searchDown restarts (the §4.2.1 edge case)
+
+  void reset() { *this = TeamCounters{}; }
+  TeamCounters& operator+=(const TeamCounters& o);
+};
+
+class Team {
+ public:
+  /// `size` must be a power of two in [4, 32]; the paper evaluates 16 and 32
+  /// (chunk size == team size, §3).
+  Team(int size, int team_id, std::uint64_t seed);
+
+  int size() const { return size_; }
+  int id() const { return id_; }
+
+  /// Number of DATA lanes (the chunk's data array, §3: N-2 entries).
+  int dsize() const { return size_ - 2; }
+  /// tId of the NEXT lane.
+  int next_lane() const { return size_ - 2; }
+  /// tId of the LOCK lane.
+  int lock_lane() const { return size_ - 1; }
+
+  // -- CUDA-style intra-warp operations -------------------------------------
+
+  /// __ballot: each active lane contributes one bit.
+  std::uint32_t ballot(const LaneVec<bool>& pred) {
+    ++counters_.ballots;
+    ++counters_.instructions;
+    std::uint32_t mask = 0;
+    for (int i = 0; i < size_; ++i) {
+      if (pred[i]) mask |= (1u << i);
+    }
+    return mask;
+  }
+
+  /// Ballot over a per-lane predicate functor (lane index -> bool).
+  template <typename Fn>
+  std::uint32_t ballot_fn(Fn&& fn) {
+    LaneVec<bool> p(false);
+    for (int i = 0; i < size_; ++i) p[i] = fn(i);
+    return ballot(p);
+  }
+
+  /// __shfl broadcast: every lane reads lane `src`'s value.  Out-of-range
+  /// source returns the caller's own value, as CUDA does for invalid lanes.
+  template <typename T>
+  T shfl(const LaneVec<T>& var, int src) {
+    ++counters_.shfls;
+    ++counters_.instructions;
+    if (src < 0 || src >= size_) return var[0];
+    return var[src];
+  }
+
+  /// Per-lane gather shuffle: lane i receives var[idx[i]].
+  template <typename T>
+  LaneVec<T> shfl_from(const LaneVec<T>& var, const LaneVec<int>& idx) {
+    ++counters_.shfls;
+    ++counters_.instructions;
+    LaneVec<T> out;
+    for (int i = 0; i < size_; ++i) {
+      const int s = idx[i];
+      out[i] = (s >= 0 && s < size_) ? var[s] : var[i];
+    }
+    return out;
+  }
+
+  /// __shfl_up(var, delta): lane i receives lane (i - delta)'s value; lanes
+  /// with i < delta keep their own (CUDA semantics).
+  template <typename T>
+  LaneVec<T> shfl_up(const LaneVec<T>& var, int delta) {
+    ++counters_.shfls;
+    ++counters_.instructions;
+    LaneVec<T> out;
+    for (int i = 0; i < size_; ++i) {
+      out[i] = (i >= delta) ? var[i - delta] : var[i];
+    }
+    return out;
+  }
+
+  /// __any / __all over active lanes.
+  bool any(const LaneVec<bool>& pred) { return ballot(pred) != 0; }
+  bool all(const LaneVec<bool>& pred) {
+    const std::uint32_t full =
+        (size_ == 32) ? 0xFFFFFFFFu : ((1u << size_) - 1u);
+    return ballot(pred) == full;
+  }
+
+  // -- bit utilities used by the pseudocode ---------------------------------
+
+  /// Highest set lane of a ballot mask: 32 - clz(bal) - 1 (Algorithm 4.3).
+  static int highest_lane(std::uint32_t bal) {
+    if (bal == 0) return -1;
+    return 31 - std::countl_zero(bal);
+  }
+  /// Lowest set lane of a ballot mask.
+  static int lowest_lane(std::uint32_t bal) {
+    if (bal == 0) return -1;
+    return std::countr_zero(bal);
+  }
+  static int popc(std::uint32_t x) { return std::popcount(x); }
+
+  // -- bookkeeping -----------------------------------------------------------
+
+  void step() { ++counters_.instructions; }
+  void note_divergence() { ++counters_.divergent_branches; }
+
+  /// Optional scheduling hook, invoked by the data structures at every
+  /// simulated global-memory step.  Used to bind this team to a
+  /// StepScheduler — e.g. pairing two 16-lane teams into one warp under a
+  /// round-robin schedule (the sub-warp-teams extension), or replaying a
+  /// seeded interleaving in tests.
+  void set_yield_hook(std::function<void()> hook) { yield_ = std::move(hook); }
+  void sync() {
+    if (yield_) yield_();
+  }
+
+  /// Optional execution trace (off by default; `tracer` must outlive the
+  /// team).  The data structures record lock transitions, splits, merges,
+  /// zombie encounters and traversal steps when attached.
+  void set_trace(TeamTrace* tracer) { trace_ = tracer; }
+  TeamTrace* trace() { return trace_; }
+  void record(TraceEvent e, std::uint64_t a = 0, std::uint64_t b = 0) {
+    if (trace_ != nullptr) trace_->record(e, a, b);
+  }
+
+  /// On-device randomness for the p_chunk key-raising decision (§4.2.2).
+  bool bernoulli(double p) { return rng_.bernoulli(p); }
+  std::uint64_t random_below(std::uint64_t bound) { return rng_.below(bound); }
+
+  TeamCounters& counters() { return counters_; }
+  const TeamCounters& counters() const { return counters_; }
+
+ private:
+  int size_;
+  int id_;
+  Xoshiro256ss rng_;
+  TeamCounters counters_;
+  std::function<void()> yield_;
+  TeamTrace* trace_ = nullptr;
+};
+
+}  // namespace gfsl::simt

@@ -1,0 +1,44 @@
+#include "simt/trace.h"
+
+namespace gfsl::simt {
+
+std::string_view trace_event_name(TraceEvent e) {
+  switch (e) {
+    case TraceEvent::kChunkRead: return "chunk-read";
+    case TraceEvent::kLockAcquired: return "lock-acquired";
+    case TraceEvent::kLockFailed: return "lock-failed";
+    case TraceEvent::kUnlock: return "unlock";
+    case TraceEvent::kZombieMarked: return "zombie-marked";
+    case TraceEvent::kZombieSkipped: return "zombie-skipped";
+    case TraceEvent::kSplit: return "split";
+    case TraceEvent::kMerge: return "merge";
+    case TraceEvent::kDownStep: return "down-step";
+    case TraceEvent::kLateralStep: return "lateral-step";
+    case TraceEvent::kBacktrack: return "backtrack";
+    case TraceEvent::kRestart: return "restart";
+    case TraceEvent::kOpBegin: return "op-begin";
+    case TraceEvent::kOpEnd: return "op-end";
+  }
+  return "unknown";
+}
+
+std::vector<TraceRecord> TeamTrace::snapshot() const {
+  std::vector<TraceRecord> out;
+  const std::uint64_t held =
+      next_ < capacity_ ? next_ : static_cast<std::uint64_t>(capacity_);
+  out.reserve(static_cast<std::size_t>(held));
+  const std::uint64_t first = next_ - held;
+  for (std::uint64_t s = first; s < next_; ++s) {
+    out.push_back(ring_[static_cast<std::size_t>(s % capacity_)]);
+  }
+  return out;
+}
+
+void TeamTrace::dump(std::ostream& os) const {
+  for (const auto& r : snapshot()) {
+    os << r.seq << "  " << trace_event_name(r.event) << "  a=" << r.a
+       << " b=" << r.b << '\n';
+  }
+}
+
+}  // namespace gfsl::simt

@@ -1,0 +1,75 @@
+// Per-team execution tracing.
+//
+// Debugging a fine-grained-locking structure needs to know *what a team was
+// doing* when an invariant broke.  TeamTrace is a fixed-size ring buffer of
+// compact records the data structures append at interesting points (chunk
+// reads, lock transitions, splits, merges, zombie encounters, restarts).
+// Recording is branch-cheap when disabled (null pointer check) and
+// allocation-free when enabled; dump() renders the most recent events in
+// order for post-mortem analysis.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+namespace gfsl::simt {
+
+enum class TraceEvent : std::uint8_t {
+  kChunkRead,
+  kLockAcquired,
+  kLockFailed,
+  kUnlock,
+  kZombieMarked,
+  kZombieSkipped,
+  kSplit,
+  kMerge,
+  kDownStep,
+  kLateralStep,
+  kBacktrack,
+  kRestart,
+  kOpBegin,
+  kOpEnd,
+};
+
+std::string_view trace_event_name(TraceEvent e);
+
+struct TraceRecord {
+  std::uint64_t seq = 0;  // global order within the trace
+  TraceEvent event = TraceEvent::kChunkRead;
+  std::uint64_t a = 0;  // usually a chunk ref
+  std::uint64_t b = 0;  // usually a key or level
+};
+
+class TeamTrace {
+ public:
+  explicit TeamTrace(std::size_t capacity = 1024)
+      : ring_(capacity), capacity_(capacity) {}
+
+  void record(TraceEvent e, std::uint64_t a = 0, std::uint64_t b = 0) {
+    TraceRecord& r = ring_[static_cast<std::size_t>(next_ % capacity_)];
+    r.seq = next_++;
+    r.event = e;
+    r.a = a;
+    r.b = b;
+  }
+
+  std::uint64_t recorded() const { return next_; }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Events still held in the ring, oldest first.
+  std::vector<TraceRecord> snapshot() const;
+
+  /// Human-readable dump of the retained tail.
+  void dump(std::ostream& os) const;
+
+  void clear() { next_ = 0; }
+
+ private:
+  std::vector<TraceRecord> ring_;
+  std::size_t capacity_;
+  std::uint64_t next_ = 0;
+};
+
+}  // namespace gfsl::simt

@@ -1,0 +1,131 @@
+// Causal check of the evaluation's central mechanism (§5.3): the GFSL/M&C
+// crossover is driven by L2 residency.  "In the smaller range, the entire
+// structure fits into the L2 cache in both implementations ... in larger key
+// ranges, M&C requires frequent uncoalesced accesses to the global memory."
+//
+// If that story is right, then shrinking the simulated L2 must push the
+// miss onset to smaller key ranges and growing it must delay it — for the
+// same workloads and the same code.  These tests run the actual structures
+// against different cache geometries and check exactly that.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baseline/mc_skiplist.h"
+#include "core/gfsl.h"
+#include "device/device_memory.h"
+#include "harness/runner.h"
+#include "harness/workload.h"
+
+namespace gfsl {
+namespace {
+
+double gfsl_dram_per_op(std::uint64_t l2_bytes, std::uint64_t range) {
+  device::CacheConfig cc;
+  cc.capacity_bytes = l2_bytes;
+  device::DeviceMemory mem(cc);
+  core::GfslConfig cfg;
+  cfg.team_size = 32;
+  cfg.pool_chunks = 1u << 16;
+  core::Gfsl sl(cfg, &mem);
+
+  harness::WorkloadConfig wl;
+  wl.mix = harness::kContainsOnly;
+  wl.key_range = range;
+  wl.num_ops = 20'000;
+  wl.prefill = harness::Prefill::FullRange;
+  wl.seed = 11;
+  sl.bulk_load(harness::generate_prefill(wl));
+  const auto ops = harness::generate_ops(wl);
+
+  harness::RunConfig rc;
+  rc.num_workers = 2;
+  // Warm pass (cold-start misses excluded), then measured pass.
+  (void)harness::run_gfsl(sl, ops, rc, mem);
+  mem.reset_stats();
+  rc.flush_cache_before = false;
+  const auto r = harness::run_gfsl(sl, ops, rc, mem);
+  return static_cast<double>(r.kernel.mem.dram_transactions) /
+         static_cast<double>(r.kernel.ops);
+}
+
+double mc_dram_per_op(std::uint64_t l2_bytes, std::uint64_t range) {
+  device::CacheConfig cc;
+  cc.capacity_bytes = l2_bytes;
+  device::DeviceMemory mem(cc);
+  baseline::McSkiplist::Config cfg;
+  cfg.pool_slots = 1u << 22;
+  baseline::McSkiplist sl(cfg, &mem);
+
+  harness::WorkloadConfig wl;
+  wl.mix = harness::kContainsOnly;
+  wl.key_range = range;
+  wl.num_ops = 20'000;
+  wl.prefill = harness::Prefill::FullRange;
+  wl.seed = 11;
+  sl.bulk_load(harness::generate_prefill(wl), 5);
+  const auto ops = harness::generate_ops(wl);
+
+  harness::RunConfig rc;
+  rc.num_workers = 2;
+  (void)harness::run_mc(sl, ops, rc, mem);
+  mem.reset_stats();
+  rc.flush_cache_before = false;
+  const auto r = harness::run_mc(sl, ops, rc, mem);
+  return static_cast<double>(r.kernel.mem.dram_transactions) /
+         static_cast<double>(r.kernel.ops);
+}
+
+constexpr std::uint64_t kMiB = 1024 * 1024;
+
+TEST(CacheSensitivity, GfslResidentAtSmallRangeOnStockL2) {
+  // 10K keys: the whole structure is a few hundred KB — near-zero DRAM.
+  EXPECT_LT(gfsl_dram_per_op(1792 * 1024, 10'000), 0.05);
+}
+
+TEST(CacheSensitivity, ShrinkingL2MovesGfslMissOnsetLeft) {
+  // Same 50K-key structure (~600 KB): resident on the stock 1.75 MB L2,
+  // thrashing on a quarter-size one.
+  const double stock = gfsl_dram_per_op(1792 * 1024, 50'000);
+  const double tiny = gfsl_dram_per_op(448 * 1024, 50'000);
+  EXPECT_LT(stock, 0.1);
+  EXPECT_GT(tiny, stock + 0.5);
+}
+
+TEST(CacheSensitivity, GrowingL2MovesGfslMissOnsetRight) {
+  // 500K keys (~6 MB of chunks): misses on the stock L2, resident on 16 MB.
+  const double stock = gfsl_dram_per_op(1792 * 1024, 500'000);
+  const double big = gfsl_dram_per_op(16 * kMiB, 500'000);
+  EXPECT_GT(stock, 0.5);
+  EXPECT_LT(big, 0.1);
+}
+
+TEST(CacheSensitivity, McSuffersMoreDramPerOpBeyondL2) {
+  // Beyond residency, M&C's scattered per-node hops cost far more DRAM
+  // transactions per operation than GFSL's coalesced chunk reads — the
+  // whole point of the design (§5.3).
+  const double g = gfsl_dram_per_op(1792 * 1024, 500'000);
+  const double m = mc_dram_per_op(1792 * 1024, 500'000);
+  EXPECT_GT(m, g * 2.0);
+}
+
+TEST(CacheSensitivity, McResidencyEndsEarlierThanGfsl) {
+  // At an intermediate range the compact GFSL layout still fits where
+  // M&C's node soup no longer does: GFSL ~8 B/key in 256 B chunks vs
+  // M&C ~32 B/key scattered.  Pick the range where that separates.
+  const std::uint64_t range = 120'000;
+  const double g = gfsl_dram_per_op(1792 * 1024, range);
+  const double m = mc_dram_per_op(1792 * 1024, range);
+  EXPECT_GT(m, g + 0.5) << "GFSL " << g << " vs M&C " << m;
+}
+
+TEST(CacheSensitivity, DramPerOpMonotonicInRangeForMc) {
+  const double a = mc_dram_per_op(1792 * 1024, 30'000);
+  const double b = mc_dram_per_op(1792 * 1024, 120'000);
+  const double c = mc_dram_per_op(1792 * 1024, 400'000);
+  EXPECT_LE(a, b + 0.1);
+  EXPECT_LT(b, c);
+}
+
+}  // namespace
+}  // namespace gfsl

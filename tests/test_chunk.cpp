@@ -1,0 +1,72 @@
+// Unit tests: chunk arena layout, entry packing, allocation protocol.
+#include <gtest/gtest.h>
+
+#include <new>
+
+#include "core/chunk.h"
+
+namespace gfsl::core {
+namespace {
+
+TEST(ChunkArena, LayoutAndSlots) {
+  ChunkArena a(32, 8);
+  EXPECT_EQ(a.entries_per_chunk(), 32);
+  EXPECT_EQ(a.dsize(), 30);
+  EXPECT_EQ(a.next_slot(), 30);
+  EXPECT_EQ(a.lock_slot(), 31);
+  EXPECT_EQ(a.chunk_bytes(), 256u);
+
+  ChunkArena b(16, 8);
+  EXPECT_EQ(b.chunk_bytes(), 128u);  // one transaction per read (§5.2)
+}
+
+TEST(ChunkArena, DeviceAddressesAreDense) {
+  ChunkArena a(32, 8);
+  EXPECT_EQ(a.device_address(0), 0u);
+  EXPECT_EQ(a.device_address(1), 256u);
+  EXPECT_EQ(a.entry_address(1, 30), 256u + 240u);
+}
+
+TEST(ChunkArena, AllocInitializesLockedAndEmpty) {
+  ChunkArena a(16, 4);
+  const ChunkRef c = a.alloc_locked();
+  for (int i = 0; i < a.dsize(); ++i) {
+    EXPECT_TRUE(kv_is_empty(a.entry(c, i).load()));
+  }
+  const KV nx = a.entry(c, a.next_slot()).load();
+  EXPECT_EQ(next_entry_max(nx), KEY_INF);  // allocated as a last chunk (§4.1)
+  EXPECT_EQ(next_entry_ref(nx), NULL_CHUNK);
+  EXPECT_EQ(lock_entry_state(a.entry(c, a.lock_slot()).load()), kLocked);
+}
+
+TEST(ChunkArena, ExhaustionThrows) {
+  ChunkArena a(8, 2);
+  a.alloc_locked();
+  a.alloc_locked();
+  EXPECT_FALSE(a.can_alloc());
+  EXPECT_THROW(a.alloc_locked(), std::bad_alloc);
+}
+
+TEST(ChunkArena, RejectsBadGeometry) {
+  EXPECT_THROW(ChunkArena(7, 4), std::invalid_argument);
+  EXPECT_THROW(ChunkArena(4, 4), std::invalid_argument);
+  EXPECT_THROW(ChunkArena(64, 4), std::invalid_argument);
+  EXPECT_THROW(ChunkArena(32, 0), std::invalid_argument);
+}
+
+TEST(ChunkEntries, NextEntryPacksMaxAndRef) {
+  const KV e = make_next_entry(12345, 678);
+  EXPECT_EQ(next_entry_max(e), 12345u);
+  EXPECT_EQ(next_entry_ref(e), 678u);
+  // Updating max and next together is a single 64-bit write (§4.2.2).
+  static_assert(sizeof(KV) == 8);
+}
+
+TEST(ChunkEntries, LockStates) {
+  EXPECT_EQ(lock_entry_state(make_lock_entry(kUnlocked)), kUnlocked);
+  EXPECT_EQ(lock_entry_state(make_lock_entry(kLocked)), kLocked);
+  EXPECT_EQ(lock_entry_state(make_lock_entry(kZombie)), kZombie);
+}
+
+}  // namespace
+}  // namespace gfsl::core

@@ -1,0 +1,130 @@
+// Unit tests: types/KV packing, RNG determinism & distribution, statistics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/env.h"
+#include "common/random.h"
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace gfsl {
+namespace {
+
+TEST(Types, KvPackingRoundTrips) {
+  const KV kv = make_kv(0x12345678u, 0x9ABCDEF0u);
+  EXPECT_EQ(kv_key(kv), 0x12345678u);
+  EXPECT_EQ(kv_value(kv), 0x9ABCDEF0u);
+}
+
+TEST(Types, SentinelsAreDisjointFromUserKeys) {
+  EXPECT_LT(KEY_NEG_INF, MIN_USER_KEY);
+  EXPECT_GT(KEY_INF, MAX_USER_KEY);
+  EXPECT_TRUE(kv_is_empty(KV_EMPTY));
+  EXPECT_FALSE(kv_is_empty(make_kv(MAX_USER_KEY, 7)));
+}
+
+TEST(Types, KeyOrderingMatchesLow32BitOrdering) {
+  // A lane compares keys by comparing kv_key; the packing must not disturb
+  // integer ordering of keys.
+  EXPECT_LT(kv_key(make_kv(5, 1000)), kv_key(make_kv(6, 0)));
+}
+
+TEST(Random, SplitMix64IsDeterministic) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Random, XoshiroStreamsDiffer) {
+  Xoshiro256ss a(derive_seed(1, 0)), b(derive_seed(1, 1));
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Random, BelowIsInRange) {
+  Xoshiro256ss r(7);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(r.below(13), 13u);
+  }
+}
+
+TEST(Random, BelowIsRoughlyUniform) {
+  Xoshiro256ss r(11);
+  constexpr int kBuckets = 10;
+  constexpr int kDraws = 100'000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) ++counts[r.below(kBuckets)];
+  for (int b = 0; b < kBuckets; ++b) {
+    EXPECT_NEAR(counts[b], kDraws / kBuckets, kDraws / kBuckets * 0.1);
+  }
+}
+
+TEST(Random, BernoulliMatchesProbability) {
+  Xoshiro256ss r(13);
+  int hits = 0;
+  constexpr int kDraws = 200'000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (r.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.01);
+}
+
+TEST(Stats, SummaryOfConstantSeries) {
+  RunStats s;
+  for (int i = 0; i < 10; ++i) s.add(5.0);
+  const Summary sum = s.summarize();
+  EXPECT_DOUBLE_EQ(sum.mean, 5.0);
+  EXPECT_DOUBLE_EQ(sum.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(sum.ci95_half, 0.0);
+  EXPECT_EQ(sum.n, 10u);
+}
+
+TEST(Stats, KnownCi) {
+  // n=10 samples 1..10: mean 5.5, sd ~3.0277, t(9)=2.262.
+  RunStats s;
+  for (int i = 1; i <= 10; ++i) s.add(i);
+  const Summary sum = s.summarize();
+  EXPECT_DOUBLE_EQ(sum.mean, 5.5);
+  EXPECT_NEAR(sum.stddev, 3.0277, 1e-3);
+  EXPECT_NEAR(sum.ci95_half, 2.262 * 3.0277 / std::sqrt(10.0), 1e-3);
+  EXPECT_DOUBLE_EQ(sum.min, 1.0);
+  EXPECT_DOUBLE_EQ(sum.max, 10.0);
+}
+
+TEST(Stats, TCriticalValues) {
+  EXPECT_NEAR(t_critical_95(1), 12.706, 1e-3);
+  EXPECT_NEAR(t_critical_95(9), 2.262, 1e-3);
+  EXPECT_NEAR(t_critical_95(1000), 1.96, 1e-3);
+}
+
+TEST(Stats, EmptySummary) {
+  RunStats s;
+  const Summary sum = s.summarize();
+  EXPECT_EQ(sum.n, 0u);
+  EXPECT_DOUBLE_EQ(sum.mean, 0.0);
+}
+
+TEST(Env, ParsesAndFallsBack) {
+  ::setenv("GFSL_TEST_ENV_U64", "1234", 1);
+  EXPECT_EQ(env_u64("GFSL_TEST_ENV_U64", 7), 1234u);
+  EXPECT_EQ(env_u64("GFSL_TEST_ENV_UNSET_XYZ", 7), 7u);
+  ::setenv("GFSL_TEST_ENV_BAD", "xyz", 1);
+  EXPECT_EQ(env_u64("GFSL_TEST_ENV_BAD", 9), 9u);
+  ::setenv("GFSL_TEST_ENV_DBL", "0.25", 1);
+  EXPECT_DOUBLE_EQ(env_double("GFSL_TEST_ENV_DBL", 1.0), 0.25);
+}
+
+TEST(Env, ScaleDefaults) {
+  ::unsetenv("GFSL_OPS");
+  const Scale s = Scale::from_env();
+  EXPECT_GT(s.ops, 0u);
+  EXPECT_GT(s.reps, 0u);
+  EXPECT_GT(s.teams, 0u);
+}
+
+}  // namespace
+}  // namespace gfsl

@@ -1,0 +1,112 @@
+// Tests for the between-kernel compaction extension (§4.1 future work).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "common/random.h"
+#include "core/gfsl.h"
+#include "device/device_memory.h"
+
+namespace gfsl::core {
+namespace {
+
+using simt::Team;
+
+struct Fixture {
+  Fixture() : team(32, 0, 1) {
+    GfslConfig cfg;
+    cfg.team_size = 32;
+    cfg.pool_chunks = 1u << 15;
+    sl = std::make_unique<Gfsl>(cfg, &mem);
+  }
+  device::DeviceMemory mem;
+  Team team;
+  std::unique_ptr<Gfsl> sl;
+};
+
+TEST(Compact, PreservesContents) {
+  Fixture f;
+  std::set<Key> ref;
+  Xoshiro256ss rng(1);
+  for (int i = 0; i < 4'000; ++i) {
+    const Key k = static_cast<Key>(1 + rng.below(2'000));
+    if (rng.below(3) != 0) {
+      if (f.sl->insert(f.team, k, k * 7)) ref.insert(k);
+    } else {
+      if (f.sl->erase(f.team, k)) ref.erase(k);
+    }
+  }
+  const auto before = f.sl->collect();
+  f.sl->compact();
+  const auto after = f.sl->collect();
+  EXPECT_EQ(before, after);
+  EXPECT_EQ(after.size(), ref.size());
+  const auto rep = f.sl->validate();
+  EXPECT_TRUE(rep.ok) << rep.error;
+}
+
+TEST(Compact, ReclaimsZombiesAndStaleChunks) {
+  Fixture f;
+  for (Key k = 1; k <= 3'000; ++k) ASSERT_TRUE(f.sl->insert(f.team, k, 0));
+  for (Key k = 1; k <= 2'700; ++k) ASSERT_TRUE(f.sl->erase(f.team, k));
+  const auto before = f.sl->chunks_allocated();
+  const auto rep_before = f.sl->validate();
+  ASSERT_GT(rep_before.zombie_chunks, 0u);
+
+  f.sl->compact();
+
+  EXPECT_LT(f.sl->chunks_allocated(), before);
+  const auto rep = f.sl->validate();
+  EXPECT_TRUE(rep.ok) << rep.error;
+  EXPECT_EQ(rep.zombie_chunks, 0u);
+  EXPECT_EQ(f.sl->size(), 300u);
+}
+
+TEST(Compact, StructureRemainsFullyOperational) {
+  Fixture f;
+  for (Key k = 1; k <= 1'000; ++k) f.sl->insert(f.team, k, k);
+  f.sl->compact();
+  for (Key k = 1; k <= 1'000; ++k) {
+    ASSERT_EQ(f.sl->find(f.team, k).value_or(0), k);
+  }
+  EXPECT_TRUE(f.sl->insert(f.team, 5'000, 1));
+  EXPECT_TRUE(f.sl->erase(f.team, 500));
+  EXPECT_FALSE(f.sl->contains(f.team, 500));
+  EXPECT_TRUE(f.sl->validate().ok);
+}
+
+TEST(Compact, EmptyStructure) {
+  Fixture f;
+  f.sl->compact();
+  EXPECT_EQ(f.sl->size(), 0u);
+  EXPECT_TRUE(f.sl->validate().ok);
+  EXPECT_TRUE(f.sl->insert(f.team, 1, 1));
+  EXPECT_TRUE(f.sl->contains(f.team, 1));
+}
+
+TEST(Compact, RepeatedCompactionIsIdempotent) {
+  Fixture f;
+  for (Key k = 10; k <= 5'000; k += 10) f.sl->insert(f.team, k, k);
+  f.sl->compact();
+  const auto once = f.sl->chunks_allocated();
+  const auto contents = f.sl->collect();
+  f.sl->compact();
+  EXPECT_EQ(f.sl->chunks_allocated(), once);
+  EXPECT_EQ(f.sl->collect(), contents);
+  EXPECT_TRUE(f.sl->validate().ok);
+}
+
+TEST(Compact, RebuildsIdealHeightShape) {
+  Fixture f;
+  for (Key k = 1; k <= 8'000; ++k) f.sl->insert(f.team, k, 0);
+  f.sl->compact();
+  // Ideal p_chunk=1 shape: fan-out ~ chunk fill, so height ~ log_fill(n).
+  const int h = f.sl->current_height();
+  EXPECT_GE(h, 2);
+  EXPECT_LE(h, 5);
+  EXPECT_TRUE(f.sl->validate().ok);
+}
+
+}  // namespace
+}  // namespace gfsl::core

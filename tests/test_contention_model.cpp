@@ -1,0 +1,130 @@
+// Tests: the analytic update-contention correction and the thesis's restart
+// claim (§4.2.1: restarts "occur in less than 0.01% of Contains").
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "core/gfsl.h"
+#include "device/device_memory.h"
+#include "harness/experiment.h"
+
+namespace gfsl::harness {
+namespace {
+
+model::KernelRun sample_run() {
+  model::KernelRun k;
+  k.ops = 100'000;
+  k.warp_steps = k.ops * 50;
+  k.mem_epochs = k.ops * 8;
+  k.mem.transactions = k.ops * 15;
+  k.mem.l2_hits = k.ops * 10;
+  k.mem.dram_transactions = k.ops * 5;
+  k.mem.bytes_moved = k.mem.transactions * 128;
+  k.mem.atomics = k.ops;
+  k.mem.lane_reads = k.ops * 4;
+  return k;
+}
+
+TEST(ContentionModel, ReadOnlyIsUntouched) {
+  auto k = sample_run();
+  const auto before = k;
+  const model::Occupancy occ;
+  const auto o = occ.compute(model::kGfslKernel, 16);
+  apply_gfsl_contention(k, o, {10'000.0, 0.0}, 32);
+  EXPECT_EQ(k.lock_spins, before.lock_spins);
+  EXPECT_EQ(k.mem_epochs, before.mem_epochs);
+  auto m = sample_run();
+  apply_mc_contention(m, occ.compute(model::kMcKernel, 16), {10'000.0, 0.0});
+  EXPECT_EQ(m.mem_epochs, before.mem_epochs);
+}
+
+TEST(ContentionModel, SmallStructuresContendMore) {
+  const model::Occupancy occ;
+  const auto o = occ.compute(model::kGfslKernel, 16);
+  auto small = sample_run();
+  auto large = sample_run();
+  apply_gfsl_contention(small, o, {5'000.0, 1.0}, 32);
+  apply_gfsl_contention(large, o, {5'000'000.0, 1.0}, 32);
+  EXPECT_GT(small.lock_spins, large.lock_spins * 10);
+}
+
+TEST(ContentionModel, UpdateFractionIsQuadratic) {
+  // A conflict needs both parties to be updates, so halving u should cut
+  // the correction by roughly 4x (below the retry-feedback knee).
+  const model::Occupancy occ;
+  const auto o = occ.compute(model::kMcKernel, 16);
+  auto u_full = sample_run();
+  auto u_half = sample_run();
+  apply_mc_contention(u_full, o, {500'000.0, 0.4});
+  apply_mc_contention(u_half, o, {500'000.0, 0.2});
+  const double extra_full =
+      static_cast<double>(u_full.mem_epochs) / sample_run().mem_epochs - 1.0;
+  const double extra_half =
+      static_cast<double>(u_half.mem_epochs) / sample_run().mem_epochs - 1.0;
+  EXPECT_GT(extra_full, extra_half * 3.0);
+  EXPECT_LT(extra_full, extra_half * 5.0);
+}
+
+TEST(ContentionModel, McScalesAllTrafficClasses) {
+  const model::Occupancy occ;
+  const auto o = occ.compute(model::kMcKernel, 16);
+  auto k = sample_run();
+  const auto before = k;
+  apply_mc_contention(k, o, {2'000.0, 1.0});  // heavy contention
+  EXPECT_GT(k.mem_epochs, before.mem_epochs);
+  EXPECT_GT(k.mem.dram_transactions, before.mem.dram_transactions);
+  EXPECT_GT(k.mem.atomics, before.mem.atomics);
+  // Retry feedback is capped: the blow-up stays finite.
+  EXPECT_LT(k.mem_epochs, before.mem_epochs * 6);
+}
+
+TEST(RestartRate, ThesisClaimUnderConcurrentChurn) {
+  // §4.2.1: the searchDown restart "occurs in less than 0.01% of Contains".
+  // Under heavy delete churn our rate must at least stay below 1%.
+  device::DeviceMemory mem;
+  core::GfslConfig cfg;
+  cfg.team_size = 8;  // small chunks: maximal merge/delete churn
+  cfg.pool_chunks = 1u << 14;
+  core::Gfsl sl(cfg, &mem);
+  {
+    simt::Team boot(8, 9, 1);
+    for (Key k = 1; k <= 2'000; ++k) sl.insert(boot, k, 0);
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> contains_ops{0};
+  std::atomic<std::uint64_t> restarts{0};
+
+  std::thread churn([&] {
+    simt::Team team(8, 0, 2);
+    Xoshiro256ss rng(3);
+    for (int round = 0; round < 3; ++round) {
+      for (Key k = 1; k <= 2'000; ++k) {
+        if (rng.below(2) == 0) sl.erase(team, k);
+      }
+      for (Key k = 1; k <= 2'000; ++k) sl.insert(team, k, 0);
+    }
+    stop = true;
+  });
+  std::thread reader([&] {
+    simt::Team team(8, 1, 4);
+    Xoshiro256ss rng(5);
+    while (!stop.load(std::memory_order_acquire)) {
+      sl.contains(team, static_cast<Key>(1 + rng.below(2'000)));
+      contains_ops.fetch_add(1, std::memory_order_relaxed);
+    }
+    restarts.store(team.counters().restarts);
+  });
+  churn.join();
+  reader.join();
+
+  ASSERT_GT(contains_ops.load(), 1'000u);
+  const double rate = static_cast<double>(restarts.load()) /
+                      static_cast<double>(contains_ops.load());
+  EXPECT_LT(rate, 0.01) << restarts.load() << " restarts in "
+                        << contains_ops.load() << " contains";
+}
+
+}  // namespace
+}  // namespace gfsl::harness

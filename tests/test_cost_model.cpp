@@ -1,0 +1,139 @@
+// Unit tests: the analytic cost model's structural properties.  Absolute
+// MOPS are calibration-dependent; what must hold is the *shape*: bandwidth
+// vs latency bounds, monotonic responses, and the GFSL-vs-M&C asymmetries
+// the thesis attributes to coalescing and divergence.
+#include <gtest/gtest.h>
+
+#include "model/cost_model.h"
+
+namespace gfsl::model {
+namespace {
+
+KernelRun typical_gfsl_run(std::uint64_t ops, double dram_fraction) {
+  KernelRun r;
+  r.ops = ops;
+  r.warp_steps = ops * 120;  // ~120 lockstep instructions per op
+  r.mem_epochs = ops * 8;    // ~7 chunk reads + an atomic
+  r.lock_spins = 0;
+  r.mem.warp_reads = ops * 7;
+  r.mem.transactions = ops * 15;
+  r.mem.dram_transactions =
+      static_cast<std::uint64_t>(static_cast<double>(r.mem.transactions) * dram_fraction);
+  r.mem.l2_hits = r.mem.transactions - r.mem.dram_transactions;
+  r.mem.atomics = ops;
+  r.mem.bytes_moved = r.mem.transactions * 128;
+  return r;
+}
+
+KernelRun typical_mc_run(std::uint64_t ops, double dram_fraction) {
+  KernelRun r;
+  r.ops = ops;
+  r.mem_epochs = ops * 2;  // divergence-folded: ~55 hops per warp of 32 ops
+  r.warp_steps = r.mem_epochs * 8;
+  r.mem.lane_reads = ops * 40;  // uncoalesced node hops
+  r.mem.transactions = ops * 40;
+  r.mem.dram_transactions =
+      static_cast<std::uint64_t>(static_cast<double>(r.mem.transactions) * dram_fraction);
+  r.mem.l2_hits = r.mem.transactions - r.mem.dram_transactions;
+  r.mem.atomics = ops / 10;
+  r.mem.bytes_moved = r.mem.transactions * 128;
+  return r;
+}
+
+class CostModelTest : public ::testing::Test {
+ protected:
+  CostModel cm;
+  Occupancy occ;
+};
+
+TEST_F(CostModelTest, ZeroOpsIsZero) {
+  const auto r = cm.throughput(KernelRun{}, occ.compute(kGfslKernel, 16));
+  EXPECT_DOUBLE_EQ(r.mops, 0.0);
+}
+
+TEST_F(CostModelTest, MoreDramTrafficIsSlower) {
+  const auto o = occ.compute(kGfslKernel, 16);
+  const double cached = cm.throughput(typical_gfsl_run(100'000, 0.05), o).mops;
+  const double dramy = cm.throughput(typical_gfsl_run(100'000, 0.9), o).mops;
+  EXPECT_GT(cached, dramy);
+}
+
+TEST_F(CostModelTest, McIsBandwidthBoundAtLargeRanges) {
+  // §5.2: "M&C ... bound by inefficient memory accesses to the point where
+  // they cannot properly utilize available resources on the SM."
+  const auto o = occ.compute(kMcKernel, 16);
+  const auto r = cm.throughput(typical_mc_run(100'000, 0.85), o);
+  EXPECT_TRUE(r.bandwidth_bound);
+}
+
+TEST_F(CostModelTest, GfslBeatsMcWhenDramDominates) {
+  const double g = cm.throughput(typical_gfsl_run(100'000, 0.8),
+                                 occ.compute(kGfslKernel, 16))
+                       .mops;
+  const double m =
+      cm.throughput(typical_mc_run(100'000, 0.8), occ.compute(kMcKernel, 16))
+          .mops;
+  EXPECT_GT(g / m, 2.0);  // the thesis sees ~3x at the 1M range
+}
+
+TEST_F(CostModelTest, McCompetitiveWhenCacheResident) {
+  // At 10K keys everything fits in L2 and M&C's 32-ops-per-warp parallelism
+  // pays off (thesis: M&C up to 46% faster at 10K).
+  const double g = cm.throughput(typical_gfsl_run(100'000, 0.0),
+                                 occ.compute(kGfslKernel, 16))
+                       .mops;
+  const double m =
+      cm.throughput(typical_mc_run(100'000, 0.0), occ.compute(kMcKernel, 16))
+          .mops;
+  EXPECT_GT(m, g * 0.8);  // at least competitive
+}
+
+TEST_F(CostModelTest, SpillInflatesBandwidthTime) {
+  const auto run = typical_gfsl_run(100'000, 0.9);
+  const auto lean = occ.compute(kGfslKernel, 16);   // 10% spill
+  const auto heavy = occ.compute(kGfslKernel, 32);  // 53% spill
+  const auto r_lean = cm.throughput(run, lean);
+  const auto r_heavy = cm.throughput(run, heavy);
+  EXPECT_GT(r_heavy.bandwidth_seconds, r_lean.bandwidth_seconds * 1.5);
+}
+
+TEST_F(CostModelTest, LockSpinsCost) {
+  // Fully cache-resident (latency-bound) so the spin term is what moves.
+  auto run = typical_gfsl_run(100'000, 0.0);
+  const auto o = occ.compute(kGfslKernel, 16);
+  const double clean = cm.throughput(run, o).mops;
+  run.lock_spins = run.ops * 5;  // heavy contention
+  const double contended = cm.throughput(run, o).mops;
+  EXPECT_LT(contended, clean);
+}
+
+TEST_F(CostModelTest, AvgEpochLatencyInterpolates) {
+  const auto o = occ.compute(kGfslKernel, 16);
+  const auto hot = cm.throughput(typical_gfsl_run(1000, 0.0), o);
+  const auto cold = cm.throughput(typical_gfsl_run(1000, 1.0), o);
+  EXPECT_NEAR(hot.avg_epoch_latency, gtx970().l2_latency, 1e-6);
+  EXPECT_NEAR(cold.avg_epoch_latency, gtx970().dram_latency, 1e-6);
+}
+
+TEST_F(CostModelTest, TransferOverheadScalesWithOps) {
+  // §2.1: host<->device transfer is a bottleneck for small launches.
+  const double tiny = cm.transfer_seconds(1'000, 8);
+  const double big = cm.transfer_seconds(10'000'000, 8);
+  EXPECT_GT(big, tiny * 100);
+  // The launch constant floors tiny transfers.
+  EXPECT_GE(tiny, gtx970().kernel_launch_seconds);
+  // 10M ops x 9 B at ~12 GB/s is several milliseconds.
+  EXPECT_GT(big, 5e-3);
+  EXPECT_LT(big, 1e-1);
+}
+
+TEST_F(CostModelTest, CalibrationKnobs) {
+  CostModel tweaked;
+  tweaked.set_hiding_efficiency(0.1);
+  const auto run = typical_gfsl_run(100'000, 0.1);
+  const auto o = occ.compute(kGfslKernel, 16);
+  EXPECT_LT(tweaked.throughput(run, o).mops, cm.throughput(run, o).mops);
+}
+
+}  // namespace
+}  // namespace gfsl::model

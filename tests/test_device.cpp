@@ -1,0 +1,171 @@
+// Unit tests: memory pool, cache simulator, coalescing/transaction counting.
+#include <gtest/gtest.h>
+
+#include <new>
+
+#include "device/cache_sim.h"
+#include "device/device_memory.h"
+#include "device/memory_pool.h"
+
+namespace gfsl::device {
+namespace {
+
+TEST(MemoryPool, BumpAllocationAndAddresses) {
+  MemoryPool<std::uint64_t> pool(16);
+  EXPECT_EQ(pool.alloc(), 0u);
+  EXPECT_EQ(pool.alloc(), 1u);
+  EXPECT_EQ(pool.allocated(), 2u);
+  EXPECT_EQ(pool.device_address(3), 24u);
+}
+
+TEST(MemoryPool, ExhaustionThrows) {
+  MemoryPool<int> pool(2);
+  pool.alloc();
+  pool.alloc();
+  EXPECT_FALSE(pool.can_alloc());
+  EXPECT_THROW(pool.alloc(), std::bad_alloc);
+  pool.reset();
+  EXPECT_TRUE(pool.can_alloc(2));
+}
+
+TEST(CacheSim, HitsAfterFirstTouch) {
+  CacheSim cache;
+  EXPECT_FALSE(cache.access(0));   // cold miss
+  EXPECT_TRUE(cache.access(0));    // hit
+  EXPECT_TRUE(cache.access(64));   // same 128 B line
+  EXPECT_FALSE(cache.access(128)); // next line
+  EXPECT_EQ(cache.hits(), 2u);
+  EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(CacheSim, LruEvictionWithinSet) {
+  CacheConfig cfg;
+  cfg.capacity_bytes = 2 * 128;  // 2 lines total
+  cfg.line_bytes = 128;
+  cfg.associativity = 2;  // one set, 2 ways
+  CacheSim cache(cfg);
+  EXPECT_EQ(cache.num_sets(), 1u);
+  cache.access(0 * 128);
+  cache.access(1 * 128);
+  cache.access(0 * 128);       // refresh line 0
+  cache.access(2 * 128);       // evicts line 1 (LRU)
+  EXPECT_TRUE(cache.access(0 * 128));
+  EXPECT_FALSE(cache.access(1 * 128));  // was evicted
+}
+
+TEST(CacheSim, CapacityWorkingSetBehavior) {
+  // A working set within capacity hits on re-scan; a 2x working set thrashes.
+  CacheConfig cfg;
+  cfg.capacity_bytes = 64 * 128;
+  CacheSim small(cfg);
+  for (int pass = 0; pass < 2; ++pass) {
+    for (int i = 0; i < 64; ++i) small.access(static_cast<std::uint64_t>(i) * 128);
+  }
+  EXPECT_EQ(small.misses(), 64u);
+  EXPECT_EQ(small.hits(), 64u);
+}
+
+TEST(CacheSim, InvalidateDropsEverything) {
+  CacheSim cache;
+  cache.access(0);
+  cache.invalidate_all();
+  EXPECT_FALSE(cache.access(0));
+}
+
+TEST(CacheSim, RejectsBadConfig) {
+  CacheConfig cfg;
+  cfg.line_bytes = 100;  // not a power of two
+  EXPECT_THROW(CacheSim{cfg}, std::invalid_argument);
+  cfg.line_bytes = 128;
+  cfg.associativity = 0;
+  EXPECT_THROW(CacheSim{cfg}, std::invalid_argument);
+}
+
+TEST(DeviceMemory, CoalescedChunkReadTransactions) {
+  DeviceMemory mem;
+  // A 256 B chunk read (GFSL-32) covers two 128 B lines -> 2 transactions.
+  mem.warp_read(0, 256);
+  auto s = mem.snapshot();
+  EXPECT_EQ(s.warp_reads, 1u);
+  EXPECT_EQ(s.transactions, 2u);
+  EXPECT_EQ(s.dram_transactions, 2u);  // cold
+  // A 128 B chunk read (GFSL-16) is a single transaction (§5.2).
+  mem.reset_stats();
+  mem.warp_read(512, 128);
+  s = mem.snapshot();
+  EXPECT_EQ(s.transactions, 1u);
+}
+
+TEST(DeviceMemory, UnalignedAccessSpansExtraLine) {
+  DeviceMemory mem;
+  mem.warp_read(64, 128);  // straddles two lines
+  EXPECT_EQ(mem.snapshot().transactions, 2u);
+}
+
+TEST(DeviceMemory, LaneAccessesAreSingleTransactions) {
+  DeviceMemory mem;
+  // 32 scattered 8 B node reads (the M&C pattern) = 32 transactions...
+  for (int i = 0; i < 32; ++i) {
+    mem.lane_read(static_cast<std::uint64_t>(i) * 4096, 8);
+  }
+  auto s = mem.snapshot();
+  EXPECT_EQ(s.lane_reads, 32u);
+  EXPECT_EQ(s.transactions, 32u);
+  // ...while the same 256 bytes in one coalesced access is 2.
+  mem.reset_stats();
+  mem.warp_read(1 << 20, 256);
+  EXPECT_EQ(mem.snapshot().transactions, 2u);
+}
+
+TEST(DeviceMemory, L2HitClassification) {
+  DeviceMemory mem;
+  mem.warp_read(0, 128);
+  mem.warp_read(0, 128);
+  auto s = mem.snapshot();
+  EXPECT_EQ(s.l2_hits, 1u);
+  EXPECT_EQ(s.dram_transactions, 1u);
+  EXPECT_EQ(s.bytes_moved, 256u);
+}
+
+TEST(DeviceMemory, AtomicsCountAndTouchCache) {
+  DeviceMemory mem;
+  mem.atomic_rmw(128);
+  mem.atomic_rmw(128);
+  auto s = mem.snapshot();
+  EXPECT_EQ(s.atomics, 2u);
+  EXPECT_EQ(s.l2_hits, 1u);
+}
+
+TEST(DeviceMemory, AccountingToggle) {
+  DeviceMemory mem;
+  mem.set_accounting(false);
+  mem.warp_read(0, 256);
+  mem.atomic_rmw(0);
+  auto s = mem.snapshot();
+  EXPECT_EQ(s.transactions, 0u);
+  EXPECT_EQ(s.atomics, 0u);
+  mem.set_accounting(true);
+  mem.warp_read(0, 256);
+  EXPECT_EQ(mem.snapshot().transactions, 2u);
+}
+
+TEST(DeviceMemory, StatsDiffOperator) {
+  DeviceMemory mem;
+  mem.warp_read(0, 256);
+  const MemStats a = mem.snapshot();
+  mem.warp_read(4096, 256);
+  mem.atomic_rmw(0);
+  const MemStats d = mem.snapshot() - a;
+  EXPECT_EQ(d.warp_reads, 1u);
+  EXPECT_EQ(d.atomics, 1u);
+  EXPECT_EQ(d.transactions, 3u);
+}
+
+TEST(DeviceMemory, GTX970L2Geometry) {
+  DeviceMemory mem;
+  EXPECT_EQ(mem.cache().config().capacity_bytes, 1792ull * 1024);
+  EXPECT_EQ(mem.cache().config().line_bytes, 128u);
+}
+
+}  // namespace
+}  // namespace gfsl::device

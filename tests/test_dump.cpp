@@ -1,0 +1,63 @@
+// Tests for the quiescent structure dumper.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/gfsl.h"
+#include "device/device_memory.h"
+
+namespace gfsl::core {
+namespace {
+
+TEST(Dump, RendersLevelsKeysAndSentinels) {
+  device::DeviceMemory mem;
+  GfslConfig cfg;
+  cfg.team_size = 8;
+  cfg.pool_chunks = 1u << 10;
+  Gfsl sl(cfg, &mem);
+  simt::Team team(8, 0, 1);
+  for (Key k = 10; k <= 200; k += 10) sl.insert(team, k, k);
+
+  std::ostringstream ss;
+  sl.dump(ss);
+  const std::string out = ss.str();
+  EXPECT_NE(out.find("level 0:"), std::string::npos);
+  EXPECT_NE(out.find("-inf"), std::string::npos);
+  EXPECT_NE(out.find("max=inf"), std::string::npos);  // the last chunk
+  EXPECT_NE(out.find("100"), std::string::npos);
+  EXPECT_EQ(out.find("LOCKED"), std::string::npos);  // quiescent
+  // Upper levels show down pointers as key->ref.
+  if (sl.current_height() > 0) {
+    EXPECT_NE(out.find("->"), std::string::npos);
+  }
+}
+
+TEST(Dump, MarksZombies) {
+  device::DeviceMemory mem;
+  GfslConfig cfg;
+  cfg.team_size = 8;
+  cfg.pool_chunks = 1u << 10;
+  Gfsl sl(cfg, &mem);
+  simt::Team team(8, 0, 1);
+  for (Key k = 1; k <= 60; ++k) sl.insert(team, k, 0);
+  for (Key k = 1; k <= 55; ++k) sl.erase(team, k);
+  ASSERT_GT(sl.validate().zombie_chunks, 0u);
+  std::ostringstream ss;
+  sl.dump(ss);
+  EXPECT_NE(ss.str().find("ZOMBIE"), std::string::npos);
+}
+
+TEST(Dump, EmptyStructure) {
+  device::DeviceMemory mem;
+  GfslConfig cfg;
+  cfg.team_size = 8;
+  cfg.pool_chunks = 64;
+  Gfsl sl(cfg, &mem);
+  std::ostringstream ss;
+  sl.dump(ss);
+  EXPECT_NE(ss.str().find("level 0:"), std::string::npos);
+  EXPECT_EQ(ss.str().find("level 1:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gfsl::core

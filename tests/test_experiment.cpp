@@ -1,0 +1,101 @@
+// Integration tests: the experiment drivers end-to-end (structure + prefill
+// + warmup + measured run + cost model), plus pool-sizing policies.
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+
+namespace gfsl::harness {
+namespace {
+
+StructureSetup quick_setup() {
+  StructureSetup s;
+  s.num_workers = 2;
+  s.warmup_ops = 500;
+  return s;
+}
+
+WorkloadConfig quick_workload() {
+  WorkloadConfig wl;
+  wl.mix = kMix_10_10_80;
+  wl.key_range = 5'000;
+  wl.num_ops = 4'000;
+  wl.prefill = Prefill::HalfRange;
+  wl.seed = 21;
+  return wl;
+}
+
+TEST(Experiment, SweepRanges) {
+  const auto r = sweep_ranges(1'000'000);
+  ASSERT_EQ(r.size(), 5u);
+  EXPECT_EQ(r.front(), 10'000u);
+  EXPECT_EQ(r.back(), 1'000'000u);
+  EXPECT_EQ(sweep_ranges(100'000'000).size(), 9u);
+}
+
+TEST(Experiment, PoolSizingCoversWorkload) {
+  WorkloadConfig wl = quick_workload();
+  const auto chunks = gfsl_pool_chunks(wl, 32);
+  // Must fit prefill (2.5K keys) plus the update stream comfortably.
+  EXPECT_GT(chunks, 2'500u * 3 / 30);
+  const auto slots = mc_pool_slots(wl);
+  EXPECT_GT(slots, 2'500u * 4);
+}
+
+TEST(Experiment, PoolSizingCapsAtDeviceBudget) {
+  WorkloadConfig wl = quick_workload();
+  wl.key_range = 3'000'000'000ull;  // absurd range
+  wl.prefill = Prefill::FullRange;
+  const std::uint64_t gfsl_bytes =
+      static_cast<std::uint64_t>(gfsl_pool_chunks(wl, 32)) * 256;
+  const std::uint64_t mc_bytes =
+      static_cast<std::uint64_t>(mc_pool_slots(wl)) * 8;
+  const std::uint64_t budget = 3500ull * 1024 * 1024;
+  EXPECT_LE(gfsl_bytes, budget);
+  EXPECT_LE(mc_bytes, budget);
+}
+
+TEST(Experiment, MeasureGfslProducesModeledThroughput) {
+  const auto m = measure_gfsl(quick_workload(), quick_setup());
+  EXPECT_GT(m.model_mops, 0.0);
+  EXPECT_FALSE(m.oom);
+  EXPECT_GT(m.kernel.mem.warp_reads, 0u);
+  EXPECT_GT(m.avg_chunks_per_traversal, 1.0);
+}
+
+TEST(Experiment, MeasureMcProducesModeledThroughput) {
+  const auto m = measure_mc(quick_workload(), quick_setup());
+  EXPECT_GT(m.model_mops, 0.0);
+  EXPECT_FALSE(m.oom);
+  EXPECT_GT(m.kernel.mem.lane_reads, 0u);
+}
+
+TEST(Experiment, RepeatSummarizes) {
+  auto setup = quick_setup();
+  setup.warmup_ops = 200;
+  auto wl = quick_workload();
+  wl.num_ops = 1'500;
+  const auto rep = repeat_gfsl(wl, setup, 3);
+  EXPECT_EQ(rep.mops.n, 3u);
+  EXPECT_GT(rep.mops.mean, 0.0);
+  EXPECT_GE(rep.mops.max, rep.mops.min);
+}
+
+TEST(Experiment, GfslBeatsMcAtLargeRangeShape) {
+  // The headline result in miniature: at a range far beyond L2 capacity the
+  // modeled GFSL throughput must exceed M&C's (Figure 5.2 shows 27%-1064%
+  // above the 30K crossover).
+  WorkloadConfig wl;
+  wl.mix = kMix_10_10_80;
+  wl.key_range = 400'000;  // ~3 MB GFSL / ~13 MB M&C: well past 1.75 MB L2
+  wl.num_ops = 6'000;
+  wl.prefill = Prefill::HalfRange;
+  wl.seed = 5;
+  auto setup = quick_setup();
+  setup.warmup_ops = 2'000;
+  const auto g = measure_gfsl(wl, setup);
+  const auto m = measure_mc(wl, setup);
+  EXPECT_GT(g.model_mops, m.model_mops);
+}
+
+}  // namespace
+}  // namespace gfsl::harness

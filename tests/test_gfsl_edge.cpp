@@ -1,0 +1,207 @@
+// Edge-case and scenario tests: sentinel-adjacent keys, max-field
+// maintenance, last-chunk behavior, backtrack paths, level drain/regrow,
+// value integrity across splits and merges.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/random.h"
+#include "core/gfsl.h"
+#include "core/shape.h"
+#include "device/device_memory.h"
+
+namespace gfsl::core {
+namespace {
+
+using simt::Team;
+
+struct Fixture {
+  explicit Fixture(int team_size = 8, std::uint32_t pool = 1u << 14)
+      : team(team_size, 0, 77) {
+    GfslConfig cfg;
+    cfg.team_size = team_size;
+    cfg.pool_chunks = pool;
+    sl = std::make_unique<Gfsl>(cfg, &mem);
+  }
+  device::DeviceMemory mem;
+  Team team;
+  std::unique_ptr<Gfsl> sl;
+};
+
+TEST(GfslEdge, ExtremeUserKeys) {
+  Fixture f;
+  EXPECT_TRUE(f.sl->insert(f.team, MIN_USER_KEY, 1));
+  EXPECT_TRUE(f.sl->insert(f.team, MAX_USER_KEY, 2));
+  EXPECT_TRUE(f.sl->contains(f.team, MIN_USER_KEY));
+  EXPECT_TRUE(f.sl->contains(f.team, MAX_USER_KEY));
+  EXPECT_EQ(f.sl->find(f.team, MAX_USER_KEY).value_or(0), 2u);
+  EXPECT_TRUE(f.sl->validate().ok);
+  EXPECT_TRUE(f.sl->erase(f.team, MIN_USER_KEY));
+  EXPECT_TRUE(f.sl->erase(f.team, MAX_USER_KEY));
+  EXPECT_EQ(f.sl->size(), 0u);
+}
+
+TEST(GfslEdge, DeletingChunkMaxLowersMaxBeforeData) {
+  // Fill two chunks, then delete the first chunk's maximum key repeatedly;
+  // validate() checks max == largest key after every step (§4.2.3 "the NEXT
+  // thread must update the max field ... before the deletion").
+  Fixture f;
+  for (Key k = 1; k <= 12; ++k) ASSERT_TRUE(f.sl->insert(f.team, k * 10, k));
+  for (int round = 0; round < 6; ++round) {
+    // Find the current max of the first (non-head) chunk via collect order.
+    const auto all = f.sl->collect();
+    ASSERT_FALSE(all.empty());
+    // Delete a key from the middle (likely some chunk's max at some point).
+    const Key victim = all[all.size() / 2].first;
+    ASSERT_TRUE(f.sl->erase(f.team, victim));
+    const auto rep = f.sl->validate();
+    ASSERT_TRUE(rep.ok) << rep.error;
+  }
+}
+
+TEST(GfslEdge, DrainLevelThenRegrow) {
+  Fixture f;
+  for (Key k = 1; k <= 300; ++k) ASSERT_TRUE(f.sl->insert(f.team, k, 0));
+  const int h1 = f.sl->current_height();
+  ASSERT_GE(h1, 1);
+  for (Key k = 1; k <= 300; ++k) ASSERT_TRUE(f.sl->erase(f.team, k));
+  EXPECT_EQ(f.sl->size(), 0u);
+  // Regrow: the drained levels must come back into use cleanly.
+  for (Key k = 1; k <= 300; ++k) ASSERT_TRUE(f.sl->insert(f.team, k + 500, 1));
+  EXPECT_EQ(f.sl->size(), 300u);
+  EXPECT_TRUE(f.sl->validate().ok);
+  for (Key k = 1; k <= 300; ++k) {
+    ASSERT_TRUE(f.sl->contains(f.team, k + 500));
+    ASSERT_FALSE(f.sl->contains(f.team, k));
+  }
+}
+
+TEST(GfslEdge, BacktrackPath) {
+  // Craft the Figure 4.1b situation: after a lateral step the team lands in
+  // a chunk whose keys are all greater than the target, forcing a backtrack
+  // through the previous chunk.  With dense keys and gaps right after chunk
+  // boundaries, probes into the gaps exercise exactly that path.
+  Fixture f(8);
+  for (Key k = 0; k < 40; ++k) {
+    ASSERT_TRUE(f.sl->insert(f.team, 100 + k * 100, k));
+  }
+  // Probe every inter-key gap; misses must come back false without hanging.
+  for (Key k = 0; k < 40; ++k) {
+    EXPECT_FALSE(f.sl->contains(f.team, 100 + k * 100 + 50));
+    EXPECT_TRUE(f.sl->contains(f.team, 100 + k * 100));
+  }
+  // Keys below the first and above the last key.
+  EXPECT_FALSE(f.sl->contains(f.team, 1));
+  EXPECT_FALSE(f.sl->contains(f.team, 100 + 40 * 100));
+}
+
+TEST(GfslEdge, ValuesSurviveSplits) {
+  Fixture f(8);
+  // Values are distinct functions of the key; splits copy them between
+  // chunks and must never mix them up.
+  for (Key k = 1; k <= 500; ++k) {
+    ASSERT_TRUE(f.sl->insert(f.team, k, k * 31 + 7));
+  }
+  for (Key k = 1; k <= 500; ++k) {
+    ASSERT_EQ(f.sl->find(f.team, k).value_or(0), k * 31 + 7) << "k=" << k;
+  }
+}
+
+TEST(GfslEdge, ValuesSurviveMerges) {
+  Fixture f(8);
+  for (Key k = 1; k <= 400; ++k) ASSERT_TRUE(f.sl->insert(f.team, k, k ^ 0xABCD));
+  // Delete three of every four keys — heavy merging.
+  for (Key k = 1; k <= 400; ++k) {
+    if (k % 4 != 0) {
+      ASSERT_TRUE(f.sl->erase(f.team, k));
+    }
+  }
+  for (Key k = 4; k <= 400; k += 4) {
+    ASSERT_EQ(f.sl->find(f.team, k).value_or(0), k ^ 0xABCD) << "k=" << k;
+  }
+  EXPECT_TRUE(f.sl->validate().ok);
+}
+
+TEST(GfslEdge, AlternatingInsertEraseAtChunkBoundary) {
+  // Oscillate the fill level right at the split/merge thresholds to shake
+  // out hysteresis bugs (split at full, merge at DSIZE/3).
+  Fixture f(8);  // DSIZE = 6: split at 6, merge at <= 2
+  for (Key k = 1; k <= 6; ++k) ASSERT_TRUE(f.sl->insert(f.team, k * 10, 0));
+  for (int round = 0; round < 50; ++round) {
+    const Key k = 5 + static_cast<Key>(round);
+    ASSERT_TRUE(f.sl->insert(f.team, k * 10 + 1, 0));
+    ASSERT_TRUE(f.sl->erase(f.team, k * 10 + 1));
+    const auto rep = f.sl->validate();
+    ASSERT_TRUE(rep.ok) << "round " << round << ": " << rep.error;
+  }
+  EXPECT_EQ(f.sl->size(), 6u);
+}
+
+TEST(GfslEdge, SparseThenDenseKeys) {
+  Fixture f;
+  // Powers of two: maximal key spread.
+  for (Key k = 1; k != 0 && k <= (1u << 30); k <<= 1) {
+    ASSERT_TRUE(f.sl->insert(f.team, k, 0));
+  }
+  // Then densely pack one region (1024 is already present as a power of 2).
+  for (Key k = 1000; k < 1200; ++k) {
+    ASSERT_EQ(f.sl->insert(f.team, k, 0), k != 1024);
+  }
+  EXPECT_TRUE(f.sl->validate().ok);
+  EXPECT_TRUE(f.sl->contains(f.team, 1u << 20));
+  EXPECT_TRUE(f.sl->contains(f.team, 1100));
+  EXPECT_FALSE(f.sl->contains(f.team, 999));
+  // 1024 belongs to both sets; erase once, it must be gone.
+  EXPECT_TRUE(f.sl->erase(f.team, 1024));
+  EXPECT_FALSE(f.sl->contains(f.team, 1024));
+}
+
+TEST(GfslEdge, ManyMergesIntoLastChunk) {
+  // Deleting from the tail end repeatedly exercises the never-merge-the-
+  // last-chunk rule (§4.2.3) and the empty-last-chunk case.
+  Fixture f(8);
+  for (Key k = 1; k <= 100; ++k) ASSERT_TRUE(f.sl->insert(f.team, k, 0));
+  for (Key k = 100; k >= 20; --k) {
+    ASSERT_TRUE(f.sl->erase(f.team, k));
+    const auto rep = f.sl->validate();
+    ASSERT_TRUE(rep.ok) << "k=" << k << ": " << rep.error;
+  }
+  EXPECT_EQ(f.sl->size(), 19u);
+  // Refill the drained tail.
+  for (Key k = 50; k <= 120; ++k) ASSERT_TRUE(f.sl->insert(f.team, k, 0));
+  EXPECT_TRUE(f.sl->validate().ok);
+}
+
+TEST(GfslEdge, InterleavedFindDuringStructuralChanges) {
+  Fixture f(8);
+  Xoshiro256ss rng(31);
+  std::set<Key> ref;
+  for (int i = 0; i < 4'000; ++i) {
+    const Key k = static_cast<Key>(1 + rng.below(120));  // tiny hot range
+    switch (rng.below(4)) {
+      case 0:
+        ASSERT_EQ(f.sl->insert(f.team, k, k), ref.insert(k).second);
+        break;
+      case 1:
+        ASSERT_EQ(f.sl->erase(f.team, k), ref.erase(k) > 0);
+        break;
+      default: {
+        const auto v = f.sl->find(f.team, k);
+        ASSERT_EQ(v.has_value(), ref.count(k) > 0);
+        if (v.has_value()) {
+          ASSERT_EQ(*v, k);
+        }
+      }
+    }
+  }
+}
+
+TEST(GfslEdge, HeightNeverExceedsTeamSizeBound) {
+  Fixture f(8, 1u << 15);
+  for (Key k = 1; k <= 10'000; ++k) ASSERT_TRUE(f.sl->insert(f.team, k, 0));
+  EXPECT_LT(f.sl->current_height(), f.sl->max_levels());
+  EXPECT_TRUE(f.sl->validate().ok);
+}
+
+}  // namespace
+}  // namespace gfsl::core

@@ -1,0 +1,88 @@
+// Parameterized concurrent matrix: (team size x worker count x mix), every
+// cell checked with structural validation AND the per-key history checker.
+// This is the broad-coverage complement to the targeted concurrency tests.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <tuple>
+
+#include "common/random.h"
+#include "core/gfsl.h"
+#include "device/device_memory.h"
+#include "harness/history.h"
+#include "harness/workload.h"
+
+namespace gfsl::core {
+namespace {
+
+// (team_size, workers, insert_pct, delete_pct)
+using MatrixParams = std::tuple<int, int, int, int>;
+
+class GfslMatrix : public ::testing::TestWithParam<MatrixParams> {};
+
+TEST_P(GfslMatrix, HistoryConsistentUnderConcurrency) {
+  const auto [team_size, workers, ins, del] = GetParam();
+  device::DeviceMemory mem;
+  GfslConfig cfg;
+  cfg.team_size = team_size;
+  cfg.pool_chunks = 1u << 15;
+  Gfsl sl(cfg, &mem);
+
+  constexpr int kOpsPerWorker = 1'500;
+  constexpr Key kRange = 150;  // hot: constant structural churn
+  harness::HistoryLog log(kOpsPerWorker + 8, workers);
+
+  std::vector<std::thread> threads;
+  for (int w = 0; w < workers; ++w) {
+    threads.emplace_back([&, w, ins = ins, del = del, team_size = team_size] {
+      simt::Team team(team_size, w, 21);
+      Xoshiro256ss rng(derive_seed(777, static_cast<std::uint64_t>(w)));
+      for (int i = 0; i < kOpsPerWorker; ++i) {
+        const Key k = static_cast<Key>(1 + rng.below(kRange));
+        const auto dice = static_cast<int>(rng.below(100));
+        OpKind kind = OpKind::Contains;
+        if (dice < ins) {
+          kind = OpKind::Insert;
+        } else if (dice < ins + del) {
+          kind = OpKind::Delete;
+        }
+        const auto t = log.begin_op();
+        bool r = false;
+        switch (kind) {
+          case OpKind::Insert: r = sl.insert(team, k, k); break;
+          case OpKind::Delete: r = sl.erase(team, k); break;
+          case OpKind::Contains: r = sl.contains(team, k); break;
+        }
+        log.end_op(w, t, kind, k, r);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  const auto rep = sl.validate(/*strict=*/false);
+  ASSERT_TRUE(rep.ok) << rep.error;
+  std::vector<Key> final_keys;
+  for (const auto& [k, v] : sl.collect()) final_keys.push_back(k);
+  const auto check = harness::check_history(log.merged(), {}, final_keys);
+  EXPECT_TRUE(check.ok) << check.error;
+  EXPECT_EQ(check.events_checked,
+            static_cast<std::uint64_t>(workers) * kOpsPerWorker);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, GfslMatrix,
+    ::testing::Values(MatrixParams{8, 2, 30, 30}, MatrixParams{8, 4, 40, 40},
+                      MatrixParams{8, 3, 10, 10}, MatrixParams{16, 2, 30, 30},
+                      MatrixParams{16, 4, 50, 50}, MatrixParams{16, 3, 20, 20},
+                      MatrixParams{32, 2, 40, 40}, MatrixParams{32, 4, 25, 25},
+                      MatrixParams{32, 3, 50, 25}, MatrixParams{8, 4, 50, 50},
+                      MatrixParams{16, 4, 5, 5}, MatrixParams{32, 4, 45, 45}),
+    [](const ::testing::TestParamInfo<MatrixParams>& info) {
+      return "ts" + std::to_string(std::get<0>(info.param)) + "_w" +
+             std::to_string(std::get<1>(info.param)) + "_i" +
+             std::to_string(std::get<2>(info.param)) + "_d" +
+             std::to_string(std::get<3>(info.param));
+    });
+
+}  // namespace
+}  // namespace gfsl::core

@@ -1,0 +1,131 @@
+// Property-based / parameterized tests: structural invariants must hold
+// across chunk sizes, p_chunk values and RNG seeds, after arbitrary
+// operation sequences.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <tuple>
+
+#include "common/random.h"
+#include "core/gfsl.h"
+#include "device/device_memory.h"
+
+namespace gfsl::core {
+namespace {
+
+using simt::Team;
+
+// (team_size, p_chunk, seed)
+using Params = std::tuple<int, double, std::uint64_t>;
+
+class GfslProperty : public ::testing::TestWithParam<Params> {
+ protected:
+  void SetUp() override {
+    const auto [ts, pc, seed] = GetParam();
+    team_size_ = ts;
+    seed_ = seed;
+    GfslConfig cfg;
+    cfg.team_size = ts;
+    cfg.pool_chunks = 1u << 15;
+    cfg.p_chunk = pc;
+    sl_ = std::make_unique<Gfsl>(cfg, &mem_);
+    team_ = std::make_unique<Team>(ts, 0, seed);
+  }
+
+  device::DeviceMemory mem_;
+  std::unique_ptr<Gfsl> sl_;
+  std::unique_ptr<Team> team_;
+  int team_size_ = 0;
+  std::uint64_t seed_ = 0;
+};
+
+TEST_P(GfslProperty, InvariantsUnderRandomHistory) {
+  std::set<Key> ref;
+  Xoshiro256ss rng(seed_);
+  constexpr int kSteps = 6'000;
+  for (int i = 0; i < kSteps; ++i) {
+    const Key k = static_cast<Key>(1 + rng.below(700));
+    switch (rng.below(3)) {
+      case 0:
+        ASSERT_EQ(sl_->insert(*team_, k, k ^ 0x5A5Au), ref.insert(k).second);
+        break;
+      case 1:
+        ASSERT_EQ(sl_->erase(*team_, k), ref.erase(k) > 0);
+        break;
+      default:
+        ASSERT_EQ(sl_->contains(*team_, k), ref.count(k) > 0);
+        break;
+    }
+    if (i % 1'500 == 1'499) {
+      const auto rep = sl_->validate();
+      ASSERT_TRUE(rep.ok) << "step " << i << ": " << rep.error;
+      ASSERT_EQ(rep.bottom_keys, ref.size());
+    }
+  }
+  // Final: exact key-set equality.
+  const auto got = sl_->collect();
+  ASSERT_EQ(got.size(), ref.size());
+  auto it = ref.begin();
+  for (std::size_t i = 0; i < got.size(); ++i, ++it) {
+    ASSERT_EQ(got[i].first, *it);
+  }
+}
+
+TEST_P(GfslProperty, InsertAllDeleteAllRepeatedly) {
+  for (int round = 0; round < 3; ++round) {
+    for (Key k = 1; k <= 200; ++k) {
+      ASSERT_TRUE(sl_->insert(*team_, k, round));
+    }
+    ASSERT_EQ(sl_->size(), 200u);
+    for (Key k = 1; k <= 200; ++k) {
+      ASSERT_TRUE(sl_->erase(*team_, k));
+    }
+    ASSERT_EQ(sl_->size(), 0u);
+    const auto rep = sl_->validate();
+    ASSERT_TRUE(rep.ok) << "round " << round << ": " << rep.error;
+  }
+}
+
+TEST_P(GfslProperty, ContainsNeverLiesAboutAbsentNeighbors) {
+  // Insert only even keys; every odd probe must miss, every even must hit.
+  for (Key k = 2; k <= 600; k += 2) ASSERT_TRUE(sl_->insert(*team_, k, 0));
+  for (Key k = 1; k <= 601; k += 2) {
+    ASSERT_FALSE(sl_->contains(*team_, k)) << "odd key " << k;
+  }
+  for (Key k = 2; k <= 600; k += 2) {
+    ASSERT_TRUE(sl_->contains(*team_, k)) << "even key " << k;
+  }
+}
+
+TEST_P(GfslProperty, UpperLevelsAreSubsetsAfterSequentialHistory) {
+  Xoshiro256ss rng(seed_ ^ 0xFEED);
+  std::set<Key> ref;
+  for (int i = 0; i < 2'000; ++i) {
+    const Key k = static_cast<Key>(1 + rng.below(400));
+    if (rng.below(3) != 0) {
+      if (sl_->insert(*team_, k, 0)) ref.insert(k);
+    } else {
+      if (sl_->erase(*team_, k)) ref.erase(k);
+    }
+  }
+  // validate(strict=true) checks level i+1 ⊆ level i.
+  const auto rep = sl_->validate(/*strict=*/true);
+  ASSERT_TRUE(rep.ok) << rep.error;
+  ASSERT_EQ(rep.bottom_keys, ref.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GfslProperty,
+    ::testing::Values(Params{8, 1.0, 11}, Params{8, 0.5, 12},
+                      Params{16, 1.0, 13}, Params{16, 0.9, 14},
+                      Params{32, 1.0, 15}, Params{32, 0.5, 16},
+                      Params{32, 0.0, 17}, Params{16, 0.0, 18}),
+    [](const ::testing::TestParamInfo<Params>& info) {
+      return "ts" + std::to_string(std::get<0>(info.param)) + "_pc" +
+             std::to_string(static_cast<int>(std::get<1>(info.param) * 100)) +
+             "_s" + std::to_string(std::get<2>(info.param));
+    });
+
+}  // namespace
+}  // namespace gfsl::core

@@ -1,0 +1,296 @@
+// Integration tests: single-team GFSL against a std::map reference, covering
+// growth across levels, splits, merges, zombies, backtracks and max-field
+// maintenance.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/random.h"
+#include "core/gfsl.h"
+#include "device/device_memory.h"
+
+namespace gfsl::core {
+namespace {
+
+using simt::Team;
+
+struct Fixture {
+  explicit Fixture(int team_size = 32, std::uint32_t pool = 1u << 16,
+                   double p_chunk = 1.0)
+      : mem(), team(team_size, 0, 42) {
+    GfslConfig cfg;
+    cfg.team_size = team_size;
+    cfg.pool_chunks = pool;
+    cfg.p_chunk = p_chunk;
+    sl = std::make_unique<Gfsl>(cfg, &mem);
+  }
+  device::DeviceMemory mem;
+  Team team;
+  std::unique_ptr<Gfsl> sl;
+};
+
+TEST(GfslSequential, EmptyStructure) {
+  Fixture f;
+  EXPECT_FALSE(f.sl->contains(f.team, 5));
+  EXPECT_FALSE(f.sl->erase(f.team, 5));
+  EXPECT_EQ(f.sl->size(), 0u);
+  EXPECT_EQ(f.sl->current_height(), 0);
+  const auto rep = f.sl->validate();
+  EXPECT_TRUE(rep.ok) << rep.error;
+}
+
+TEST(GfslSequential, SingleInsertFindDelete) {
+  Fixture f;
+  EXPECT_TRUE(f.sl->insert(f.team, 10, 99));
+  EXPECT_TRUE(f.sl->contains(f.team, 10));
+  EXPECT_EQ(f.sl->find(f.team, 10).value_or(0), 99u);
+  EXPECT_FALSE(f.sl->contains(f.team, 9));
+  EXPECT_FALSE(f.sl->contains(f.team, 11));
+  EXPECT_TRUE(f.sl->erase(f.team, 10));
+  EXPECT_FALSE(f.sl->contains(f.team, 10));
+  EXPECT_TRUE(f.sl->validate().ok);
+}
+
+TEST(GfslSequential, DuplicateInsertRejected) {
+  Fixture f;
+  EXPECT_TRUE(f.sl->insert(f.team, 7, 1));
+  EXPECT_FALSE(f.sl->insert(f.team, 7, 2));
+  EXPECT_EQ(f.sl->find(f.team, 7).value_or(0), 1u);  // first value kept
+  EXPECT_EQ(f.sl->size(), 1u);
+}
+
+TEST(GfslSequential, DoubleDeleteRejected) {
+  Fixture f;
+  f.sl->insert(f.team, 7, 1);
+  EXPECT_TRUE(f.sl->erase(f.team, 7));
+  EXPECT_FALSE(f.sl->erase(f.team, 7));
+}
+
+TEST(GfslSequential, RejectsSentinelKeys) {
+  Fixture f;
+  EXPECT_THROW(f.sl->insert(f.team, KEY_NEG_INF, 0), std::invalid_argument);
+  EXPECT_THROW(f.sl->insert(f.team, KEY_INF, 0), std::invalid_argument);
+  EXPECT_THROW(f.sl->erase(f.team, KEY_INF), std::invalid_argument);
+}
+
+TEST(GfslSequential, FillOneChunkExactly) {
+  Fixture f;
+  const int dsize = f.sl->team_size() - 2;
+  // The head chunk holds -inf, so dsize-1 user keys fit without a split.
+  for (int i = 1; i < dsize; ++i) {
+    ASSERT_TRUE(f.sl->insert(f.team, static_cast<Key>(i * 10), 0));
+  }
+  EXPECT_EQ(f.sl->chunks_in_level(0), 0);  // no split yet
+  EXPECT_TRUE(f.sl->validate().ok);
+  for (int i = 1; i < dsize; ++i) {
+    EXPECT_TRUE(f.sl->contains(f.team, static_cast<Key>(i * 10)));
+  }
+}
+
+TEST(GfslSequential, SplitCreatesSecondChunkAndRaisesKey) {
+  Fixture f;  // p_chunk = 1: every split raises
+  const int dsize = f.sl->team_size() - 2;
+  for (int i = 1; i <= dsize; ++i) {  // one more than fits
+    ASSERT_TRUE(f.sl->insert(f.team, static_cast<Key>(i), 0));
+  }
+  EXPECT_GE(f.sl->chunks_in_level(0), 1);  // split happened
+  EXPECT_GE(f.sl->current_height(), 1);    // p_chunk=1 raised a key
+  const auto rep = f.sl->validate();
+  EXPECT_TRUE(rep.ok) << rep.error;
+  for (int i = 1; i <= dsize; ++i) {
+    EXPECT_TRUE(f.sl->contains(f.team, static_cast<Key>(i)));
+  }
+}
+
+TEST(GfslSequential, AscendingInsertScan) {
+  Fixture f;
+  for (Key k = 1; k <= 500; ++k) {
+    ASSERT_TRUE(f.sl->insert(f.team, k, k * 2));
+  }
+  EXPECT_EQ(f.sl->size(), 500u);
+  for (Key k = 1; k <= 500; ++k) {
+    ASSERT_EQ(f.sl->find(f.team, k).value_or(0), k * 2);
+  }
+  EXPECT_FALSE(f.sl->contains(f.team, 501));
+  const auto rep = f.sl->validate();
+  EXPECT_TRUE(rep.ok) << rep.error;
+  EXPECT_GE(f.sl->current_height(), 1);
+}
+
+TEST(GfslSequential, DescendingInsertScan) {
+  Fixture f;
+  for (Key k = 500; k >= 1; --k) {
+    ASSERT_TRUE(f.sl->insert(f.team, k, k));
+  }
+  EXPECT_EQ(f.sl->size(), 500u);
+  const auto rep = f.sl->validate();
+  EXPECT_TRUE(rep.ok) << rep.error;
+  for (Key k = 1; k <= 500; ++k) {
+    ASSERT_TRUE(f.sl->contains(f.team, k));
+  }
+}
+
+TEST(GfslSequential, DeleteEverythingAscending) {
+  Fixture f;
+  for (Key k = 1; k <= 300; ++k) ASSERT_TRUE(f.sl->insert(f.team, k, 0));
+  for (Key k = 1; k <= 300; ++k) {
+    ASSERT_TRUE(f.sl->erase(f.team, k)) << "k=" << k;
+    const auto rep = f.sl->validate();
+    ASSERT_TRUE(rep.ok) << "k=" << k << ": " << rep.error;
+  }
+  EXPECT_EQ(f.sl->size(), 0u);
+}
+
+TEST(GfslSequential, DeleteEverythingDescending) {
+  Fixture f;
+  for (Key k = 1; k <= 300; ++k) ASSERT_TRUE(f.sl->insert(f.team, k, 0));
+  for (Key k = 300; k >= 1; --k) {
+    ASSERT_TRUE(f.sl->erase(f.team, k)) << "k=" << k;
+  }
+  EXPECT_EQ(f.sl->size(), 0u);
+  const auto rep = f.sl->validate();
+  EXPECT_TRUE(rep.ok) << rep.error;
+}
+
+TEST(GfslSequential, MergeProducesZombies) {
+  Fixture f;
+  for (Key k = 1; k <= 200; ++k) ASSERT_TRUE(f.sl->insert(f.team, k, 0));
+  const auto before = f.sl->validate();
+  // Deleting most keys forces chunks under DSIZE/3 and triggers merges.
+  for (Key k = 1; k <= 180; ++k) ASSERT_TRUE(f.sl->erase(f.team, k));
+  const auto after = f.sl->validate();
+  EXPECT_TRUE(after.ok) << after.error;
+  EXPECT_GT(after.zombie_chunks, 0u);
+  EXPECT_LT(after.live_chunks, before.live_chunks);
+  for (Key k = 181; k <= 200; ++k) {
+    EXPECT_TRUE(f.sl->contains(f.team, k));
+  }
+}
+
+TEST(GfslSequential, RandomMixAgainstStdMap) {
+  Fixture f(32, 1u << 16);
+  std::map<Key, Value> ref;
+  Xoshiro256ss rng(2024);
+  for (int i = 0; i < 20'000; ++i) {
+    const Key k = static_cast<Key>(1 + rng.below(500));
+    const auto dice = rng.below(100);
+    if (dice < 40) {
+      const Value v = static_cast<Value>(rng.below(1 << 30));
+      const bool mine = f.sl->insert(f.team, k, v);
+      const bool theirs = ref.emplace(k, v).second;
+      ASSERT_EQ(mine, theirs) << "insert " << k << " at step " << i;
+    } else if (dice < 80) {
+      const bool mine = f.sl->erase(f.team, k);
+      const bool theirs = ref.erase(k) > 0;
+      ASSERT_EQ(mine, theirs) << "erase " << k << " at step " << i;
+    } else {
+      const auto mine = f.sl->find(f.team, k);
+      const auto it = ref.find(k);
+      ASSERT_EQ(mine.has_value(), it != ref.end()) << "find " << k;
+      if (mine.has_value()) {
+        ASSERT_EQ(*mine, it->second);
+      }
+    }
+    if (i % 2'500 == 0) {
+      const auto rep = f.sl->validate();
+      ASSERT_TRUE(rep.ok) << "step " << i << ": " << rep.error;
+    }
+  }
+  // Final exact content comparison.
+  const auto got = f.sl->collect();
+  ASSERT_EQ(got.size(), ref.size());
+  auto it = ref.begin();
+  for (std::size_t i = 0; i < got.size(); ++i, ++it) {
+    EXPECT_EQ(got[i].first, it->first);
+    EXPECT_EQ(got[i].second, it->second);
+  }
+}
+
+TEST(GfslSequential, GrowsSeveralLevels) {
+  Fixture f(8, 1u << 16);  // small chunks grow tall quickly
+  for (Key k = 1; k <= 2'000; ++k) ASSERT_TRUE(f.sl->insert(f.team, k, 0));
+  EXPECT_GE(f.sl->current_height(), 3);
+  const auto rep = f.sl->validate();
+  EXPECT_TRUE(rep.ok) << rep.error;
+  EXPECT_EQ(f.sl->size(), 2'000u);
+}
+
+TEST(GfslSequential, PChunkZeroNeverRaises) {
+  Fixture f(16, 1u << 14, /*p_chunk=*/0.0);
+  for (Key k = 1; k <= 400; ++k) ASSERT_TRUE(f.sl->insert(f.team, k, 0));
+  EXPECT_EQ(f.sl->current_height(), 0);  // a flat chunked list
+  EXPECT_TRUE(f.sl->validate().ok);
+  for (Key k = 1; k <= 400; ++k) ASSERT_TRUE(f.sl->contains(f.team, k));
+}
+
+TEST(GfslSequential, AvgTraversalTracksHeight) {
+  Fixture f;
+  for (Key k = 1; k <= 1'000; ++k) f.sl->insert(f.team, k, 0);
+  for (Key k = 1; k <= 1'000; ++k) f.sl->contains(f.team, k);
+  // §5.2: with p_chunk ~ 1 a traversal reads between height+1 and height+2
+  // chunks on average.
+  const double avg = f.sl->avg_chunks_per_traversal();
+  const double h = f.sl->current_height();
+  EXPECT_GE(avg, h + 0.5);
+  EXPECT_LE(avg, h + 3.5);
+}
+
+TEST(GfslSequential, PoolExhaustionSurfacesAsBadAlloc) {
+  Fixture f(32, 40);  // 32 head chunks + a handful of data chunks
+  bool threw = false;
+  try {
+    for (Key k = 1; k <= 10'000; ++k) f.sl->insert(f.team, k, 0);
+  } catch (const std::bad_alloc&) {
+    threw = true;
+  }
+  EXPECT_TRUE(threw);
+}
+
+TEST(GfslSequential, BulkLoadThenOperate) {
+  Fixture f;
+  std::vector<std::pair<Key, Value>> pairs;
+  for (Key k = 2; k <= 1'000; k += 2) pairs.emplace_back(k, k + 1);
+  f.sl->bulk_load(pairs);
+  EXPECT_EQ(f.sl->size(), pairs.size());
+  const auto rep = f.sl->validate();
+  EXPECT_TRUE(rep.ok) << rep.error;
+  EXPECT_TRUE(f.sl->contains(f.team, 500));
+  EXPECT_FALSE(f.sl->contains(f.team, 501));
+  EXPECT_TRUE(f.sl->insert(f.team, 501, 1));
+  EXPECT_TRUE(f.sl->erase(f.team, 500));
+  EXPECT_TRUE(f.sl->validate().ok);
+}
+
+TEST(GfslSequential, TeamSize16Works) {
+  Fixture f(16, 1u << 15);
+  std::set<Key> ref;
+  Xoshiro256ss rng(5);
+  for (int i = 0; i < 5'000; ++i) {
+    const Key k = static_cast<Key>(1 + rng.below(300));
+    if (rng.below(2) == 0) {
+      ASSERT_EQ(f.sl->insert(f.team, k, 0), ref.insert(k).second);
+    } else {
+      ASSERT_EQ(f.sl->erase(f.team, k), ref.erase(k) > 0);
+    }
+  }
+  EXPECT_EQ(f.sl->size(), ref.size());
+  EXPECT_TRUE(f.sl->validate().ok);
+}
+
+TEST(GfslSequential, ConfigValidation) {
+  device::DeviceMemory mem;
+  GfslConfig cfg;
+  cfg.team_size = 12;
+  EXPECT_THROW(Gfsl(cfg, &mem), std::invalid_argument);
+  cfg.team_size = 32;
+  cfg.p_chunk = 1.5;
+  EXPECT_THROW(Gfsl(cfg, &mem), std::invalid_argument);
+  cfg.p_chunk = 1.0;
+  cfg.pool_chunks = 4;  // smaller than the head chunks
+  EXPECT_THROW(Gfsl(cfg, &mem), std::invalid_argument);
+  EXPECT_THROW(Gfsl(GfslConfig{}, nullptr), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gfsl::core

@@ -1,0 +1,232 @@
+// Unit/integration tests: the M&C lock-free skiplist baseline.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <thread>
+
+#include "baseline/mc_skiplist.h"
+#include "common/random.h"
+
+namespace gfsl::baseline {
+namespace {
+
+struct Fixture {
+  explicit Fixture(std::uint32_t slots = 1u << 20) : ctx(0) {
+    McSkiplist::Config cfg;
+    cfg.pool_slots = slots;
+    sl = std::make_unique<McSkiplist>(cfg, &mem);
+  }
+  device::DeviceMemory mem;
+  McContext ctx;
+  std::unique_ptr<McSkiplist> sl;
+};
+
+TEST(McSkiplist, EmptyStructure) {
+  Fixture f;
+  EXPECT_FALSE(f.sl->contains(f.ctx, 5));
+  EXPECT_FALSE(f.sl->erase(f.ctx, 5));
+  EXPECT_EQ(f.sl->size(), 0u);
+  std::string err;
+  EXPECT_TRUE(f.sl->validate(&err)) << err;
+}
+
+TEST(McSkiplist, InsertFindDelete) {
+  Fixture f;
+  EXPECT_TRUE(f.sl->insert(f.ctx, 10, 7, 3));
+  EXPECT_TRUE(f.sl->contains(f.ctx, 10));
+  EXPECT_FALSE(f.sl->contains(f.ctx, 9));
+  EXPECT_FALSE(f.sl->insert(f.ctx, 10, 8, 1));
+  EXPECT_TRUE(f.sl->erase(f.ctx, 10));
+  EXPECT_FALSE(f.sl->erase(f.ctx, 10));
+  EXPECT_FALSE(f.sl->contains(f.ctx, 10));
+}
+
+TEST(McSkiplist, TallAndShortTowers) {
+  Fixture f;
+  EXPECT_TRUE(f.sl->insert(f.ctx, 100, 0, 32));  // max height
+  EXPECT_TRUE(f.sl->insert(f.ctx, 200, 0, 1));   // bottom only
+  EXPECT_TRUE(f.sl->contains(f.ctx, 100));
+  EXPECT_TRUE(f.sl->contains(f.ctx, 200));
+  std::string err;
+  EXPECT_TRUE(f.sl->validate(&err)) << err;
+  EXPECT_TRUE(f.sl->erase(f.ctx, 100));
+  EXPECT_TRUE(f.sl->contains(f.ctx, 200));
+}
+
+TEST(McSkiplist, HeightClamping) {
+  Fixture f;
+  EXPECT_TRUE(f.sl->insert(f.ctx, 1, 0, 0));    // clamped up to 1
+  EXPECT_TRUE(f.sl->insert(f.ctx, 2, 0, 200));  // clamped down to max
+  EXPECT_TRUE(f.sl->contains(f.ctx, 1));
+  EXPECT_TRUE(f.sl->contains(f.ctx, 2));
+}
+
+TEST(McSkiplist, RandomMixAgainstStdSet) {
+  Fixture f;
+  std::set<Key> ref;
+  Xoshiro256ss rng(17);
+  for (int i = 0; i < 20'000; ++i) {
+    const Key k = static_cast<Key>(1 + rng.below(400));
+    const auto dice = rng.below(100);
+    if (dice < 40) {
+      const int h = f.sl->random_height(rng);
+      ASSERT_EQ(f.sl->insert(f.ctx, k, 0, h), ref.insert(k).second)
+          << "insert " << k << " step " << i;
+    } else if (dice < 80) {
+      ASSERT_EQ(f.sl->erase(f.ctx, k), ref.erase(k) > 0)
+          << "erase " << k << " step " << i;
+    } else {
+      ASSERT_EQ(f.sl->contains(f.ctx, k), ref.count(k) > 0)
+          << "contains " << k << " step " << i;
+    }
+  }
+  const auto got = f.sl->collect();
+  ASSERT_EQ(got.size(), ref.size());
+  auto it = ref.begin();
+  for (std::size_t i = 0; i < got.size(); ++i, ++it) {
+    EXPECT_EQ(got[i].first, *it);
+  }
+  std::string err;
+  EXPECT_TRUE(f.sl->validate(&err)) << err;
+}
+
+TEST(McSkiplist, BulkLoadMatchesContents) {
+  Fixture f;
+  std::vector<std::pair<Key, Value>> pairs;
+  for (Key k = 5; k <= 5'000; k += 5) pairs.emplace_back(k, k * 3);
+  f.sl->bulk_load(pairs, 99);
+  EXPECT_EQ(f.sl->size(), pairs.size());
+  std::string err;
+  EXPECT_TRUE(f.sl->validate(&err)) << err;
+  EXPECT_TRUE(f.sl->contains(f.ctx, 50));
+  EXPECT_FALSE(f.sl->contains(f.ctx, 51));
+  EXPECT_TRUE(f.sl->insert(f.ctx, 51, 0, 2));
+  EXPECT_TRUE(f.sl->erase(f.ctx, 50));
+  EXPECT_TRUE(f.sl->validate(&err)) << err;
+}
+
+TEST(McSkiplist, PoolExhaustionThrows) {
+  Fixture f(/*slots=*/256);
+  bool threw = false;
+  try {
+    for (Key k = 1; k <= 1'000; ++k) f.sl->insert(f.ctx, k, 0, 4);
+  } catch (const std::bad_alloc&) {
+    threw = true;
+  }
+  EXPECT_TRUE(threw);  // §5.3: M&C "runs out of memory for larger structures"
+}
+
+TEST(McSkiplist, RandomHeightDistribution) {
+  Fixture f;
+  Xoshiro256ss rng(3);
+  int ones = 0;
+  constexpr int kDraws = 100'000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (f.sl->random_height(rng) == 1) ++ones;
+  }
+  // P(height == 1) = 1 - p_key = 0.5.
+  EXPECT_NEAR(static_cast<double>(ones) / kDraws, 0.5, 0.01);
+}
+
+TEST(McSkiplist, UncoalescedAccessesAreAccounted) {
+  Fixture f;
+  f.sl->insert(f.ctx, 10, 0, 1);
+  f.mem.reset_stats();
+  f.sl->contains(f.ctx, 10);
+  const auto s = f.mem.snapshot();
+  EXPECT_GT(s.lane_reads, 0u);   // every hop is a divergent lane read
+  EXPECT_EQ(s.warp_reads, 0u);   // never coalesced
+}
+
+TEST(McSkiplist, DivergenceFoldingInContext) {
+  McContext ctx(0, /*lanes_per_warp=*/4);
+  // Ops with hop counts 3, 1, 7, 2 -> one full warp group, epoch = max = 7.
+  for (const int hops : {3, 1, 7, 2}) {
+    for (int h = 0; h < hops; ++h) ctx.hop();
+    ctx.end_op();
+  }
+  EXPECT_EQ(ctx.warp_epochs(), 7u);
+  EXPECT_EQ(ctx.total_hops(), 13u);
+  EXPECT_EQ(ctx.ops(), 4u);
+}
+
+TEST(McSkiplist, PartialWarpGroupFlushes) {
+  McContext ctx(0, 32);
+  for (int h = 0; h < 5; ++h) ctx.hop();
+  ctx.end_op();  // only 1 of 32 lanes used
+  EXPECT_EQ(ctx.warp_epochs(), 5u);
+}
+
+TEST(McSkiplist, ConcurrentStressPerKeyOwnership) {
+  Fixture f(1u << 22);
+  constexpr int kThreads = 4;
+  constexpr int kOpsEach = 4'000;
+  std::vector<std::thread> threads;
+  std::vector<int> failures(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      McContext ctx(t);
+      Xoshiro256ss rng(derive_seed(7, static_cast<std::uint64_t>(t)));
+      std::set<Key> mine;
+      for (int i = 0; i < kOpsEach; ++i) {
+        // Keys are partitioned by thread: results must match a sequential
+        // set even under concurrency.
+        const Key k = static_cast<Key>(1 + t * 1'000'000 + rng.below(200));
+        if (rng.below(2) == 0) {
+          const int h = f.sl->random_height(rng);
+          if (f.sl->insert(ctx, k, 0, h) != mine.insert(k).second) {
+            ++failures[t];
+          }
+        } else {
+          if (f.sl->erase(ctx, k) != (mine.erase(k) > 0)) ++failures[t];
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(failures[t], 0) << "thread " << t;
+  std::string err;
+  EXPECT_TRUE(f.sl->validate(&err)) << err;
+}
+
+TEST(McSkiplist, DeterministicSchedulesKeepPerKeySemantics) {
+  // Two threads under seeded deterministic interleavings, keys partitioned
+  // per thread: results must match a sequential set, for every schedule.
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    device::DeviceMemory mem;
+    sched::StepScheduler sched(sched::StepScheduler::Mode::Deterministic,
+                               seed, 2);
+    McSkiplist::Config cfg;
+    cfg.pool_slots = 1u << 18;
+    McSkiplist sl(cfg, &mem, &sched);
+
+    std::vector<std::thread> threads;
+    std::atomic<int> failures{0};
+    for (int t = 0; t < 2; ++t) {
+      threads.emplace_back([&, t] {
+        McContext ctx(t);
+        Xoshiro256ss rng(derive_seed(5, static_cast<std::uint64_t>(t)));
+        std::set<Key> mine;
+        sched.enter(t);
+        for (int i = 0; i < 200; ++i) {
+          const Key k = static_cast<Key>(1 + t * 100'000 + rng.below(30));
+          if (rng.below(2) == 0) {
+            const int h = sl.random_height(rng);
+            if (sl.insert(ctx, k, 0, h) != mine.insert(k).second) ++failures;
+          } else {
+            if (sl.erase(ctx, k) != (mine.erase(k) > 0)) ++failures;
+          }
+        }
+        sched.leave(t);
+      });
+    }
+    for (auto& th : threads) th.join();
+    EXPECT_EQ(failures.load(), 0) << "seed " << seed;
+    std::string err;
+    EXPECT_TRUE(sl.validate(&err)) << "seed " << seed << ": " << err;
+  }
+}
+
+}  // namespace
+}  // namespace gfsl::baseline

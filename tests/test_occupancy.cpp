@@ -1,0 +1,106 @@
+// The occupancy/spill calculator must reproduce every row of the thesis's
+// Tables 5.1 (GFSL) and 5.2 (M&C) from first principles: register demand +
+// CC 5.2 hardware rules + the authors' "keep two blocks resident" policy.
+#include <gtest/gtest.h>
+
+#include "model/occupancy.h"
+
+namespace gfsl::model {
+namespace {
+
+struct Row {
+  int warps;
+  int regs;
+  int blocks;
+  double theoretical;
+  double spill;  // thesis-reported spill traffic fraction
+};
+
+class OccupancyTable : public ::testing::Test {
+ protected:
+  Occupancy calc;
+};
+
+TEST_F(OccupancyTable, Gfsl_Table_5_1) {
+  // Warps | Regs | Blocks | Theoretical | Spill  (thesis Table 5.1)
+  const Row rows[] = {
+      {8, 79, 3, 0.375, 0.00},
+      {16, 64, 2, 0.50, 0.10},
+      {24, 40, 2, 0.75, 0.43},
+      {32, 32, 2, 1.00, 0.53},
+  };
+  for (const Row& r : rows) {
+    const auto o = calc.compute(kGfslKernel, r.warps);
+    EXPECT_EQ(o.registers_per_thread, r.regs) << "warps=" << r.warps;
+    EXPECT_EQ(o.active_blocks, r.blocks) << "warps=" << r.warps;
+    EXPECT_NEAR(o.theoretical_occupancy, r.theoretical, 1e-9)
+        << "warps=" << r.warps;
+    EXPECT_NEAR(o.spill_fraction, r.spill, 0.02) << "warps=" << r.warps;
+  }
+}
+
+TEST_F(OccupancyTable, Gfsl_AchievedOccupancyMatchesThesis) {
+  // Thesis: 36.7 / 48.8 / 73 / 95.8 percent achieved.
+  EXPECT_NEAR(calc.compute(kGfslKernel, 16).achieved_occupancy, 0.488, 0.005);
+  EXPECT_NEAR(calc.compute(kGfslKernel, 32).achieved_occupancy, 0.958, 0.025);
+}
+
+TEST_F(OccupancyTable, Mc_Table_5_2) {
+  const Row rows[] = {
+      {8, 42, 5, 0.625, 0.25},
+      {16, 42, 2, 0.50, 0.23},
+      {24, 40, 2, 0.75, 0.23},
+      {32, 32, 2, 1.00, 0.24},
+  };
+  for (const Row& r : rows) {
+    const auto o = calc.compute(kMcKernel, r.warps);
+    EXPECT_EQ(o.registers_per_thread, r.regs) << "warps=" << r.warps;
+    EXPECT_EQ(o.active_blocks, r.blocks) << "warps=" << r.warps;
+    EXPECT_NEAR(o.theoretical_occupancy, r.theoretical, 1e-9)
+        << "warps=" << r.warps;
+    EXPECT_NEAR(o.spill_fraction, r.spill, 0.04) << "warps=" << r.warps;
+  }
+}
+
+TEST_F(OccupancyTable, Mc_AchievedOccupancyMatchesThesis) {
+  // Thesis: 52.9 / 41.6 / 59 / 79.4 percent achieved.
+  EXPECT_NEAR(calc.compute(kMcKernel, 16).achieved_occupancy, 0.416, 0.01);
+  // The per-kernel stall efficiency is a single constant; the thesis's
+  // achieved occupancy varies by ~1pp across block sizes.
+  EXPECT_NEAR(calc.compute(kMcKernel, 8).achieved_occupancy, 0.529, 0.015);
+}
+
+TEST_F(OccupancyTable, GfslHasNoLocalArraySpillFloor) {
+  // GFSL keeps its path in a shfl "artificial array" precisely to avoid the
+  // local-memory spill M&C pays at every configuration (§4.2.2, §5.2).
+  EXPECT_DOUBLE_EQ(calc.compute(kGfslKernel, 8).spill_fraction, 0.0);
+  EXPECT_GT(calc.compute(kMcKernel, 8).spill_fraction, 0.2);
+}
+
+TEST_F(OccupancyTable, ActiveWarpsNeverExceedHardware) {
+  for (int w : {8, 16, 24, 32}) {
+    for (const auto& k : {kGfslKernel, kMcKernel}) {
+      const auto o = calc.compute(k, w);
+      EXPECT_LE(o.active_warps, gtx970().max_warps_per_sm);
+      EXPECT_GE(o.active_blocks, 1);
+      EXPECT_LE(o.achieved_occupancy, o.theoretical_occupancy);
+    }
+  }
+}
+
+TEST_F(OccupancyTable, RejectsInvalidLaunch) {
+  EXPECT_THROW(calc.compute(kGfslKernel, 0), std::invalid_argument);
+  EXPECT_THROW(calc.compute(kGfslKernel, 65), std::invalid_argument);
+}
+
+TEST_F(OccupancyTable, SpillGrowsMonotonicallyWithWarps) {
+  double prev = -1.0;
+  for (int w : {8, 16, 24, 32}) {
+    const double s = calc.compute(kGfslKernel, w).spill_fraction;
+    EXPECT_GE(s, prev);
+    prev = s;
+  }
+}
+
+}  // namespace
+}  // namespace gfsl::model

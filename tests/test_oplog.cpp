@@ -1,0 +1,87 @@
+// Tests: op-log serialization round trips and rejects malformed input.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "harness/oplog.h"
+#include "harness/workload.h"
+
+namespace gfsl::harness {
+namespace {
+
+TEST(OpLog, RoundTripsGeneratedWorkload) {
+  WorkloadConfig cfg;
+  cfg.mix = kMix_20_20_60;
+  cfg.key_range = 10'000;
+  cfg.num_ops = 2'000;
+  cfg.seed = 4;
+  const auto ops = generate_ops(cfg);
+
+  std::stringstream buf;
+  save_oplog(buf, ops);
+  const auto loaded = load_oplog(buf);
+  ASSERT_EQ(loaded.size(), ops.size());
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    EXPECT_EQ(loaded[i].kind, ops[i].kind) << i;
+    EXPECT_EQ(loaded[i].key, ops[i].key) << i;
+    EXPECT_EQ(loaded[i].value, ops[i].value) << i;
+    EXPECT_EQ(loaded[i].mc_height, ops[i].mc_height) << i;
+  }
+}
+
+TEST(OpLog, EmptyLog) {
+  std::stringstream buf;
+  save_oplog(buf, {});
+  EXPECT_TRUE(load_oplog(buf).empty());
+}
+
+TEST(OpLog, CommentsAndBlankLinesIgnored) {
+  std::stringstream buf("gfsl-oplog v1\n# hello\n\nI 5 9 2\n# bye\nC 5 0 1\n");
+  const auto ops = load_oplog(buf);
+  ASSERT_EQ(ops.size(), 2u);
+  EXPECT_EQ(ops[0].kind, OpKind::Insert);
+  EXPECT_EQ(ops[0].key, 5u);
+  EXPECT_EQ(ops[0].value, 9u);
+  EXPECT_EQ(ops[1].kind, OpKind::Contains);
+}
+
+TEST(OpLog, RejectsBadHeader) {
+  std::stringstream buf("not-an-oplog\nI 1 0 1\n");
+  EXPECT_THROW(load_oplog(buf), std::runtime_error);
+}
+
+TEST(OpLog, RejectsBadKind) {
+  std::stringstream buf("gfsl-oplog v1\nX 1 0 1\n");
+  EXPECT_THROW(load_oplog(buf), std::runtime_error);
+}
+
+TEST(OpLog, RejectsMalformedRecord) {
+  std::stringstream buf("gfsl-oplog v1\nI 1\n");
+  EXPECT_THROW(load_oplog(buf), std::runtime_error);
+}
+
+TEST(OpLog, RejectsOutOfRangeKey) {
+  std::stringstream buf("gfsl-oplog v1\nI 0 0 1\n");
+  EXPECT_THROW(load_oplog(buf), std::runtime_error);
+}
+
+TEST(OpLog, ClampsHeights) {
+  std::stringstream buf("gfsl-oplog v1\nI 1 0 99\nI 2 0 0\n");
+  const auto ops = load_oplog(buf);
+  EXPECT_EQ(ops[0].mc_height, 32);
+  EXPECT_EQ(ops[1].mc_height, 1);
+}
+
+TEST(OpLog, FileRoundTrip) {
+  WorkloadConfig cfg;
+  cfg.num_ops = 100;
+  const auto ops = generate_ops(cfg);
+  const std::string path = ::testing::TempDir() + "/oplog_test.txt";
+  save_oplog_file(path, ops);
+  const auto loaded = load_oplog_file(path);
+  EXPECT_EQ(loaded.size(), ops.size());
+  EXPECT_THROW(load_oplog_file(path + ".missing"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace gfsl::harness

@@ -1,0 +1,82 @@
+// Unit tests: command-line option parsing.
+#include <gtest/gtest.h>
+
+#include "harness/options.h"
+
+namespace gfsl::harness {
+namespace {
+
+Options parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Options::parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Options, EqualsForm) {
+  const auto o = parse({"--range=1000", "--p-chunk=0.5"});
+  EXPECT_EQ(o.get_u64("range", 0), 1000u);
+  EXPECT_DOUBLE_EQ(o.get_double("p-chunk", 0), 0.5);
+}
+
+TEST(Options, SpaceForm) {
+  const auto o = parse({"--range", "42", "--mix", "10,10,80"});
+  EXPECT_EQ(o.get_u64("range", 0), 42u);
+  EXPECT_EQ(o.get("mix", ""), "10,10,80");
+}
+
+TEST(Options, BareFlag) {
+  const auto o = parse({"--csv", "--range", "7"});
+  EXPECT_TRUE(o.get_bool("csv"));
+  EXPECT_FALSE(o.get_bool("quiet"));
+  EXPECT_EQ(o.get_u64("range", 0), 7u);
+}
+
+TEST(Options, FlagFollowedByFlag) {
+  const auto o = parse({"--csv", "--verbose"});
+  EXPECT_TRUE(o.get_bool("csv"));
+  EXPECT_TRUE(o.get_bool("verbose"));
+}
+
+TEST(Options, Positionals) {
+  // A non-option token after "--name" binds as its value (space form), so
+  // positionals are tokens not consumed that way.
+  const auto o = parse({"input.txt", "more", "--csv"});
+  ASSERT_EQ(o.positionals().size(), 2u);
+  EXPECT_EQ(o.positionals()[0], "input.txt");
+  EXPECT_EQ(o.positionals()[1], "more");
+  EXPECT_TRUE(o.get_bool("csv"));
+}
+
+TEST(Options, Fallbacks) {
+  const auto o = parse({});
+  EXPECT_EQ(o.get("missing", "d"), "d");
+  EXPECT_EQ(o.get_u64("missing", 9), 9u);
+  EXPECT_DOUBLE_EQ(o.get_double("missing", 1.5), 1.5);
+}
+
+TEST(Options, MalformedNumbersFallBack) {
+  const auto o = parse({"--range", "abc"});
+  EXPECT_EQ(o.get_u64("range", 3), 3u);
+}
+
+TEST(Options, UnknownDetection) {
+  const auto o = parse({"--range", "1", "--typo-opt", "x"});
+  const auto u = o.unknown({"range"});
+  ASSERT_EQ(u.size(), 1u);
+  EXPECT_EQ(u[0], "typo-opt");
+}
+
+TEST(Options, BareDashDashThrows) {
+  EXPECT_THROW(parse({"--"}), std::invalid_argument);
+}
+
+TEST(Options, BoolSpellings) {
+  const auto o = parse({"--a=true", "--b=1", "--c=yes", "--d=false"});
+  EXPECT_TRUE(o.get_bool("a"));
+  EXPECT_TRUE(o.get_bool("b"));
+  EXPECT_TRUE(o.get_bool("c"));
+  EXPECT_FALSE(o.get_bool("d"));
+}
+
+}  // namespace
+}  // namespace gfsl::harness

@@ -1,0 +1,71 @@
+// Unit tests: table rendering and numeric formatting helpers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "harness/report.h"
+
+namespace gfsl::harness {
+namespace {
+
+TEST(Report, FmtBasics) {
+  EXPECT_EQ(fmt(12.34, 1), "12.3");
+  EXPECT_EQ(fmt(12.36, 1), "12.4");
+  EXPECT_EQ(fmt(5.0, 0), "5");
+  EXPECT_EQ(fmt(std::nan(""), 1), "-");
+}
+
+TEST(Report, FmtCi) { EXPECT_EQ(fmt_ci(12.34, 0.56, 1), "12.3 ±0.6"); }
+
+TEST(Report, FmtRange) {
+  EXPECT_EQ(fmt_range(10'000), "10K");
+  EXPECT_EQ(fmt_range(300'000), "300K");
+  EXPECT_EQ(fmt_range(1'000'000), "1M");
+  EXPECT_EQ(fmt_range(100'000'000), "100M");
+  EXPECT_EQ(fmt_range(1'234), "1234");
+}
+
+TEST(Report, FmtPct) {
+  EXPECT_EQ(fmt_pct(0.488), "48.8%");
+  EXPECT_EQ(fmt_pct(1.0, 0), "100%");
+}
+
+TEST(Report, TableAlignsColumns) {
+  Table t({"a", "long-header", "c"});
+  t.add_row({"1", "2", "3"});
+  t.add_row({"widest-cell", "x", "y"});
+  std::ostringstream ss;
+  t.print(ss);
+  const std::string out = ss.str();
+  // Header + separator + two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  // Every line has the same width (aligned columns).
+  std::istringstream lines(out);
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(lines, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width) << line;
+  }
+}
+
+TEST(Report, TablePadsShortRows) {
+  Table t({"a", "b", "c"});
+  t.add_row({"only-one"});
+  std::ostringstream ss;
+  t.print(ss);
+  EXPECT_NE(ss.str().find("only-one"), std::string::npos);
+}
+
+TEST(Report, Csv) {
+  Table t({"x", "y"});
+  t.add_row({"1", "2"});
+  t.add_row({"3", "4"});
+  std::ostringstream ss;
+  t.print_csv(ss);
+  EXPECT_EQ(ss.str(), "x,y\n1,2\n3,4\n");
+}
+
+}  // namespace
+}  // namespace gfsl::harness

@@ -1,0 +1,217 @@
+// Integration tests: the concurrent runner end-to-end on both structures.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "harness/runner.h"
+#include "harness/workload.h"
+
+namespace gfsl::harness {
+namespace {
+
+WorkloadConfig small_workload(Mix mix, std::uint64_t range,
+                              std::uint64_t ops) {
+  WorkloadConfig wl;
+  wl.mix = mix;
+  wl.key_range = range;
+  wl.num_ops = ops;
+  wl.prefill = default_prefill(mix);
+  wl.seed = 7;
+  return wl;
+}
+
+TEST(Runner, GfslMixedRunCollectsEvents) {
+  device::DeviceMemory mem;
+  core::GfslConfig cfg;
+  cfg.team_size = 32;
+  cfg.pool_chunks = 1u << 14;
+  core::Gfsl sl(cfg, &mem);
+
+  const auto wl = small_workload(kMix_10_10_80, 2'000, 5'000);
+  sl.bulk_load(generate_prefill(wl));
+  const auto ops = generate_ops(wl);
+
+  RunConfig rc;
+  rc.num_workers = 4;
+  const RunResult r = run_gfsl(sl, ops, rc, mem);
+
+  EXPECT_EQ(r.kernel.ops, ops.size());
+  EXPECT_FALSE(r.out_of_memory);
+  EXPECT_GT(r.kernel.warp_steps, ops.size());          // many instrs per op
+  EXPECT_GT(r.kernel.mem.warp_reads, ops.size());      // >1 chunk read per op
+  EXPECT_EQ(r.kernel.mem.lane_reads, 0u);              // always coalesced
+  EXPECT_GT(r.kernel.mem_epochs, 0u);
+  EXPECT_GT(r.ops_true, ops.size() / 4);               // most contains hit
+  EXPECT_TRUE(sl.validate(/*strict=*/false).ok);
+}
+
+TEST(Runner, McMixedRunCollectsEvents) {
+  device::DeviceMemory mem;
+  baseline::McSkiplist::Config cfg;
+  cfg.pool_slots = 1u << 20;
+  baseline::McSkiplist sl(cfg, &mem);
+
+  const auto wl = small_workload(kMix_10_10_80, 2'000, 5'000);
+  sl.bulk_load(generate_prefill(wl), 3);
+  const auto ops = generate_ops(wl);
+
+  RunConfig rc;
+  rc.num_workers = 4;
+  const RunResult r = run_mc(sl, ops, rc, mem);
+
+  EXPECT_EQ(r.kernel.ops, ops.size());
+  EXPECT_GT(r.kernel.mem.lane_reads, ops.size() * 5);  // uncoalesced hops
+  EXPECT_EQ(r.kernel.mem.warp_reads, 0u);
+  EXPECT_GT(r.kernel.mem_epochs, 0u);
+  // Divergence folding: epochs are far fewer than total hops but at least
+  // hops / 32.
+  EXPECT_LT(r.kernel.mem_epochs, r.kernel.mem.lane_reads);
+  std::string err;
+  EXPECT_TRUE(sl.validate(&err)) << err;
+}
+
+TEST(Runner, GfslReadsPerOpScaleWithStructureHeight) {
+  // The coalescing advantage: per-op warp reads ~ height + 1..2 (§5.2).
+  device::DeviceMemory mem;
+  core::GfslConfig cfg;
+  cfg.team_size = 32;
+  cfg.pool_chunks = 1u << 15;
+  core::Gfsl sl(cfg, &mem);
+
+  const auto wl = small_workload(kContainsOnly, 20'000, 4'000);
+  sl.bulk_load(generate_prefill(wl));
+  const auto ops = generate_ops(wl);
+  RunConfig rc;
+  rc.num_workers = 2;
+  const RunResult r = run_gfsl(sl, ops, rc, mem);
+  const double reads_per_op = static_cast<double>(r.kernel.mem.warp_reads) /
+                              static_cast<double>(ops.size());
+  const double h = sl.current_height();
+  // Down steps read one chunk per level, the bottom walk re-reads the
+  // enclosing chunk and takes 1-2 lateral steps (§5.2).
+  EXPECT_GE(reads_per_op, h);
+  EXPECT_LE(reads_per_op, h + 5.0);
+}
+
+TEST(Runner, OutOfMemorySurfacesInResult) {
+  device::DeviceMemory mem;
+  baseline::McSkiplist::Config cfg;
+  cfg.pool_slots = 2'048;  // tiny pool
+  baseline::McSkiplist sl(cfg, &mem);
+
+  const auto wl = small_workload(kInsertOnly, 100'000, 5'000);
+  const auto ops = generate_ops(wl);
+  RunConfig rc;
+  rc.num_workers = 2;
+  const RunResult r = run_mc(sl, ops, rc, mem);
+  EXPECT_TRUE(r.out_of_memory);
+}
+
+TEST(Runner, SingleWorkerMatchesReferenceCounts) {
+  // With one worker the run is sequential; ops_true is exactly predictable
+  // from a reference simulation.
+  device::DeviceMemory mem;
+  core::GfslConfig cfg;
+  cfg.team_size = 16;
+  cfg.pool_chunks = 1u << 14;
+  core::Gfsl sl(cfg, &mem);
+
+  const auto wl = small_workload(kMix_20_20_60, 500, 3'000);
+  sl.bulk_load(generate_prefill(wl));
+  const auto ops = generate_ops(wl);
+
+  std::set<Key> ref;
+  for (const auto& [k, v] : generate_prefill(wl)) ref.insert(k);
+  std::uint64_t expected_true = 0;
+  for (const auto& op : ops) {
+    switch (op.kind) {
+      case OpKind::Insert:
+        if (ref.insert(op.key).second) ++expected_true;
+        break;
+      case OpKind::Delete:
+        if (ref.erase(op.key) > 0) ++expected_true;
+        break;
+      case OpKind::Contains:
+        if (ref.count(op.key) > 0) ++expected_true;
+        break;
+    }
+  }
+
+  RunConfig rc;
+  rc.num_workers = 1;
+  const RunResult r = run_gfsl(sl, ops, rc, mem);
+  EXPECT_EQ(r.ops_true, expected_true);
+  EXPECT_EQ(sl.size(), ref.size());
+}
+
+TEST(Runner, ResultArrayMatchesReferencePerOp) {
+  // The kernel's output buffer (§5.1): with one worker, every op's recorded
+  // result must match a sequential reference exactly, element by element.
+  device::DeviceMemory mem;
+  core::GfslConfig cfg;
+  cfg.team_size = 16;
+  cfg.pool_chunks = 1u << 14;
+  core::Gfsl sl(cfg, &mem);
+
+  const auto wl = small_workload(kMix_20_20_60, 300, 2'000);
+  sl.bulk_load(generate_prefill(wl));
+  const auto ops = generate_ops(wl);
+
+  std::set<Key> ref;
+  for (const auto& [k, v] : generate_prefill(wl)) ref.insert(k);
+
+  std::vector<std::uint8_t> results;
+  RunConfig rc;
+  rc.num_workers = 1;
+  rc.results = &results;
+  (void)run_gfsl(sl, ops, rc, mem);
+  ASSERT_EQ(results.size(), ops.size());
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    bool expect = false;
+    switch (ops[i].kind) {
+      case OpKind::Insert: expect = ref.insert(ops[i].key).second; break;
+      case OpKind::Delete: expect = ref.erase(ops[i].key) > 0; break;
+      case OpKind::Contains: expect = ref.count(ops[i].key) > 0; break;
+    }
+    ASSERT_EQ(results[i] != 0, expect) << "op " << i;
+  }
+}
+
+TEST(Runner, ResultArrayWorksForMcAndPaired) {
+  const auto wl = small_workload(kMix_10_10_80, 500, 1'000);
+  const auto ops = generate_ops(wl);
+  std::vector<std::uint8_t> results;
+
+  {
+    device::DeviceMemory mem;
+    baseline::McSkiplist::Config cfg;
+    cfg.pool_slots = 1u << 18;
+    baseline::McSkiplist sl(cfg, &mem);
+    sl.bulk_load(generate_prefill(wl), 1);
+    RunConfig rc;
+    rc.num_workers = 2;
+    rc.results = &results;
+    const auto r = run_mc(sl, ops, rc, mem);
+    std::uint64_t trues = 0;
+    for (const auto b : results) trues += b;
+    EXPECT_EQ(trues, r.ops_true);
+  }
+  {
+    device::DeviceMemory mem;
+    core::GfslConfig cfg;
+    cfg.team_size = 16;
+    cfg.pool_chunks = 1u << 13;
+    core::Gfsl sl(cfg, &mem);
+    sl.bulk_load(generate_prefill(wl));
+    RunConfig rc;
+    rc.num_workers = 2;
+    rc.results = &results;
+    const auto r = run_gfsl_paired(sl, ops, rc, mem);
+    std::uint64_t trues = 0;
+    for (const auto b : results) trues += b;
+    EXPECT_EQ(trues, r.ops_true);
+  }
+}
+
+}  // namespace
+}  // namespace gfsl::harness

@@ -1,0 +1,94 @@
+// Tests for the host-side session façade.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "harness/session.h"
+#include "harness/workload.h"
+
+namespace gfsl::harness {
+namespace {
+
+GfslSession::Config small_config(int workers = 2, int team_size = 16) {
+  GfslSession::Config c;
+  c.structure.team_size = team_size;
+  c.structure.pool_chunks = 1u << 14;
+  c.num_workers = workers;
+  c.seed = 8;
+  return c;
+}
+
+TEST(Session, LaunchReturnsPerOpResults) {
+  GfslSession s(small_config(1));
+  std::vector<Op> ops;
+  for (Key k = 1; k <= 100; ++k) ops.push_back({OpKind::Insert, k, k, 1});
+  for (Key k = 1; k <= 100; ++k) ops.push_back({OpKind::Contains, k, 0, 1});
+  ops.push_back({OpKind::Contains, 999, 0, 1});
+  const auto res = s.launch(ops);
+  ASSERT_EQ(res.size(), ops.size());
+  for (std::size_t i = 0; i < 200; ++i) EXPECT_EQ(res[i], 1) << i;
+  EXPECT_EQ(res.back(), 0);
+  EXPECT_EQ(s.structure().size(), 100u);
+}
+
+TEST(Session, MultipleLaunchesShareState) {
+  GfslSession s(small_config());
+  std::vector<Op> first;
+  for (Key k = 1; k <= 50; ++k) first.push_back({OpKind::Insert, k, k, 1});
+  s.launch(first);
+  std::vector<Op> second;
+  for (Key k = 1; k <= 50; ++k) second.push_back({OpKind::Delete, k, 0, 1});
+  const auto res = s.launch(second);
+  for (const auto r : res) EXPECT_EQ(r, 1);
+  EXPECT_EQ(s.structure().size(), 0u);
+  EXPECT_EQ(s.launches(), 2u);
+}
+
+TEST(Session, LoadThenLaunchThenCompact) {
+  GfslSession s(small_config());
+  std::vector<std::pair<Key, Value>> pairs;
+  for (Key k = 2; k <= 2'000; k += 2) pairs.emplace_back(k, k);
+  s.load(pairs);
+  std::vector<Op> ops;
+  for (Key k = 1; k <= 100; ++k) ops.push_back({OpKind::Delete, k * 2, 0, 1});
+  s.launch(ops);
+  EXPECT_EQ(s.structure().size(), pairs.size() - 100);
+  s.compact();
+  EXPECT_TRUE(s.structure().validate().ok);
+  EXPECT_GT(s.modeled_mops(), 0.0);
+  EXPECT_GT(s.last_kernel().mem.warp_reads, 0u);
+}
+
+TEST(Session, DualTeamsModeWorks) {
+  auto cfg = small_config(4, 16);
+  cfg.dual_teams_per_warp = true;
+  GfslSession s(cfg);
+  std::vector<Op> ops;
+  for (Key k = 1; k <= 400; ++k) ops.push_back({OpKind::Insert, k, k, 1});
+  const auto res = s.launch(ops);
+  std::size_t trues = 0;
+  for (const auto r : res) trues += r;
+  EXPECT_EQ(trues, 400u);
+  EXPECT_TRUE(s.structure().validate(false).ok);
+}
+
+TEST(Session, DualTeamsConfigValidation) {
+  auto cfg = small_config(4, 32);
+  cfg.dual_teams_per_warp = true;
+  EXPECT_THROW(GfslSession{cfg}, std::invalid_argument);
+  cfg = small_config(3, 16);
+  cfg.dual_teams_per_warp = true;
+  EXPECT_THROW(GfslSession{cfg}, std::invalid_argument);
+}
+
+TEST(Session, OutOfMemorySurfacesAsBadAlloc) {
+  auto cfg = small_config(1, 8);
+  cfg.structure.pool_chunks = 40;
+  GfslSession s(cfg);
+  std::vector<Op> ops;
+  for (Key k = 1; k <= 5'000; ++k) ops.push_back({OpKind::Insert, k, 0, 1});
+  EXPECT_THROW(s.launch(ops), std::bad_alloc);
+}
+
+}  // namespace
+}  // namespace gfsl::harness

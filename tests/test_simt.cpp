@@ -1,0 +1,161 @@
+// Unit tests: lockstep team primitives with CUDA semantics.
+#include <gtest/gtest.h>
+
+#include "simt/team.h"
+
+namespace gfsl::simt {
+namespace {
+
+TEST(Team, RolesForSize32) {
+  Team t(32, 0, 1);
+  EXPECT_EQ(t.dsize(), 30);
+  EXPECT_EQ(t.next_lane(), 30);
+  EXPECT_EQ(t.lock_lane(), 31);
+}
+
+TEST(Team, RolesForSize16) {
+  Team t(16, 0, 1);
+  EXPECT_EQ(t.dsize(), 14);
+  EXPECT_EQ(t.next_lane(), 14);
+  EXPECT_EQ(t.lock_lane(), 15);
+}
+
+TEST(Team, RejectsBadSizes) {
+  EXPECT_THROW(Team(0, 0, 1), std::invalid_argument);
+  EXPECT_THROW(Team(3, 0, 1), std::invalid_argument);
+  EXPECT_THROW(Team(12, 0, 1), std::invalid_argument);
+  EXPECT_THROW(Team(64, 0, 1), std::invalid_argument);
+}
+
+TEST(Team, BallotSetsOneBitPerTrueLane) {
+  Team t(8, 0, 1);
+  LaneVec<bool> p(false);
+  p[0] = true;
+  p[3] = true;
+  p[7] = true;
+  EXPECT_EQ(t.ballot(p), 0b10001001u);
+}
+
+TEST(Team, BallotIgnoresLanesBeyondTeamSize) {
+  Team t(8, 0, 1);
+  LaneVec<bool> p(true);  // all 32 capacity lanes true
+  EXPECT_EQ(t.ballot(p), 0xFFu);
+}
+
+TEST(Team, BallotFnMatchesBallot) {
+  Team t(16, 0, 1);
+  const std::uint32_t bal = t.ballot_fn([](int i) { return i % 3 == 0; });
+  std::uint32_t expect = 0;
+  for (int i = 0; i < 16; i += 3) expect |= 1u << i;
+  EXPECT_EQ(bal, expect);
+}
+
+TEST(Team, ShflBroadcasts) {
+  Team t(32, 0, 1);
+  LaneVec<int> v;
+  for (int i = 0; i < 32; ++i) v[i] = i * 10;
+  EXPECT_EQ(t.shfl(v, 5), 50);
+  EXPECT_EQ(t.shfl(v, 31), 310);
+}
+
+TEST(Team, ShflInvalidLaneReturnsOwnValueLikeCuda) {
+  Team t(16, 0, 1);
+  LaneVec<int> v;
+  for (int i = 0; i < 32; ++i) v[i] = i;
+  EXPECT_EQ(t.shfl(v, 16), v[0]);  // out of team range
+  EXPECT_EQ(t.shfl(v, -1), v[0]);
+}
+
+TEST(Team, ShflUpShiftsAndKeepsLowLanes) {
+  Team t(8, 0, 1);
+  LaneVec<int> v;
+  for (int i = 0; i < 8; ++i) v[i] = 100 + i;
+  const LaneVec<int> u = t.shfl_up(v, 1);
+  EXPECT_EQ(u[0], 100);  // lane 0 keeps its own (CUDA __shfl_up)
+  for (int i = 1; i < 8; ++i) EXPECT_EQ(u[i], 100 + i - 1);
+}
+
+TEST(Team, ShflFromGathersPerLane) {
+  Team t(8, 0, 1);
+  LaneVec<int> v;
+  LaneVec<int> idx;
+  for (int i = 0; i < 8; ++i) {
+    v[i] = i * i;
+    idx[i] = 7 - i;
+  }
+  const LaneVec<int> g = t.shfl_from(v, idx);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(g[i], (7 - i) * (7 - i));
+}
+
+TEST(Team, HighestAndLowestLane) {
+  EXPECT_EQ(Team::highest_lane(0), -1);
+  EXPECT_EQ(Team::highest_lane(1), 0);
+  EXPECT_EQ(Team::highest_lane(0x80000000u), 31);
+  EXPECT_EQ(Team::highest_lane(0b1010), 3);
+  EXPECT_EQ(Team::lowest_lane(0), -1);
+  EXPECT_EQ(Team::lowest_lane(0b1010), 1);
+  EXPECT_EQ(Team::popc(0b1011), 3);
+}
+
+TEST(Team, AnyAllSemantics) {
+  Team t(8, 0, 1);
+  LaneVec<bool> none(false);
+  LaneVec<bool> all(false);
+  for (int i = 0; i < 8; ++i) all[i] = true;
+  LaneVec<bool> some(false);
+  some[4] = true;
+  EXPECT_FALSE(t.any(none));
+  EXPECT_TRUE(t.any(some));
+  EXPECT_TRUE(t.any(all));
+  EXPECT_FALSE(t.all(none));
+  EXPECT_FALSE(t.all(some));
+  EXPECT_TRUE(t.all(all));
+}
+
+TEST(Team, AllForFullWarp) {
+  Team t(32, 0, 1);
+  LaneVec<bool> all(false);
+  for (int i = 0; i < 32; ++i) all[i] = true;
+  EXPECT_TRUE(t.all(all));
+  all[31] = false;
+  EXPECT_FALSE(t.all(all));
+}
+
+TEST(Team, CountersAccumulate) {
+  Team t(8, 0, 1);
+  const auto before = t.counters().instructions;
+  LaneVec<bool> p(false);
+  t.ballot(p);
+  t.step();
+  EXPECT_EQ(t.counters().instructions, before + 2);
+  EXPECT_EQ(t.counters().ballots, 1u);
+}
+
+TEST(Team, CounterAggregation) {
+  TeamCounters a, b;
+  a.instructions = 10;
+  a.shfls = 2;
+  b.instructions = 5;
+  b.lock_spins = 3;
+  a += b;
+  EXPECT_EQ(a.instructions, 15u);
+  EXPECT_EQ(a.shfls, 2u);
+  EXPECT_EQ(a.lock_spins, 3u);
+}
+
+TEST(Team, BernoulliSeededPerTeam) {
+  Team a(32, 1, 99), b(32, 1, 99), c(32, 2, 99);
+  int same_ab = 0, same_ac = 0;
+  for (int i = 0; i < 64; ++i) {
+    const bool ra = a.bernoulli(0.5);
+    const bool rb = b.bernoulli(0.5);
+    const bool rc = c.bernoulli(0.5);
+    same_ab += (ra == rb);
+    same_ac += (ra == rc);
+  }
+  EXPECT_EQ(same_ab, 64);  // same team id + seed => same stream
+  EXPECT_LT(same_ac, 64);  // different team id => different stream
+}
+
+}  // namespace
+}  // namespace gfsl::simt

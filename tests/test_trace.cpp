@@ -1,0 +1,114 @@
+// Tests for the per-team execution trace.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/gfsl.h"
+#include "device/device_memory.h"
+#include "simt/trace.h"
+
+namespace gfsl {
+namespace {
+
+using simt::TeamTrace;
+using simt::TraceEvent;
+
+TEST(Trace, RecordsInOrder) {
+  TeamTrace t(8);
+  t.record(TraceEvent::kOpBegin, 1);
+  t.record(TraceEvent::kChunkRead, 2);
+  t.record(TraceEvent::kOpEnd, 3);
+  const auto s = t.snapshot();
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0].event, TraceEvent::kOpBegin);
+  EXPECT_EQ(s[1].a, 2u);
+  EXPECT_EQ(s[2].seq, 2u);
+}
+
+TEST(Trace, RingWrapsKeepingNewest) {
+  TeamTrace t(4);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    t.record(TraceEvent::kChunkRead, i);
+  }
+  EXPECT_EQ(t.recorded(), 10u);
+  const auto s = t.snapshot();
+  ASSERT_EQ(s.size(), 4u);
+  EXPECT_EQ(s.front().a, 6u);  // oldest retained
+  EXPECT_EQ(s.back().a, 9u);   // newest
+  for (std::size_t i = 1; i < s.size(); ++i) {
+    EXPECT_EQ(s[i].seq, s[i - 1].seq + 1);
+  }
+}
+
+TEST(Trace, DumpIsReadable) {
+  TeamTrace t(8);
+  t.record(TraceEvent::kLockAcquired, 42, 7);
+  std::ostringstream ss;
+  t.dump(ss);
+  EXPECT_NE(ss.str().find("lock-acquired"), std::string::npos);
+  EXPECT_NE(ss.str().find("a=42"), std::string::npos);
+}
+
+TEST(Trace, EventNamesAreDistinct) {
+  std::set<std::string_view> names;
+  for (int e = 0; e <= static_cast<int>(TraceEvent::kOpEnd); ++e) {
+    names.insert(trace_event_name(static_cast<TraceEvent>(e)));
+  }
+  EXPECT_EQ(names.size(), static_cast<std::size_t>(TraceEvent::kOpEnd) + 1);
+}
+
+TEST(Trace, GfslEmitsStructuralEvents) {
+  device::DeviceMemory mem;
+  core::GfslConfig cfg;
+  cfg.team_size = 8;
+  cfg.pool_chunks = 1u << 12;
+  core::Gfsl sl(cfg, &mem);
+  simt::Team team(8, 0, 1);
+  TeamTrace trace(1u << 14);
+  team.set_trace(&trace);
+
+  for (Key k = 1; k <= 50; ++k) sl.insert(team, k, 0);  // forces splits
+  for (Key k = 1; k <= 45; ++k) sl.erase(team, k);      // forces merges
+
+  int splits = 0, merges = 0, locks = 0, unlocks = 0, zombies = 0;
+  for (const auto& r : trace.snapshot()) {
+    switch (r.event) {
+      case TraceEvent::kSplit: ++splits; break;
+      case TraceEvent::kMerge: ++merges; break;
+      case TraceEvent::kLockAcquired: ++locks; break;
+      case TraceEvent::kUnlock: ++unlocks; break;
+      case TraceEvent::kZombieMarked: ++zombies; break;
+      default: break;
+    }
+  }
+  EXPECT_GT(splits, 0);
+  EXPECT_GT(merges, 0);
+  EXPECT_GT(zombies, 0);
+  EXPECT_GT(locks, 0);
+  // Lock balance: every CAS-acquired lock plus every chunk born locked by a
+  // split's allocation is eventually released or consumed by a zombie mark.
+  EXPECT_EQ(locks + splits, unlocks + zombies);
+}
+
+TEST(Trace, DisabledTraceCostsNothingAndRecordsNothing) {
+  device::DeviceMemory mem;
+  core::GfslConfig cfg;
+  cfg.team_size = 8;
+  cfg.pool_chunks = 1u << 10;
+  core::Gfsl sl(cfg, &mem);
+  simt::Team team(8, 0, 1);
+  EXPECT_EQ(team.trace(), nullptr);
+  sl.insert(team, 1, 1);  // must not crash without a trace attached
+  EXPECT_TRUE(sl.contains(team, 1));
+}
+
+TEST(Trace, ClearResets) {
+  TeamTrace t(4);
+  t.record(TraceEvent::kChunkRead);
+  t.clear();
+  EXPECT_EQ(t.recorded(), 0u);
+  EXPECT_TRUE(t.snapshot().empty());
+}
+
+}  // namespace
+}  // namespace gfsl

@@ -1,0 +1,136 @@
+// Unit tests: workload generation per §5.1.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "harness/workload.h"
+
+namespace gfsl::harness {
+namespace {
+
+TEST(Workload, MixNames) {
+  EXPECT_EQ(kMix_10_10_80.name(), "[10,10,80]");
+  EXPECT_EQ(kContainsOnly.name(), "[0,0,100]");
+}
+
+TEST(Workload, OpMixProportions) {
+  WorkloadConfig cfg;
+  cfg.mix = kMix_20_20_60;
+  cfg.key_range = 100'000;
+  cfg.num_ops = 100'000;
+  const auto ops = generate_ops(cfg);
+  ASSERT_EQ(ops.size(), cfg.num_ops);
+  std::size_t ins = 0, del = 0, con = 0;
+  for (const auto& op : ops) {
+    switch (op.kind) {
+      case OpKind::Insert: ++ins; break;
+      case OpKind::Delete: ++del; break;
+      case OpKind::Contains: ++con; break;
+    }
+    EXPECT_GE(op.key, 1u);
+    EXPECT_LE(op.key, cfg.key_range);
+    EXPECT_EQ(op.value, 0u);  // "Insert operations use NULL as the value"
+    EXPECT_GE(op.mc_height, 1);
+  }
+  const double n = static_cast<double>(cfg.num_ops);
+  EXPECT_NEAR(ins / n, 0.20, 0.01);
+  EXPECT_NEAR(del / n, 0.20, 0.01);
+  EXPECT_NEAR(con / n, 0.60, 0.01);
+}
+
+TEST(Workload, Deterministic) {
+  WorkloadConfig cfg;
+  cfg.seed = 77;
+  cfg.num_ops = 1'000;
+  const auto a = generate_ops(cfg);
+  const auto b = generate_ops(cfg);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].key, b[i].key);
+    EXPECT_EQ(a[i].kind, b[i].kind);
+    EXPECT_EQ(a[i].mc_height, b[i].mc_height);
+  }
+  cfg.seed = 78;
+  const auto c = generate_ops(cfg);
+  bool differ = false;
+  for (std::size_t i = 0; i < a.size() && !differ; ++i) {
+    differ = a[i].key != c[i].key;
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(Workload, RejectsBadMix) {
+  WorkloadConfig cfg;
+  cfg.mix = Mix{50, 50, 50};
+  EXPECT_THROW(generate_ops(cfg), std::invalid_argument);
+  cfg.mix = kContainsOnly;
+  cfg.key_range = 0;
+  EXPECT_THROW(generate_ops(cfg), std::invalid_argument);
+}
+
+TEST(Workload, HalfRangePrefillIsExactlyHalfAndDistinct) {
+  WorkloadConfig cfg;
+  cfg.key_range = 10'000;
+  cfg.prefill = Prefill::HalfRange;
+  const auto pre = generate_prefill(cfg);
+  EXPECT_EQ(pre.size(), 5'000u);  // "exactly half the size of the key range"
+  std::set<Key> distinct;
+  for (std::size_t i = 0; i < pre.size(); ++i) {
+    EXPECT_TRUE(distinct.insert(pre[i].first).second);
+    EXPECT_GE(pre[i].first, 1u);
+    EXPECT_LE(pre[i].first, cfg.key_range);
+    if (i > 0) {
+      EXPECT_LT(pre[i - 1].first, pre[i].first);  // sorted
+    }
+  }
+}
+
+TEST(Workload, HalfRangePrefillIsRandomlySelected) {
+  WorkloadConfig a, b;
+  a.key_range = b.key_range = 10'000;
+  a.prefill = b.prefill = Prefill::HalfRange;
+  a.seed = 1;
+  b.seed = 2;
+  const auto pa = generate_prefill(a);
+  const auto pb = generate_prefill(b);
+  EXPECT_NE(pa, pb);
+}
+
+TEST(Workload, FullAndEmptyPrefill) {
+  WorkloadConfig cfg;
+  cfg.key_range = 1'000;
+  cfg.prefill = Prefill::FullRange;
+  const auto full = generate_prefill(cfg);
+  ASSERT_EQ(full.size(), 1'000u);
+  EXPECT_EQ(full.front().first, 1u);
+  EXPECT_EQ(full.back().first, 1'000u);
+  cfg.prefill = Prefill::Empty;
+  EXPECT_TRUE(generate_prefill(cfg).empty());
+}
+
+TEST(Workload, DefaultPrefillPolicy) {
+  EXPECT_EQ(default_prefill(kInsertOnly), Prefill::Empty);
+  EXPECT_EQ(default_prefill(kDeleteOnly), Prefill::FullRange);
+  EXPECT_EQ(default_prefill(kContainsOnly), Prefill::FullRange);
+  EXPECT_EQ(default_prefill(kMix_10_10_80), Prefill::HalfRange);
+}
+
+TEST(Workload, McHeightsFollowGeometric) {
+  WorkloadConfig cfg;
+  cfg.num_ops = 100'000;
+  cfg.p_key = 0.5;
+  const auto ops = generate_ops(cfg);
+  std::size_t h1 = 0;
+  int hmax = 0;
+  for (const auto& op : ops) {
+    if (op.mc_height == 1) ++h1;
+    hmax = std::max(hmax, static_cast<int>(op.mc_height));
+  }
+  EXPECT_NEAR(static_cast<double>(h1) / static_cast<double>(ops.size()), 0.5,
+              0.01);
+  EXPECT_LE(hmax, cfg.mc_max_height);
+  EXPECT_GT(hmax, 8);  // 100K draws virtually surely exceed height 8
+}
+
+}  // namespace
+}  // namespace gfsl::harness

@@ -1,0 +1,159 @@
+// gfsl_cli — run arbitrary GFSL / M&C experiments from the command line.
+//
+//   gfsl_cli --structure gfsl --mix 10,10,80 --range 1000000 --ops 100000
+//            --reps 3 --team-size 32 --p-chunk 1.0 --workers 8 --csv
+//
+// Options (all optional):
+//   --structure gfsl|mc|gfsl-dual   which implementation to run [gfsl]
+//   --mix i,d,c                     op percentages, summing to 100 [10,10,80]
+//   --range N                       key range [1000000]
+//   --ops N                         operations per run [100000]
+//   --reps N                        repetitions (mean ±95% CI) [3]
+//   --seed N                        master RNG seed [1]
+//   --team-size 8|16|32             GFSL chunk/team size [32]
+//   --p-chunk F                     GFSL raise probability [1.0]
+//   --warps-per-block 8|16|24|32    launch config for the model [16]
+//   --workers N                     concurrent simulator threads [8]
+//   --prefill empty|half|full       initial structure [per-mix default]
+//   --warmup N                      untimed warmup ops [ops/4]
+//   --csv                           CSV output instead of a table
+#include <cstdio>
+#include <iostream>
+#include <stdexcept>
+#include <string>
+
+#include "harness/experiment.h"
+#include "harness/options.h"
+#include "harness/report.h"
+
+using namespace gfsl;
+using namespace gfsl::harness;
+
+namespace {
+
+Mix parse_mix(const std::string& s) {
+  Mix m{};
+  if (std::sscanf(s.c_str(), "%d,%d,%d", &m.insert_pct, &m.delete_pct,
+                  &m.contains_pct) != 3 ||
+      m.insert_pct + m.delete_pct + m.contains_pct != 100) {
+    throw std::invalid_argument("--mix must be i,d,c summing to 100");
+  }
+  return m;
+}
+
+Prefill parse_prefill(const std::string& s, const Mix& mix) {
+  if (s == "empty") return Prefill::Empty;
+  if (s == "half") return Prefill::HalfRange;
+  if (s == "full") return Prefill::FullRange;
+  if (s.empty()) return default_prefill(mix);
+  throw std::invalid_argument("--prefill must be empty|half|full");
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: gfsl_cli [--structure gfsl|mc|gfsl-dual] [--mix i,d,c] "
+               "[--range N] [--ops N] [--reps N] [--seed N] [--team-size N] "
+               "[--p-chunk F] [--warps-per-block N] [--workers N] "
+               "[--prefill empty|half|full] [--warmup N] [--csv]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  try {
+    opt = Options::parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return usage();
+  }
+  const std::set<std::string> known{
+      "structure", "mix",     "range",           "ops",    "reps",
+      "seed",      "team-size", "p-chunk",       "warps-per-block",
+      "workers",   "prefill", "warmup",          "csv",    "help"};
+  if (opt.get_bool("help")) return usage();
+  for (const auto& u : opt.unknown(known)) {
+    std::fprintf(stderr, "error: unknown option --%s\n", u.c_str());
+    return usage();
+  }
+
+  WorkloadConfig wl;
+  StructureSetup setup;
+  std::string structure;
+  try {
+    structure = opt.get("structure", "gfsl");
+    wl.mix = parse_mix(opt.get("mix", "10,10,80"));
+    wl.key_range = opt.get_u64("range", 1'000'000);
+    wl.num_ops = opt.get_u64("ops", 100'000);
+    wl.seed = opt.get_u64("seed", 1);
+    wl.prefill = parse_prefill(opt.get("prefill", ""), wl.mix);
+    setup.team_size = static_cast<int>(opt.get_u64("team-size", 32));
+    setup.p_chunk = opt.get_double("p-chunk", 1.0);
+    setup.warps_per_block =
+        static_cast<int>(opt.get_u64("warps-per-block", 16));
+    setup.num_workers = static_cast<int>(opt.get_u64("workers", 8));
+    setup.warmup_ops = opt.get_u64("warmup", wl.num_ops / 4);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return usage();
+  }
+  const int reps = static_cast<int>(opt.get_u64("reps", 3));
+
+  Repeated rep;
+  Measurement detail;
+  try {
+    if (structure == "gfsl") {
+      rep = repeat_gfsl(wl, setup, reps);
+      detail = measure_gfsl(wl, setup);
+    } else if (structure == "mc") {
+      rep = repeat_mc(wl, setup, reps);
+      detail = measure_mc(wl, setup);
+    } else if (structure == "gfsl-dual") {
+      rep = repeat_gfsl_dual(wl, setup, reps);
+      detail = measure_gfsl_dual(wl, setup);
+    } else {
+      std::fprintf(stderr, "error: unknown structure '%s'\n",
+                   structure.c_str());
+      return usage();
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: experiment failed: %s\n", e.what());
+    return 1;
+  }
+
+  const auto& k = detail.kernel;
+  const double per_op = k.ops > 0 ? 1.0 / static_cast<double>(k.ops) : 0.0;
+  Table t({"metric", "value"});
+  t.add_row({"structure", structure});
+  t.add_row({"mix", wl.mix.name()});
+  t.add_row({"range", fmt_range(wl.key_range)});
+  t.add_row({"ops/run", std::to_string(wl.num_ops)});
+  t.add_row({"modeled MOPS", fmt_ci(rep.mops.mean, rep.mops.ci95_half)});
+  t.add_row({"simulator MOPS", fmt(detail.sim_mops, 2)});
+  t.add_row({"OOM", rep.oom ? "yes" : "no"});
+  t.add_row({"bound", detail.detail.bandwidth_bound ? "bandwidth" : "latency"});
+  t.add_row({"reads/op (coalesced)",
+             fmt(static_cast<double>(k.mem.warp_reads) * per_op, 2)});
+  t.add_row({"reads/op (lane)",
+             fmt(static_cast<double>(k.mem.lane_reads) * per_op, 2)});
+  t.add_row({"transactions/op",
+             fmt(static_cast<double>(k.mem.transactions) * per_op, 2)});
+  t.add_row({"L2 hit ratio",
+             fmt_pct(k.mem.transactions
+                         ? static_cast<double>(k.mem.l2_hits) /
+                               static_cast<double>(k.mem.transactions)
+                         : 0.0)});
+  t.add_row({"atomics/op", fmt(static_cast<double>(k.mem.atomics) * per_op, 3)});
+  t.add_row({"lock spins/op",
+             fmt(static_cast<double>(k.lock_spins) * per_op, 3)});
+  if (structure != "mc") {
+    t.add_row({"chunks/traversal", fmt(detail.avg_chunks_per_traversal, 2)});
+  }
+  if (opt.get_bool("csv")) {
+    t.print_csv(std::cout);
+  } else {
+    t.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,129 @@
+// gfsl_fuzz — randomized concurrency fuzzing under deterministic schedules.
+//
+//   gfsl_fuzz [--rounds N] [--workers N] [--ops N] [--range N] [--team-size N]
+//
+// Each round draws a fresh workload seed and scheduler seed, runs a
+// multi-team history under StepScheduler::Deterministic, then checks
+// (a) structural invariants, (b) per-key sequential consistency of the
+// recorded history.  Any violation prints the reproduction parameters —
+// plug them into gfsl_replay to debug.  Exits non-zero on the first failure.
+#include <cstdio>
+#include <thread>
+
+#include "common/random.h"
+#include "core/gfsl.h"
+#include "device/device_memory.h"
+#include "harness/history.h"
+#include "harness/options.h"
+#include "harness/workload.h"
+#include "sched/step_scheduler.h"
+
+using namespace gfsl;
+using namespace gfsl::harness;
+
+namespace {
+
+struct RoundParams {
+  std::uint64_t wl_seed;
+  std::uint64_t sched_seed;
+  int workers;
+  int team_size;
+  std::uint64_t ops;
+  std::uint64_t range;
+};
+
+bool run_round(const RoundParams& p, std::string* err) {
+  device::DeviceMemory mem;
+  sched::StepScheduler sched(sched::StepScheduler::Mode::Deterministic,
+                             p.sched_seed, p.workers);
+  core::GfslConfig cfg;
+  cfg.team_size = p.team_size;
+  cfg.pool_chunks = 1u << 14;
+  core::Gfsl sl(cfg, &mem, &sched);
+
+  WorkloadConfig wl;
+  wl.mix = kMix_20_20_60;  // update-heavy: maximum structural churn
+  wl.key_range = p.range;
+  wl.num_ops = p.ops;
+  wl.seed = p.wl_seed;
+  const auto ops = generate_ops(wl);
+
+  HistoryLog log(p.ops / static_cast<std::uint64_t>(p.workers) + 8, p.workers);
+  std::vector<std::thread> threads;
+  for (int w = 0; w < p.workers; ++w) {
+    threads.emplace_back([&, w] {
+      simt::Team team(p.team_size, w, 3);
+      sched.enter(w);
+      for (std::size_t i = static_cast<std::size_t>(w); i < ops.size();
+           i += static_cast<std::size_t>(p.workers)) {
+        const Op& op = ops[i];
+        const auto t = log.begin_op();
+        bool r = false;
+        switch (op.kind) {
+          case OpKind::Insert: r = sl.insert(team, op.key, op.value); break;
+          case OpKind::Delete: r = sl.erase(team, op.key); break;
+          case OpKind::Contains: r = sl.contains(team, op.key); break;
+        }
+        log.end_op(w, t, op.kind, op.key, r);
+      }
+      sched.leave(w);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  const auto rep = sl.validate(/*strict=*/false);
+  if (!rep.ok) {
+    *err = "structure invalid: " + rep.error;
+    return false;
+  }
+  std::vector<Key> final_keys;
+  for (const auto& [k, v] : sl.collect()) final_keys.push_back(k);
+  const auto check = check_history(log.merged(), {}, final_keys);
+  if (!check.ok) {
+    *err = "history violation: " + check.error;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = Options::parse(argc, argv);
+  const auto rounds = opt.get_u64("rounds", 40);
+  RoundParams p{};
+  p.workers = static_cast<int>(opt.get_u64("workers", 3));
+  p.team_size = static_cast<int>(opt.get_u64("team-size", 8));
+  p.ops = opt.get_u64("ops", 600);
+  p.range = opt.get_u64("range", 60);
+  const auto master = opt.get_u64("seed", 0xF022);
+
+  Xoshiro256ss rng(master);
+  for (std::uint64_t round = 0; round < rounds; ++round) {
+    p.wl_seed = rng.next();
+    p.sched_seed = rng.next();
+    std::string err;
+    if (!run_round(p, &err)) {
+      std::printf(
+          "FAIL round %llu: %s\n"
+          "  repro: wl_seed=%llu sched_seed=%llu workers=%d team_size=%d "
+          "ops=%llu range=%llu\n",
+          static_cast<unsigned long long>(round), err.c_str(),
+          static_cast<unsigned long long>(p.wl_seed),
+          static_cast<unsigned long long>(p.sched_seed), p.workers,
+          p.team_size, static_cast<unsigned long long>(p.ops),
+          static_cast<unsigned long long>(p.range));
+      return 1;
+    }
+    if ((round + 1) % 10 == 0) {
+      std::printf("%llu/%llu rounds clean\n",
+                  static_cast<unsigned long long>(round + 1),
+                  static_cast<unsigned long long>(rounds));
+    }
+  }
+  std::printf("all %llu rounds clean (workers=%d team=%d ops=%llu range=%llu)\n",
+              static_cast<unsigned long long>(rounds), p.workers, p.team_size,
+              static_cast<unsigned long long>(p.ops),
+              static_cast<unsigned long long>(p.range));
+  return 0;
+}
