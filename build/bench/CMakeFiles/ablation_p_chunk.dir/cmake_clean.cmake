@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_p_chunk.dir/ablation_p_chunk.cpp.o"
+  "CMakeFiles/ablation_p_chunk.dir/ablation_p_chunk.cpp.o.d"
+  "ablation_p_chunk"
+  "ablation_p_chunk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_p_chunk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_dual_team_warp.dir/ext_dual_team_warp.cpp.o"
+  "CMakeFiles/ext_dual_team_warp.dir/ext_dual_team_warp.cpp.o.d"
+  "ext_dual_team_warp"
+  "ext_dual_team_warp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_dual_team_warp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_dual_team_warp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_5_1_chunk_size.dir/fig_5_1_chunk_size.cpp.o"
+  "CMakeFiles/fig_5_1_chunk_size.dir/fig_5_1_chunk_size.cpp.o.d"
+  "fig_5_1_chunk_size"
+  "fig_5_1_chunk_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_5_1_chunk_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

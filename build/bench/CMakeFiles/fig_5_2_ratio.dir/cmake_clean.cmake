@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_5_2_ratio.dir/fig_5_2_ratio.cpp.o"
+  "CMakeFiles/fig_5_2_ratio.dir/fig_5_2_ratio.cpp.o.d"
+  "fig_5_2_ratio"
+  "fig_5_2_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_5_2_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_5_3_mixed_ops.dir/fig_5_3_mixed_ops.cpp.o"
+  "CMakeFiles/fig_5_3_mixed_ops.dir/fig_5_3_mixed_ops.cpp.o.d"
+  "fig_5_3_mixed_ops"
+  "fig_5_3_mixed_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_5_3_mixed_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

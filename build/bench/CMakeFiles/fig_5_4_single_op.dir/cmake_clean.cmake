@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_5_4_single_op.dir/fig_5_4_single_op.cpp.o"
+  "CMakeFiles/fig_5_4_single_op.dir/fig_5_4_single_op.cpp.o.d"
+  "fig_5_4_single_op"
+  "fig_5_4_single_op.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_5_4_single_op.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig_5_4_single_op.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_5_1_warps_gfsl.dir/table_5_1_warps_gfsl.cpp.o"
+  "CMakeFiles/table_5_1_warps_gfsl.dir/table_5_1_warps_gfsl.cpp.o.d"
+  "table_5_1_warps_gfsl"
+  "table_5_1_warps_gfsl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_5_1_warps_gfsl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

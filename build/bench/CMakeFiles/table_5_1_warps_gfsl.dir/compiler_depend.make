@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table_5_1_warps_gfsl.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_5_2_warps_mc.dir/table_5_2_warps_mc.cpp.o"
+  "CMakeFiles/table_5_2_warps_mc.dir/table_5_2_warps_mc.cpp.o.d"
+  "table_5_2_warps_mc"
+  "table_5_2_warps_mc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_5_2_warps_mc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table_5_2_warps_mc.
+# This may be replaced when dependencies are built.

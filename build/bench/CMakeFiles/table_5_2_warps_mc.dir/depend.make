@@ -1,0 +1,2 @@
+# Empty dependencies file for table_5_2_warps_mc.
+# This may be replaced when dependencies are built.

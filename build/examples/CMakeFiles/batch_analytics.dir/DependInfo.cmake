@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/batch_analytics.cpp" "examples/CMakeFiles/batch_analytics.dir/batch_analytics.cpp.o" "gcc" "examples/CMakeFiles/batch_analytics.dir/batch_analytics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gfsl_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gfsl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gfsl_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gfsl_simt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gfsl_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gfsl_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gfsl_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gfsl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interleaving_explorer.dir/interleaving_explorer.cpp.o"
+  "CMakeFiles/interleaving_explorer.dir/interleaving_explorer.cpp.o.d"
+  "interleaving_explorer"
+  "interleaving_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interleaving_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

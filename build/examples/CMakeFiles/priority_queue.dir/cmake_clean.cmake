@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/priority_queue.dir/priority_queue.cpp.o"
+  "CMakeFiles/priority_queue.dir/priority_queue.cpp.o.d"
+  "priority_queue"
+  "priority_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/priority_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

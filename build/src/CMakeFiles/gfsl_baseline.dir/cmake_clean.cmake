@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gfsl_baseline.dir/baseline/mc_skiplist.cpp.o"
+  "CMakeFiles/gfsl_baseline.dir/baseline/mc_skiplist.cpp.o.d"
+  "libgfsl_baseline.a"
+  "libgfsl_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gfsl_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gfsl_common.dir/common/env.cpp.o"
+  "CMakeFiles/gfsl_common.dir/common/env.cpp.o.d"
+  "CMakeFiles/gfsl_common.dir/common/stats.cpp.o"
+  "CMakeFiles/gfsl_common.dir/common/stats.cpp.o.d"
+  "libgfsl_common.a"
+  "libgfsl_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gfsl_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

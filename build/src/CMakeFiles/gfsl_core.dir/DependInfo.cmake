@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/chunk.cpp" "src/CMakeFiles/gfsl_core.dir/core/chunk.cpp.o" "gcc" "src/CMakeFiles/gfsl_core.dir/core/chunk.cpp.o.d"
+  "/root/repo/src/core/compact.cpp" "src/CMakeFiles/gfsl_core.dir/core/compact.cpp.o" "gcc" "src/CMakeFiles/gfsl_core.dir/core/compact.cpp.o.d"
+  "/root/repo/src/core/erase.cpp" "src/CMakeFiles/gfsl_core.dir/core/erase.cpp.o" "gcc" "src/CMakeFiles/gfsl_core.dir/core/erase.cpp.o.d"
+  "/root/repo/src/core/gfsl.cpp" "src/CMakeFiles/gfsl_core.dir/core/gfsl.cpp.o" "gcc" "src/CMakeFiles/gfsl_core.dir/core/gfsl.cpp.o.d"
+  "/root/repo/src/core/insert.cpp" "src/CMakeFiles/gfsl_core.dir/core/insert.cpp.o" "gcc" "src/CMakeFiles/gfsl_core.dir/core/insert.cpp.o.d"
+  "/root/repo/src/core/search.cpp" "src/CMakeFiles/gfsl_core.dir/core/search.cpp.o" "gcc" "src/CMakeFiles/gfsl_core.dir/core/search.cpp.o.d"
+  "/root/repo/src/core/shape.cpp" "src/CMakeFiles/gfsl_core.dir/core/shape.cpp.o" "gcc" "src/CMakeFiles/gfsl_core.dir/core/shape.cpp.o.d"
+  "/root/repo/src/core/split_merge.cpp" "src/CMakeFiles/gfsl_core.dir/core/split_merge.cpp.o" "gcc" "src/CMakeFiles/gfsl_core.dir/core/split_merge.cpp.o.d"
+  "/root/repo/src/core/update_down.cpp" "src/CMakeFiles/gfsl_core.dir/core/update_down.cpp.o" "gcc" "src/CMakeFiles/gfsl_core.dir/core/update_down.cpp.o.d"
+  "/root/repo/src/core/validate.cpp" "src/CMakeFiles/gfsl_core.dir/core/validate.cpp.o" "gcc" "src/CMakeFiles/gfsl_core.dir/core/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gfsl_simt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gfsl_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gfsl_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gfsl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gfsl_core.dir/core/chunk.cpp.o"
+  "CMakeFiles/gfsl_core.dir/core/chunk.cpp.o.d"
+  "CMakeFiles/gfsl_core.dir/core/compact.cpp.o"
+  "CMakeFiles/gfsl_core.dir/core/compact.cpp.o.d"
+  "CMakeFiles/gfsl_core.dir/core/erase.cpp.o"
+  "CMakeFiles/gfsl_core.dir/core/erase.cpp.o.d"
+  "CMakeFiles/gfsl_core.dir/core/gfsl.cpp.o"
+  "CMakeFiles/gfsl_core.dir/core/gfsl.cpp.o.d"
+  "CMakeFiles/gfsl_core.dir/core/insert.cpp.o"
+  "CMakeFiles/gfsl_core.dir/core/insert.cpp.o.d"
+  "CMakeFiles/gfsl_core.dir/core/search.cpp.o"
+  "CMakeFiles/gfsl_core.dir/core/search.cpp.o.d"
+  "CMakeFiles/gfsl_core.dir/core/shape.cpp.o"
+  "CMakeFiles/gfsl_core.dir/core/shape.cpp.o.d"
+  "CMakeFiles/gfsl_core.dir/core/split_merge.cpp.o"
+  "CMakeFiles/gfsl_core.dir/core/split_merge.cpp.o.d"
+  "CMakeFiles/gfsl_core.dir/core/update_down.cpp.o"
+  "CMakeFiles/gfsl_core.dir/core/update_down.cpp.o.d"
+  "CMakeFiles/gfsl_core.dir/core/validate.cpp.o"
+  "CMakeFiles/gfsl_core.dir/core/validate.cpp.o.d"
+  "libgfsl_core.a"
+  "libgfsl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gfsl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

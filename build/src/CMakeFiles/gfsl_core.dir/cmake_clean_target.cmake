@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgfsl_core.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gfsl_device.dir/device/cache_sim.cpp.o"
+  "CMakeFiles/gfsl_device.dir/device/cache_sim.cpp.o.d"
+  "CMakeFiles/gfsl_device.dir/device/device_memory.cpp.o"
+  "CMakeFiles/gfsl_device.dir/device/device_memory.cpp.o.d"
+  "libgfsl_device.a"
+  "libgfsl_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gfsl_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

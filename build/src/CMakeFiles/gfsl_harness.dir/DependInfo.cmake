@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/harness/experiment.cpp" "src/CMakeFiles/gfsl_harness.dir/harness/experiment.cpp.o" "gcc" "src/CMakeFiles/gfsl_harness.dir/harness/experiment.cpp.o.d"
+  "/root/repo/src/harness/history.cpp" "src/CMakeFiles/gfsl_harness.dir/harness/history.cpp.o" "gcc" "src/CMakeFiles/gfsl_harness.dir/harness/history.cpp.o.d"
+  "/root/repo/src/harness/oplog.cpp" "src/CMakeFiles/gfsl_harness.dir/harness/oplog.cpp.o" "gcc" "src/CMakeFiles/gfsl_harness.dir/harness/oplog.cpp.o.d"
+  "/root/repo/src/harness/options.cpp" "src/CMakeFiles/gfsl_harness.dir/harness/options.cpp.o" "gcc" "src/CMakeFiles/gfsl_harness.dir/harness/options.cpp.o.d"
+  "/root/repo/src/harness/report.cpp" "src/CMakeFiles/gfsl_harness.dir/harness/report.cpp.o" "gcc" "src/CMakeFiles/gfsl_harness.dir/harness/report.cpp.o.d"
+  "/root/repo/src/harness/runner.cpp" "src/CMakeFiles/gfsl_harness.dir/harness/runner.cpp.o" "gcc" "src/CMakeFiles/gfsl_harness.dir/harness/runner.cpp.o.d"
+  "/root/repo/src/harness/session.cpp" "src/CMakeFiles/gfsl_harness.dir/harness/session.cpp.o" "gcc" "src/CMakeFiles/gfsl_harness.dir/harness/session.cpp.o.d"
+  "/root/repo/src/harness/workload.cpp" "src/CMakeFiles/gfsl_harness.dir/harness/workload.cpp.o" "gcc" "src/CMakeFiles/gfsl_harness.dir/harness/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gfsl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gfsl_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gfsl_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gfsl_simt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gfsl_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gfsl_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gfsl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

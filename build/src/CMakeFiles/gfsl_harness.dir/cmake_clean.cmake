@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gfsl_harness.dir/harness/experiment.cpp.o"
+  "CMakeFiles/gfsl_harness.dir/harness/experiment.cpp.o.d"
+  "CMakeFiles/gfsl_harness.dir/harness/history.cpp.o"
+  "CMakeFiles/gfsl_harness.dir/harness/history.cpp.o.d"
+  "CMakeFiles/gfsl_harness.dir/harness/oplog.cpp.o"
+  "CMakeFiles/gfsl_harness.dir/harness/oplog.cpp.o.d"
+  "CMakeFiles/gfsl_harness.dir/harness/options.cpp.o"
+  "CMakeFiles/gfsl_harness.dir/harness/options.cpp.o.d"
+  "CMakeFiles/gfsl_harness.dir/harness/report.cpp.o"
+  "CMakeFiles/gfsl_harness.dir/harness/report.cpp.o.d"
+  "CMakeFiles/gfsl_harness.dir/harness/runner.cpp.o"
+  "CMakeFiles/gfsl_harness.dir/harness/runner.cpp.o.d"
+  "CMakeFiles/gfsl_harness.dir/harness/session.cpp.o"
+  "CMakeFiles/gfsl_harness.dir/harness/session.cpp.o.d"
+  "CMakeFiles/gfsl_harness.dir/harness/workload.cpp.o"
+  "CMakeFiles/gfsl_harness.dir/harness/workload.cpp.o.d"
+  "libgfsl_harness.a"
+  "libgfsl_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gfsl_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/cost_model.cpp" "src/CMakeFiles/gfsl_model.dir/model/cost_model.cpp.o" "gcc" "src/CMakeFiles/gfsl_model.dir/model/cost_model.cpp.o.d"
+  "/root/repo/src/model/occupancy.cpp" "src/CMakeFiles/gfsl_model.dir/model/occupancy.cpp.o" "gcc" "src/CMakeFiles/gfsl_model.dir/model/occupancy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gfsl_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gfsl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gfsl_model.dir/model/cost_model.cpp.o"
+  "CMakeFiles/gfsl_model.dir/model/cost_model.cpp.o.d"
+  "CMakeFiles/gfsl_model.dir/model/occupancy.cpp.o"
+  "CMakeFiles/gfsl_model.dir/model/occupancy.cpp.o.d"
+  "libgfsl_model.a"
+  "libgfsl_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gfsl_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

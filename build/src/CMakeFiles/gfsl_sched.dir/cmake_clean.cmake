@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gfsl_sched.dir/sched/step_scheduler.cpp.o"
+  "CMakeFiles/gfsl_sched.dir/sched/step_scheduler.cpp.o.d"
+  "libgfsl_sched.a"
+  "libgfsl_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gfsl_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

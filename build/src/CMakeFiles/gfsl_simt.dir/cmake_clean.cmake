@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gfsl_simt.dir/simt/team.cpp.o"
+  "CMakeFiles/gfsl_simt.dir/simt/team.cpp.o.d"
+  "CMakeFiles/gfsl_simt.dir/simt/trace.cpp.o"
+  "CMakeFiles/gfsl_simt.dir/simt/trace.cpp.o.d"
+  "libgfsl_simt.a"
+  "libgfsl_simt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gfsl_simt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cache_sensitivity.dir/test_cache_sensitivity.cpp.o"
+  "CMakeFiles/test_cache_sensitivity.dir/test_cache_sensitivity.cpp.o.d"
+  "test_cache_sensitivity"
+  "test_cache_sensitivity.pdb"
+  "test_cache_sensitivity[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cache_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

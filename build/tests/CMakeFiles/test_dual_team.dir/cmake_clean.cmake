@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dual_team.dir/test_dual_team.cpp.o"
+  "CMakeFiles/test_dual_team.dir/test_dual_team.cpp.o.d"
+  "test_dual_team"
+  "test_dual_team.pdb"
+  "test_dual_team[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dual_team.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

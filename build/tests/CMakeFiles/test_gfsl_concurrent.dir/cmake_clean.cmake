@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gfsl_concurrent.dir/test_gfsl_concurrent.cpp.o"
+  "CMakeFiles/test_gfsl_concurrent.dir/test_gfsl_concurrent.cpp.o.d"
+  "test_gfsl_concurrent"
+  "test_gfsl_concurrent.pdb"
+  "test_gfsl_concurrent[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gfsl_concurrent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gfsl_deterministic.dir/test_gfsl_deterministic.cpp.o"
+  "CMakeFiles/test_gfsl_deterministic.dir/test_gfsl_deterministic.cpp.o.d"
+  "test_gfsl_deterministic"
+  "test_gfsl_deterministic.pdb"
+  "test_gfsl_deterministic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gfsl_deterministic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

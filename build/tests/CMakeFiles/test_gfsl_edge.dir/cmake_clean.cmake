@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gfsl_edge.dir/test_gfsl_edge.cpp.o"
+  "CMakeFiles/test_gfsl_edge.dir/test_gfsl_edge.cpp.o.d"
+  "test_gfsl_edge"
+  "test_gfsl_edge.pdb"
+  "test_gfsl_edge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gfsl_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gfsl_matrix.dir/test_gfsl_matrix.cpp.o"
+  "CMakeFiles/test_gfsl_matrix.dir/test_gfsl_matrix.cpp.o.d"
+  "test_gfsl_matrix"
+  "test_gfsl_matrix.pdb"
+  "test_gfsl_matrix[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gfsl_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gfsl_sequential.dir/test_gfsl_sequential.cpp.o"
+  "CMakeFiles/test_gfsl_sequential.dir/test_gfsl_sequential.cpp.o.d"
+  "test_gfsl_sequential"
+  "test_gfsl_sequential.pdb"
+  "test_gfsl_sequential[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gfsl_sequential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_oplog.dir/test_oplog.cpp.o"
+  "CMakeFiles/test_oplog.dir/test_oplog.cpp.o.d"
+  "test_oplog"
+  "test_oplog.pdb"
+  "test_oplog[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_oplog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_structure_shape.dir/test_structure_shape.cpp.o"
+  "CMakeFiles/test_structure_shape.dir/test_structure_shape.cpp.o.d"
+  "test_structure_shape"
+  "test_structure_shape.pdb"
+  "test_structure_shape[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_structure_shape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

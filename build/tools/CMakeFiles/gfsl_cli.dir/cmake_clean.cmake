@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gfsl_cli.dir/gfsl_cli.cpp.o"
+  "CMakeFiles/gfsl_cli.dir/gfsl_cli.cpp.o.d"
+  "gfsl_cli"
+  "gfsl_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gfsl_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

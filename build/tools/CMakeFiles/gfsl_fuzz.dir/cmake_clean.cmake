@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gfsl_fuzz.dir/gfsl_fuzz.cpp.o"
+  "CMakeFiles/gfsl_fuzz.dir/gfsl_fuzz.cpp.o.d"
+  "gfsl_fuzz"
+  "gfsl_fuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gfsl_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

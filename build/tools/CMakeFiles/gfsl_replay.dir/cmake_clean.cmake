@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gfsl_replay.dir/gfsl_replay.cpp.o"
+  "CMakeFiles/gfsl_replay.dir/gfsl_replay.cpp.o.d"
+  "gfsl_replay"
+  "gfsl_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gfsl_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
