@@ -36,6 +36,12 @@ inline harness::WorkloadConfig workload(const harness::Mix& mix,
   return wl;
 }
 
+/// "p50/p90/p99" tail column for a repetition summary (same unit as mean).
+inline std::string fmt_tail(const Summary& s) {
+  return harness::fmt(s.p50, 1) + "/" + harness::fmt(s.p90, 1) + "/" +
+         harness::fmt(s.p99, 1);
+}
+
 inline void print_scale_banner(const Scale& sc) {
   std::printf(
       "# scale: ops=%llu max_range=%llu reps=%llu teams=%llu "

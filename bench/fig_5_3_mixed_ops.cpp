@@ -23,8 +23,8 @@ int main() {
 
   for (const auto& mix : mixes) {
     std::printf("## mix %s\n", mix.name().c_str());
-    harness::Table t({"range", "GFSL MOPS", "M&C MOPS", "GFSL spins/op",
-                      "L2 hit (GFSL)", "L2 hit (M&C)"});
+    harness::Table t({"range", "GFSL MOPS", "GFSL p50/p90/p99", "M&C MOPS",
+                      "GFSL spins/op", "L2 hit (GFSL)", "L2 hit (M&C)"});
     for (const auto range : ranges) {
       auto wl = workload(mix, range, sc.ops, sc.seed);
       const auto setup = setup_from_scale(sc);
@@ -41,6 +41,7 @@ int main() {
       };
       t.add_row({harness::fmt_range(range),
                  harness::fmt_ci(g.mops.mean, g.mops.ci95_half),
+                 fmt_tail(g.mops),
                  m.oom ? "OOM" : harness::fmt_ci(m.mops.mean, m.mops.ci95_half),
                  harness::fmt(static_cast<double>(gd.kernel.lock_spins) /
                                   static_cast<double>(gd.kernel.ops),

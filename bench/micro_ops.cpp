@@ -9,6 +9,7 @@
 #include "baseline/mc_skiplist.h"
 #include "core/gfsl.h"
 #include "device/device_memory.h"
+#include "obs/metrics.h"
 #include "simt/team.h"
 
 namespace {
@@ -70,6 +71,35 @@ void BM_GfslInsertErase(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GfslInsertErase);
+
+// A/B partners for the two benchmarks above: identical loops with a metrics
+// shard attached.  The deltas bound the telemetry hot-path cost; the
+// unattached versions double as the disabled-path (null-pointer test only)
+// regression check.
+void BM_GfslContainsWithMetrics(benchmark::State& state) {
+  GfslBench b(static_cast<int>(state.range(0)), 10'000);
+  obs::MetricsRegistry reg(1);
+  b.team.set_metrics(&reg.shard(0));
+  Key k = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(b.sl->contains(b.team, k));
+    k = (k % 20'000) + 1;
+  }
+}
+BENCHMARK(BM_GfslContainsWithMetrics)->Arg(16)->Arg(32);
+
+void BM_GfslInsertEraseWithMetrics(benchmark::State& state) {
+  GfslBench b(32, 10'000);
+  obs::MetricsRegistry reg(1);
+  b.team.set_metrics(&reg.shard(0));
+  Key k = 50'001;
+  for (auto _ : state) {
+    b.sl->insert(b.team, k, 0);
+    b.sl->erase(b.team, k);
+    ++k;
+  }
+}
+BENCHMARK(BM_GfslInsertEraseWithMetrics);
 
 void BM_GfslContainsNoAccounting(benchmark::State& state) {
   GfslBench b(32, 10'000);

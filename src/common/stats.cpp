@@ -17,6 +17,18 @@ double t_critical_95(std::size_t dof) {
   return 1.96;
 }
 
+double RunStats::percentile(double q) const {
+  if (samples_.empty()) return 0.0;
+  std::vector<double> sorted(samples_);
+  std::sort(sorted.begin(), sorted.end());
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
+}
+
 Summary RunStats::summarize() const {
   Summary s;
   s.n = samples_.size();
@@ -42,6 +54,9 @@ Summary RunStats::summarize() const {
     s.ci95_half =
         t_critical_95(s.n - 1) * s.stddev / std::sqrt(static_cast<double>(s.n));
   }
+  s.p50 = percentile(0.50);
+  s.p90 = percentile(0.90);
+  s.p99 = percentile(0.99);
   return s;
 }
 

@@ -16,6 +16,9 @@ struct Summary {
   double ci95_half = 0.0;    // half-width of the 95% confidence interval
   double min = 0.0;
   double max = 0.0;
+  double p50 = 0.0;          // linear-interpolated sample percentiles
+  double p90 = 0.0;
+  double p99 = 0.0;
   std::size_t n = 0;
 };
 
@@ -27,6 +30,10 @@ class RunStats {
   const std::vector<double>& samples() const { return samples_; }
 
   Summary summarize() const;
+
+  /// Sample percentile with linear interpolation between order statistics
+  /// (the R-7 / NumPy "linear" definition).  `q` in [0, 1]; 0 samples -> 0.
+  double percentile(double q) const;
 
  private:
   std::vector<double> samples_;

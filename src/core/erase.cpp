@@ -13,6 +13,13 @@ bool Gfsl::erase(Team& team, Key k) {
   if (k < MIN_USER_KEY || k > MAX_USER_KEY) {
     throw std::invalid_argument("key outside the user key range");
   }
+  simt::OpScope scope(team, obs::kEraseOp, k);
+  const bool ok = erase_impl(team, k);
+  scope.set_result(ok);
+  return ok;
+}
+
+bool Gfsl::erase_impl(Team& team, Key k) {
   SlowSearchResult sr = search_slow(team, k);
   if (!sr.found) return false;
 

@@ -150,6 +150,7 @@ bool Gfsl::try_lock(Team& team, ChunkRef ref) {
   team.step();
   if (ok) {
     ++team.counters().lock_acquires;
+    team.note_lock_acquired(ref);
     team.record(simt::TraceEvent::kLockAcquired, ref);
   } else {
     ++team.counters().lock_spins;
@@ -159,6 +160,7 @@ bool Gfsl::try_lock(Team& team, ChunkRef ref) {
 }
 
 void Gfsl::unlock(Team& team, ChunkRef ref) {
+  team.note_lock_released(ref);
   team.record(simt::TraceEvent::kUnlock, ref);
   sync_point(team);
   mem_->lane_write(arena_.entry_address(ref, arena_.lock_slot()), 8);
@@ -167,7 +169,13 @@ void Gfsl::unlock(Team& team, ChunkRef ref) {
   team.step();
 }
 
+void Gfsl::note_zombie(Team& team, ChunkRef ref) {
+  team.metric(obs::kZombieEncounters);
+  team.record(simt::TraceEvent::kZombieSkipped, ref);
+}
+
 void Gfsl::mark_zombie(Team& team, ChunkRef ref) {
+  team.note_lock_released(ref);  // zombies stay marked; the hold ends here
   team.record(simt::TraceEvent::kZombieMarked, ref);
   // Terminal state: "the contents of a chunk are never changed after it
   // becomes a zombie" (§4.3); zombies are never unlocked.
@@ -230,6 +238,7 @@ ChunkRef Gfsl::lock_next_chunk(Team& team, ChunkRef locked) {
     if (nxt == NULL_CHUNK) return NULL_CHUNK;
     const LaneVec<KV> kv = read_chunk(team, nxt);
     if (is_zombie(team, kv)) {
+      note_zombie(team, nxt);
       const ChunkRef after = next_of(team, kv);
       atomic_entry_write(team, locked, arena_.next_slot(),
                          make_next_entry(next_entry_max(next_kv), after));

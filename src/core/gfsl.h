@@ -53,6 +53,8 @@ struct ValidationReport {
   std::uint64_t bottom_keys = 0; // user keys in the bottom level
   std::uint64_t live_chunks = 0;
   std::uint64_t zombie_chunks = 0;
+  std::uint64_t data_entries = 0;  // occupied data slots in live chunks —
+                                   // the occupancy gauge's numerator
 };
 
 class Gfsl {
@@ -155,6 +157,8 @@ class Gfsl {
   bool try_lock(simt::Team& team, ChunkRef ref);
   void unlock(simt::Team& team, ChunkRef ref);
   void mark_zombie(simt::Team& team, ChunkRef ref);
+  /// Telemetry: a traversal ran into zombie `ref` and had to skip it.
+  void note_zombie(simt::Team& team, ChunkRef ref);
   ChunkRef find_and_lock_enclosing(simt::Team& team, ChunkRef start, Key k);
   /// Lock the next non-zombie chunk after `locked` (whose lock we hold),
   /// unlinking zombies on the way; NULL_CHUNK if `locked` is last in level.
@@ -191,6 +195,7 @@ class Gfsl {
                                  ChunkRef first_nz);
 
   // ---- insert (insert.cpp) ----
+  bool insert_impl(simt::Team& team, Key k, Value v);
   bool insert_to_level(simt::Team& team, int level, ChunkRef& enc, Key& k,
                        Value v, bool& raise);
   void execute_insert(simt::Team& team, ChunkRef ref,
@@ -217,6 +222,7 @@ class Gfsl {
                             ChunkRef enc_ref, ChunkRef next_ref, Key k);
 
   // ---- erase (erase.cpp) ----
+  bool erase_impl(simt::Team& team, Key k);
   void remove_from_chunk(simt::Team& team, Key k, ChunkRef enc_ref, int level);
   void execute_remove_no_merge(simt::Team& team, const simt::LaneVec<KV>& kv,
                                ChunkRef ref, Key k, bool is_last_chunk);

@@ -14,6 +14,13 @@ bool Gfsl::insert(Team& team, Key k, Value v) {
   if (k < MIN_USER_KEY || k > MAX_USER_KEY) {
     throw std::invalid_argument("key outside the user key range");
   }
+  simt::OpScope scope(team, obs::kInsertOp, k);
+  const bool ok = insert_impl(team, k, v);
+  scope.set_result(ok);
+  return ok;
+}
+
+bool Gfsl::insert_impl(Team& team, Key k, Value v) {
   SlowSearchResult sr = search_slow(team, k);
   if (sr.found) return false;
 

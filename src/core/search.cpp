@@ -53,6 +53,7 @@ ChunkRef Gfsl::search_down(Team& team, Key k) {
       ++reads;
       if (is_zombie(team, kv)) {
         // Zombies are skipped laterally; their contents moved right (§4.2.1).
+        note_zombie(team, cur);
         cur = next_of(team, kv);
         continue;
       }
@@ -98,7 +99,12 @@ bool Gfsl::search_lateral(Team& team, Key k, ChunkRef start, Value* out_value) {
     const LaneVec<KV> kv = read_chunk(team, cur);
     ++reads;
     const int found = tid_with_equal_key(team, k, kv);
-    if (found == team.next_lane() || is_zombie(team, kv)) {
+    if (found == team.next_lane()) {
+      cur = next_of(team, kv);
+      continue;
+    }
+    if (is_zombie(team, kv)) {
+      note_zombie(team, cur);
       cur = next_of(team, kv);
       continue;
     }
@@ -110,12 +116,18 @@ bool Gfsl::search_lateral(Team& team, Key k, ChunkRef start, Value* out_value) {
 }
 
 bool Gfsl::contains(Team& team, Key k) {
-  return search_lateral(team, k, search_down(team, k), nullptr);
+  simt::OpScope scope(team, obs::kContainsOp, k);
+  const bool r = search_lateral(team, k, search_down(team, k), nullptr);
+  scope.set_result(r);
+  return r;
 }
 
 std::optional<Value> Gfsl::find(Team& team, Key k) {
+  simt::OpScope scope(team, obs::kContainsOp, k);
   Value v{};
-  if (search_lateral(team, k, search_down(team, k), &v)) return v;
+  const bool r = search_lateral(team, k, search_down(team, k), &v);
+  scope.set_result(r);
+  if (r) return v;
   return std::nullopt;
 }
 
@@ -126,6 +138,7 @@ ChunkRef Gfsl::first_non_zombie(Team& team, const LaneVec<KV>& kv) {
   for (;;) {
     const LaneVec<KV> nkv = read_chunk(team, cur);
     if (!is_zombie(team, nkv)) return cur;
+    note_zombie(team, cur);
     cur = next_of(team, nkv);
   }
 }
@@ -179,6 +192,7 @@ Gfsl::SlowSearchResult Gfsl::search_slow(Team& team, Key k) {
       LaneVec<KV> kv = read_chunk(team, cur);
       ++reads;
       if (is_zombie(team, kv)) {
+        note_zombie(team, cur);
         const ChunkRef fnz = first_non_zombie(team, kv);
         if (have_prev) {
           redirect_to_remove_zombie(team, prev_ref, fnz);
@@ -232,6 +246,7 @@ Gfsl::SlowSearchResult Gfsl::search_slow(Team& team, Key k) {
       const LaneVec<KV> kv = read_chunk(team, cur);
       ++reads;
       if (is_zombie(team, kv)) {
+        note_zombie(team, cur);
         const ChunkRef fnz = first_non_zombie(team, kv);
         if (bprev != NULL_CHUNK) redirect_to_remove_zombie(team, bprev, fnz);
         cur = fnz;
@@ -260,12 +275,14 @@ std::size_t Gfsl::scan(Team& team, Key lo, Key hi,
   if (hi > MAX_USER_KEY) hi = MAX_USER_KEY;
   if (lo > hi || limit == 0) return 0;
 
+  simt::OpScope scope(team, obs::kScanOp, lo);
   const std::size_t start_size = out.size();
   ChunkRef cur = search_down(team, lo);
   for (;;) {
     const LaneVec<KV> kv = read_chunk(team, cur);
     if (is_zombie(team, kv)) {
       // Zombie contents moved right; skip without collecting.
+      note_zombie(team, cur);
       cur = next_of(team, kv);
       continue;
     }
@@ -278,7 +295,10 @@ std::size_t Gfsl::scan(Team& team, Key lo, Key hi,
     });
     for (int i = 0; i < team.dsize(); ++i) {
       if ((in_range & (1u << i)) == 0) continue;
-      if (out.size() - start_size >= limit) return out.size() - start_size;
+      if (out.size() - start_size >= limit) {
+        scope.set_value(out.size() - start_size);
+        return out.size() - start_size;
+      }
       out.emplace_back(kv_key(kv[i]), kv_value(kv[i]));
     }
     const Key max = max_of(team, kv);
@@ -286,6 +306,7 @@ std::size_t Gfsl::scan(Team& team, Key lo, Key hi,
     if (max >= hi || nxt == NULL_CHUNK) break;
     cur = nxt;
   }
+  scope.set_value(out.size() - start_size);
   return out.size() - start_size;
 }
 
@@ -297,7 +318,12 @@ std::pair<bool, ChunkRef> Gfsl::find_lateral(Team& team, Key k,
   for (;;) {
     const LaneVec<KV> kv = read_chunk(team, cur);
     const int found = tid_with_equal_key(team, k, kv);
-    if (found == team.next_lane() || is_zombie(team, kv)) {
+    if (found == team.next_lane()) {
+      cur = next_of(team, kv);
+      continue;
+    }
+    if (is_zombie(team, kv)) {
+      note_zombie(team, cur);
       cur = next_of(team, kv);
       continue;
     }
@@ -319,6 +345,7 @@ ChunkRef Gfsl::search_down_to_level(Team& team, int target_level, Key k) {
     while (height > target_level) {
       const LaneVec<KV> kv = read_chunk(team, cur);
       if (is_zombie(team, kv)) {
+        note_zombie(team, cur);
         cur = next_of(team, kv);
         continue;
       }

@@ -68,6 +68,7 @@ ValidationReport Gfsl::validate(bool strict) const {
         continue;  // zombie contents are stale by design
       }
       ++rep.live_chunks;
+      rep.data_entries += ch.data.size();
       live_refs[static_cast<std::size_t>(l)].insert(ch.ref);
 
       // EMPTY entries grouped at the end: the inspector's view already drops

@@ -98,6 +98,24 @@ double conflict_rate(double in_flight, double u, double window,
   return p / (1.0 - p);
 }
 
+/// Quiescent post-run sampling of the structure gauges (§"where did the
+/// space go"): heights, chunk population, zombie share, slot occupancy.
+void sample_gfsl_gauges(obs::MetricsRegistry& reg, const core::Gfsl& sl) {
+  // Non-strict: concurrent histories may legally leave stale upper keys.
+  const core::ValidationReport v = sl.validate(false);
+  reg.set_gauge(obs::kHeight, static_cast<double>(v.height));
+  reg.set_gauge(obs::kBottomKeys, static_cast<double>(v.bottom_keys));
+  reg.set_gauge(obs::kLiveChunks, static_cast<double>(v.live_chunks));
+  reg.set_gauge(obs::kZombieChunks, static_cast<double>(v.zombie_chunks));
+  reg.set_gauge(obs::kChunksAllocated,
+                static_cast<double>(sl.chunks_allocated()));
+  const double slots = static_cast<double>(v.live_chunks) *
+                       static_cast<double>(sl.team_size() - 2);
+  reg.set_gauge(obs::kChunkOccupancy,
+                slots > 0.0 ? static_cast<double>(v.data_entries) / slots
+                            : 0.0);
+}
+
 }  // namespace
 
 void apply_gfsl_contention(model::KernelRun& k,
@@ -172,7 +190,10 @@ Measurement measure_gfsl(const WorkloadConfig& wl,
   }
 
   const auto ops = generate_ops(wl);
+  rc.metrics = setup.metrics;  // telemetry covers only the measured run
+  rc.trace = setup.trace;
   RunResult rr = run_gfsl(sl, ops, rc, mem);
+  if (setup.metrics != nullptr) sample_gfsl_gauges(*setup.metrics, sl);
 
   const model::Occupancy occ_calc;
   const auto occ = occ_calc.compute(model::kGfslKernel, setup.warps_per_block);
@@ -214,6 +235,8 @@ Measurement measure_mc(const WorkloadConfig& wl, const StructureSetup& setup) {
   }
 
   const auto ops = generate_ops(wl);
+  rc.metrics = setup.metrics;  // telemetry covers only the measured run
+  rc.trace = setup.trace;
   RunResult rr = run_mc(sl, ops, rc, mem);
 
   const model::Occupancy occ_calc;
@@ -258,7 +281,10 @@ Measurement measure_gfsl_dual(const WorkloadConfig& wl,
   }
 
   const auto ops = generate_ops(wl);
+  rc.metrics = setup.metrics;  // telemetry covers only the measured run
+  rc.trace = setup.trace;
   RunResult rr = run_gfsl_paired(sl, ops, rc, mem);
+  if (setup.metrics != nullptr) sample_gfsl_gauges(*setup.metrics, sl);
 
   const model::Occupancy occ_calc;
   const auto occ = occ_calc.compute(model::kGfslKernel, setup.warps_per_block);

@@ -21,6 +21,12 @@ struct StructureSetup {
   int warps_per_block = 16;  // launch config for the occupancy model
   int num_workers = 8;       // concurrent host threads in the simulator
   std::uint64_t warmup_ops = 10'000;  // untimed cache-warming operations
+  /// Optional telemetry for the *measured* run (warmup stays dark).  The
+  /// registry needs >= num_workers shards; after the run the structure
+  /// gauges (height, live/zombie chunks, occupancy, ...) are sampled into
+  /// it.  Both must outlive the measure_* call.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::TraceSession* trace = nullptr;
 };
 
 struct Measurement {

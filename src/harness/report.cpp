@@ -42,10 +42,24 @@ void Table::print(std::ostream& os) const {
 }
 
 void Table::print_csv(std::ostream& os) const {
+  // RFC 4180: cells containing a comma, quote, or line break are wrapped in
+  // double quotes, with embedded quotes doubled.
+  auto cell = [&](const std::string& s) {
+    if (s.find_first_of(",\"\r\n") == std::string::npos) {
+      os << s;
+      return;
+    }
+    os << '"';
+    for (const char ch : s) {
+      if (ch == '"') os << '"';
+      os << ch;
+    }
+    os << '"';
+  };
   auto line = [&](const std::vector<std::string>& cells) {
     for (std::size_t c = 0; c < cells.size(); ++c) {
       if (c != 0) os << ',';
-      os << cells[c];
+      cell(cells[c]);
     }
     os << '\n';
   };

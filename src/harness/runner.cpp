@@ -29,11 +29,46 @@ std::pair<std::size_t, std::size_t> slice(std::size_t total, int workers,
   return {begin, begin + len};
 }
 
+/// Pre-flight for the optional telemetry sinks: every worker needs its own
+/// shard (shards are single-writer) and trace ring (created before the
+/// threads spawn so attachment is race-free).
+void prepare_obs(const RunConfig& cfg) {
+  if (cfg.metrics != nullptr && cfg.metrics->shards() < cfg.num_workers) {
+    throw std::invalid_argument(
+        "metrics registry needs at least one shard per worker");
+  }
+  if (cfg.trace != nullptr) cfg.trace->ensure(cfg.num_workers);
+}
+
+/// SIMT-event totals (ballot/shfl/divergence rates, lock events) folded into
+/// the worker's shard once at the end of the run — no hot-path cost.
+void fold_team_counters(obs::MetricsShard* shard,
+                        const simt::TeamCounters& c) {
+  if (shard == nullptr) return;
+  shard->add(obs::kInstructions, c.instructions);
+  shard->add(obs::kBallots, c.ballots);
+  shard->add(obs::kShfls, c.shfls);
+  shard->add(obs::kDivergentBranches, c.divergent_branches);
+  shard->add(obs::kLockAcquires, c.lock_acquires);
+  shard->add(obs::kLockSpins, c.lock_spins);
+  shard->add(obs::kRestarts, c.restarts);
+}
+
+const obs::OpIds& op_ids(OpKind kind) {
+  switch (kind) {
+    case OpKind::Insert: return obs::kInsertOp;
+    case OpKind::Delete: return obs::kEraseOp;
+    case OpKind::Contains: break;
+  }
+  return obs::kContainsOp;
+}
+
 }  // namespace
 
 RunResult run_gfsl(core::Gfsl& sl, const std::vector<Op>& ops,
                    const RunConfig& cfg, device::DeviceMemory& mem) {
   RunResult res;
+  prepare_obs(cfg);
   if (cfg.flush_cache_before) mem.flush_cache();
   const device::MemStats before = mem.snapshot();
   if (cfg.results != nullptr) cfg.results->assign(ops.size(), 0);
@@ -50,6 +85,10 @@ RunResult run_gfsl(core::Gfsl& sl, const std::vector<Op>& ops,
     for (int w = 0; w < cfg.num_workers; ++w) {
       threads.emplace_back([&, w] {
         simt::Team team(sl.team_size(), w, cfg.seed);
+        obs::MetricsShard* shard =
+            cfg.metrics != nullptr ? &cfg.metrics->shard(w) : nullptr;
+        if (shard != nullptr) team.set_metrics(shard);
+        if (cfg.trace != nullptr) team.set_trace(cfg.trace->team(w));
         if (cfg.scheduler != nullptr) cfg.scheduler->enter(w);
         const auto [begin, end] =
             slice(ops.size(), cfg.num_workers, w);
@@ -81,6 +120,7 @@ RunResult run_gfsl(core::Gfsl& sl, const std::vector<Op>& ops,
         }
         ops_true.fetch_add(mine_true, std::memory_order_relaxed);
         counters[static_cast<std::size_t>(w)] = team.counters();
+        fold_team_counters(shard, team.counters());
         if (cfg.scheduler != nullptr) cfg.scheduler->leave(w);
       });
     }
@@ -108,6 +148,7 @@ RunResult run_gfsl_paired(core::Gfsl& sl, const std::vector<Op>& ops,
   if (cfg.num_workers < 2 || cfg.num_workers % 2 != 0) {
     throw std::invalid_argument("paired execution needs an even worker count");
   }
+  prepare_obs(cfg);
   if (cfg.flush_cache_before) mem.flush_cache();
   const device::MemStats before = mem.snapshot();
   if (cfg.results != nullptr) cfg.results->assign(ops.size(), 0);
@@ -134,6 +175,10 @@ RunResult run_gfsl_paired(core::Gfsl& sl, const std::vector<Op>& ops,
         sched::StepScheduler* warp = warp_sched[static_cast<std::size_t>(w / 2)].get();
         const int lane_team = w % 2;
         simt::Team team(sl.team_size(), w, cfg.seed);
+        obs::MetricsShard* shard =
+            cfg.metrics != nullptr ? &cfg.metrics->shard(w) : nullptr;
+        if (shard != nullptr) team.set_metrics(shard);
+        if (cfg.trace != nullptr) team.set_trace(cfg.trace->team(w));
         team.set_yield_hook([warp, lane_team] { warp->yield(lane_team); });
         warp->enter(lane_team);
         const auto [begin, end] = slice(ops.size(), cfg.num_workers, w);
@@ -163,6 +208,7 @@ RunResult run_gfsl_paired(core::Gfsl& sl, const std::vector<Op>& ops,
         }
         ops_true.fetch_add(mine_true, std::memory_order_relaxed);
         counters[static_cast<std::size_t>(w)] = team.counters();
+        fold_team_counters(shard, team.counters());
         warp->leave(lane_team);
       });
     }
@@ -186,6 +232,7 @@ RunResult run_gfsl_paired(core::Gfsl& sl, const std::vector<Op>& ops,
 RunResult run_mc(baseline::McSkiplist& sl, const std::vector<Op>& ops,
                  const RunConfig& cfg, device::DeviceMemory& mem) {
   RunResult res;
+  prepare_obs(cfg);
   if (cfg.flush_cache_before) mem.flush_cache();
   const device::MemStats before = mem.snapshot();
   if (cfg.results != nullptr) cfg.results->assign(ops.size(), 0);
@@ -200,12 +247,23 @@ RunResult run_mc(baseline::McSkiplist& sl, const std::vector<Op>& ops,
     for (int w = 0; w < cfg.num_workers; ++w) {
       threads.emplace_back([&, w] {
         baseline::McContext ctx(w);
+        obs::MetricsShard* shard =
+            cfg.metrics != nullptr ? &cfg.metrics->shard(w) : nullptr;
         if (cfg.scheduler != nullptr) cfg.scheduler->enter(w);
         const auto [begin, end] = slice(ops.size(), cfg.num_workers, w);
         std::uint64_t mine_true = 0;
         try {
           for (std::size_t i = begin; i < end; ++i) {
             const Op& op = ops[i];
+            // M&C ops run per-lane (no Team), so op latency is recorded here
+            // rather than by an OpScope in the structure; "steps" are the
+            // context's serialized warp epochs.
+            Clock::time_point op_t0;
+            std::uint64_t op_e0 = 0;
+            if (shard != nullptr) {
+              op_t0 = Clock::now();
+              op_e0 = ctx.warp_epochs();
+            }
             bool r = false;
             switch (op.kind) {
               case OpKind::Insert:
@@ -217,6 +275,18 @@ RunResult run_mc(baseline::McSkiplist& sl, const std::vector<Op>& ops,
               case OpKind::Contains:
                 r = sl.contains(ctx, op.key);
                 break;
+            }
+            if (shard != nullptr) {
+              const obs::OpIds& ids = op_ids(op.kind);
+              shard->add(ids.count);
+              if (r) shard->add(ids.value);
+              shard->record(
+                  ids.wall_ns,
+                  static_cast<std::uint64_t>(
+                      std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          Clock::now() - op_t0)
+                          .count()));
+              shard->record(ids.steps, ctx.warp_epochs() - op_e0);
             }
             if (r) ++mine_true;
             if (cfg.results != nullptr) {

@@ -11,6 +11,8 @@
 #include "core/gfsl.h"
 #include "device/device_memory.h"
 #include "model/cost_model.h"
+#include "obs/metrics.h"
+#include "obs/trace_export.h"
 #include "sched/step_scheduler.h"
 #include "simt/team.h"
 
@@ -24,6 +26,11 @@ struct RunConfig {
   /// Optional per-op result array — the kernel's output buffer (§5.1).
   /// Resized to ops.size(); entry i is the boolean result of ops[i].
   std::vector<std::uint8_t>* results = nullptr;
+  /// Optional telemetry sinks.  Worker w writes metrics->shard(w) (the
+  /// registry must have at least num_workers shards) and appends to
+  /// trace->team(w); both must outlive the run.  Null = zero overhead.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::TraceSession* trace = nullptr;
 };
 
 struct RunResult {

@@ -1,0 +1,54 @@
+// Minimal JSON emission helpers shared by the obs exporters.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace gfsl::obs {
+
+/// RFC 8259 string escaping (quotes, backslash, control characters).
+inline std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+inline void json_string(std::ostream& os, std::string_view s) {
+  os << '"' << json_escape(s) << '"';
+}
+
+/// Finite doubles print with enough precision to round-trip; non-finite
+/// values (illegal in JSON) degrade to 0.
+inline void json_number(std::ostream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << 0;
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  os << buf;
+}
+
+}  // namespace gfsl::obs

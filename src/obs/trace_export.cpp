@@ -1,0 +1,104 @@
+#include "obs/trace_export.h"
+
+#include <algorithm>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/json_util.h"
+#include "obs/metrics.h"
+
+namespace gfsl::obs {
+
+void TraceSession::ensure(int n) {
+  while (static_cast<int>(rings_.size()) < n) {
+    rings_.push_back(std::make_unique<simt::TeamTrace>(capacity_));
+  }
+}
+
+namespace {
+
+/// Microseconds relative to the earliest record — chrome://tracing expects
+/// small positive µs timestamps.
+double rel_us(std::uint64_t ts_ns, std::uint64_t epoch_ns) {
+  return static_cast<double>(ts_ns - epoch_ns) / 1000.0;
+}
+
+void emit_common(std::ostream& os, double ts_us, int tid) {
+  os << "\"ts\": ";
+  json_number(os, ts_us);
+  os << ", \"pid\": 0, \"tid\": " << tid;
+}
+
+}  // namespace
+
+void TraceSession::write_chrome_trace(std::ostream& os) const {
+  // Epoch: earliest stamp over all rings, so every team shares one timeline.
+  std::uint64_t epoch = UINT64_MAX;
+  for (const auto& ring : rings_) {
+    for (const auto& r : ring->snapshot()) epoch = std::min(epoch, r.ts_ns);
+  }
+  if (epoch == UINT64_MAX) epoch = 0;
+
+  os << "{\"traceEvents\": [";
+  bool first = true;
+  auto sep = [&] {
+    os << (first ? "\n" : ",\n");
+    first = false;
+  };
+
+  for (int t = 0; t < teams(); ++t) {
+    sep();
+    os << "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 0, \"tid\": "
+       << t << ", \"args\": {\"name\": \"team " << t << "\"}}";
+  }
+
+  for (int t = 0; t < teams(); ++t) {
+    std::vector<simt::TraceRecord> open;  // kOpBegin stack (ops never nest,
+                                          // but the ring may drop an end)
+    for (const auto& r : rings_[static_cast<std::size_t>(t)]->snapshot()) {
+      if (r.event == simt::TraceEvent::kOpBegin) {
+        open.push_back(r);
+        continue;
+      }
+      if (r.event == simt::TraceEvent::kOpEnd) {
+        if (open.empty()) continue;  // begin fell out of the ring
+        const simt::TraceRecord begin = open.back();
+        open.pop_back();
+        sep();
+        os << "{\"name\": ";
+        json_string(os, op_tag_name(static_cast<std::uint8_t>(begin.a)));
+        os << ", \"ph\": \"X\", ";
+        emit_common(os, rel_us(begin.ts_ns, epoch), t);
+        os << ", \"dur\": ";
+        json_number(os, rel_us(r.ts_ns, epoch) - rel_us(begin.ts_ns, epoch));
+        os << ", \"args\": {\"key\": " << begin.b << ", \"result\": " << r.b
+           << ", \"seq\": " << begin.seq << "}}";
+        continue;
+      }
+      sep();
+      os << "{\"name\": ";
+      json_string(os, simt::trace_event_name(r.event));
+      os << ", \"ph\": \"i\", \"s\": \"t\", ";
+      emit_common(os, rel_us(r.ts_ns, epoch), t);
+      os << ", \"args\": {\"a\": " << r.a << ", \"b\": " << r.b
+         << ", \"seq\": " << r.seq << "}}";
+    }
+    // Ops whose end was never recorded (team killed / ring truncation):
+    // keep them visible as zero-length slices instead of dropping them.
+    for (const auto& begin : open) {
+      sep();
+      os << "{\"name\": ";
+      json_string(os, op_tag_name(static_cast<std::uint8_t>(begin.a)));
+      os << ", \"ph\": \"X\", ";
+      emit_common(os, rel_us(begin.ts_ns, epoch), t);
+      os << ", \"dur\": 0, \"args\": {\"key\": " << begin.b
+         << ", \"truncated\": 1, \"seq\": " << begin.seq << "}}";
+    }
+  }
+
+  os << "\n], \"displayTimeUnit\": \"ns\", \"otherData\": {\"source\": "
+        "\"gfsl-trace-v1\"}}\n";
+}
+
+}  // namespace gfsl::obs

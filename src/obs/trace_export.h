@@ -1,0 +1,47 @@
+// Chrome trace-event export for per-team execution timelines.
+//
+// A TraceSession owns one simt::TeamTrace ring per team; the runner attaches
+// them before launching workers.  After the run, write_chrome_trace() renders
+// the retained events as Chrome trace-event JSON ("JSON object format",
+// loadable in chrome://tracing and https://ui.perfetto.dev): kOpBegin/kOpEnd
+// pairs become complete ("X") duration slices on the team's row, every other
+// record — lock transitions, splits, merges, zombie encounters, restarts,
+// i.e. each scheduler-visible step — becomes a thread-scoped instant event.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+#include "simt/trace.h"
+
+namespace gfsl::obs {
+
+class TraceSession {
+ public:
+  /// `ring_capacity` bounds the retained tail per team (the TeamTrace ring
+  /// size); older events are overwritten, never reallocated.
+  explicit TraceSession(std::size_t ring_capacity = 1u << 16)
+      : capacity_(ring_capacity) {}
+
+  /// Pre-create rings for `n` teams.  Must be called before worker threads
+  /// start; team() afterwards is a plain index and thread-safe.
+  void ensure(int n);
+
+  int teams() const { return static_cast<int>(rings_.size()); }
+  simt::TeamTrace* team(int id) {
+    return rings_[static_cast<std::size_t>(id)].get();
+  }
+  const simt::TeamTrace* team(int id) const {
+    return rings_[static_cast<std::size_t>(id)].get();
+  }
+
+  void write_chrome_trace(std::ostream& os) const;
+
+ private:
+  std::size_t capacity_;
+  std::vector<std::unique_ptr<simt::TeamTrace>> rings_;
+};
+
+}  // namespace gfsl::obs

@@ -17,12 +17,15 @@
 // default values.
 #pragma once
 
+#include <array>
 #include <bit>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <utility>
 
 #include "common/random.h"
+#include "obs/metrics.h"
 #include "simt/lane_vec.h"
 #include "simt/trace.h"
 
@@ -163,6 +166,44 @@ class Team {
     if (trace_ != nullptr) trace_->record(e, a, b);
   }
 
+  /// Optional metrics shard (off by default; `shard` must outlive the team).
+  /// Every instrumentation site below is a null-pointer test when detached —
+  /// the registry's zero-overhead disabled path.
+  void set_metrics(obs::MetricsShard* shard) { metrics_ = shard; }
+  obs::MetricsShard* metrics() { return metrics_; }
+  void metric(obs::CounterId id, std::uint64_t v = 1) {
+    if (metrics_ != nullptr) metrics_->add(id, v);
+  }
+
+  /// Lock-hold accounting: the data structure reports acquire/release of the
+  /// chunk lock `ref`; elapsed lockstep instructions between the two are the
+  /// hold time.  A team holds at most a handful of locks at once (bottom +
+  /// merge neighbor + one upper level), so a tiny fixed table suffices —
+  /// allocation-free.  Releases of never-tracked refs (e.g. chunks born
+  /// locked from the arena) are ignored.
+  void note_lock_acquired(std::uint64_t ref) {
+    if (metrics_ == nullptr) return;
+    for (auto& h : holds_) {
+      if (h.ref == kNoHold) {
+        h.ref = ref;
+        h.begin_steps = counters_.instructions;
+        return;
+      }
+    }
+  }
+  void note_lock_released(std::uint64_t ref) {
+    if (metrics_ == nullptr) return;
+    for (auto& h : holds_) {
+      if (h.ref == ref) {
+        const std::uint64_t held = counters_.instructions - h.begin_steps;
+        metrics_->add(obs::kLockHoldSteps, held);
+        metrics_->record(obs::kLockHoldStepsHist, held);
+        h.ref = kNoHold;
+        return;
+      }
+    }
+  }
+
   /// On-device randomness for the p_chunk key-raising decision (§4.2.2).
   bool bernoulli(double p) { return rng_.bernoulli(p); }
   std::uint64_t random_below(std::uint64_t bound) { return rng_.below(bound); }
@@ -171,12 +212,69 @@ class Team {
   const TeamCounters& counters() const { return counters_; }
 
  private:
+  static constexpr std::uint64_t kNoHold = UINT64_MAX;
+  struct LockHold {
+    std::uint64_t ref = kNoHold;
+    std::uint64_t begin_steps = 0;
+  };
+
   int size_;
   int id_;
   Xoshiro256ss rng_;
   TeamCounters counters_;
   std::function<void()> yield_;
   TeamTrace* trace_ = nullptr;
+  obs::MetricsShard* metrics_ = nullptr;
+  std::array<LockHold, 8> holds_;
+};
+
+/// Scoped per-operation recorder: the data-structure entry points wrap their
+/// body in one OpScope, which measures wall nanoseconds and lockstep
+/// instructions and brackets the span with kOpBegin/kOpEnd trace records.
+/// Entirely inert (two pointer tests, no clock reads) when neither metrics
+/// nor trace is attached.
+class OpScope {
+ public:
+  OpScope(Team& team, const obs::OpIds& ids, std::uint64_t key)
+      : team_(team), ids_(ids) {
+    if (team_.metrics() == nullptr && team_.trace() == nullptr) return;
+    armed_ = true;
+    begin_steps_ = team_.counters().instructions;
+    if (team_.metrics() != nullptr) {
+      begin_ = std::chrono::steady_clock::now();
+    }
+    team_.record(TraceEvent::kOpBegin, ids_.tag, key);
+  }
+
+  OpScope(const OpScope&) = delete;
+  OpScope& operator=(const OpScope&) = delete;
+
+  /// Success flag (insert/erase/contains) — recorded under ids.value.
+  void set_result(bool r) { value_ = r ? 1 : 0; }
+  /// Item count (scan) — recorded under ids.value.
+  void set_value(std::uint64_t v) { value_ = v; }
+
+  ~OpScope() {
+    if (!armed_) return;
+    team_.record(TraceEvent::kOpEnd, ids_.tag, value_);
+    obs::MetricsShard* m = team_.metrics();
+    if (m == nullptr) return;
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - begin_)
+                        .count();
+    m->add(ids_.count);
+    m->add(ids_.value, value_);
+    m->record(ids_.wall_ns, static_cast<std::uint64_t>(ns));
+    m->record(ids_.steps, team_.counters().instructions - begin_steps_);
+  }
+
+ private:
+  Team& team_;
+  const obs::OpIds& ids_;
+  bool armed_ = false;
+  std::uint64_t value_ = 0;
+  std::uint64_t begin_steps_ = 0;
+  std::chrono::steady_clock::time_point begin_;
 };
 
 }  // namespace gfsl::simt

@@ -9,6 +9,7 @@
 // order for post-mortem analysis.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <ostream>
 #include <string_view>
@@ -38,8 +39,10 @@ std::string_view trace_event_name(TraceEvent e);
 struct TraceRecord {
   std::uint64_t seq = 0;  // global order within the trace
   TraceEvent event = TraceEvent::kChunkRead;
-  std::uint64_t a = 0;  // usually a chunk ref
-  std::uint64_t b = 0;  // usually a key or level
+  std::uint64_t a = 0;      // usually a chunk ref
+  std::uint64_t b = 0;      // usually a key or level
+  std::uint64_t ts_ns = 0;  // steady-clock stamp; aligns timelines across
+                            // teams for the Chrome-trace exporter
 };
 
 class TeamTrace {
@@ -53,6 +56,10 @@ class TeamTrace {
     r.event = e;
     r.a = a;
     r.b = b;
+    r.ts_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
   }
 
   std::uint64_t recorded() const { return next_; }

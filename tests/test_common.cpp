@@ -106,6 +106,30 @@ TEST(Stats, EmptySummary) {
   const Summary sum = s.summarize();
   EXPECT_EQ(sum.n, 0u);
   EXPECT_DOUBLE_EQ(sum.mean, 0.0);
+  EXPECT_DOUBLE_EQ(sum.p50, 0.0);
+  EXPECT_DOUBLE_EQ(sum.p99, 0.0);
+}
+
+TEST(Stats, PercentilesInterpolate) {
+  // Samples 1..10 (added out of order): R-7 linear interpolation gives
+  // p50 = 5.5, p90 = 9.1, p99 = 9.91.
+  RunStats s;
+  for (int i : {7, 1, 10, 3, 5, 2, 9, 4, 8, 6}) s.add(i);
+  const Summary sum = s.summarize();
+  EXPECT_DOUBLE_EQ(sum.p50, 5.5);
+  EXPECT_NEAR(sum.p90, 9.1, 1e-12);
+  EXPECT_NEAR(sum.p99, 9.91, 1e-12);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 10.0);
+}
+
+TEST(Stats, PercentileOfSingleSample) {
+  RunStats s;
+  s.add(42.0);
+  const Summary sum = s.summarize();
+  EXPECT_DOUBLE_EQ(sum.p50, 42.0);
+  EXPECT_DOUBLE_EQ(sum.p90, 42.0);
+  EXPECT_DOUBLE_EQ(sum.p99, 42.0);
 }
 
 TEST(Env, ParsesAndFallsBack) {

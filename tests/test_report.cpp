@@ -67,5 +67,29 @@ TEST(Report, Csv) {
   EXPECT_EQ(ss.str(), "x,y\n1,2\n3,4\n");
 }
 
+TEST(Report, CsvQuotesCommas) {
+  Table t({"mix", "value"});
+  t.add_row({"10,10,80", "1.5"});
+  std::ostringstream ss;
+  t.print_csv(ss);
+  EXPECT_EQ(ss.str(), "mix,value\n\"10,10,80\",1.5\n");
+}
+
+TEST(Report, CsvEscapesQuotesAndNewlines) {
+  Table t({"a", "b"});
+  t.add_row({"say \"hi\"", "line1\nline2"});
+  std::ostringstream ss;
+  t.print_csv(ss);
+  EXPECT_EQ(ss.str(), "a,b\n\"say \"\"hi\"\"\",\"line1\nline2\"\n");
+}
+
+TEST(Report, CsvLeavesPlainCellsUnquoted) {
+  Table t({"h"});
+  t.add_row({"plain value with spaces"});
+  std::ostringstream ss;
+  t.print_csv(ss);
+  EXPECT_EQ(ss.str(), "h\nplain value with spaces\n");
+}
+
 }  // namespace
 }  // namespace gfsl::harness

@@ -1,0 +1,235 @@
+// Tests for the Chrome trace-event exporter: the emitted JSON must be
+// well-formed, preserve per-team event order, and render kOpBegin/kOpEnd
+// pairs as duration slices.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <sstream>
+#include <string>
+
+#include "harness/runner.h"
+#include "harness/workload.h"
+#include "obs/trace_export.h"
+
+namespace gfsl::obs {
+namespace {
+
+// --- a mini recursive-descent JSON validator (structure only) ---
+
+struct JsonCheck {
+  const std::string& s;
+  std::size_t i = 0;
+
+  void ws() {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+  }
+  bool eat(char c) {
+    ws();
+    if (i < s.size() && s[i] == c) {
+      ++i;
+      return true;
+    }
+    return false;
+  }
+  bool string() {
+    ws();
+    if (i >= s.size() || s[i] != '"') return false;
+    ++i;
+    while (i < s.size() && s[i] != '"') {
+      if (s[i] == '\\') ++i;  // skip the escaped char
+      ++i;
+    }
+    return eat('"');
+  }
+  bool number() {
+    ws();
+    const std::size_t start = i;
+    if (i < s.size() && (s[i] == '-' || s[i] == '+')) ++i;
+    while (i < s.size() &&
+           (std::isdigit(static_cast<unsigned char>(s[i])) || s[i] == '.' ||
+            s[i] == 'e' || s[i] == 'E' || s[i] == '-' || s[i] == '+')) {
+      ++i;
+    }
+    return i > start;
+  }
+  bool literal(const char* lit) {
+    ws();
+    const std::size_t len = std::string(lit).size();
+    if (s.compare(i, len, lit) == 0) {
+      i += len;
+      return true;
+    }
+    return false;
+  }
+  bool value() {
+    ws();
+    if (i >= s.size()) return false;
+    switch (s[i]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    if (!eat('{')) return false;
+    if (eat('}')) return true;
+    do {
+      if (!string() || !eat(':') || !value()) return false;
+    } while (eat(','));
+    return eat('}');
+  }
+  bool array() {
+    if (!eat('[')) return false;
+    if (eat(']')) return true;
+    do {
+      if (!value()) return false;
+    } while (eat(','));
+    return eat(']');
+  }
+  bool document() {
+    if (!value()) return false;
+    ws();
+    return i == s.size();
+  }
+};
+
+bool valid_json(const std::string& s) {
+  JsonCheck c{s};
+  return c.document();
+}
+
+TEST(JsonCheckSelfTest, AcceptsAndRejects) {
+  EXPECT_TRUE(valid_json(R"({"a": [1, 2.5, "x", true], "b": {}})"));
+  EXPECT_TRUE(valid_json("[]"));
+  EXPECT_FALSE(valid_json(R"({"a": )"));
+  EXPECT_FALSE(valid_json(R"({"a": 1} trailing)"));
+  EXPECT_FALSE(valid_json(R"({"a" 1})"));
+}
+
+// --- exporter unit tests on synthetic rings ---
+
+TEST(TraceExport, EmptySessionIsValidJson) {
+  TraceSession ts;
+  std::ostringstream os;
+  ts.write_chrome_trace(os);
+  const std::string j = os.str();
+  EXPECT_TRUE(valid_json(j)) << j;
+  EXPECT_NE(j.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(j.find("gfsl-trace-v1"), std::string::npos);
+}
+
+TEST(TraceExport, OpPairBecomesDurationSlice) {
+  TraceSession ts;
+  ts.ensure(2);
+  simt::TeamTrace* t0 = ts.team(0);
+  t0->record(simt::TraceEvent::kOpBegin, /*tag=*/0, /*key=*/42);
+  t0->record(simt::TraceEvent::kChunkRead, 7, 1);
+  t0->record(simt::TraceEvent::kOpEnd, 0, /*result=*/1);
+  ts.team(1)->record(simt::TraceEvent::kRestart, 0, 0);
+
+  std::ostringstream os;
+  ts.write_chrome_trace(os);
+  const std::string j = os.str();
+  ASSERT_TRUE(valid_json(j)) << j;
+
+  // Both teams announced by thread-name metadata.
+  EXPECT_NE(j.find("\"team 0\""), std::string::npos);
+  EXPECT_NE(j.find("\"team 1\""), std::string::npos);
+  // The begin/end pair renders as a complete event named after the op tag,
+  // carrying the key and the result.
+  EXPECT_NE(j.find("\"name\": \"insert\", \"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(j.find("\"key\": 42"), std::string::npos);
+  EXPECT_NE(j.find("\"result\": 1"), std::string::npos);
+  // The interior record is a thread-scoped instant on team 0's row.
+  EXPECT_NE(j.find("\"name\": \"chunk-read\", \"ph\": \"i\""),
+            std::string::npos);
+  EXPECT_NE(j.find("\"name\": \"restart\", \"ph\": \"i\""), std::string::npos);
+  // Raw op-begin/op-end markers never leak into the output.
+  EXPECT_EQ(j.find("op-begin"), std::string::npos);
+  EXPECT_EQ(j.find("op-end"), std::string::npos);
+}
+
+TEST(TraceExport, PerTeamEventOrderRoundTrips) {
+  TraceSession ts;
+  ts.ensure(1);
+  simt::TeamTrace* t0 = ts.team(0);
+  // Three instants with distinct names: output order must match record order.
+  t0->record(simt::TraceEvent::kDownStep, 1, 0);
+  t0->record(simt::TraceEvent::kLateralStep, 2, 0);
+  t0->record(simt::TraceEvent::kBacktrack, 3, 0);
+
+  std::ostringstream os;
+  ts.write_chrome_trace(os);
+  const std::string j = os.str();
+  ASSERT_TRUE(valid_json(j)) << j;
+  const auto down = j.find("down-step");
+  const auto lat = j.find("lateral-step");
+  const auto back = j.find("backtrack");
+  ASSERT_NE(down, std::string::npos);
+  ASSERT_NE(lat, std::string::npos);
+  ASSERT_NE(back, std::string::npos);
+  EXPECT_LT(down, lat);
+  EXPECT_LT(lat, back);
+  // Sequence numbers are carried through for exact ordering downstream.
+  EXPECT_NE(j.find("\"seq\": 0"), std::string::npos);
+  EXPECT_NE(j.find("\"seq\": 1"), std::string::npos);
+  EXPECT_NE(j.find("\"seq\": 2"), std::string::npos);
+}
+
+TEST(TraceExport, UnmatchedBeginIsKeptAsTruncatedSlice) {
+  TraceSession ts;
+  ts.ensure(1);
+  ts.team(0)->record(simt::TraceEvent::kOpBegin, /*tag=*/2, /*key=*/9);
+
+  std::ostringstream os;
+  ts.write_chrome_trace(os);
+  const std::string j = os.str();
+  ASSERT_TRUE(valid_json(j)) << j;
+  EXPECT_NE(j.find("\"name\": \"contains\", \"ph\": \"X\""),
+            std::string::npos);
+  EXPECT_NE(j.find("\"truncated\": 1"), std::string::npos);
+}
+
+// --- end-to-end: trace a real concurrent GFSL run ---
+
+TEST(TraceExport, GfslRunProducesLoadableTrace) {
+  device::DeviceMemory mem;
+  core::GfslConfig cfg;
+  cfg.team_size = 32;
+  cfg.pool_chunks = 1u << 14;
+  core::Gfsl sl(cfg, &mem);
+
+  harness::WorkloadConfig wl;
+  wl.mix = harness::kMix_20_20_60;
+  wl.key_range = 1'000;
+  wl.num_ops = 2'000;
+  wl.prefill = harness::default_prefill(wl.mix);
+  wl.seed = 3;
+  sl.bulk_load(harness::generate_prefill(wl));
+  const auto ops = harness::generate_ops(wl);
+
+  TraceSession ts;
+  harness::RunConfig rc;
+  rc.num_workers = 4;
+  rc.trace = &ts;
+  (void)harness::run_gfsl(sl, ops, rc, mem);
+
+  ASSERT_EQ(ts.teams(), 4);
+  std::ostringstream os;
+  ts.write_chrome_trace(os);
+  const std::string j = os.str();
+  ASSERT_TRUE(valid_json(j)) << j.substr(0, 2'000);
+  // Every worker shows up as a named timeline with op slices on it.
+  for (int t = 0; t < 4; ++t) {
+    EXPECT_NE(j.find("\"team " + std::to_string(t) + "\""), std::string::npos);
+  }
+  EXPECT_NE(j.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(j.find("\"name\": \"contains\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gfsl::obs

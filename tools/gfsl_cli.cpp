@@ -17,7 +17,12 @@
 //   --prefill empty|half|full       initial structure [per-mix default]
 //   --warmup N                      untimed warmup ops [ops/4]
 //   --csv                           CSV output instead of a table
+//   --metrics-json PATH             write a telemetry report (one measured
+//                                   run) as gfsl-metrics-v1 JSON
+//   --trace-out PATH                write per-team Chrome trace-event JSON
+//                                   (load in chrome://tracing / perfetto)
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <stdexcept>
 #include <string>
@@ -25,6 +30,8 @@
 #include "harness/experiment.h"
 #include "harness/options.h"
 #include "harness/report.h"
+#include "obs/metrics.h"
+#include "obs/trace_export.h"
 
 using namespace gfsl;
 using namespace gfsl::harness;
@@ -54,7 +61,8 @@ int usage() {
                "usage: gfsl_cli [--structure gfsl|mc|gfsl-dual] [--mix i,d,c] "
                "[--range N] [--ops N] [--reps N] [--seed N] [--team-size N] "
                "[--p-chunk F] [--warps-per-block N] [--workers N] "
-               "[--prefill empty|half|full] [--warmup N] [--csv]\n");
+               "[--prefill empty|half|full] [--warmup N] [--csv] "
+               "[--metrics-json PATH] [--trace-out PATH]\n");
   return 2;
 }
 
@@ -71,7 +79,8 @@ int main(int argc, char** argv) {
   const std::set<std::string> known{
       "structure", "mix",     "range",           "ops",    "reps",
       "seed",      "team-size", "p-chunk",       "warps-per-block",
-      "workers",   "prefill", "warmup",          "csv",    "help"};
+      "workers",   "prefill", "warmup",          "csv",    "help",
+      "metrics-json", "trace-out"};
   if (opt.get_bool("help")) return usage();
   for (const auto& u : opt.unknown(known)) {
     std::fprintf(stderr, "error: unknown option --%s\n", u.c_str());
@@ -99,19 +108,34 @@ int main(int argc, char** argv) {
     return usage();
   }
   const int reps = static_cast<int>(opt.get_u64("reps", 3));
+  const std::string metrics_path = opt.get("metrics-json", "");
+  const std::string trace_path = opt.get("trace-out", "");
+
+  // Telemetry is attached to the single detail run only (not the reps), so
+  // the report describes exactly one measured launch.  gfsl-dual rounds its
+  // worker count up to even internally — shard accordingly.
+  int telemetry_workers = setup.num_workers;
+  if (structure == "gfsl-dual" && telemetry_workers % 2 != 0) {
+    ++telemetry_workers;
+  }
+  obs::MetricsRegistry metrics(telemetry_workers);
+  obs::TraceSession trace;
+  StructureSetup detail_setup = setup;
+  if (!metrics_path.empty()) detail_setup.metrics = &metrics;
+  if (!trace_path.empty()) detail_setup.trace = &trace;
 
   Repeated rep;
   Measurement detail;
   try {
     if (structure == "gfsl") {
       rep = repeat_gfsl(wl, setup, reps);
-      detail = measure_gfsl(wl, setup);
+      detail = measure_gfsl(wl, detail_setup);
     } else if (structure == "mc") {
       rep = repeat_mc(wl, setup, reps);
-      detail = measure_mc(wl, setup);
+      detail = measure_mc(wl, detail_setup);
     } else if (structure == "gfsl-dual") {
       rep = repeat_gfsl_dual(wl, setup, reps);
-      detail = measure_gfsl_dual(wl, setup);
+      detail = measure_gfsl_dual(wl, detail_setup);
     } else {
       std::fprintf(stderr, "error: unknown structure '%s'\n",
                    structure.c_str());
@@ -122,6 +146,40 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  if (!metrics_path.empty()) {
+    metrics.set_info("structure", structure);
+    metrics.set_info("mix", wl.mix.name());
+    metrics.set_info("key_range", std::to_string(wl.key_range));
+    metrics.set_info("num_ops", std::to_string(wl.num_ops));
+    metrics.set_info("seed", std::to_string(wl.seed));
+    metrics.set_info("team_size", std::to_string(setup.team_size));
+    metrics.set_info("p_chunk", fmt(setup.p_chunk, 3));
+    metrics.set_info("workers", std::to_string(telemetry_workers));
+    metrics.set_info("warmup_ops", std::to_string(setup.warmup_ops));
+    std::ofstream out(metrics_path);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot open %s\n", metrics_path.c_str());
+      return 1;
+    }
+    metrics.write_json(out);
+    if (!out) {
+      std::fprintf(stderr, "error: write failed: %s\n", metrics_path.c_str());
+      return 1;
+    }
+  }
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot open %s\n", trace_path.c_str());
+      return 1;
+    }
+    trace.write_chrome_trace(out);
+    if (!out) {
+      std::fprintf(stderr, "error: write failed: %s\n", trace_path.c_str());
+      return 1;
+    }
+  }
+
   const auto& k = detail.kernel;
   const double per_op = k.ops > 0 ? 1.0 / static_cast<double>(k.ops) : 0.0;
   Table t({"metric", "value"});
@@ -130,6 +188,9 @@ int main(int argc, char** argv) {
   t.add_row({"range", fmt_range(wl.key_range)});
   t.add_row({"ops/run", std::to_string(wl.num_ops)});
   t.add_row({"modeled MOPS", fmt_ci(rep.mops.mean, rep.mops.ci95_half)});
+  t.add_row({"MOPS p50/p90/p99", fmt(rep.mops.p50, 2) + "/" +
+                                     fmt(rep.mops.p90, 2) + "/" +
+                                     fmt(rep.mops.p99, 2)});
   t.add_row({"simulator MOPS", fmt(detail.sim_mops, 2)});
   t.add_row({"OOM", rep.oom ? "yes" : "no"});
   t.add_row({"bound", detail.detail.bandwidth_bound ? "bandwidth" : "latency"});
