@@ -10,6 +10,7 @@
 #include "core/gfsl.h"
 #include "device/device_memory.h"
 #include "obs/metrics.h"
+#include "sched/lease.h"
 #include "simt/team.h"
 
 namespace {
@@ -37,16 +38,19 @@ void BM_Shfl(benchmark::State& state) {
 BENCHMARK(BM_Shfl);
 
 struct GfslBench {
-  GfslBench(int team_size, Key prefill) : team(team_size, 0, 1) {
+  GfslBench(int team_size, Key prefill, bool with_leases = false)
+      : team(team_size, 0, 1) {
     core::GfslConfig cfg;
     cfg.team_size = team_size;
     cfg.pool_chunks = 1u << 16;
-    sl = std::make_unique<core::Gfsl>(cfg, &mem);
+    if (with_leases) leases = std::make_unique<sched::LeaseTable>();
+    sl = std::make_unique<core::Gfsl>(cfg, &mem, nullptr, leases.get());
     std::vector<std::pair<Key, Value>> pairs;
     for (Key k = 1; k <= prefill; ++k) pairs.emplace_back(k * 2, k);
     sl->bulk_load(pairs);
   }
   device::DeviceMemory mem;
+  std::unique_ptr<sched::LeaseTable> leases;
   simt::Team team;
   std::unique_ptr<core::Gfsl> sl;
 };
@@ -100,6 +104,32 @@ void BM_GfslInsertEraseWithMetrics(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GfslInsertEraseWithMetrics);
+
+// A/B partner for BM_GfslInsertErase with crash tolerance armed: every lock
+// acquisition stamps a lease word and every mutation span publishes an
+// intent descriptor.  The delta against the lease-less loop above is the
+// fault-free overhead of the whole recovery layer (uncontended, the lease
+// adds one relaxed load to try_lock plus the intent's handful of stores).
+void BM_GfslInsertEraseWithLeases(benchmark::State& state) {
+  GfslBench b(32, 10'000, /*with_leases=*/true);
+  Key k = 50'001;
+  for (auto _ : state) {
+    b.sl->insert(b.team, k, 0);
+    b.sl->erase(b.team, k);
+    ++k;
+  }
+}
+BENCHMARK(BM_GfslInsertEraseWithLeases);
+
+void BM_GfslContainsWithLeases(benchmark::State& state) {
+  GfslBench b(static_cast<int>(state.range(0)), 10'000, /*with_leases=*/true);
+  Key k = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(b.sl->contains(b.team, k));
+    k = (k % 20'000) + 1;
+  }
+}
+BENCHMARK(BM_GfslContainsWithLeases)->Arg(16)->Arg(32);
 
 void BM_GfslContainsNoAccounting(benchmark::State& state) {
   GfslBench b(32, 10'000);

@@ -19,7 +19,7 @@ ChunkArena::ChunkArena(int entries_per_chunk, std::uint32_t capacity)
   }
 }
 
-ChunkRef ChunkArena::alloc_locked() {
+ChunkRef ChunkArena::alloc_locked(std::uint32_t owner_word) {
   const std::uint32_t ref = next_.fetch_add(1, std::memory_order_relaxed);
   if (ref >= capacity_) {
     next_.fetch_sub(1, std::memory_order_relaxed);
@@ -33,7 +33,8 @@ ChunkRef ChunkArena::alloc_locked() {
                        std::memory_order_relaxed);
   // Release so a team that later reaches this chunk through an atomically
   // published pointer observes the initialized contents.
-  e[lock_slot()].store(make_lock_entry(kLocked), std::memory_order_release);
+  e[lock_slot()].store(make_lock_entry(kLocked, owner_word),
+                       std::memory_order_release);
   return ref;
 }
 

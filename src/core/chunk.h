@@ -9,7 +9,10 @@
 // its key half and the next-chunk reference in its value half, so both are
 // updated with one atomic 64-bit write (§4.2.2: "Both of these changes are
 // performed with a single atomic write by the NEXT thread").  The LOCK entry
-// encodes unlocked / locked / zombie.
+// encodes unlocked / locked / zombie in its key half; when locked, its value
+// half carries the holder's *lease word* (team id + epoch, sched/lease.h) so
+// peers can attribute the hold and recover it if the holder crashes.  Word 0
+// is the anonymous legacy owner: such locks are never considered expired.
 //
 // Chunks live in a dense arena addressed by 32-bit ChunkRefs; a chunk of N
 // entries is N*8 bytes (128 B for N=16, 256 B for N=32 — the two sizes the
@@ -40,8 +43,10 @@ class ChunkArena {
 
   /// Allocate one chunk, "allocated locked with inf values in all key-data
   /// pairs, as well as in the max field" (§4.1).  The inf max marks it as a
-  /// (potential) last chunk until the split fills it in.
-  ChunkRef alloc_locked();
+  /// (potential) last chunk until the split fills it in.  `owner_word` is
+  /// the allocating team's lease word, stamped into the born-held lock so
+  /// that a chunk published by a team that then crashes remains recoverable.
+  ChunkRef alloc_locked(std::uint32_t owner_word = 0);
 
   bool can_alloc(std::uint32_t count = 1) const {
     return next_.load(std::memory_order_relaxed) + count <= capacity_;
@@ -93,7 +98,11 @@ constexpr KV make_next_entry(Key max_key, ChunkRef next) {
 constexpr Key next_entry_max(KV e) { return kv_key(e); }
 constexpr ChunkRef next_entry_ref(KV e) { return static_cast<ChunkRef>(kv_value(e)); }
 
-constexpr KV make_lock_entry(LockState s) { return make_kv(static_cast<Key>(s), 0); }
+constexpr KV make_lock_entry(LockState s, std::uint32_t owner_word = 0) {
+  return make_kv(static_cast<Key>(s), static_cast<Value>(owner_word));
+}
 constexpr LockState lock_entry_state(KV e) { return static_cast<LockState>(kv_key(e)); }
+/// Lease word of the holder (0 = anonymous / unheld).
+constexpr std::uint32_t lock_entry_owner(KV e) { return kv_value(e); }
 
 }  // namespace gfsl::core

@@ -62,7 +62,9 @@ void Gfsl::remove_from_chunk(Team& team, Key k, ChunkRef enc_ref, int level) {
 
   if (count > threshold) {  // plain removal, no merge
     const bool is_last = max_of(team, kv) == KEY_INF;
+    publish_intent(team, IntentKind::kEraseShift, k, enc_ref);
     execute_remove_no_merge(team, kv, enc_ref, k, is_last);
+    clear_intent(team);
     unlock(team, enc_ref);
     return;
   }
@@ -86,8 +88,13 @@ void Gfsl::remove_from_chunk(Team& team, Key k, ChunkRef enc_ref, int level) {
     did_split = true;
   }
 
+  // The merge span covers the copy *and* the zombify: recovery rolls it
+  // forward from any midpoint (the union of the two chunks' survivors is
+  // the intended merged array at every partial state).
+  publish_intent(team, IntentKind::kMerge, k, enc_ref, next_ref);
   execute_remove_merge(team, kv, enc_ref, next_ref, k);
   mark_zombie(team, enc_ref);  // terminal; the zombie is never unlocked
+  clear_intent(team);
   bump_level(level, -1);
   unlock(team, next_ref);
 
@@ -138,7 +145,9 @@ void Gfsl::execute_remove_no_merge(Team& team, const LaneVec<KV>& kv,
 void Gfsl::remove_from_last_chunk(Team& team, Key k, ChunkRef ref,
                                   int level) {
   const LaneVec<KV> kv = read_chunk(team, ref);
+  publish_intent(team, IntentKind::kEraseShift, k, ref);
   execute_remove_no_merge(team, kv, ref, k, /*is_last_chunk=*/true);
+  clear_intent(team);
 
   // If the whole level is now just the -inf key in this (first == last)
   // chunk, mark the level empty so traversals skip it (§4.2.3).

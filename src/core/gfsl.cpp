@@ -2,7 +2,6 @@
 #include "core/gfsl.h"
 
 #include <stdexcept>
-#include <thread>
 
 namespace gfsl::core {
 
@@ -10,10 +9,14 @@ using simt::LaneVec;
 using simt::Team;
 
 Gfsl::Gfsl(const GfslConfig& cfg, device::DeviceMemory* mem,
-           sched::StepScheduler* scheduler)
+           sched::StepScheduler* scheduler, sched::LeaseTable* leases)
     : cfg_(cfg),
       mem_(mem),
       sched_(scheduler),
+      leases_(leases),
+      intents_(leases == nullptr
+                   ? nullptr
+                   : new IntentSlot[sched::LeaseTable::kMaxTeams]),
       arena_(cfg.team_size, cfg.pool_chunks) {
   if (mem_ == nullptr) throw std::invalid_argument("DeviceMemory required");
   if (cfg_.team_size < 8 || cfg_.team_size > 32 ||
@@ -140,13 +143,17 @@ ChunkRef Gfsl::head_of(Team& team, int level) {
 
 bool Gfsl::try_lock(Team& team, ChunkRef ref) {
   // The LOCK lane CASes the lock entry; the whole team observes the result.
+  // With a LeaseTable attached the acquisition stamps this team's lease word
+  // into the entry's value half — on the uncontended path that is the whole
+  // cost of crash tolerance: one extra (relaxed) load to fetch the word.
   sync_point(team);
   mem_->atomic_rmw(arena_.entry_address(ref, arena_.lock_slot()));
   KV expected = make_lock_entry(kUnlocked);
-  const bool ok = arena_.entry(ref, arena_.lock_slot())
-                      .compare_exchange_strong(expected, make_lock_entry(kLocked),
-                                               std::memory_order_acq_rel,
-                                               std::memory_order_acquire);
+  const bool ok =
+      arena_.entry(ref, arena_.lock_slot())
+          .compare_exchange_strong(
+              expected, make_lock_entry(kLocked, lease_word(team)),
+              std::memory_order_acq_rel, std::memory_order_acquire);
   team.step();
   if (ok) {
     ++team.counters().lock_acquires;
@@ -201,7 +208,14 @@ void Gfsl::atomic_entry_write(Team& team, ChunkRef ref, int slot, KV v) {
 
 ChunkRef Gfsl::find_and_lock_enclosing(Team& team, ChunkRef start, Key k) {
   // Algorithm 4.8: lateral spin-search until the enclosing chunk is locked.
+  // The spin on a held lock is bounded: each failed round probes the
+  // holder's lease (an expired holder is repaired and its lock stolen) and
+  // backs off exponentially; after kSpinFallback rounds the team abandons
+  // the position and re-walks laterally from `start`, so a slow holder can
+  // delay it but never pin it to one chunk.  Chunks are not reclaimed while
+  // teams run (compact() is quiescent-only), so `start` stays walkable.
   ChunkRef ch = start;
+  int spins = 0;
   for (;;) {
     LaneVec<KV> kv = read_chunk(team, ch);
     if (chunk_not_enclosing(team, kv, k)) {
@@ -209,13 +223,18 @@ ChunkRef Gfsl::find_and_lock_enclosing(Team& team, ChunkRef start, Key k) {
       continue;
     }
     if (is_locked_or_zombie(team, kv)) {
-      // Spin.  Give the holder's host thread a chance to run — on a GPU the
-      // holder's warp keeps executing regardless; without this, an OS
-      // preemption of the holder would charge millions of artifact spins.
-      std::this_thread::yield();
+      if (maybe_recover(team, ch, team.shfl(kv, team.lock_lane()))) continue;
+      if (++spins >= kSpinFallback) {
+        spins = 0;
+        ch = start;
+        team.metric(obs::kLockRetraversals);
+        continue;
+      }
+      backoff(team, spins);
       continue;
     }
     if (!try_lock(team, ch)) continue;
+    spins = 0;
     kv = read_chunk(team, ch);
     if (chunk_not_enclosing(team, kv, k)) {
       // Lost a race (split/merge moved k's range right); release and chase.
@@ -231,6 +250,7 @@ ChunkRef Gfsl::lock_next_chunk(Team& team, ChunkRef locked) {
   // Lock the next non-zombie chunk after `locked` (whose lock this team
   // holds).  Zombies found on the way are unlinked — legal because only the
   // holder of `locked`'s lock may rewrite its next pointer.
+  int spins = 0;
   for (;;) {
     const KV next_kv = arena_.entry(locked, arena_.next_slot())
                            .load(std::memory_order_acquire);
@@ -245,7 +265,11 @@ ChunkRef Gfsl::lock_next_chunk(Team& team, ChunkRef locked) {
       continue;
     }
     if (is_locked_or_zombie(team, kv)) {
-      std::this_thread::yield();  // spin on a locked neighbor
+      // Spin on a locked neighbor — bounded: probe the holder's lease and
+      // back off (saturating; there is no other chunk to fall back to, the
+      // successor is dictated by the list).
+      if (maybe_recover(team, nxt, team.shfl(kv, team.lock_lane()))) continue;
+      backoff(team, ++spins);
       continue;
     }
     if (try_lock(team, nxt)) return nxt;

@@ -21,13 +21,16 @@
 #include <atomic>
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "common/types.h"
 #include "core/chunk.h"
+#include "core/intent.h"
 #include "device/device_memory.h"
+#include "sched/lease.h"
 #include "sched/step_scheduler.h"
 #include "simt/team.h"
 
@@ -62,8 +65,14 @@ class Gfsl {
   static constexpr int kMaxLevels = 32;  // hard bound; runtime bound = team size
 
   /// `mem` must outlive the structure; `scheduler` may be null (free-running).
+  /// `leases` may be null: then locks are anonymous (seed semantics, zero
+  /// overhead).  With a LeaseTable attached, every lock acquisition stamps
+  /// the holder's lease word, every destructive span publishes an intent
+  /// descriptor, and a team that spins on a lock whose owner's lease expired
+  /// repairs the half-done mutation and steals the lock (crash tolerance).
   Gfsl(const GfslConfig& cfg, device::DeviceMemory* mem,
-       sched::StepScheduler* scheduler = nullptr);
+       sched::StepScheduler* scheduler = nullptr,
+       sched::LeaseTable* leases = nullptr);
 
   Gfsl(const Gfsl&) = delete;
   Gfsl& operator=(const Gfsl&) = delete;
@@ -137,6 +146,14 @@ class Gfsl {
   void dump(std::ostream& os) const;
 
   const ChunkArena& arena() const { return arena_; }
+  sched::LeaseTable* leases() const { return leases_; }
+
+  /// Medic sweep (recovery.cpp): repair every published intent and release
+  /// every chunk lock whose owner's lease has expired.  Run after a crash
+  /// campaign, before quiescent validation; survivors recover organically,
+  /// this catches locks nobody happened to spin on.  Returns the number of
+  /// locks released.
+  int recover_all_expired(simt::Team& team);
 
  private:
   // ---- cooperative building blocks (gfsl.cpp) ----
@@ -231,10 +248,62 @@ class Gfsl {
   // ---- down-pointer repair (update_down.cpp) ----
   void update_down_ptrs(simt::Team& team, int level, const MovedKeys& moved);
 
+  // ---- crash tolerance (recovery.cpp) ----
+  /// Spin cap before a waiter falls back to a fresh lateral walk.
+  static constexpr int kSpinFallback = 64;
+
+  /// This team's lease word; 0 when no LeaseTable is attached (legacy).
+  std::uint32_t lease_word(simt::Team& team) const {
+    return leases_ == nullptr ? 0u : leases_->word(team.id());
+  }
+  IntentSlot* intent_of(int team_id) {
+    if (intents_ == nullptr || team_id < 0 ||
+        team_id >= sched::LeaseTable::kMaxTeams) {
+      return nullptr;
+    }
+    return intents_.get() + team_id;
+  }
+  void publish_intent(simt::Team& team, IntentKind kind, Key k, ChunkRef a,
+                      ChunkRef b = NULL_CHUNK, ChunkRef fresh = NULL_CHUNK);
+  void clear_intent(simt::Team& team);
+
+  /// One bounded-spin round: a scheduler yield under seeded schedules, an
+  /// exponentially growing pause loop when free-running.
+  void backoff(simt::Team& team, int round);
+
+  /// Called by a spinner that found `ref` locked (lock entry `lock_kv`).
+  /// If the owner's lease expired, repair its published intent and/or steal
+  /// the lock.  Returns true when the lock was (probably) freed and the
+  /// caller should retry immediately instead of backing off.
+  bool maybe_recover(simt::Team& team, ChunkRef ref, KV lock_kv);
+
+  /// True iff `ref`'s lock entry is exactly (kLocked, owner_word) — the
+  /// owner-precise guard that scopes every repair and release to the dead
+  /// generation that published the intent.
+  bool locked_by(ChunkRef ref, std::uint32_t owner_word) const;
+  /// CAS-release `ref` if its lock is still exactly (kLocked, owner_word)
+  /// and that lease has expired.
+  bool release_if_owned(simt::Team& team, ChunkRef ref,
+                        std::uint32_t owner_word);
+  /// Claim and execute a dead team's intent; false if another (live)
+  /// recoverer got there first.  Each repair returns true for roll-forward,
+  /// false for roll-back.
+  bool recover_intent(simt::Team& team, IntentSlot& slot, std::uint32_t iw);
+  bool repair_insert_shift(simt::Team& team, ChunkRef ref, Key k);
+  bool repair_erase_shift(simt::Team& team, ChunkRef ref, Key k);
+  bool repair_split(simt::Team& team, ChunkRef ref, ChunkRef fresh);
+  bool repair_merge(simt::Team& team, ChunkRef enc_ref, ChunkRef next_ref,
+                    Key k, std::uint32_t owner);
+  /// Resume/undo a partial shift: collapse the single adjacent duplicated
+  /// entry by shifting everything right of it one slot left.
+  void dedup_shift(simt::Team& team, ChunkRef ref);
+
   // ---- data ----
   GfslConfig cfg_;
   device::DeviceMemory* mem_;
   sched::StepScheduler* sched_;
+  sched::LeaseTable* leases_;
+  std::unique_ptr<IntentSlot[]> intents_;  // one per team id; null w/o leases
   ChunkArena arena_;
   std::uint64_t head_device_base_;  // synthetic address of the head array
   std::array<std::atomic<ChunkRef>, kMaxLevels> head_;

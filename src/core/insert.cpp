@@ -87,6 +87,10 @@ void Gfsl::execute_insert(Team& team, ChunkRef ref, const LaneVec<KV>& kv,
   const int idx = Team::popc(lt);
   insert_kv[idx] = make_kv(k, v);
 
+  // Crash tolerance: a death anywhere inside the shift leaves exactly one
+  // adjacent duplicated entry (or the landed key), which the intent's
+  // recovery rolls back (or declares complete).
+  publish_intent(team, IntentKind::kInsertShift, k, ref);
   for (int i = team.dsize() - 1; i >= idx; --i) {
     if (!kv_is_empty(insert_kv[i])) {
       atomic_entry_write(team, ref, i, insert_kv[i]);
@@ -94,6 +98,7 @@ void Gfsl::execute_insert(Team& team, ChunkRef ref, const LaneVec<KV>& kv,
       team.step();  // disabled lanes still take the lockstep iteration
     }
   }
+  clear_intent(team);
   // The max field never changes: a key is only inserted into its enclosing
   // chunk, whose max is >= k by definition (§4.3).
 }

@@ -1,0 +1,79 @@
+// Intent descriptors: the redo/undo log behind crash-tolerant mutations.
+//
+// Every destructive span in GFSL (insert shift, erase shift, split publish,
+// merge copy, down-pointer swing) publishes a per-team *intent* before its
+// first destructive store and clears it after its last.  A peer that finds a
+// chunk locked by an expired lease (sched/lease.h) reads the dead team's
+// intent and either rolls the mutation forward (it is decided: split
+// published, merge in progress) or back (partial insert shift), then releases
+// the dead team's locks on the mutated chunks.  Locks the dead team held on
+// chunks it was *not* mutating (the insert's bottom lock, a split's
+// successor) are stolen individually by whoever spins on them, once the
+// owner's intent slot is clear — their contents are consistent by
+// construction, because every destructive store lies inside an intent span.
+//
+// The recovery rules are derived in DESIGN.md §Fault tolerance; each decides
+// from the *chunk state alone* (which makes recovery idempotent and
+// therefore restartable if a recoverer itself dies):
+//
+//   kInsertShift — a partial right-to-left shift leaves exactly one adjacent
+//                  duplicated entry; dedup-left restores the pre-insert chunk
+//                  (roll-back).  If the key landed, the shift had completed.
+//   kEraseShift  — key still present: re-execute the removal (roll-forward);
+//                  one adjacent duplicate: resume the left shift; neither:
+//                  the span never started or had finished.
+//   kSplit       — published iff the split chunk's NEXT names the fresh
+//                  chunk; then clear the moved (key > new max) tail
+//                  (roll-forward).  An unpublished fresh chunk is
+//                  unreachable and merely leaks until compact().
+//   kMerge       — enclosing chunk already zombie: the merge finished;
+//                  otherwise rewrite the successor with the sorted distinct
+//                  union of (enclosing minus key) and its current contents,
+//                  then zombify the enclosing chunk (roll-forward).
+//   kDownSwing   — the swing itself is one atomic write; just release.
+//
+// Each slot is single-writer (its own team, only while alive) with one
+// multi-reader handshake: `word`.  A recoverer claims a dead team's intent
+// by CASing `word` from the expired lease word to its own; this serializes
+// racing recoverers, and a recoverer that dies mid-repair leaves a
+// claimable (expired) word behind for the next peer to redo the work.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace gfsl::core {
+
+enum class IntentKind : std::uint32_t {
+  kNone = 0,
+  kInsertShift,  // shifting entries right in `a` to insert (key, value)
+  kEraseShift,   // shifting entries left in `a` to remove key
+  kSplit,        // splitting `a`: fresh chunk `fresh` takes its top half
+  kMerge,        // merging `a` (enclosing, to zombify) into `b` (successor)
+  kDownSwing,    // swinging a down-pointer entry in `a` (one atomic write)
+};
+
+/// One team's published intent.  Fields are stored relaxed by the owner,
+/// then `word` is released; a recoverer's acquire/claim of `word` makes the
+/// fields visible.  Between spans the fields are stale and `word` is 0.
+struct IntentSlot {
+  /// Owner's lease word while an intent is live, 0 when idle.  Doubles as
+  /// the recovery guard: a recoverer CASes (expired word -> its own word) to
+  /// claim the slot, then stores 0 once the repair is complete.
+  std::atomic<std::uint32_t> word{0};
+  /// The *publishing* team's lease word, never overwritten by claims.  Every
+  /// repair and release is guarded on "this chunk is still locked by exactly
+  /// this word", so a claim chain that crosses generations (a recoverer dies
+  /// and is itself recovered) can never touch a chunk that has since been
+  /// released and re-acquired by a live team.
+  std::atomic<std::uint32_t> owner{0};
+  std::atomic<std::uint32_t> kind{0};  // IntentKind
+  std::atomic<Key> key{0};
+  std::atomic<ChunkRef> a{NULL_CHUNK};      // primary chunk being mutated
+  std::atomic<ChunkRef> b{NULL_CHUNK};      // merge successor
+  std::atomic<ChunkRef> fresh{NULL_CHUNK};  // split: newly allocated chunk
+};
+
+}  // namespace gfsl::core

@@ -1,0 +1,300 @@
+// Crash tolerance: intent publication, bounded-spin backoff, lease probing,
+// and the cooperative repair of a dead team's half-done mutations.
+//
+// The protocol (see DESIGN.md §Fault tolerance):
+//
+//   1. Every lock acquisition stamps the holder's lease word into the LOCK
+//      entry (try_lock, gfsl.cpp).
+//   2. Every destructive span publishes an intent descriptor (intent.h)
+//      before its first destructive store and clears it after its last.
+//   3. A team spinning on a held lock probes the owner's lease; when it has
+//      expired (an explicit death certificate — never a timeout guess), the
+//      spinner claims the dead team's intent, repairs the mutation from the
+//      chunk state alone, releases the dead locks, and retries.
+//   4. A quiescent medic sweep (recover_all_expired) catches whatever no
+//      survivor happened to spin on.
+//
+// Repairs never publish intents of their own: a chunk must be referenced by
+// at most one claimable intent at a time, and the owner-precise guards
+// (locked_by / release_if_owned) keep a stale claim chain from ever touching
+// a chunk that was already released and re-acquired by the living.
+#include "core/gfsl.h"
+
+#include <algorithm>
+#include <array>
+#include <thread>
+
+namespace gfsl::core {
+
+using simt::LaneVec;
+using simt::Team;
+
+void Gfsl::publish_intent(Team& team, IntentKind kind, Key k, ChunkRef a,
+                          ChunkRef b, ChunkRef fresh) {
+  const std::uint32_t mine = lease_word(team);
+  if (mine == 0) return;  // anonymous team: legacy semantics, no intents
+  IntentSlot& s = intents_[team.id()];
+  sync_point(team);  // a kill here leaves the previous (cleared) intent
+  s.owner.store(mine, std::memory_order_relaxed);
+  s.kind.store(static_cast<std::uint32_t>(kind), std::memory_order_relaxed);
+  s.key.store(k, std::memory_order_relaxed);
+  s.a.store(a, std::memory_order_relaxed);
+  s.b.store(b, std::memory_order_relaxed);
+  s.fresh.store(fresh, std::memory_order_relaxed);
+  s.word.store(mine, std::memory_order_release);
+  team.step();
+}
+
+void Gfsl::clear_intent(Team& team) {
+  const std::uint32_t mine = lease_word(team);
+  if (mine == 0) return;
+  intents_[team.id()].word.store(0, std::memory_order_release);
+  team.step();
+}
+
+void Gfsl::backoff(Team& team, int round) {
+  team.metric(obs::kBackoffRounds);
+  if (sched_ != nullptr && sched_->mode() != sched::StepScheduler::Mode::Free) {
+    // Under a seeded schedule a backoff round is exactly one yield point:
+    // the scheduler decides who runs next, so the "wait" is deterministic.
+    sync_point(team);
+    return;
+  }
+  // Free-running: exponential, saturating pause loop.  One OS yield gives a
+  // descheduled holder's thread a chance to run; the busy tail spaces out
+  // re-reads of the contended line.
+  std::this_thread::yield();
+  const int iters = 1 << std::min(round, 12);
+  team.metric(obs::kBackoffSpinIters, static_cast<std::uint64_t>(iters));
+  volatile int sink = 0;
+  for (int i = 0; i < iters; ++i) sink = sink + 1;
+}
+
+bool Gfsl::locked_by(ChunkRef ref, std::uint32_t owner_word) const {
+  if (ref == NULL_CHUNK) return false;
+  const KV e = arena_.entries(ref)[arena_.lock_slot()].load(
+      std::memory_order_acquire);
+  return e == make_lock_entry(kLocked, owner_word);
+}
+
+bool Gfsl::release_if_owned(Team& team, ChunkRef ref,
+                            std::uint32_t owner_word) {
+  if (ref == NULL_CHUNK || owner_word == 0 || !leases_->expired(owner_word)) {
+    return false;
+  }
+  KV expected = make_lock_entry(kLocked, owner_word);
+  sync_point(team);
+  mem_->atomic_rmw(arena_.entry_address(ref, arena_.lock_slot()));
+  const bool ok = arena_.entry(ref, arena_.lock_slot())
+                      .compare_exchange_strong(
+                          expected, make_lock_entry(kUnlocked),
+                          std::memory_order_acq_rel, std::memory_order_acquire);
+  team.step();
+  if (ok) {
+    team.metric(obs::kLockSteals);
+    team.record(simt::TraceEvent::kLockStolen, ref, owner_word);
+  }
+  return ok;
+}
+
+bool Gfsl::maybe_recover(Team& team, ChunkRef ref, KV lock_kv) {
+  if (leases_ == nullptr || lock_entry_state(lock_kv) != kLocked) return false;
+  const std::uint32_t w = lock_entry_owner(lock_kv);
+  if (w == 0 || !leases_->expired(w)) return false;
+  team.metric(obs::kLeaseExpiries);
+  team.record(simt::TraceEvent::kLeaseExpired, ref, w);
+  IntentSlot* slot = intent_of(sched::LeaseTable::word_team(w));
+  if (slot != nullptr) {
+    const std::uint32_t iw = slot->word.load(std::memory_order_acquire);
+    if (iw != 0) {
+      // The dead team died inside a destructive span (or a recoverer died
+      // mid-repair: same path, the repair is idempotent).  A live claimant's
+      // word means the repair is in progress elsewhere — back off.
+      if (!leases_->expired(iw)) return false;
+      return recover_intent(team, *slot, iw);
+    }
+  }
+  // No intent published: every destructive store lies inside an intent span,
+  // so the chunk's contents are consistent — steal the lock outright.
+  return release_if_owned(team, ref, w);
+}
+
+bool Gfsl::recover_intent(Team& team, IntentSlot& slot, std::uint32_t iw) {
+  const std::uint32_t mine = lease_word(team);
+  if (mine == 0) return false;  // anonymous teams cannot claim
+  std::uint32_t expect = iw;
+  sync_point(team);
+  const bool claimed = slot.word.compare_exchange_strong(
+      expect, mine, std::memory_order_acq_rel, std::memory_order_acquire);
+  team.step();
+  if (!claimed) return false;  // another recoverer won the race
+
+  const std::uint32_t owner = slot.owner.load(std::memory_order_relaxed);
+  const auto kind =
+      static_cast<IntentKind>(slot.kind.load(std::memory_order_relaxed));
+  const Key k = slot.key.load(std::memory_order_relaxed);
+  const ChunkRef a = slot.a.load(std::memory_order_relaxed);
+  const ChunkRef b = slot.b.load(std::memory_order_relaxed);
+  const ChunkRef fresh = slot.fresh.load(std::memory_order_relaxed);
+
+  bool forward = true;
+  if (owner != 0 && leases_->expired(owner)) {
+    switch (kind) {
+      case IntentKind::kInsertShift:
+        if (locked_by(a, owner)) forward = repair_insert_shift(team, a, k);
+        break;
+      case IntentKind::kEraseShift:
+        if (locked_by(a, owner)) forward = repair_erase_shift(team, a, k);
+        break;
+      case IntentKind::kSplit:
+        if (locked_by(a, owner)) forward = repair_split(team, a, fresh);
+        break;
+      case IntentKind::kMerge:
+        forward = repair_merge(team, a, b, k, owner);
+        break;
+      case IntentKind::kDownSwing:  // the swing is one atomic write: nothing
+      case IntentKind::kNone:       // to repair, only locks to release
+        break;
+    }
+    release_if_owned(team, a, owner);
+    release_if_owned(team, b, owner);
+    release_if_owned(team, fresh, owner);
+  }
+  team.record(simt::TraceEvent::kRecovery,
+              static_cast<std::uint64_t>(kind), forward ? 1 : 0);
+  team.metric(forward ? obs::kRecoveryRollForward : obs::kRecoveryRollBack);
+  slot.word.store(0, std::memory_order_release);
+  return true;
+}
+
+void Gfsl::dedup_shift(Team& team, ChunkRef ref) {
+  // A partial shift (either direction) leaves exactly one adjacent
+  // duplicated entry; collapsing it by shifting everything to its right one
+  // slot left both *resumes* a partial erase shift and *undoes* a partial
+  // insert shift.  Keys in a chunk are distinct, so a full-KV adjacent
+  // duplicate can only be shift debris.  Writes ascend, like the erase shift
+  // itself: every overwritten value has a live copy one slot to the left.
+  const LaneVec<KV> kv = read_chunk(team, ref);
+  const int dsz = team.dsize();
+  int dup = -1;
+  int last = -1;
+  for (int i = 0; i < dsz; ++i) {
+    if (!kv_is_empty(kv[i])) {
+      if (dup < 0 && i + 1 < dsz && kv[i] == kv[i + 1]) dup = i;
+      last = i;
+    }
+  }
+  if (dup < 0) return;  // no debris: the span never started or had finished
+  for (int i = dup + 2; i <= last; ++i) {
+    atomic_entry_write(team, ref, i - 1, kv[i]);
+  }
+  atomic_entry_write(team, ref, last, KV_EMPTY);
+}
+
+bool Gfsl::repair_insert_shift(Team& team, ChunkRef ref, Key k) {
+  const LaneVec<KV> kv = read_chunk(team, ref);
+  if (chunk_contains(team, kv, k)) return true;  // key landed: shift complete
+  dedup_shift(team, ref);  // roll back to the pre-insert chunk
+  return false;
+}
+
+bool Gfsl::repair_erase_shift(Team& team, ChunkRef ref, Key k) {
+  const LaneVec<KV> kv = read_chunk(team, ref);
+  if (chunk_contains(team, kv, k)) {
+    // The shift never started (at most the max field was pre-lowered, which
+    // is idempotent to redo): re-execute the removal.
+    const bool is_last = max_of(team, kv) == KEY_INF;
+    execute_remove_no_merge(team, kv, ref, k, is_last);
+  } else {
+    dedup_shift(team, ref);  // resume: collapse the duplicate, if any
+  }
+  return true;
+}
+
+bool Gfsl::repair_split(Team& team, ChunkRef ref, ChunkRef fresh) {
+  // The split is published iff ref's NEXT already names the fresh chunk (the
+  // publish is the span's first destructive store).  Unpublished: nothing
+  // destructive happened; the fresh chunk is unreachable and merely leaks
+  // until compact().  Published: the fresh chunk was fully populated before
+  // publication, so all that remains is clearing the moved tail — entries
+  // above the (already lowered) max — highest first, as the split would.
+  const LaneVec<KV> kv = read_chunk(team, ref);
+  if (next_of(team, kv) != fresh) return false;
+  const Key maxk = max_of(team, kv);
+  for (int i = team.dsize() - 1; i >= 0; --i) {
+    if (!kv_is_empty(kv[i]) && kv_key(kv[i]) > maxk) {
+      atomic_entry_write(team, ref, i, KV_EMPTY);
+    }
+  }
+  return true;
+}
+
+bool Gfsl::repair_merge(Team& team, ChunkRef enc_ref, ChunkRef next_ref,
+                        Key k, std::uint32_t owner) {
+  // Roll forward.  If the enclosing chunk is already a zombie, the merge's
+  // destructive part finished.  Otherwise both chunks are still locked by
+  // the dead owner, and a partial merge copy preserves every surviving
+  // entry somewhere in the pair — so the sorted distinct union of
+  // (enclosing minus k) and the successor's current contents *is* the
+  // intended merged array.  Rewrite the successor right-to-left (the
+  // traversal-safe order of the original copy), then zombify the enclosing
+  // chunk.
+  if (!locked_by(enc_ref, owner) || !locked_by(next_ref, owner)) return true;
+  const LaneVec<KV> ekv = read_chunk(team, enc_ref);
+  const LaneVec<KV> nkv = read_chunk(team, next_ref);
+  const int dsz = team.dsize();
+
+  std::array<KV, 64> all{};
+  int n = 0;
+  for (int i = 0; i < dsz; ++i) {
+    if (!kv_is_empty(ekv[i]) && kv_key(ekv[i]) != k) all[n++] = ekv[i];
+  }
+  for (int i = 0; i < dsz; ++i) {
+    if (!kv_is_empty(nkv[i])) all[n++] = nkv[i];
+  }
+  std::sort(all.begin(), all.begin() + n,
+            [](KV x, KV y) { return kv_key(x) < kv_key(y); });
+  LaneVec<KV> merged(KV_EMPTY);
+  int m = 0;
+  for (int i = 0; i < n; ++i) {
+    if (m == 0 || kv_key(merged[m - 1]) != kv_key(all[i])) merged[m++] = all[i];
+  }
+
+  for (int i = m - 1; i >= 0; --i) {
+    if (nkv[i] != merged[i]) {
+      atomic_entry_write(team, next_ref, i, merged[i]);
+    } else {
+      team.step();
+    }
+  }
+  mark_zombie(team, enc_ref);
+  return true;
+}
+
+int Gfsl::recover_all_expired(Team& team) {
+  if (leases_ == nullptr) return 0;
+  // Repair every claimable intent first, so data repairs precede releases.
+  for (int id = 0; id < sched::LeaseTable::kMaxTeams; ++id) {
+    IntentSlot& slot = intents_[id];
+    const std::uint32_t iw = slot.word.load(std::memory_order_acquire);
+    if (iw != 0 && leases_->expired(iw)) recover_intent(team, slot, iw);
+  }
+  // Then sweep the arena for remaining dead-owned locks: spans that never
+  // published, born-locked chunks that were never reached, bottom locks
+  // nobody spun on.
+  int released = 0;
+  const std::uint32_t n = arena_.allocated();
+  for (std::uint32_t ref = 0; ref < n; ++ref) {
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      const KV lk = arena_.entry(static_cast<ChunkRef>(ref), arena_.lock_slot())
+                        .load(std::memory_order_acquire);
+      if (lock_entry_state(lk) != kLocked) break;
+      const std::uint32_t w = lock_entry_owner(lk);
+      if (w == 0 || !leases_->expired(w)) break;
+      if (maybe_recover(team, static_cast<ChunkRef>(ref), lk)) ++released;
+    }
+  }
+  return released;
+}
+
+}  // namespace gfsl::core

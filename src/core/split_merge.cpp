@@ -16,7 +16,7 @@ using simt::Team;
 Gfsl::MovedKeys Gfsl::split_remove(Team& team, ChunkRef next_ref, int level) {
   team.record(simt::TraceEvent::kSplit, next_ref, static_cast<std::uint64_t>(level));
   const ChunkRef after = lock_next_chunk(team, next_ref);
-  const ChunkRef fresh = arena_.alloc_locked();
+  const ChunkRef fresh = arena_.alloc_locked(lease_word(team));
   const LaneVec<KV> skv = read_chunk(team, next_ref);
   const int dsz = team.dsize();
   const int half = dsz / 2;
@@ -38,6 +38,10 @@ Gfsl::MovedKeys Gfsl::split_remove(Team& team, ChunkRef next_ref, int level) {
   team.step();
 
   // Publish: new max + new next pointer in a single atomic write (§4.2.2).
+  // This is the split span's first destructive store: before it, the fresh
+  // chunk is unreachable and a crash merely leaks it; after it, recovery
+  // rolls forward by finishing the tail clearing below.
+  publish_intent(team, IntentKind::kSplit, thresh, next_ref, after, fresh);
   atomic_entry_write(team, next_ref, arena_.next_slot(),
                      make_next_entry(thresh, fresh));
 
@@ -47,6 +51,7 @@ Gfsl::MovedKeys Gfsl::split_remove(Team& team, ChunkRef next_ref, int level) {
   for (int i = dsz - 1; i >= half; --i) {
     atomic_entry_write(team, next_ref, i, KV_EMPTY);
   }
+  clear_intent(team);
 
   MovedKeys moved;
   moved.count = half;
@@ -63,7 +68,7 @@ Gfsl::SplitOutcome Gfsl::split_insert(Team& team, ChunkRef split_ref, Key k,
   team.record(simt::TraceEvent::kSplit, split_ref, static_cast<std::uint64_t>(level));
   // preSplit: lock the successor so it cannot merge away mid-split.
   const ChunkRef after = lock_next_chunk(team, split_ref);
-  const ChunkRef fresh = arena_.alloc_locked();
+  const ChunkRef fresh = arena_.alloc_locked(lease_word(team));
   const LaneVec<KV> skv = read_chunk(team, split_ref);
   const int dsz = team.dsize();
   const int half = dsz / 2;
@@ -82,11 +87,13 @@ Gfsl::SplitOutcome Gfsl::split_insert(Team& team, ChunkRef split_ref, Key k,
                    static_cast<std::uint32_t>(half + 1) * 8u);
   team.step();
 
+  publish_intent(team, IntentKind::kSplit, thresh, split_ref, after, fresh);
   atomic_entry_write(team, split_ref, arena_.next_slot(),
                      make_next_entry(thresh, fresh));
   for (int i = dsz - 1; i >= half; --i) {
     atomic_entry_write(team, split_ref, i, KV_EMPTY);
   }
+  clear_intent(team);
 
   SplitOutcome out;
   out.fresh = fresh;

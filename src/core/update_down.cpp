@@ -37,8 +37,12 @@ void Gfsl::update_down_ptrs(Team& team, int level, const MovedKeys& moved) {
       // chunk it was moved into, and swing the upper entry to it.
       const auto [still_there, lower] = find_lateral(team, mk, moved.moved_to);
       if (still_there) {
+        // The swing is a single atomic write, so recovery has nothing to
+        // repair — the intent exists so a crash mid-hold releases the lock.
+        publish_intent(team, IntentKind::kDownSwing, mk, locked);
         atomic_entry_write(team, locked, lane,
                            make_kv(mk, static_cast<Value>(lower)));
+        clear_intent(team);
       }
     }
     unlock(team, locked);

@@ -1,0 +1,165 @@
+#include "harness/crash_sweep.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/gfsl.h"
+#include "device/device_memory.h"
+#include "harness/history.h"
+#include "harness/workload.h"
+#include "sched/lease.h"
+#include "sched/step_scheduler.h"
+
+namespace gfsl::harness {
+
+CrashRunResult run_crash_at(const CrashSweepConfig& cfg,
+                            std::uint64_t kill_step,
+                            std::uint64_t watchdog_step,
+                            obs::MetricsRegistry* reg) {
+  CrashRunResult res;
+  device::DeviceMemory mem;
+  sched::LeaseTable leases;
+  sched::StepScheduler sched(sched::StepScheduler::Mode::Deterministic,
+                             cfg.sched_seed, cfg.workers);
+  sched.attach_leases(&leases);
+  if (kill_step != UINT64_MAX) sched.kill_at(cfg.victim, kill_step);
+  if (watchdog_step != UINT64_MAX) sched.kill_all_at(watchdog_step);
+
+  core::GfslConfig gcfg;
+  gcfg.team_size = cfg.team_size;
+  gcfg.pool_chunks = cfg.pool_chunks;
+  core::Gfsl sl(gcfg, &mem, &sched, &leases);
+
+  WorkloadConfig wl;
+  wl.mix = kMix_20_20_60;  // update-heavy: splits, merges, down-ptr swings
+  wl.key_range = cfg.key_range;
+  wl.num_ops = cfg.ops;
+  wl.seed = cfg.wl_seed;
+  const auto ops = generate_ops(wl);
+
+  HistoryLog log(cfg.ops / static_cast<std::uint64_t>(cfg.workers) + 8,
+                 cfg.workers);
+  std::atomic<bool> hang{false};
+  std::atomic<bool> victim_killed{false};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < cfg.workers; ++w) {
+    threads.emplace_back([&, w] {
+      simt::Team team(cfg.team_size, w, 3);
+      if (reg != nullptr) team.set_metrics(&reg->shard(w));
+      const Op* cur_op = nullptr;
+      std::uint64_t cur_tick = 0;
+      sched.enter(w);
+      try {
+        for (std::size_t i = static_cast<std::size_t>(w); i < ops.size();
+             i += static_cast<std::size_t>(cfg.workers)) {
+          const Op& op = ops[i];
+          cur_op = &op;
+          cur_tick = log.begin_op();
+          bool r = false;
+          switch (op.kind) {
+            case OpKind::Insert: r = sl.insert(team, op.key, op.value); break;
+            case OpKind::Delete: r = sl.erase(team, op.key); break;
+            case OpKind::Contains: r = sl.contains(team, op.key); break;
+          }
+          log.end_op(w, cur_tick, op.kind, op.key, r);
+          cur_op = nullptr;
+        }
+        sched.leave(w);
+      } catch (const sched::TeamKilled&) {
+        // Killed teams must not call leave(): yield() already deactivated
+        // them and handed the baton on.
+        if (cur_op != nullptr) {
+          log.crash_op(w, cur_tick, cur_op->kind, cur_op->key);
+        }
+        if (w == cfg.victim) {
+          victim_killed.store(true, std::memory_order_relaxed);
+        } else {
+          // Survivors only die via the watchdog: the run livelocked.
+          hang.store(true, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  res.steps = sched.global_steps();
+  res.victim_killed = victim_killed.load(std::memory_order_relaxed);
+  if (hang.load(std::memory_order_relaxed)) {
+    res.ok = false;
+    res.hang = true;
+    res.error = "hang: survivors hit the watchdog (step " +
+                std::to_string(res.steps) + ")";
+    return res;
+  }
+
+  // Medic pass: a FRESH team id outside the scheduled participant set.
+  // Reusing the victim's id would bump its lease epoch and hide any lock
+  // the survivors should have been able to steal.
+  simt::Team medic(cfg.team_size, cfg.workers, 7);
+  if (reg != nullptr) medic.set_metrics(&reg->shard(cfg.workers));
+  res.locks_recovered = sl.recover_all_expired(medic);
+
+  const auto rep = sl.validate(/*strict=*/false);
+  if (!rep.ok) {
+    res.ok = false;
+    res.error = "structure invalid: " + rep.error;
+    return res;
+  }
+  std::vector<Key> final_keys;
+  for (const auto& [k, v] : sl.collect()) final_keys.push_back(k);
+  const auto check = check_history(log.merged(), {}, final_keys);
+  if (!check.ok) {
+    res.ok = false;
+    res.error = "history violation: " + check.error;
+    return res;
+  }
+  return res;
+}
+
+CrashSweepResult run_crash_sweep(const CrashSweepConfig& cfg,
+                                 obs::MetricsRegistry* reg,
+                                 std::FILE* progress) {
+  CrashSweepResult out;
+  // Baseline: same seeds, no kill.  Leases are attached here too, so the
+  // pre-kill prefix of every swept run replays this exact interleaving.
+  const auto base = run_crash_at(cfg, UINT64_MAX, UINT64_MAX, reg);
+  if (!base.ok) {
+    out.ok = false;
+    out.error = "baseline run failed: " + base.error;
+    return out;
+  }
+  out.baseline_steps = base.steps;
+  const std::uint64_t watchdog =
+      base.steps * cfg.watchdog_factor + cfg.watchdog_slack;
+  const std::uint64_t stride = cfg.stride == 0 ? 1 : cfg.stride;
+  const std::uint64_t report_every =
+      (base.steps / stride) / 10 + 1;  // ~10 progress lines
+
+  std::uint64_t since_report = 0;
+  for (std::uint64_t s = 1; s <= base.steps; s += stride) {
+    const auto r = run_crash_at(cfg, s, watchdog, reg);
+    ++out.runs;
+    if (r.victim_killed) ++out.kills_landed;
+    out.medic_recoveries += static_cast<std::uint64_t>(r.locks_recovered);
+    if (!r.ok) {
+      out.ok = false;
+      out.failed_at_step = s;
+      out.error = r.error;
+      return out;
+    }
+    if (progress != nullptr && ++since_report >= report_every) {
+      since_report = 0;
+      std::fprintf(progress,
+                   "  crash-sweep %llu/%llu steps (%llu kills landed, "
+                   "%llu medic recoveries)\n",
+                   static_cast<unsigned long long>(s),
+                   static_cast<unsigned long long>(base.steps),
+                   static_cast<unsigned long long>(out.kills_landed),
+                   static_cast<unsigned long long>(out.medic_recoveries));
+      std::fflush(progress);
+    }
+  }
+  return out;
+}
+
+}  // namespace gfsl::harness

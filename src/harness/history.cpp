@@ -87,6 +87,21 @@ class KeyChecker {
     for (std::size_t i = 0; i < ev_.size(); ++i) {
       if (done_[i]) continue;
       if (ev_[i]->invoke > min_response) continue;  // some op wholly precedes
+      if (ev_[i]->crashed) {
+        // A crashed op's result is unknown and its effect optional: try the
+        // "never took effect" branch and, for mutators, the "took effect"
+        // branch.  (Its response is UINT64_MAX, so it never gates others.)
+        done_[i] = true;
+        if (dfs(present, n_done + 1, final_present)) return true;
+        bool next = present;
+        if (ev_[i]->kind == OpKind::Insert) next = true;
+        if (ev_[i]->kind == OpKind::Delete) next = false;
+        if (next != present && dfs(next, n_done + 1, final_present)) {
+          return true;
+        }
+        done_[i] = false;
+        continue;
+      }
       bool next = present;
       if (!applies(*ev_[i], present, &next)) continue;
       done_[i] = true;

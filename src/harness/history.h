@@ -31,6 +31,12 @@ struct HistoryEvent {
   Key key = 0;
   bool result = false;
   int worker = -1;
+  // A crashed op never responded: its team was killed mid-flight.  The op's
+  // effect is *optional* (it may have been rolled forward or rolled back by
+  // recovery) and its interval is open-ended — recovery may complete it at
+  // any later point — so `response` is UINT64_MAX and `result` carries no
+  // information.
+  bool crashed = false;
 };
 
 /// Thread-safe append-only history log.  Workers call begin_op()/end_op()
@@ -47,6 +53,15 @@ class HistoryLog {
     const std::uint64_t resp = clock_.fetch_add(1, std::memory_order_acq_rel);
     auto& lane = per_worker_[static_cast<std::size_t>(worker)];
     lane.push_back(HistoryEvent{invoke_tick, resp, kind, key, result, worker});
+  }
+
+  /// Record an op whose team was killed before it responded.  Call from the
+  /// worker's TeamKilled handler (or after join) — same thread-safety rules
+  /// as end_op: one writer per worker lane.
+  void crash_op(int worker, std::uint64_t invoke_tick, OpKind kind, Key key) {
+    auto& lane = per_worker_[static_cast<std::size_t>(worker)];
+    lane.push_back(HistoryEvent{invoke_tick, UINT64_MAX, kind, key,
+                                /*result=*/false, worker, /*crashed=*/true});
   }
 
   /// Merge all workers' events (call at quiescence).

@@ -57,6 +57,13 @@ std::string_view counter_name(CounterId id) {
     case kLockHoldSteps: return "lock_hold_steps";
     case kZombieEncounters: return "zombie_encounters";
     case kRestarts: return "restarts";
+    case kLeaseExpiries: return "lease_expiries";
+    case kLockSteals: return "lock_steals";
+    case kRecoveryRollForward: return "recovery_roll_forward";
+    case kRecoveryRollBack: return "recovery_roll_back";
+    case kBackoffRounds: return "backoff_rounds";
+    case kBackoffSpinIters: return "backoff_spin_iters";
+    case kLockRetraversals: return "lock_retraversals";
     case kInstructions: return "instructions";
     case kBallots: return "ballots";
     case kShfls: return "shfls";

@@ -90,6 +90,13 @@ enum CounterId : int {
   kLockHoldSteps,  // lockstep instructions elapsed while holding chunk locks
   kZombieEncounters,
   kRestarts,
+  kLeaseExpiries,        // expired-lease observations while spinning on a lock
+  kLockSteals,           // dead teams' locks force-released (clean or post-repair)
+  kRecoveryRollForward,  // intents completed on the dead team's behalf
+  kRecoveryRollBack,     // intents undone (partial insert shifts)
+  kBackoffRounds,        // bounded-spin rounds that ended in a backoff
+  kBackoffSpinIters,     // host pause/yield iterations spent backing off
+  kLockRetraversals,     // spin caps that fell back to a fresh lateral walk
   kInstructions,
   kBallots,
   kShfls,

@@ -1,0 +1,97 @@
+// Team lock leases: the liveness registry behind crash-tolerant critical
+// sections.
+//
+// GFSL's chunk locks are blocking: a team that dies while holding one would
+// wedge every peer forever.  The lease protocol makes lock ownership
+// *attributable and revocable*: every lock acquisition stamps the LOCK entry
+// with the acquiring team's **lease word** — a packed (team id, epoch) pair —
+// and a peer that spins on a held lock can probe the word against this table.
+// A lease is *expired* when its team has been marked crashed (the scheduler
+// does this at the kill step, so expiry is deterministic under seeded
+// schedules) or when the team was revived since (its epoch is stale).  Only
+// expired leases may be recovered/stolen; a live-but-slow holder keeps its
+// lock — stealing from a live owner would corrupt the structure, so expiry is
+// an explicit death certificate, never a timeout guess.
+//
+// Epochs exist because team ids are reused: after a crash is recovered, the
+// harness revives the id with a bumped epoch, which retroactively expires
+// every lock and intent the dead generation left behind.
+//
+// Lease word layout (32 bits, stored in the value half of a LOCK entry):
+//   bits [0, 8)  — team id + 1 (0 means "no owner": legacy anonymous locks)
+//   bits [8, 32) — epoch (24 bits)
+//
+// The table itself packs each team's slot as (epoch << 1) | crashed, so both
+// the uncontended probe (`word()`, one relaxed load) and the expiry check
+// (`expired()`, one acquire load) are single-word atomics.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+namespace gfsl::sched {
+
+class LeaseTable {
+ public:
+  static constexpr int kMaxTeams = 255;  // id 0..254; word 0 is reserved
+
+  /// Current lease word for `id`; 0 for out-of-range ids.
+  std::uint32_t word(int id) const {
+    if (id < 0 || id >= kMaxTeams) return 0;
+    const std::uint32_t s =
+        slots_[static_cast<std::size_t>(id)].load(std::memory_order_relaxed);
+    return ((s >> 1) << 8) | static_cast<std::uint32_t>(id + 1);
+  }
+
+  /// Death certificate for the id's *current* epoch.  Idempotent.  Called by
+  /// the scheduler at the kill step (deterministic) or by a harness that
+  /// abandons a team.
+  void mark_crashed(int id) {
+    if (id < 0 || id >= kMaxTeams) return;
+    slots_[static_cast<std::size_t>(id)].fetch_or(1u,
+                                                  std::memory_order_acq_rel);
+  }
+
+  /// Revive an id for reuse: bump the epoch and clear the crashed bit.  Every
+  /// lease word of the previous generation becomes expired.  Only call after
+  /// the dead generation's locks/intents have been (or will be) recovered.
+  void revive(int id) {
+    if (id < 0 || id >= kMaxTeams) return;
+    auto& s = slots_[static_cast<std::size_t>(id)];
+    std::uint32_t cur = s.load(std::memory_order_acquire);
+    while (!s.compare_exchange_weak(cur, ((cur >> 1) + 1) << 1,
+                                    std::memory_order_acq_rel,
+                                    std::memory_order_acquire)) {
+    }
+  }
+
+  /// True when the generation that minted `lease_word` can no longer be
+  /// running: its team crashed or was revived since.  Word 0 (no owner)
+  /// never expires — anonymous locks keep the seed semantics.
+  bool expired(std::uint32_t lease_word) const {
+    const int id = word_team(lease_word);
+    if (id < 0 || id >= kMaxTeams) return false;
+    const std::uint32_t s =
+        slots_[static_cast<std::size_t>(id)].load(std::memory_order_acquire);
+    const std::uint32_t lease_epoch = lease_word >> 8;
+    return (s >> 1) != lease_epoch || (s & 1u) != 0;
+  }
+
+  bool crashed(int id) const {
+    if (id < 0 || id >= kMaxTeams) return false;
+    return (slots_[static_cast<std::size_t>(id)].load(
+                std::memory_order_acquire) &
+            1u) != 0;
+  }
+
+  /// Team id encoded in a lease word; -1 for word 0 (no owner).
+  static int word_team(std::uint32_t lease_word) {
+    return static_cast<int>(lease_word & 0xFFu) - 1;
+  }
+
+ private:
+  std::array<std::atomic<std::uint32_t>, kMaxTeams> slots_{};
+};
+
+}  // namespace gfsl::sched

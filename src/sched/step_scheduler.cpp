@@ -1,5 +1,6 @@
 #include "sched/step_scheduler.h"
 
+#include <algorithm>
 #include <limits>
 #include <stdexcept>
 
@@ -19,6 +20,7 @@ StepScheduler::StepScheduler(Mode mode, std::uint64_t seed, int participants)
 
 void StepScheduler::enter(int id) {
   if (mode_ == Mode::Free) return;
+  if (id < 0 || id >= n_) return;  // non-participants (medic teams) run free
   std::unique_lock<std::mutex> lk(mu_);
   active_[static_cast<std::size_t>(id)] = true;
   waiting_[static_cast<std::size_t>(id)] = true;
@@ -36,6 +38,7 @@ void StepScheduler::enter(int id) {
 
 void StepScheduler::yield(int id) {
   if (mode_ == Mode::Free) return;
+  if (id < 0 || id >= n_) return;  // non-participants (medic teams) run free
   std::unique_lock<std::mutex> lk(mu_);
   if (!active_[static_cast<std::size_t>(id)]) {
     // A participant that left (or was killed) runs free, unscheduled; this
@@ -44,10 +47,13 @@ void StepScheduler::yield(int id) {
   }
   ++steps_;
   if (steps_ >= kill_step_[static_cast<std::size_t>(id)]) {
-    // Deactivate and hand the baton on before unwinding.
+    // Deactivate and hand the baton on before unwinding.  The lease is
+    // marked crashed here, under mu_, so peers observe the death at a
+    // deterministic point of the interleaving.
     kill_step_[static_cast<std::size_t>(id)] =
         std::numeric_limits<std::uint64_t>::max();
     active_[static_cast<std::size_t>(id)] = false;
+    if (leases_ != nullptr) leases_->mark_crashed(id);
     grant_next_locked();
     cv_.notify_all();
     throw TeamKilled{id};
@@ -61,6 +67,7 @@ void StepScheduler::yield(int id) {
 
 void StepScheduler::leave(int id) {
   if (mode_ == Mode::Free) return;
+  if (id < 0 || id >= n_) return;
   std::unique_lock<std::mutex> lk(mu_);
   active_[static_cast<std::size_t>(id)] = false;
   grant_next_locked();
@@ -68,8 +75,14 @@ void StepScheduler::leave(int id) {
 }
 
 void StepScheduler::kill_at(int id, std::uint64_t step) {
+  if (id < 0 || id >= n_) return;
   std::lock_guard<std::mutex> lk(mu_);
   kill_step_[static_cast<std::size_t>(id)] = step;
+}
+
+void StepScheduler::kill_all_at(std::uint64_t step) {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& s : kill_step_) s = std::min(s, step);
 }
 
 void StepScheduler::grant_next_locked() {

@@ -14,9 +14,15 @@
 // Failure injection: kill_at(step) makes the scheduler throw TeamKilled out
 // of the victim's next yield once the global step counter passes `step`.
 // The test harness catches it and abandons the team mid-operation, modeling
-// a stalled warp.  (Killing a lock *holder* blocks peers by design — the
-// algorithm is blocking for updates, lock-free only for Contains — so tests
-// inject failures into readers or at points outside critical sections.)
+// a stalled warp.  Kills may land *anywhere*, including inside insert /
+// erase / split / merge critical sections: chunk locks carry lease words
+// (sched/lease.h) and every destructive span publishes an intent descriptor,
+// so survivors detect the expired lease, roll the half-done mutation forward
+// or back, and release the dead team's locks.  When a LeaseTable is attached
+// via attach_leases(), the scheduler marks the victim crashed at the kill
+// step itself — before the throw, under the scheduler mutex — so lease
+// expiry is part of the deterministic interleaving and reruns with the same
+// seed reproduce the exact recovery race.
 #pragma once
 
 #include <condition_variable>
@@ -25,6 +31,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "sched/lease.h"
 
 namespace gfsl::sched {
 
@@ -62,8 +69,19 @@ class StepScheduler {
   void leave(int id);
 
   /// Schedule participant `id` to be killed at its first yield at/after
-  /// global step `step`.  Deterministic mode only.
+  /// global step `step`.  Deterministic mode only.  The kill may land inside
+  /// a critical section; with a LeaseTable attached the victim's lease is
+  /// marked crashed at the same step.
   void kill_at(int id, std::uint64_t step);
+
+  /// Arm a kill for every participant at/after `step` — the crash-sweep
+  /// watchdog: survivors that are still running by then are livelocked, and
+  /// the TeamKilled they catch marks the run as a hang.
+  void kill_all_at(std::uint64_t step);
+
+  /// Attach the lease table to mark victims crashed at their kill step
+  /// (deterministically, under the scheduler mutex).  May be null.
+  void attach_leases(LeaseTable* leases) { leases_ = leases; }
 
   std::uint64_t global_steps() const { return steps_; }
 
@@ -71,6 +89,7 @@ class StepScheduler {
   void grant_next_locked();
 
   Mode mode_;
+  LeaseTable* leases_ = nullptr;
   Xoshiro256ss rng_;
   std::mutex mu_;
   std::condition_variable cv_;

@@ -18,6 +18,9 @@ std::string_view trace_event_name(TraceEvent e) {
     case TraceEvent::kRestart: return "restart";
     case TraceEvent::kOpBegin: return "op-begin";
     case TraceEvent::kOpEnd: return "op-end";
+    case TraceEvent::kLeaseExpired: return "lease-expired";
+    case TraceEvent::kLockStolen: return "lock-stolen";
+    case TraceEvent::kRecovery: return "recovery";
   }
   return "unknown";
 }

@@ -32,6 +32,9 @@ enum class TraceEvent : std::uint8_t {
   kRestart,
   kOpBegin,
   kOpEnd,
+  kLeaseExpired,  // a = chunk ref, b = expired lease word
+  kLockStolen,    // a = chunk ref, b = dead owner's lease word
+  kRecovery,      // a = IntentKind, b = 1 roll-forward / 0 roll-back
 };
 
 std::string_view trace_event_name(TraceEvent e);

@@ -2,6 +2,7 @@
 // failure injection.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <thread>
 #include <vector>
 
@@ -102,6 +103,78 @@ TEST(StepScheduler, KillThrowsAtYield) {
   t1.join();
   EXPECT_TRUE(killed);
   EXPECT_EQ(survivor_steps, 100);  // the survivor still finishes
+}
+
+TEST(StepScheduler, KillMarksLeaseCrashedAtKillStep) {
+  LeaseTable leases;
+  StepScheduler sched(StepScheduler::Mode::Deterministic, 1, 1);
+  sched.attach_leases(&leases);
+  const auto dead_word = leases.word(0);
+  sched.kill_at(0, 3);
+  std::thread t([&] {
+    sched.enter(0);
+    try {
+      for (int i = 0; i < 100; ++i) {
+        sched.yield(0);
+        // The lease must not expire before the kill lands.
+        EXPECT_FALSE(leases.crashed(0));
+      }
+      ADD_FAILURE() << "kill never landed";
+    } catch (const TeamKilled&) {
+    }
+  });
+  t.join();
+  EXPECT_TRUE(leases.crashed(0));
+  EXPECT_TRUE(leases.expired(dead_word));
+  EXPECT_EQ(sched.global_steps(), 3u);
+}
+
+TEST(StepScheduler, KillAllAtActsAsWatchdog) {
+  StepScheduler sched(StepScheduler::Mode::Deterministic, 5, 2);
+  sched.kill_all_at(20);
+  std::atomic<int> killed{0};
+  std::vector<std::thread> threads;
+  for (int id = 0; id < 2; ++id) {
+    threads.emplace_back([&, id] {
+      sched.enter(id);
+      try {
+        for (int i = 0; i < 1000; ++i) sched.yield(id);
+        sched.leave(id);
+      } catch (const TeamKilled&) {
+        ++killed;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(killed, 2);
+}
+
+TEST(StepScheduler, KillAllAtKeepsEarlierKills) {
+  StepScheduler sched(StepScheduler::Mode::Deterministic, 1, 1);
+  sched.kill_at(0, 2);
+  sched.kill_all_at(50);  // must not postpone the armed kill
+  std::thread t([&] {
+    sched.enter(0);
+    try {
+      for (int i = 0; i < 100; ++i) sched.yield(0);
+    } catch (const TeamKilled&) {
+    }
+  });
+  t.join();
+  EXPECT_EQ(sched.global_steps(), 2u);
+}
+
+TEST(StepScheduler, OutOfRangeIdsRunFree) {
+  // Medic teams use an id beyond the participant set; every scheduler call
+  // must be a no-op for them (no blocking, no kill).
+  StepScheduler sched(StepScheduler::Mode::Deterministic, 1, 2);
+  sched.kill_all_at(0);
+  sched.enter(5);
+  sched.yield(5);
+  sched.yield(-1);
+  sched.leave(5);
+  sched.kill_at(5, 0);  // ignored, not out-of-bounds
+  SUCCEED();
 }
 
 TEST(StepScheduler, RejectsZeroParticipants) {

@@ -7,12 +7,26 @@
 // (a) structural invariants, (b) per-key sequential consistency of the
 // recorded history.  Any violation prints the reproduction parameters —
 // plug them into gfsl_replay to debug.  Exits non-zero on the first failure.
+//
+// Crash modes (harness/crash_sweep.h):
+//
+//   gfsl_fuzz --crash-sweep [--crash-seed S] [--crash-stride N]
+//             [--workers N] [--team-size N] [--ops N] [--range N]
+//             [--metrics-out FILE]
+//       Exhaustive crash-point sweep: kill the victim team at every yield
+//       step of the seeded reference run; every run must recover (no hang,
+//       valid structure, linearizable history with the crashed op optional).
+//
+//   gfsl_fuzz --crash-at STEP [--crash-seed S] ...
+//       Replay a single kill step — the repro form printed on failure.
 #include <cstdio>
+#include <fstream>
 #include <thread>
 
 #include "common/random.h"
 #include "core/gfsl.h"
 #include "device/device_memory.h"
+#include "harness/crash_sweep.h"
 #include "harness/history.h"
 #include "harness/options.h"
 #include "harness/workload.h"
@@ -86,10 +100,96 @@ bool run_round(const RoundParams& p, std::string* err) {
   return true;
 }
 
+void dump_metrics(const obs::MetricsRegistry& reg, const std::string& path) {
+  if (path.empty()) return;
+  std::ofstream os(path);
+  reg.write_json(os);
+  std::printf("metrics written to %s\n", path.c_str());
+}
+
+int run_crash_mode(const Options& opt) {
+  CrashSweepConfig cfg;
+  cfg.workers = static_cast<int>(opt.get_u64("workers", 3));
+  cfg.team_size = static_cast<int>(opt.get_u64("team-size", 8));
+  cfg.ops = opt.get_u64("ops", 96);
+  cfg.key_range = opt.get_u64("range", 48);
+  cfg.victim = static_cast<int>(opt.get_u64("victim", 0));
+  cfg.stride = opt.get_u64("crash-stride", 1);
+  const auto seed = opt.get_u64("crash-seed", 0xC4A5);
+  cfg.wl_seed = seed;
+  cfg.sched_seed = seed ^ 0x9E3779B97F4A7C15ull;
+  obs::MetricsRegistry reg(cfg.workers + 1);
+  reg.set_info("mode", opt.has("crash-at") ? "crash-at" : "crash-sweep");
+  const std::string metrics_out = opt.get("metrics-out", "");
+
+  if (opt.has("crash-at")) {
+    const auto step = opt.get_u64("crash-at", 1);
+    // Watchdog needs the baseline step count; run the fault-free reference
+    // first.
+    const auto base = run_crash_at(cfg, UINT64_MAX, UINT64_MAX, nullptr);
+    if (!base.ok) {
+      std::printf("FAIL baseline: %s\n", base.error.c_str());
+      return 1;
+    }
+    const auto r = run_crash_at(
+        cfg, step, base.steps * cfg.watchdog_factor + cfg.watchdog_slack,
+        &reg);
+    dump_metrics(reg, metrics_out);
+    if (!r.ok) {
+      std::printf(
+          "FAIL crash-at %llu: %s\n"
+          "  repro: --crash-at %llu --crash-seed %llu --workers %d "
+          "--team-size %d --ops %llu --range %llu\n",
+          static_cast<unsigned long long>(step), r.error.c_str(),
+          static_cast<unsigned long long>(step),
+          static_cast<unsigned long long>(seed), cfg.workers, cfg.team_size,
+          static_cast<unsigned long long>(cfg.ops),
+          static_cast<unsigned long long>(cfg.key_range));
+      return 1;
+    }
+    std::printf("crash-at %llu clean (victim %s, %d locks medic-recovered)\n",
+                static_cast<unsigned long long>(step),
+                r.victim_killed ? "killed" : "survived", r.locks_recovered);
+    return 0;
+  }
+
+  const auto sweep = run_crash_sweep(cfg, &reg, stdout);
+  dump_metrics(reg, metrics_out);
+  if (!sweep.ok) {
+    std::printf(
+        "FAIL crash-sweep at step %llu: %s\n"
+        "  repro: --crash-at %llu --crash-seed %llu --workers %d "
+        "--team-size %d --ops %llu --range %llu\n",
+        static_cast<unsigned long long>(sweep.failed_at_step),
+        sweep.error.c_str(),
+        static_cast<unsigned long long>(sweep.failed_at_step),
+        static_cast<unsigned long long>(seed), cfg.workers, cfg.team_size,
+        static_cast<unsigned long long>(cfg.ops),
+        static_cast<unsigned long long>(cfg.key_range));
+    return 1;
+  }
+  std::printf(
+      "crash-sweep clean: %llu runs over %llu steps (stride %llu), "
+      "%llu kills landed, %llu medic recoveries "
+      "(workers=%d team=%d ops=%llu range=%llu seed=%llu)\n",
+      static_cast<unsigned long long>(sweep.runs),
+      static_cast<unsigned long long>(sweep.baseline_steps),
+      static_cast<unsigned long long>(cfg.stride),
+      static_cast<unsigned long long>(sweep.kills_landed),
+      static_cast<unsigned long long>(sweep.medic_recoveries), cfg.workers,
+      cfg.team_size, static_cast<unsigned long long>(cfg.ops),
+      static_cast<unsigned long long>(cfg.key_range),
+      static_cast<unsigned long long>(seed));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const Options opt = Options::parse(argc, argv);
+  if (opt.get_bool("crash-sweep") || opt.has("crash-at")) {
+    return run_crash_mode(opt);
+  }
   const auto rounds = opt.get_u64("rounds", 40);
   RoundParams p{};
   p.workers = static_cast<int>(opt.get_u64("workers", 3));
