@@ -38,19 +38,23 @@ void BM_Shfl(benchmark::State& state) {
 BENCHMARK(BM_Shfl);
 
 struct GfslBench {
-  GfslBench(int team_size, Key prefill, bool with_leases = false)
+  GfslBench(int team_size, Key prefill, bool with_leases = false,
+            bool with_epochs = false)
       : team(team_size, 0, 1) {
     core::GfslConfig cfg;
     cfg.team_size = team_size;
     cfg.pool_chunks = 1u << 16;
     if (with_leases) leases = std::make_unique<sched::LeaseTable>();
-    sl = std::make_unique<core::Gfsl>(cfg, &mem, nullptr, leases.get());
+    if (with_epochs) epochs = std::make_unique<device::EpochManager>();
+    sl = std::make_unique<core::Gfsl>(cfg, &mem, nullptr, leases.get(),
+                                      epochs.get());
     std::vector<std::pair<Key, Value>> pairs;
     for (Key k = 1; k <= prefill; ++k) pairs.emplace_back(k * 2, k);
     sl->bulk_load(pairs);
   }
   device::DeviceMemory mem;
   std::unique_ptr<sched::LeaseTable> leases;
+  std::unique_ptr<device::EpochManager> epochs;
   simt::Team team;
   std::unique_ptr<core::Gfsl> sl;
 };
@@ -130,6 +134,33 @@ void BM_GfslContainsWithLeases(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GfslContainsWithLeases)->Arg(16)->Arg(32);
+
+// A/B partners with epoch reclamation attached: every op pins/unpins an
+// epoch slot, traversal reads verify generation stamps, and erase-side
+// merges retire chunks to limbo.  The delta against the detached loops is
+// the fault-free EBR overhead (DESIGN.md §9 budgets it within noise for
+// reads and a few percent for updates).
+void BM_GfslInsertEraseWithEpochs(benchmark::State& state) {
+  GfslBench b(32, 10'000, /*with_leases=*/false, /*with_epochs=*/true);
+  Key k = 50'001;
+  for (auto _ : state) {
+    b.sl->insert(b.team, k, 0);
+    b.sl->erase(b.team, k);
+    ++k;
+  }
+}
+BENCHMARK(BM_GfslInsertEraseWithEpochs);
+
+void BM_GfslContainsWithEpochs(benchmark::State& state) {
+  GfslBench b(static_cast<int>(state.range(0)), 10'000,
+              /*with_leases=*/false, /*with_epochs=*/true);
+  Key k = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(b.sl->contains(b.team, k));
+    k = (k % 20'000) + 1;
+  }
+}
+BENCHMARK(BM_GfslContainsWithEpochs)->Arg(16)->Arg(32);
 
 void BM_GfslContainsNoAccounting(benchmark::State& state) {
   GfslBench b(32, 10'000);

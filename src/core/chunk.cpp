@@ -1,6 +1,5 @@
 #include "core/chunk.h"
 
-#include <new>
 #include <stdexcept>
 
 namespace gfsl::core {
@@ -10,20 +9,58 @@ ChunkArena::ChunkArena(int entries_per_chunk, std::uint32_t capacity)
       capacity_(capacity),
       slots_(new std::atomic<KV>[static_cast<std::size_t>(entries_per_chunk) *
                                  capacity]),
-      next_(0) {
+      next_(0),
+      gen_(new std::atomic<std::uint32_t>[capacity]),
+      free_next_(new std::atomic<std::uint32_t>[capacity]),
+      free_head_(pack_head(0, NULL_CHUNK)),
+      free_count_(0) {
   if (n_ < 8 || n_ > 32 || (n_ & (n_ - 1)) != 0) {
     throw std::invalid_argument("chunk size must be a power of two in [8, 32]");
   }
   if (capacity == 0) {
     throw std::invalid_argument("chunk arena capacity must be positive");
   }
+  for (std::uint32_t i = 0; i < capacity; ++i) {
+    gen_[i].store(0, std::memory_order_relaxed);
+    free_next_[i].store(NULL_CHUNK, std::memory_order_relaxed);
+  }
+}
+
+ChunkRef ChunkArena::pop_free() {
+  std::uint64_t h = free_head_.load(std::memory_order_acquire);
+  while (head_index(h) != NULL_CHUNK) {
+    const std::uint32_t idx = head_index(h);
+    const std::uint32_t nxt = free_next_[idx].load(std::memory_order_relaxed);
+    // The tag is bumped only on push, so the popped node's `free_next_` read
+    // above is stable across a successful CAS: a concurrent pop+repush of
+    // `idx` would have changed the tag.
+    if (free_head_.compare_exchange_weak(h, pack_head(head_tag(h), nxt),
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire)) {
+      free_count_.fetch_sub(1, std::memory_order_relaxed);
+      return idx;
+    }
+  }
+  return NULL_CHUNK;
 }
 
 ChunkRef ChunkArena::alloc_locked(std::uint32_t owner_word) {
-  const std::uint32_t ref = next_.fetch_add(1, std::memory_order_relaxed);
-  if (ref >= capacity_) {
-    next_.fetch_sub(1, std::memory_order_relaxed);
-    throw std::bad_alloc();
+  // Recycled indices first (LIFO keeps the working set hot), bump fallback.
+  ChunkRef ref = pop_free();
+  if (ref == NULL_CHUNK) {
+    const std::uint32_t idx = next_.fetch_add(1, std::memory_order_relaxed);
+    if (idx >= capacity_) {
+      next_.fetch_sub(1, std::memory_order_relaxed);
+      return NULL_CHUNK;  // exhaustion is a value, not an exception
+    }
+    ref = idx;
+  }
+  // Transition the generation to "in use" (even).  acq_rel: the RMW's
+  // acquire half keeps the initialization stores below from being hoisted
+  // above it, so a seqlock reader cannot observe new contents under a stamp
+  // that still validates as the old lifetime.
+  if ((gen_[ref].load(std::memory_order_relaxed) & 1u) != 0) {
+    gen_[ref].fetch_add(1, std::memory_order_acq_rel);
   }
   std::atomic<KV>* e = entries(ref);
   for (int i = 0; i < dsize(); ++i) {
@@ -36,6 +73,32 @@ ChunkRef ChunkArena::alloc_locked(std::uint32_t owner_word) {
   e[lock_slot()].store(make_lock_entry(kLocked, owner_word),
                        std::memory_order_release);
   return ref;
+}
+
+void ChunkArena::recycle(ChunkRef ref) {
+  // Odd = free.  acq_rel: release publishes every store of the retiring
+  // lifetime before the stamp flips, so a reader whose post-read stamp still
+  // matches its pre-read stamp is guaranteed a consistent snapshot.
+  gen_[ref].fetch_add(1, std::memory_order_acq_rel);
+  std::uint64_t h = free_head_.load(std::memory_order_relaxed);
+  for (;;) {
+    free_next_[ref].store(head_index(h), std::memory_order_relaxed);
+    if (free_head_.compare_exchange_weak(h, pack_head(head_tag(h) + 1, ref),
+                                         std::memory_order_release,
+                                         std::memory_order_relaxed)) {
+      break;
+    }
+  }
+  free_count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ChunkArena::reset() {
+  next_.store(0, std::memory_order_relaxed);
+  free_head_.store(pack_head(0, NULL_CHUNK), std::memory_order_relaxed);
+  free_count_.store(0, std::memory_order_relaxed);
+  for (std::uint32_t i = 0; i < capacity_; ++i) {
+    free_next_[i].store(NULL_CHUNK, std::memory_order_relaxed);
+  }
 }
 
 }  // namespace gfsl::core

@@ -18,6 +18,17 @@
 // entries is N*8 bytes (128 B for N=16, 256 B for N=32 — the two sizes the
 // paper evaluates), so ChunkRef * N * 8 is the chunk's synthetic device
 // address for the coalescing/cache model.
+//
+// Reclamation (DESIGN.md §9): the arena is no longer bump-only.  `recycle`
+// pushes an index onto a lock-free LIFO free-list (Treiber stack with a
+// tagged head so free-list pops are themselves ABA-safe) and `alloc_locked`
+// pops from it before falling back to the bump pointer.  Each chunk carries
+// a *generation stamp*: odd while on the free-list, even while in use, and
+// bumped on both transitions.  A lock-free reader that raced past a reuse
+// validates the stamp it sampled before reading against the stamp after
+// (seqlock discipline) and restarts its traversal on mismatch — index reuse
+// is detectable even though the zombie-skip logic cannot distinguish the old
+// chunk from its reincarnation by contents alone.
 #pragma once
 
 #include <atomic>
@@ -46,10 +57,28 @@ class ChunkArena {
   /// (potential) last chunk until the split fills it in.  `owner_word` is
   /// the allocating team's lease word, stamped into the born-held lock so
   /// that a chunk published by a team that then crashes remains recoverable.
+  /// Recycled indices are preferred (LIFO) over fresh bump indices.
+  /// Returns NULL_CHUNK on exhaustion — the hot path never throws.
   ChunkRef alloc_locked(std::uint32_t owner_word = 0);
 
+  /// Return a chunk to the free-list.  The caller must guarantee no team
+  /// can still *acquire* a reference to it (epoch grace period + reference
+  /// scan, device/epoch.h); parked readers that already hold the ref detect
+  /// the reuse via the generation stamp.  Flips the generation to odd.
+  void recycle(ChunkRef ref);
+
+  /// Generation stamp of `ref`.  Even = in use, odd = on the free-list.
+  std::uint32_t generation(
+      ChunkRef ref, std::memory_order mo = std::memory_order_acquire) const {
+    return gen_[ref].load(mo);
+  }
+
+  /// True if `count` more allocations would succeed right now (bump headroom
+  /// plus recycled chunks).
   bool can_alloc(std::uint32_t count = 1) const {
-    return next_.load(std::memory_order_relaxed) + count <= capacity_;
+    const auto bumped = next_.load(std::memory_order_relaxed);
+    const std::uint32_t headroom = bumped < capacity_ ? capacity_ - bumped : 0;
+    return headroom + free_count_.load(std::memory_order_relaxed) >= count;
   }
 
   std::atomic<KV>* entries(ChunkRef ref) {
@@ -67,9 +96,22 @@ class ChunkArena {
   int lock_slot() const { return n_ - 1; }
 
   std::uint32_t capacity() const { return capacity_; }
+  /// Chunks currently *in use* (bump high-water minus free-list population).
+  /// With reclamation this is the live+zombie footprint, not a lifetime
+  /// allocation count.
   std::uint32_t allocated() const {
+    const auto hw = high_water();
+    const auto freed = free_count_.load(std::memory_order_relaxed);
+    return freed < hw ? hw - freed : 0;
+  }
+  /// Highest index ever handed out (sweep bound: recycled chunks keep their
+  /// slots, so full-arena scans must walk [0, high_water)).
+  std::uint32_t high_water() const {
     const auto v = next_.load(std::memory_order_relaxed);
     return v < capacity_ ? v : capacity_;
+  }
+  std::uint32_t free_count() const {
+    return free_count_.load(std::memory_order_relaxed);
   }
   std::uint32_t chunk_bytes() const { return static_cast<std::uint32_t>(n_) * 8u; }
 
@@ -80,14 +122,37 @@ class ChunkArena {
     return device_address(ref) + static_cast<std::uint64_t>(i) * 8u;
   }
 
-  /// Reset the bump pointer (quiescent only; used by Gfsl::compact()).
-  void reset() { next_.store(0, std::memory_order_relaxed); }
+  /// Reset the bump pointer and drop the free-list (quiescent only; legacy
+  /// compaction path).  Generation stamps survive so parked-reader tests
+  /// that straddle a reset still see monotone stamps; odd stamps are
+  /// normalized back to even by the next alloc of that index.
+  void reset();
 
  private:
+  // Tagged Treiber head: {tag:32 | index:32}.  The tag increments on every
+  // push so a pop's CAS cannot succeed against a head that was popped and
+  // re-pushed in between (free-list ABA).
+  static constexpr std::uint64_t pack_head(std::uint32_t tag,
+                                           std::uint32_t index) {
+    return (static_cast<std::uint64_t>(tag) << 32) | index;
+  }
+  static constexpr std::uint32_t head_tag(std::uint64_t h) {
+    return static_cast<std::uint32_t>(h >> 32);
+  }
+  static constexpr std::uint32_t head_index(std::uint64_t h) {
+    return static_cast<std::uint32_t>(h);
+  }
+
+  ChunkRef pop_free();
+
   int n_;
   std::uint32_t capacity_;
   std::unique_ptr<std::atomic<KV>[]> slots_;
   std::atomic<std::uint32_t> next_;
+  std::unique_ptr<std::atomic<std::uint32_t>[]> gen_;
+  std::unique_ptr<std::atomic<std::uint32_t>[]> free_next_;
+  std::atomic<std::uint64_t> free_head_;
+  std::atomic<std::uint32_t> free_count_;
 };
 
 // --- Entry helpers ----------------------------------------------------------

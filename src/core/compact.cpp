@@ -9,19 +9,44 @@
 #include "core/gfsl.h"
 
 #include <algorithm>
+#include <new>
 
 namespace gfsl::core {
 
 void Gfsl::compact() {
-  bulk_load(collect());  // collect() is sorted: the bottom level is ordered
+  const auto pairs = collect();  // sorted: the bottom level is ordered
+  if (epochs_ == nullptr) {
+    bulk_load(pairs);  // legacy: wholesale arena reset
+    return;
+  }
+  // With reclamation active, compaction and steady-state recycling share one
+  // code path: every in-use index — live, zombie, limbo'd or leaked — goes
+  // through arena_.recycle() (bumping its generation stamp so any parked
+  // reader still holding it restarts), the limbo lists are emptied (their
+  // indices are covered by the sweep; draining them twice would double-free),
+  // and the rebuild allocates back through the free-list.
+  std::vector<ChunkRef> limbo;
+  epochs_->drain_all(&limbo);
+  const std::uint32_t hw = arena_.high_water();
+  for (std::uint32_t ref = 0; ref < hw; ++ref) {
+    if ((arena_.generation(static_cast<ChunkRef>(ref)) & 1u) == 0) {
+      arena_.recycle(static_cast<ChunkRef>(ref));
+    }
+  }
+  rebuild(pairs);
 }
 
 void Gfsl::bulk_load(const std::vector<std::pair<Key, Value>>& pairs) {
   arena_.reset();
+  rebuild(pairs);
+}
+
+void Gfsl::rebuild(const std::vector<std::pair<Key, Value>>& pairs) {
   // Recreate the per-level head chunks exactly as construction does.
   ChunkRef below = NULL_CHUNK;
   for (int level = 0; level < max_levels(); ++level) {
     const ChunkRef ch = arena_.alloc_locked();
+    if (ch == NULL_CHUNK) throw std::bad_alloc();
     const Value down = (level == 0) ? Value{0} : static_cast<Value>(below);
     arena_.entry(ch, 0).store(make_kv(KEY_NEG_INF, down),
                               std::memory_order_relaxed);
@@ -52,6 +77,7 @@ void Gfsl::bulk_load(const std::vector<std::pair<Key, Value>>& pairs) {
     for (std::size_t at = 0; at < current.size(); at += fill) {
       const std::size_t n = std::min<std::size_t>(fill, current.size() - at);
       const ChunkRef ch = arena_.alloc_locked();
+      if (ch == NULL_CHUNK) throw std::bad_alloc();
       for (std::size_t i = 0; i < n; ++i) {
         arena_.entry(ch, static_cast<int>(i))
             .store(make_kv(current[at + i].first, current[at + i].second),

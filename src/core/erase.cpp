@@ -20,8 +20,12 @@ bool Gfsl::erase(Team& team, Key k) {
 }
 
 bool Gfsl::erase_impl(Team& team, Key k) {
+  EpochScope epoch(*this, team);
   SlowSearchResult sr = search_slow(team, k);
-  if (!sr.found) return false;
+  if (!sr.found) {
+    epoch.exit();
+    return false;
+  }
 
   ChunkRef bottom = team.shfl(sr.path, 0);
   bottom = find_and_lock_enclosing(team, bottom, k);
@@ -30,6 +34,7 @@ bool Gfsl::erase_impl(Team& team, Key k) {
     if (!chunk_contains(team, bkv, k)) {
       // Concurrently deleted between search and lock.
       unlock(team, bottom);
+      epoch.exit();
       return false;
     }
   }
@@ -46,16 +51,25 @@ bool Gfsl::erase_impl(Team& team, Key k) {
     const auto [found, ch] = find_lateral(team, k, start);
     if (!found) continue;
     const ChunkRef enc = find_and_lock_enclosing(team, ch, k);
+    // A false return (merge-split OOM) leaves the stale key in the upper
+    // level; that is legal under strict=false validation and the key stays
+    // unreachable once removed from the bottom.
     remove_from_chunk(team, k, enc, i);  // unlocks (or zombifies) enc
   }
 
   // Only after k is gone from every upper level is it removed from the
   // bottom, and the bottom lock released (Algorithm 4.11 line 22).
-  remove_from_chunk(team, k, bottom, 0);
+  if (!remove_from_chunk(team, k, bottom, 0)) {
+    // The bottom merge could not allocate its receiver split even after
+    // emergency reclaims; nothing was removed (the epoch scope dtor unpins
+    // silently during the throw).
+    throw std::bad_alloc();
+  }
+  epoch.exit();
   return true;
 }
 
-void Gfsl::remove_from_chunk(Team& team, Key k, ChunkRef enc_ref, int level) {
+bool Gfsl::remove_from_chunk(Team& team, Key k, ChunkRef enc_ref, int level) {
   const LaneVec<KV> kv = read_chunk(team, enc_ref);
   const int count = num_nonempty(team, kv);
   const int threshold = team.dsize() / 3;
@@ -66,7 +80,7 @@ void Gfsl::remove_from_chunk(Team& team, Key k, ChunkRef enc_ref, int level) {
     execute_remove_no_merge(team, kv, enc_ref, k, is_last);
     clear_intent(team);
     unlock(team, enc_ref);
-    return;
+    return true;
   }
 
   // Merge path: push the survivors into the next chunk.
@@ -75,7 +89,7 @@ void Gfsl::remove_from_chunk(Team& team, Key k, ChunkRef enc_ref, int level) {
     // Never merge the last chunk in a level (§4.2.3 "Deleting From Last
     // Chunk in Level"): just remove, even if the chunk empties completely.
     remove_from_last_chunk(team, k, enc_ref, level);
-    return;
+    return true;
   }
 
   const LaneVec<KV> nkv = read_chunk(team, next_ref);
@@ -84,6 +98,14 @@ void Gfsl::remove_from_chunk(Team& team, Key k, ChunkRef enc_ref, int level) {
   if (num_nonempty(team, nkv) + count - 1 > team.dsize()) {
     // The receiver is too full: split it first (no key inserted).
     split_moved = split_remove(team, next_ref, level);
+    if (!split_moved.ok) {
+      // Split allocation failed; nothing changed.  Release both locks and
+      // report the merge as impossible — the caller decides whether the
+      // stale key is tolerable (upper levels) or fatal (bottom).
+      unlock(team, next_ref);
+      unlock(team, enc_ref);
+      return false;
+    }
     bump_level(level, +1);
     did_split = true;
   }
@@ -109,6 +131,7 @@ void Gfsl::remove_from_chunk(Team& team, Key k, ChunkRef enc_ref, int level) {
   }
   update_down_ptrs(team, level, merged_moved);
   if (did_split) update_down_ptrs(team, level, split_moved);
+  return true;
 }
 
 void Gfsl::execute_remove_no_merge(Team& team, const LaneVec<KV>& kv,

@@ -9,11 +9,13 @@ using simt::LaneVec;
 using simt::Team;
 
 Gfsl::Gfsl(const GfslConfig& cfg, device::DeviceMemory* mem,
-           sched::StepScheduler* scheduler, sched::LeaseTable* leases)
+           sched::StepScheduler* scheduler, sched::LeaseTable* leases,
+           device::EpochManager* epochs)
     : cfg_(cfg),
       mem_(mem),
       sched_(scheduler),
       leases_(leases),
+      epochs_(epochs),
       intents_(leases == nullptr
                    ? nullptr
                    : new IntentSlot[sched::LeaseTable::kMaxTeams]),
@@ -212,8 +214,9 @@ ChunkRef Gfsl::find_and_lock_enclosing(Team& team, ChunkRef start, Key k) {
   // holder's lease (an expired holder is repaired and its lock stolen) and
   // backs off exponentially; after kSpinFallback rounds the team abandons
   // the position and re-walks laterally from `start`, so a slow holder can
-  // delay it but never pin it to one chunk.  Chunks are not reclaimed while
-  // teams run (compact() is quiescent-only), so `start` stays walkable.
+  // delay it but never pin it to one chunk.  `start` stays walkable because
+  // the caller's epoch pin (or, without an EpochManager, the absence of any
+  // reclamation) keeps every chunk it reached from being recycled.
   ChunkRef ch = start;
   int spins = 0;
   for (;;) {
@@ -262,6 +265,9 @@ ChunkRef Gfsl::lock_next_chunk(Team& team, ChunkRef locked) {
       const ChunkRef after = next_of(team, kv);
       atomic_entry_write(team, locked, arena_.next_slot(),
                          make_next_entry(next_entry_max(next_kv), after));
+      // The write above was nxt's unique unlink (performed under `locked`'s
+      // held lock): retire it.
+      retire_chunk(team, nxt);
       continue;
     }
     if (is_locked_or_zombie(team, kv)) {

@@ -30,6 +30,7 @@
 #include "core/chunk.h"
 #include "core/intent.h"
 #include "device/device_memory.h"
+#include "device/epoch.h"
 #include "sched/lease.h"
 #include "sched/step_scheduler.h"
 #include "simt/team.h"
@@ -58,6 +59,8 @@ struct ValidationReport {
   std::uint64_t zombie_chunks = 0;
   std::uint64_t data_entries = 0;  // occupied data slots in live chunks —
                                    // the occupancy gauge's numerator
+  std::uint64_t limbo_chunks = 0;  // retired, awaiting their grace period
+  std::uint64_t free_chunks = 0;   // recycled onto the arena free-list
 };
 
 class Gfsl {
@@ -70,9 +73,15 @@ class Gfsl {
   /// the holder's lease word, every destructive span publishes an intent
   /// descriptor, and a team that spins on a lock whose owner's lease expired
   /// repairs the half-done mutation and steals the lock (crash tolerance).
+  /// `epochs` may be null: then unlinked zombies leak until compact() — the
+  /// paper's semantics, bit-identical to the seed.  With an EpochManager
+  /// attached every operation pins an epoch, unlinked zombies are retired to
+  /// limbo, and their indices are recycled through the arena free-list after
+  /// a grace period (DESIGN.md §9) — churn workloads run in bounded memory.
   Gfsl(const GfslConfig& cfg, device::DeviceMemory* mem,
        sched::StepScheduler* scheduler = nullptr,
-       sched::LeaseTable* leases = nullptr);
+       sched::LeaseTable* leases = nullptr,
+       device::EpochManager* epochs = nullptr);
 
   Gfsl(const Gfsl&) = delete;
   Gfsl& operator=(const Gfsl&) = delete;
@@ -137,6 +146,16 @@ class Gfsl {
   /// Quiescent only.
   void bulk_load(const std::vector<std::pair<Key, Value>>& sorted_pairs);
 
+ private:
+  /// bulk_load minus the arena reset: build a dense structure from whatever
+  /// the arena can allocate.  compact() with an EpochManager recycles every
+  /// in-use chunk first and rebuilds through the free-list, so generation
+  /// stamps survive (a reset would forget which indices parked readers may
+  /// still compare against).
+  void rebuild(const std::vector<std::pair<Key, Value>>& sorted_pairs);
+
+ public:
+
   /// Average number of chunks read per traversal since construction — the
   /// §5.2 metric ("between structure-height+1 and structure-height+2").
   double avg_chunks_per_traversal() const;
@@ -147,6 +166,12 @@ class Gfsl {
 
   const ChunkArena& arena() const { return arena_; }
   sched::LeaseTable* leases() const { return leases_; }
+  device::EpochManager* epochs() const { return epochs_; }
+
+  /// Chunks recycled into the arena free-list since construction.
+  std::uint64_t chunks_reclaimed() const {
+    return chunks_reclaimed_.load(std::memory_order_relaxed);
+  }
 
   /// Medic sweep (recovery.cpp): repair every published intent and release
   /// every chunk lock whose owner's lease has expired.  Run after a crash
@@ -158,6 +183,12 @@ class Gfsl {
  private:
   // ---- cooperative building blocks (gfsl.cpp) ----
   simt::LaneVec<KV> read_chunk(simt::Team& team, ChunkRef ref);
+  /// read_chunk plus generation-stamp validation (seqlock read).  With an
+  /// EpochManager attached, `*stale` is set when the chunk was recycled
+  /// (or re-allocated) while we read it — the caller must restart its
+  /// traversal; detached, stamps never change and this is read_chunk.
+  simt::LaneVec<KV> read_chunk_checked(simt::Team& team, ChunkRef ref,
+                                       bool* stale);
   void sync_point(simt::Team& team);
   bool is_zombie(simt::Team& team, const simt::LaneVec<KV>& kv);
   bool is_locked_or_zombie(simt::Team& team, const simt::LaneVec<KV>& kv);
@@ -191,7 +222,8 @@ class Gfsl {
   int tid_for_next_step(simt::Team& team, Key k, const simt::LaneVec<KV>& kv);
   int tid_with_equal_key(simt::Team& team, Key k, const simt::LaneVec<KV>& kv);
   ChunkRef search_down(simt::Team& team, Key k);
-  bool search_lateral(simt::Team& team, Key k, ChunkRef start, Value* out_value);
+  bool search_lateral(simt::Team& team, Key k, ChunkRef start, Value* out_value,
+                      bool* stale = nullptr);
 
   struct SlowSearchResult {
     bool found = false;
@@ -206,15 +238,19 @@ class Gfsl {
   ChunkRef search_down_to_level(simt::Team& team, int target_level, Key k);
 
   /// Follow next pointers from a zombie to the first non-zombie chunk.
-  ChunkRef first_non_zombie(simt::Team& team, const simt::LaneVec<KV>& kv);
+  /// When `skipped` is non-null the intermediate zombies are appended to it
+  /// (the retire list of a successful unlink).
+  ChunkRef first_non_zombie(simt::Team& team, const simt::LaneVec<KV>& kv,
+                            std::vector<ChunkRef>* skipped = nullptr);
   /// Lazily unlink zombies between prev and `first_nz` (searchSlow, §4.2.2).
   void redirect_to_remove_zombie(simt::Team& team, ChunkRef prev,
                                  ChunkRef first_nz);
 
   // ---- insert (insert.cpp) ----
+  enum class InsertStatus { kInserted, kDuplicate, kNoMemory };
   bool insert_impl(simt::Team& team, Key k, Value v);
-  bool insert_to_level(simt::Team& team, int level, ChunkRef& enc, Key& k,
-                       Value v, bool& raise);
+  InsertStatus insert_to_level(simt::Team& team, int level, ChunkRef& enc,
+                               Key& k, Value v, bool& raise);
   void execute_insert(simt::Team& team, ChunkRef ref,
                       const simt::LaneVec<KV>& kv, Key k, Value v);
 
@@ -223,10 +259,12 @@ class Gfsl {
     simt::LaneVec<Key> keys;  // ascending; lane i holds the i-th moved key
     int count = 0;
     ChunkRef moved_to = NULL_CHUNK;
+    bool ok = true;  // false: the split's allocation failed, nothing happened
   };
   struct SplitOutcome {
     ChunkRef locked;   // chunk (old or new) containing k; still locked
-    ChunkRef fresh;    // the newly allocated chunk
+    ChunkRef fresh;    // the newly allocated chunk; NULL_CHUNK = OOM, in
+                       // which case `locked` is the untouched input chunk
     Key raised_key;    // key to raise if the coin flip says so
     MovedKeys moved;
   };
@@ -240,13 +278,72 @@ class Gfsl {
 
   // ---- erase (erase.cpp) ----
   bool erase_impl(simt::Team& team, Key k);
-  void remove_from_chunk(simt::Team& team, Key k, ChunkRef enc_ref, int level);
+  /// Remove k from the locked chunk `enc_ref`, merging if underfull.
+  /// Releases (or zombifies) every lock it holds either way.  Returns false
+  /// only when a merge-path split ran out of memory — nothing was removed.
+  bool remove_from_chunk(simt::Team& team, Key k, ChunkRef enc_ref, int level);
   void execute_remove_no_merge(simt::Team& team, const simt::LaneVec<KV>& kv,
                                ChunkRef ref, Key k, bool is_last_chunk);
   void remove_from_last_chunk(simt::Team& team, Key k, ChunkRef ref, int level);
 
   // ---- down-pointer repair (update_down.cpp) ----
   void update_down_ptrs(simt::Team& team, int level, const MovedKeys& moved);
+
+  // ---- epoch-based reclamation (reclaim.cpp; DESIGN.md §9) ----
+  /// Own-limbo depth at which an operation exit runs a reclaim pass.
+  static constexpr std::size_t kReclaimBatch = 64;
+
+  /// RAII pin for the calling team's epoch slot.  The *normal* path must
+  /// call exit() — a yield point that also runs epoch maintenance (advance
+  /// attempt + reclaim pass when limbo is deep).  The destructor only does
+  /// a silent, non-yielding unpin: it runs during unwind (TeamKilled,
+  /// bad_alloc), where a yield could either terminate the process or
+  /// swallow a kill whose lease was already marked crashed.
+  class EpochScope {
+   public:
+    EpochScope(Gfsl& g, simt::Team& team) : g_(g), team_(team) {
+      if (g_.epochs_ != nullptr && !g_.epochs_->pinned(team_.id())) {
+        g_.epochs_->pin(team_.id());
+        top_ = true;
+      }
+    }
+    void exit() {
+      if (top_) {
+        top_ = false;
+        g_.epoch_exit(team_);
+      }
+    }
+    ~EpochScope() {
+      if (top_) g_.epochs_->unpin(team_.id());
+    }
+    EpochScope(const EpochScope&) = delete;
+    EpochScope& operator=(const EpochScope&) = delete;
+
+   private:
+    Gfsl& g_;
+    simt::Team& team_;
+    bool top_ = false;
+  };
+
+  /// Normal-path epoch exit: one yield point (the epoch announcement), a
+  /// reclaim pass when this team's limbo is deep, unpin, advance attempt.
+  void epoch_exit(simt::Team& team);
+
+  /// Retire an unlinked zombie into the caller's limbo list.  Must be
+  /// called exactly once per unlink, by the unlinking team (the unlink
+  /// point is unique: a predecessor's held lock or a won head-swing CAS).
+  /// Without an EpochManager this is a no-op — zombies leak, seed-style.
+  void retire_chunk(simt::Team& team, ChunkRef ref);
+
+  /// Drain this team's reclaim candidates, scan the upper levels for stale
+  /// down-pointer references into them (repairing any found by swinging the
+  /// entry to the level-below head), recycle the unreferenced candidates
+  /// and requeue the rest.  Returns the number recycled.
+  std::size_t reclaim_pass(simt::Team& team);
+
+  /// arena_.alloc_locked with an emergency reclaim attempt on exhaustion.
+  /// Returns NULL_CHUNK when the pool is truly out of memory.
+  ChunkRef alloc_chunk(simt::Team& team);
 
   // ---- crash tolerance (recovery.cpp) ----
   /// Spin cap before a waiter falls back to a fresh lateral walk.
@@ -303,8 +400,10 @@ class Gfsl {
   device::DeviceMemory* mem_;
   sched::StepScheduler* sched_;
   sched::LeaseTable* leases_;
+  device::EpochManager* epochs_;
   std::unique_ptr<IntentSlot[]> intents_;  // one per team id; null w/o leases
   ChunkArena arena_;
+  std::atomic<std::uint64_t> chunks_reclaimed_{0};
   std::uint64_t head_device_base_;  // synthetic address of the head array
   std::array<std::atomic<ChunkRef>, kMaxLevels> head_;
   std::array<std::atomic<std::int64_t>, kMaxLevels> level_chunks_;

@@ -21,14 +21,25 @@ bool Gfsl::insert(Team& team, Key k, Value v) {
 }
 
 bool Gfsl::insert_impl(Team& team, Key k, Value v) {
+  EpochScope epoch(*this, team);
   SlowSearchResult sr = search_slow(team, k);
-  if (sr.found) return false;
+  if (sr.found) {
+    epoch.exit();
+    return false;
+  }
 
   bool raise = false;
   ChunkRef bottom = team.shfl(sr.path, 0);
-  if (!insert_to_level(team, /*level=*/0, bottom, k, v, raise)) {
-    // Another team inserted k between our search and the lock.
+  const InsertStatus st = insert_to_level(team, /*level=*/0, bottom, k, v,
+                                          raise);
+  if (st != InsertStatus::kInserted) {
+    // kDuplicate: another team inserted k between our search and the lock.
+    // kNoMemory: the pool is exhausted even after emergency reclaims; the
+    // structure is untouched, so unwind and surface it (the epoch scope
+    // dtor unpins silently during the throw).
     unlock(team, bottom);
+    if (st == InsertStatus::kNoMemory) throw std::bad_alloc();
+    epoch.exit();
     return false;
   }
 
@@ -40,22 +51,29 @@ bool Gfsl::insert_impl(Team& team, Key k, Value v) {
   int level = 1;
   while (raise && level < max_levels()) {
     ChunkRef enc = team.shfl(sr.path, level);
-    insert_to_level(team, level, enc, k, up_value, raise);
+    if (insert_to_level(team, level, enc, k, up_value, raise) ==
+        InsertStatus::kNoMemory) {
+      // Raising is an optimization: the key is already durably in the
+      // bottom level, so an exhausted pool just stops the raise.
+      unlock(team, enc);
+      break;
+    }
     up_value = static_cast<Value>(enc);
     unlock(team, enc);
     ++level;
   }
 
   unlock(team, bottom);
+  epoch.exit();
   return true;
 }
 
-bool Gfsl::insert_to_level(Team& team, int level, ChunkRef& enc, Key& k,
-                           Value v, bool& raise) {
+Gfsl::InsertStatus Gfsl::insert_to_level(Team& team, int level, ChunkRef& enc,
+                                         Key& k, Value v, bool& raise) {
   enc = find_and_lock_enclosing(team, enc, k);
   const LaneVec<KV> kv = read_chunk(team, enc);
   raise = false;
-  if (chunk_contains(team, kv, k)) return false;
+  if (chunk_contains(team, kv, k)) return InsertStatus::kDuplicate;
 
   if (num_nonempty(team, kv) < team.dsize()) {
     execute_insert(team, enc, kv, k, v);
@@ -67,12 +85,18 @@ bool Gfsl::insert_to_level(Team& team, int level, ChunkRef& enc, Key& k,
     }
   } else {
     const SplitOutcome out = split_insert(team, enc, k, v, level);
+    if (out.fresh == NULL_CHUNK) {
+      // Split allocation failed; `out.locked` is the untouched input chunk,
+      // still locked, so the caller can unwind cleanly.
+      enc = out.locked;
+      return InsertStatus::kNoMemory;
+    }
     enc = out.locked;
     k = out.raised_key;
     bump_level(level, +1);
     raise = team.bernoulli(cfg_.p_chunk);  // on-device coin flip (§4.2.2)
   }
-  return true;
+  return InsertStatus::kInserted;
 }
 
 void Gfsl::execute_insert(Team& team, ChunkRef ref, const LaneVec<KV>& kv,

@@ -1,0 +1,181 @@
+// Epoch-based chunk reclamation (DESIGN.md §9).
+//
+// The paper's merges only *mark* chunks as zombies; nothing is ever freed,
+// so sustained churn exhausts the pool.  With an EpochManager attached the
+// pipeline becomes:
+//
+//   mark_zombie  ->  unlink (lock_next_chunk / redirect / head-swing)
+//                ->  retire_chunk (stamped into the unlinker's limbo list)
+//                ->  grace period (two epoch advances past every pin that
+//                    could have seen the chunk linked)
+//                ->  reclaim_pass: reference-scan the upper levels for stale
+//                    down pointers into the candidates; repair + requeue the
+//                    referenced ones, recycle the rest onto the free-list
+//                ->  alloc_locked pops the recycled index, generation stamp
+//                    flips to a new lifetime
+//
+// Why the reference scan: a raising insert writes (k, enc) into level l+1
+// *after* unlocking enc, and merge/split repair down pointers only lazily —
+// a down pointer is a persistent structural reference that no epoch pin
+// protects.  The grace period guarantees the set of such references is
+// frozen (any writer that could still create one held a pin from before the
+// unlink, which blocks draining), so one left-to-right scan sees them all:
+// splits and merges only move entries rightward, and a merge's copy
+// completes before the zombify release-store, so an entry can never slip
+// left past the scan cursor.
+//
+// Parked readers — teams that already hold the chunk ref in a register —
+// are the one thing neither pins nor the scan can rule out once the index
+// is reused; they detect the reuse through the generation stamp
+// (read_chunk_checked) and restart their traversal.
+//
+// Everything here is gated on `epochs_ != nullptr`: detached, no stamp is
+// ever read, no extra yield point fires, and the structure is bit-identical
+// to the seed (zombies leak until compact()).
+#include "core/gfsl.h"
+
+#include <unordered_set>
+
+namespace gfsl::core {
+
+using simt::LaneVec;
+using simt::Team;
+
+LaneVec<KV> Gfsl::read_chunk_checked(Team& team, ChunkRef ref, bool* stale) {
+  if (epochs_ == nullptr) {
+    *stale = false;
+    return read_chunk(team, ref);
+  }
+  // Seqlock read: stamp, contents, stamp.  The stamp loads piggyback on the
+  // chunk's cache line and add no lockstep instruction of their own.
+  const auto g1 = arena_.generation(ref, std::memory_order_acquire);
+  LaneVec<KV> kv = read_chunk(team, ref);
+  std::atomic_thread_fence(std::memory_order_acquire);
+  const auto g2 = arena_.generation(ref, std::memory_order_relaxed);
+  *stale = (g1 != g2) || (g1 & 1u) != 0;
+  if (*stale) {
+    team.metric(obs::kStaleChunkReads);
+    ++team.counters().restarts;
+    team.record(simt::TraceEvent::kRestart, ref);
+  }
+  return kv;
+}
+
+void Gfsl::retire_chunk(Team& team, ChunkRef ref) {
+  if (epochs_ == nullptr) return;  // seed semantics: the zombie just leaks
+  epochs_->retire(team.id(), ref);
+  team.metric(obs::kChunkRetires);
+  team.record(simt::TraceEvent::kChunkRetired, ref, epochs_->global());
+}
+
+void Gfsl::epoch_exit(Team& team) {
+  // The epoch announcement is a yield point: crash-sweep and deterministic
+  // schedules get to interleave (and kill) right at the reclamation edge.
+  sync_point(team);
+  if (epochs_->limbo_depth(team.id()) >= kReclaimBatch) {
+    reclaim_pass(team);
+  }
+  epochs_->unpin(team.id());
+  if (epochs_->try_advance()) {
+    team.metric(obs::kEpochAdvances);
+    team.record(simt::TraceEvent::kEpochAdvance, epochs_->global());
+  }
+}
+
+std::size_t Gfsl::reclaim_pass(Team& team) {
+  if (epochs_ == nullptr) return 0;
+  std::vector<ChunkRef> cand;
+  epochs_->drain_safe(team.id(), &cand);
+  if (cand.empty()) return 0;
+
+  std::unordered_set<ChunkRef> cset(cand.begin(), cand.end());
+
+  // Reference scan: walk every live upper-level chunk left to right and
+  // collect data entries whose value half names a candidate.  Level-0
+  // values are user payloads and head chunks are reached via head_, so only
+  // levels >= 1 can hold a structural reference.  Zombie chunks are skipped:
+  // their entries are never down-stepped by any traversal.
+  struct StaleRef {
+    ChunkRef holder;
+    int lane;
+    Key key;
+    ChunkRef target;
+    int level;
+  };
+  std::vector<StaleRef> refs;
+  std::unordered_set<ChunkRef> referenced;
+  for (int l = 1; l < max_levels(); ++l) {
+    ChunkRef cur =
+        head_[static_cast<std::size_t>(l)].load(std::memory_order_acquire);
+    std::unordered_set<ChunkRef> seen;
+    while (cur != NULL_CHUNK && seen.insert(cur).second) {
+      const LaneVec<KV> kv = read_chunk(team, cur);
+      if (!is_zombie(team, kv)) {
+        for (int i = 0; i < team.dsize(); ++i) {
+          if (kv_is_empty(kv[i])) continue;
+          const auto target = static_cast<ChunkRef>(kv_value(kv[i]));
+          if (cset.count(target) != 0) {
+            referenced.insert(target);
+            refs.push_back({cur, i, kv_key(kv[i]), target, l});
+          }
+        }
+      }
+      cur = next_of(team, kv);
+    }
+  }
+
+  // Scrub the stale references: swing each to the head of the level below,
+  // from which the key's enclosing chunk is always laterally reachable
+  // (§4.3 "Order Between Down Pointers" holds trivially from the head).
+  // try_lock only — on contention the candidate is requeued and a later
+  // pass retries.
+  for (const StaleRef& sr : refs) {
+    if (!try_lock(team, sr.holder)) continue;
+    const LaneVec<KV> kv = read_chunk(team, sr.holder);
+    const KV want = make_kv(sr.key, static_cast<Value>(sr.target));
+    if (team.shfl(kv, sr.lane) == want) {
+      const ChunkRef below =
+          head_[static_cast<std::size_t>(sr.level - 1)].load(
+              std::memory_order_acquire);
+      atomic_entry_write(team, sr.holder, sr.lane,
+                         make_kv(sr.key, static_cast<Value>(below)));
+      team.metric(obs::kDownPtrScrubs);
+    }
+    unlock(team, sr.holder);
+  }
+
+  // Recycle what nothing references; requeue the rest (their scrub — or a
+  // competing down-pointer repair — must itself age out before reuse).
+  std::size_t freed = 0;
+  for (const ChunkRef ref : cand) {
+    if (referenced.count(ref) != 0) {
+      epochs_->requeue(team.id(), ref);
+      team.metric(obs::kChunkRequeues);
+      team.record(simt::TraceEvent::kChunkReclaimed, ref, 0);
+    } else {
+      arena_.recycle(ref);
+      chunks_reclaimed_.fetch_add(1, std::memory_order_relaxed);
+      ++freed;
+      team.metric(obs::kChunkReclaims);
+      team.record(simt::TraceEvent::kChunkReclaimed, ref, 1);
+    }
+  }
+  return freed;
+}
+
+ChunkRef Gfsl::alloc_chunk(Team& team) {
+  ChunkRef ref = arena_.alloc_locked(lease_word(team));
+  if (ref != NULL_CHUNK || epochs_ == nullptr) return ref;
+  // Exhausted: help the epoch along and drain our own limbo.  Our own pin
+  // (taken at operation entry) only blocks candidates retired during this
+  // very operation; everything older can still drain.
+  for (int round = 0; round < 4 && ref == NULL_CHUNK; ++round) {
+    team.metric(obs::kEmergencyReclaims);
+    epochs_->try_advance();
+    reclaim_pass(team);
+    ref = arena_.alloc_locked(lease_word(team));
+  }
+  return ref;
+}
+
+}  // namespace gfsl::core

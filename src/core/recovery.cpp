@@ -103,7 +103,16 @@ bool Gfsl::maybe_recover(Team& team, ChunkRef ref, KV lock_kv) {
   if (w == 0 || !leases_->expired(w)) return false;
   team.metric(obs::kLeaseExpiries);
   team.record(simt::TraceEvent::kLeaseExpired, ref, w);
-  IntentSlot* slot = intent_of(sched::LeaseTable::word_team(w));
+  // A dead team's epoch pin would wedge reclamation for everyone.  Guard on
+  // crashed(id) — not just the expired word — so a revived id's *live* pin
+  // is never dropped; then take over its limbo so the retirees drain
+  // through our own reclaim passes.
+  const int dead_id = sched::LeaseTable::word_team(w);
+  if (epochs_ != nullptr && leases_->crashed(dead_id)) {
+    epochs_->force_quiesce(dead_id);
+    epochs_->adopt(dead_id, team.id());
+  }
+  IntentSlot* slot = intent_of(dead_id);
   if (slot != nullptr) {
     const std::uint32_t iw = slot->word.load(std::memory_order_acquire);
     if (iw != 0) {
@@ -273,6 +282,18 @@ bool Gfsl::repair_merge(Team& team, ChunkRef enc_ref, ChunkRef next_ref,
 
 int Gfsl::recover_all_expired(Team& team) {
   if (leases_ == nullptr) return 0;
+  EpochScope epoch(*this, team);
+  // Quiesce every crashed team's epoch state first: clear pins that would
+  // wedge the global epoch forever and adopt their limbo lists, so the
+  // orphaned retirees drain through the medic's own reclaim passes.
+  if (epochs_ != nullptr) {
+    for (int id = 0; id < sched::LeaseTable::kMaxTeams; ++id) {
+      if (leases_->crashed(id)) {
+        epochs_->force_quiesce(id);
+        epochs_->adopt(id, team.id());
+      }
+    }
+  }
   // Repair every claimable intent first, so data repairs precede releases.
   for (int id = 0; id < sched::LeaseTable::kMaxTeams; ++id) {
     IntentSlot& slot = intents_[id];
@@ -281,9 +302,11 @@ int Gfsl::recover_all_expired(Team& team) {
   }
   // Then sweep the arena for remaining dead-owned locks: spans that never
   // published, born-locked chunks that were never reached, bottom locks
-  // nobody spun on.
+  // nobody spun on.  The bound is the bump high-water mark, not the in-use
+  // count: recycled indices below it may be reused (and locked) again, and
+  // dead-owned chunks may themselves sit on the free-list side.
   int released = 0;
-  const std::uint32_t n = arena_.allocated();
+  const std::uint32_t n = arena_.high_water();
   for (std::uint32_t ref = 0; ref < n; ++ref) {
     for (int attempt = 0; attempt < 8; ++attempt) {
       const KV lk = arena_.entry(static_cast<ChunkRef>(ref), arena_.lock_slot())
@@ -294,6 +317,7 @@ int Gfsl::recover_all_expired(Team& team) {
       if (maybe_recover(team, static_cast<ChunkRef>(ref), lk)) ++released;
     }
   }
+  epoch.exit();
   return released;
 }
 

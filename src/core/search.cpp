@@ -49,8 +49,13 @@ ChunkRef Gfsl::search_down(Team& team, Key k) {
     bool restart = false;
 
     while (height > 0) {
-      const LaneVec<KV> kv = read_chunk(team, cur);
+      bool stale = false;
+      const LaneVec<KV> kv = read_chunk_checked(team, cur, &stale);
       ++reads;
+      if (stale) {  // chunk recycled under us — the path is garbage
+        restart = true;
+        break;
+      }
       if (is_zombie(team, kv)) {
         // Zombies are skipped laterally; their contents moved right (§4.2.1).
         note_zombie(team, cur);
@@ -91,13 +96,22 @@ ChunkRef Gfsl::search_down(Team& team, Key k) {
   }
 }
 
-bool Gfsl::search_lateral(Team& team, Key k, ChunkRef start, Value* out_value) {
+bool Gfsl::search_lateral(Team& team, Key k, ChunkRef start, Value* out_value,
+                          bool* stale) {
   // Algorithm 4.4: bottom-level lateral walk to k's enclosing chunk.
   ChunkRef cur = start;
   std::uint64_t reads = 0;
   for (;;) {
-    const LaneVec<KV> kv = read_chunk(team, cur);
+    bool st = false;
+    const LaneVec<KV> kv = stale != nullptr
+                               ? read_chunk_checked(team, cur, &st)
+                               : read_chunk(team, cur);
     ++reads;
+    if (st) {  // recycled under us; the caller restarts from the top
+      traversal_chunk_reads_.fetch_add(reads, std::memory_order_relaxed);
+      *stale = true;
+      return false;
+    }
     const int found = tid_with_equal_key(team, k, kv);
     if (found == team.next_lane()) {
       cur = next_of(team, kv);
@@ -117,28 +131,46 @@ bool Gfsl::search_lateral(Team& team, Key k, ChunkRef start, Value* out_value) {
 
 bool Gfsl::contains(Team& team, Key k) {
   simt::OpScope scope(team, obs::kContainsOp, k);
-  const bool r = search_lateral(team, k, search_down(team, k), nullptr);
+  EpochScope epoch(*this, team);
+  bool r = false;
+  for (;;) {  // generation-stamp staleness restarts the whole traversal
+    bool stale = false;
+    r = search_lateral(team, k, search_down(team, k), nullptr, &stale);
+    if (!stale) break;
+  }
+  epoch.exit();
   scope.set_result(r);
   return r;
 }
 
 std::optional<Value> Gfsl::find(Team& team, Key k) {
   simt::OpScope scope(team, obs::kContainsOp, k);
+  EpochScope epoch(*this, team);
   Value v{};
-  const bool r = search_lateral(team, k, search_down(team, k), &v);
+  bool r = false;
+  for (;;) {
+    bool stale = false;
+    r = search_lateral(team, k, search_down(team, k), &v, &stale);
+    if (!stale) break;
+  }
+  epoch.exit();
   scope.set_result(r);
   if (r) return v;
   return std::nullopt;
 }
 
-ChunkRef Gfsl::first_non_zombie(Team& team, const LaneVec<KV>& kv) {
+ChunkRef Gfsl::first_non_zombie(Team& team, const LaneVec<KV>& kv,
+                                std::vector<ChunkRef>* skipped) {
   // Follow next pointers until a non-zombie chunk; the last chunk in a level
-  // is never a zombie (§4.2.3), so this terminates.
+  // is never a zombie (§4.2.3), so this terminates.  Zombies are frozen
+  // (terminal lock state; nobody writes their entries again), so the chain
+  // recorded in `skipped` is exactly the chain a subsequent unlink removes.
   ChunkRef cur = next_of(team, kv);
   for (;;) {
     const LaneVec<KV> nkv = read_chunk(team, cur);
     if (!is_zombie(team, nkv)) return cur;
     note_zombie(team, cur);
+    if (skipped != nullptr) skipped->push_back(cur);
     cur = next_of(team, nkv);
   }
 }
@@ -153,15 +185,21 @@ void Gfsl::redirect_to_remove_zombie(Team& team, ChunkRef prev, ChunkRef) {
   const LaneVec<KV> pkv = read_chunk(team, prev);
   ChunkRef target = next_of(team, pkv);
   bool changed = false;
+  std::vector<ChunkRef> chain;  // zombies this swing unlinks
   while (target != NULL_CHUNK) {
     const LaneVec<KV> tkv = read_chunk(team, target);
     if (!is_zombie(team, tkv)) break;
+    chain.push_back(target);
     target = next_of(team, tkv);
     changed = true;
   }
   if (changed) {
     atomic_entry_write(team, prev, arena_.next_slot(),
                        make_next_entry(max_of(team, pkv), target));
+    // prev's held lock makes this the unique unlink of `chain`: any other
+    // unlinker of these zombies must also lock prev, and after our swing
+    // they are no longer reachable from it.
+    for (const ChunkRef z : chain) retire_chunk(team, z);
   }
   unlock(team, prev);
 }
@@ -193,18 +231,27 @@ Gfsl::SlowSearchResult Gfsl::search_slow(Team& team, Key k) {
       ++reads;
       if (is_zombie(team, kv)) {
         note_zombie(team, cur);
-        const ChunkRef fnz = first_non_zombie(team, kv);
+        const bool at_head =
+            !have_prev && head_[static_cast<std::size_t>(height)].load(
+                              std::memory_order_acquire) == cur;
+        std::vector<ChunkRef> chain;
+        if (at_head) chain.push_back(cur);
+        const ChunkRef fnz =
+            first_non_zombie(team, kv, at_head ? &chain : nullptr);
         if (have_prev) {
           redirect_to_remove_zombie(team, prev_ref, fnz);
-        } else if (head_[static_cast<std::size_t>(height)].load(
-                       std::memory_order_acquire) == cur) {
+        } else if (at_head) {
           // The zombie was the first chunk in the level: swing the head.
+          // Zombie next pointers are frozen, so a won CAS from `cur`
+          // unlinks exactly `chain` — the unique retire point for it.
           ChunkRef expected = cur;
           mem_->atomic_rmw(head_device_base_ + 256 +
                            static_cast<std::uint64_t>(height) * 4u);
-          head_[static_cast<std::size_t>(height)].compare_exchange_strong(
-              expected, fnz, std::memory_order_acq_rel,
-              std::memory_order_acquire);
+          if (head_[static_cast<std::size_t>(height)].compare_exchange_strong(
+                  expected, fnz, std::memory_order_acq_rel,
+                  std::memory_order_acquire)) {
+            for (const ChunkRef z : chain) retire_chunk(team, z);
+          }
           team.step();
         }
         cur = fnz;
@@ -247,8 +294,31 @@ Gfsl::SlowSearchResult Gfsl::search_slow(Team& team, Key k) {
       ++reads;
       if (is_zombie(team, kv)) {
         note_zombie(team, cur);
-        const ChunkRef fnz = first_non_zombie(team, kv);
-        if (bprev != NULL_CHUNK) redirect_to_remove_zombie(team, bprev, fnz);
+        // The seed never unlinked a zombified *first* bottom chunk (no
+        // predecessor to redirect through), which is harmless when zombies
+        // leak but fatal under reclamation: erasing small keys merges the
+        // head chunk over and over and the zombie chain pins the pool.
+        // With an EpochManager attached, mirror the upper-level head swing;
+        // detached, keep the seed's exact step sequence.
+        const bool at_head =
+            epochs_ != nullptr && bprev == NULL_CHUNK &&
+            head_[0].load(std::memory_order_acquire) == cur;
+        std::vector<ChunkRef> chain;
+        if (at_head) chain.push_back(cur);
+        const ChunkRef fnz =
+            first_non_zombie(team, kv, at_head ? &chain : nullptr);
+        if (bprev != NULL_CHUNK) {
+          redirect_to_remove_zombie(team, bprev, fnz);
+        } else if (at_head) {
+          ChunkRef expected = cur;
+          mem_->atomic_rmw(head_device_base_ + 256);
+          if (head_[0].compare_exchange_strong(expected, fnz,
+                                               std::memory_order_acq_rel,
+                                               std::memory_order_acquire)) {
+            for (const ChunkRef z : chain) retire_chunk(team, z);
+          }
+          team.step();
+        }
         cur = fnz;
         continue;
       }
@@ -276,36 +346,48 @@ std::size_t Gfsl::scan(Team& team, Key lo, Key hi,
   if (lo > hi || limit == 0) return 0;
 
   simt::OpScope scope(team, obs::kScanOp, lo);
+  EpochScope epoch(*this, team);
   const std::size_t start_size = out.size();
-  ChunkRef cur = search_down(team, lo);
-  for (;;) {
-    const LaneVec<KV> kv = read_chunk(team, cur);
-    if (is_zombie(team, kv)) {
-      // Zombie contents moved right; skip without collecting.
-      note_zombie(team, cur);
-      cur = next_of(team, kv);
-      continue;
-    }
-    // Cooperative in-range vote; entries are sorted within the chunk, so
-    // gathering in slot order keeps the output ordered.
-    const std::uint32_t in_range = team.ballot_fn([&](int i) {
-      if (i >= team.dsize()) return false;
-      const Key k = kv_key(kv[i]);
-      return k >= lo && k <= hi && k != KEY_NEG_INF && !kv_is_empty(kv[i]);
-    });
-    for (int i = 0; i < team.dsize(); ++i) {
-      if ((in_range & (1u << i)) == 0) continue;
-      if (out.size() - start_size >= limit) {
-        scope.set_value(out.size() - start_size);
-        return out.size() - start_size;
+  bool done = false;
+  while (!done) {  // stale chunk read restarts the whole scan
+    out.resize(start_size);
+    ChunkRef cur = search_down(team, lo);
+    for (;;) {
+      bool stale = false;
+      const LaneVec<KV> kv = read_chunk_checked(team, cur, &stale);
+      if (stale) break;
+      if (is_zombie(team, kv)) {
+        // Zombie contents moved right; skip without collecting.
+        note_zombie(team, cur);
+        cur = next_of(team, kv);
+        continue;
       }
-      out.emplace_back(kv_key(kv[i]), kv_value(kv[i]));
+      // Cooperative in-range vote; entries are sorted within the chunk, so
+      // gathering in slot order keeps the output ordered.
+      const std::uint32_t in_range = team.ballot_fn([&](int i) {
+        if (i >= team.dsize()) return false;
+        const Key k = kv_key(kv[i]);
+        return k >= lo && k <= hi && k != KEY_NEG_INF && !kv_is_empty(kv[i]);
+      });
+      bool full = false;
+      for (int i = 0; i < team.dsize() && !full; ++i) {
+        if ((in_range & (1u << i)) == 0) continue;
+        if (out.size() - start_size >= limit) {
+          full = true;
+          break;
+        }
+        out.emplace_back(kv_key(kv[i]), kv_value(kv[i]));
+      }
+      const Key max = max_of(team, kv);
+      const ChunkRef nxt = next_of(team, kv);
+      if (full || max >= hi || nxt == NULL_CHUNK) {
+        done = true;
+        break;
+      }
+      cur = nxt;
     }
-    const Key max = max_of(team, kv);
-    const ChunkRef nxt = next_of(team, kv);
-    if (max >= hi || nxt == NULL_CHUNK) break;
-    cur = nxt;
   }
+  epoch.exit();
   scope.set_value(out.size() - start_size);
   return out.size() - start_size;
 }

@@ -15,8 +15,15 @@ using simt::Team;
 /// chunk is returned still locked.
 Gfsl::MovedKeys Gfsl::split_remove(Team& team, ChunkRef next_ref, int level) {
   team.record(simt::TraceEvent::kSplit, next_ref, static_cast<std::uint64_t>(level));
+  // Allocate before taking any further lock: exhaustion then unwinds
+  // without having touched the structure (the caller still holds next_ref).
+  const ChunkRef fresh = alloc_chunk(team);
+  if (fresh == NULL_CHUNK) {
+    MovedKeys failed;
+    failed.ok = false;
+    return failed;
+  }
   const ChunkRef after = lock_next_chunk(team, next_ref);
-  const ChunkRef fresh = arena_.alloc_locked(lease_word(team));
   const LaneVec<KV> skv = read_chunk(team, next_ref);
   const int dsz = team.dsize();
   const int half = dsz / 2;
@@ -66,9 +73,17 @@ Gfsl::MovedKeys Gfsl::split_remove(Team& team, ChunkRef next_ref, int level) {
 Gfsl::SplitOutcome Gfsl::split_insert(Team& team, ChunkRef split_ref, Key k,
                                       Value v, int level) {
   team.record(simt::TraceEvent::kSplit, split_ref, static_cast<std::uint64_t>(level));
+  // Allocate first: on exhaustion nothing is locked or modified yet, so the
+  // caller gets its untouched, still-locked input chunk back.
+  const ChunkRef fresh = alloc_chunk(team);
+  if (fresh == NULL_CHUNK) {
+    SplitOutcome oom;
+    oom.locked = split_ref;
+    oom.fresh = NULL_CHUNK;
+    return oom;
+  }
   // preSplit: lock the successor so it cannot merge away mid-split.
   const ChunkRef after = lock_next_chunk(team, split_ref);
-  const ChunkRef fresh = arena_.alloc_locked(lease_word(team));
   const LaneVec<KV> skv = read_chunk(team, split_ref);
   const int dsz = team.dsize();
   const int half = dsz / 2;

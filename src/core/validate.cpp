@@ -41,6 +41,7 @@ ValidationReport Gfsl::validate(bool strict) const {
       static_cast<std::size_t>(max_levels()));
   std::vector<std::set<ChunkRef>> live_refs(
       static_cast<std::size_t>(max_levels()));
+  std::set<ChunkRef> reachable;  // every chain ref, zombies included
 
   for (int l = 0; l < max_levels(); ++l) {
     bool cycle = false;
@@ -62,6 +63,7 @@ ValidationReport Gfsl::validate(bool strict) const {
       std::ostringstream where;
       where << "level " << l << " chunk " << ch.ref;
 
+      reachable.insert(ch.ref);
       if (ch.lock == kLocked) fail(where.str() + " left locked at quiescence");
       if (ch.lock == kZombie) {
         ++rep.zombie_chunks;
@@ -157,6 +159,44 @@ ValidationReport Gfsl::validate(bool strict) const {
           level_keys[static_cast<std::size_t>(l - 1)].count(key) == 0) {
         fail("level " + std::to_string(l) + " key " + std::to_string(key) +
              " missing from level below (strict)");
+      }
+    }
+  }
+
+  // Reclamation bookkeeping (DESIGN.md §9): classify every index the bump
+  // pointer ever handed out.  A free index (odd generation) must be on
+  // nobody's books; an in-use zombie must be *either* still linked *or* in
+  // limbo — both would mean a double retire (the index could be recycled
+  // while reachable), neither means a leak (tolerated after crash kills,
+  // where the unlink's retire may not have run, so only under strict).
+  rep.free_chunks = arena_.free_count();
+  if (epochs_ != nullptr) {
+    std::set<ChunkRef> limbo;
+    for (const ChunkRef ref : epochs_->limbo_snapshot()) limbo.insert(ref);
+    rep.limbo_chunks = limbo.size();
+    if (rep.ok) {
+      const std::uint32_t hw = arena_.high_water();
+      for (std::uint32_t i = 0; i < hw; ++i) {
+        const auto ref = static_cast<ChunkRef>(i);
+        const std::string name = "chunk " + std::to_string(i);
+        if ((arena_.generation(ref) & 1u) != 0) {  // on the free-list
+          if (reachable.count(ref) != 0) fail(name + ": free but reachable");
+          if (limbo.count(ref) != 0) fail(name + ": free but in limbo");
+          continue;
+        }
+        const KV lk =
+            arena_.entries(ref)[arena_.lock_slot()].load(
+                std::memory_order_acquire);
+        if (lock_entry_state(lk) == kZombie) {
+          const bool linked = reachable.count(ref) != 0;
+          const bool limboed = limbo.count(ref) != 0;
+          if (linked && limboed) {
+            fail(name + ": zombie both reachable and in limbo");
+          }
+          if (strict && !linked && !limboed) {
+            fail(name + ": zombie neither reachable nor in limbo (leak)");
+          }
+        }
       }
     }
   }

@@ -1,0 +1,153 @@
+#include "device/epoch.h"
+
+namespace gfsl::device {
+
+EpochManager::EpochManager() : global_(1), retired_total_(0), advances_(0) {
+  for (auto& s : slots_) s.store(0, std::memory_order_relaxed);
+}
+
+void EpochManager::pin(int id) {
+  auto& slot = slots_[slot_of(id)];
+  if (slot.load(std::memory_order_relaxed) != 0) return;  // nested scope
+  // Dekker handshake with min_active_epoch(): publish the pin, then re-read
+  // the global.  If the global moved between our read and our store, a
+  // reclaimer may have scanned the slots without seeing us — re-pin at the
+  // newer epoch until the two agree.  seq_cst on both sides makes the
+  // store/load pair totally ordered against the reclaimer's.
+  Epoch e = global_.load(std::memory_order_seq_cst);
+  for (;;) {
+    slot.store(e, std::memory_order_seq_cst);
+    const Epoch now = global_.load(std::memory_order_seq_cst);
+    if (now == e) return;
+    e = now;
+  }
+}
+
+void EpochManager::unpin(int id) {
+  slots_[slot_of(id)].store(0, std::memory_order_release);
+}
+
+bool EpochManager::try_advance() {
+  const Epoch g = global_.load(std::memory_order_seq_cst);
+  for (const auto& s : slots_) {
+    const Epoch e = s.load(std::memory_order_seq_cst);
+    if (e != 0 && e != g) return false;  // a pinned team still lags
+  }
+  Epoch expected = g;
+  if (global_.compare_exchange_strong(expected, g + 1,
+                                      std::memory_order_seq_cst)) {
+    advances_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+EpochManager::Epoch EpochManager::min_active_epoch() const {
+  Epoch min = kNoPin;
+  for (const auto& s : slots_) {
+    const Epoch e = s.load(std::memory_order_seq_cst);
+    if (e != 0 && e < min) min = e;
+  }
+  return min;
+}
+
+EpochManager::Epoch EpochManager::epoch_lag() const {
+  const Epoch ma = min_active_epoch();
+  if (ma == kNoPin) return 0;
+  const Epoch g = global_.load(std::memory_order_seq_cst);
+  return g > ma ? g - ma : 0;
+}
+
+void EpochManager::retire(int id, ChunkRef ref) {
+  const Epoch e = global_.load(std::memory_order_seq_cst);
+  auto& l = limbo_[slot_of(id)];
+  std::lock_guard<std::mutex> g(l.mu);
+  l.items.push_back({ref, e});
+  retired_total_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::size_t EpochManager::drain_safe(int id, std::vector<ChunkRef>* out) {
+  const Epoch g = global_.load(std::memory_order_seq_cst);
+  const Epoch ma = min_active_epoch();
+  auto& l = limbo_[slot_of(id)];
+  std::lock_guard<std::mutex> guard(l.mu);
+  std::size_t moved = 0;
+  std::size_t keep = 0;
+  for (std::size_t i = 0; i < l.items.size(); ++i) {
+    const Retired& r = l.items[i];
+    // Safe when two full epochs elapsed since the retire *and* no pin from
+    // the retire-era survives (the stamp may have raced an advance, so the
+    // global bound alone is not enough).
+    const bool safe = g >= r.epoch + 2 && (ma == kNoPin || ma > r.epoch + 1);
+    if (safe) {
+      out->push_back(r.ref);
+      ++moved;
+    } else {
+      l.items[keep++] = r;
+    }
+  }
+  l.items.resize(keep);
+  return moved;
+}
+
+void EpochManager::requeue(int id, ChunkRef ref) {
+  retire(id, ref);
+}
+
+std::size_t EpochManager::drain_all(std::vector<ChunkRef>* out) {
+  std::size_t moved = 0;
+  for (auto& l : limbo_) {
+    std::lock_guard<std::mutex> g(l.mu);
+    for (const auto& r : l.items) {
+      out->push_back(r.ref);
+      ++moved;
+    }
+    l.items.clear();
+  }
+  return moved;
+}
+
+void EpochManager::force_quiesce(int id) {
+  slots_[slot_of(id)].store(0, std::memory_order_seq_cst);
+}
+
+void EpochManager::adopt(int from, int to) {
+  const std::size_t f = slot_of(from);
+  const std::size_t t = slot_of(to);
+  if (f == t) return;
+  // Lock in address order to stay deadlock-free against concurrent adopts.
+  Limbo& a = limbo_[f < t ? f : t];
+  Limbo& b = limbo_[f < t ? t : f];
+  std::lock_guard<std::mutex> ga(a.mu);
+  std::lock_guard<std::mutex> gb(b.mu);
+  auto& src = limbo_[f].items;
+  auto& dst = limbo_[t].items;
+  dst.insert(dst.end(), src.begin(), src.end());
+  src.clear();
+}
+
+std::size_t EpochManager::limbo_depth(int id) const {
+  const auto& l = limbo_[slot_of(id)];
+  std::lock_guard<std::mutex> g(l.mu);
+  return l.items.size();
+}
+
+std::size_t EpochManager::limbo_total() const {
+  std::size_t total = 0;
+  for (const auto& l : limbo_) {
+    std::lock_guard<std::mutex> g(l.mu);
+    total += l.items.size();
+  }
+  return total;
+}
+
+std::vector<ChunkRef> EpochManager::limbo_snapshot() const {
+  std::vector<ChunkRef> out;
+  for (const auto& l : limbo_) {
+    std::lock_guard<std::mutex> g(l.mu);
+    for (const auto& r : l.items) out.push_back(r.ref);
+  }
+  return out;
+}
+
+}  // namespace gfsl::device

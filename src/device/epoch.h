@@ -1,0 +1,149 @@
+// Epoch-based reclamation for chunk indices (DESIGN.md §9).
+//
+// The paper never frees a chunk: merges mark the donor a *zombie* and leave
+// it linked until lazily unlinked, so a sustained insert/erase mix exhausts
+// the pool no matter how large it is (the way M&C "runs out of memory",
+// §5.3).  This manager closes the loop: once a zombie is *unlinked* it is
+// retired into the unlinking team's limbo list stamped with the current
+// global epoch, and its index may be recycled only after a grace period in
+// which every concurrently running operation provably began after the
+// unlink.
+//
+// Protocol (classic EBR, adapted to the team/lockstep model):
+//
+//  * One slot per team id.  A team *pins* the global epoch on operation
+//    entry (slot = E, E >= 1) and unpins on exit (slot = 0).  Pinning is a
+//    Dekker handshake with reclaimers — both sides use seq_cst so a pin
+//    cannot be invisible to a concurrent min_active_epoch() scan that
+//    already advanced past it.
+//  * The global epoch advances only when every pinned slot has caught up to
+//    it, so active pins always span at most {E-1, E}.
+//  * A retired index stamped with epoch `e` is a *reclaim candidate* once
+//    global >= e+2 AND min_active_epoch() > e+1: every pin taken before the
+//    unlink has since been dropped, so only parked references remain and
+//    those are exactly the ones the generation stamps (core/chunk.h) make
+//    detectable.  Final *reuse* safety additionally needs the structural
+//    reference scan in Gfsl::reclaim_pass() — stale upper-level down
+//    pointers are persistent references no pin protects.
+//
+// Crash composition (sched/lease.h): a crashed team's pin would wedge the
+// epoch forever, so the medic — after repairing the victim's intent — calls
+// force_quiesce(victim) to clear the stale pin and adopt(victim, medic) to
+// take over its limbo list; the retired indices drain through the medic's
+// own reclaim passes.
+//
+// Layering: this lives in the device layer and depends only on common/ —
+// *when* to quiesce or adopt is decided by core/recovery.cpp, which owns the
+// lease table.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/types.h"
+
+namespace gfsl::device {
+
+class EpochManager {
+ public:
+  using Epoch = std::uint64_t;
+  /// Matches sched::LeaseTable::kMaxTeams + 1 so every valid team id (and
+  /// the out-of-range medic ids the crash harness uses) has a slot.
+  static constexpr int kMaxSlots = 256;
+  /// Sentinel from min_active_epoch() when no team is pinned.
+  static constexpr Epoch kNoPin = ~Epoch{0};
+
+  EpochManager();
+
+  // --- Pinning -------------------------------------------------------------
+
+  /// Pin `id`'s slot to the current global epoch.  Idempotent: an already
+  /// pinned slot is left alone (nested operation scopes).
+  void pin(int id);
+  /// Clear `id`'s pin.  The release store publishes every structure access
+  /// made under the pin before a reclaimer can observe the slot empty.
+  void unpin(int id);
+  bool pinned(int id) const {
+    return slots_[slot_of(id)].load(std::memory_order_acquire) != 0;
+  }
+
+  Epoch global() const { return global_.load(std::memory_order_seq_cst); }
+  /// Advance the global epoch if every pinned slot has caught up to it.
+  bool try_advance();
+  /// Minimum epoch over all pinned slots, kNoPin when none are pinned.
+  Epoch min_active_epoch() const;
+  /// global - min_active: how far the slowest pinned team lags (0 if none).
+  Epoch epoch_lag() const;
+
+  // --- Retire / reclaim ----------------------------------------------------
+
+  /// Queue an unlinked chunk index on `id`'s limbo list, stamped with the
+  /// current global epoch.  Must be called by the unlinking team, exactly
+  /// once per unlink (the unlink point is unique: a predecessor's held lock
+  /// or a won head-swing CAS).
+  void retire(int id, ChunkRef ref);
+
+  /// Move every reclaim candidate (grace period elapsed, see header) from
+  /// `id`'s limbo list into `out`; returns how many moved.  The caller owns
+  /// the final reference scan + recycle/requeue decision.
+  std::size_t drain_safe(int id, std::vector<ChunkRef>* out);
+
+  /// Put a drained candidate back in limbo, re-stamped with the *current*
+  /// epoch (used when the reference scan finds a live down pointer — the
+  /// repair it triggers must itself age before the index can be reused).
+  void requeue(int id, ChunkRef ref);
+
+  /// Quiescent only (compact()/bulk_load()): empty every limbo list into
+  /// `out` regardless of grace periods.  Safe because the caller guarantees
+  /// no team is running — there is nothing a stamp could still protect.
+  std::size_t drain_all(std::vector<ChunkRef>* out);
+
+  // --- Crash composition ---------------------------------------------------
+
+  /// Drop `id`'s pin unconditionally (the team is certified crashed and
+  /// will never unpin itself).
+  void force_quiesce(int id);
+  /// Splice `from`'s limbo list onto `to`'s (medic adoption).  Stamps are
+  /// preserved — the adopted indices still honor their grace periods.
+  void adopt(int from, int to);
+
+  // --- Introspection -------------------------------------------------------
+
+  std::size_t limbo_depth(int id) const;
+  std::size_t limbo_total() const;
+  /// All refs currently in limbo, over every slot (validate()).
+  std::vector<ChunkRef> limbo_snapshot() const;
+  std::uint64_t retired_total() const {
+    return retired_total_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t epoch_advances() const {
+    return advances_.load(std::memory_order_relaxed);
+  }
+  Epoch slot(int id) const {
+    return slots_[slot_of(id)].load(std::memory_order_acquire);
+  }
+
+ private:
+  struct Retired {
+    ChunkRef ref;
+    Epoch epoch;
+  };
+  struct Limbo {
+    mutable std::mutex mu;
+    std::vector<Retired> items;
+  };
+
+  static std::size_t slot_of(int id) {
+    return static_cast<std::size_t>(id) % kMaxSlots;
+  }
+
+  std::atomic<Epoch> global_;
+  std::atomic<Epoch> slots_[kMaxSlots];
+  Limbo limbo_[kMaxSlots];
+  std::atomic<std::uint64_t> retired_total_;
+  std::atomic<std::uint64_t> advances_;
+};
+
+}  // namespace gfsl::device

@@ -1,4 +1,4 @@
-// Bump-pointer device memory pool (§4.1).
+// Device memory pool (§4.1) — bump pointer plus a lock-free free-list.
 //
 // "During the initialization stage we create the structure and allocate an
 //  array of chunks in the device memory for a memory pool. ... Allocations
@@ -10,47 +10,102 @@
 // synthetic device addresses (index * sizeof(T)) for the cache/coalescing
 // model, so the simulated memory layout is exactly the dense array layout the
 // real implementation would have.
+//
+// Beyond the paper: `free()` returns an index to a LIFO Treiber free-list
+// (tagged head, so pops are ABA-safe) and `alloc()` prefers recycled indices
+// over fresh ones.  Exhaustion returns `kNullIndex` instead of throwing —
+// allocation failure on the device is a value the kernel handles, not an
+// exception (callers map it to RunResult::out_of_memory).  Reuse *safety*
+// (when an index may be freed) is the epoch layer's job (device/epoch.h);
+// the pool only recycles what it is handed.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <new>
-#include <stdexcept>
 
 namespace gfsl::device {
 
 template <typename T>
 class MemoryPool {
  public:
+  /// Sentinel returned by alloc() on exhaustion.
+  static constexpr std::uint32_t kNullIndex = 0xFFFFFFFFu;
+
   explicit MemoryPool(std::uint32_t capacity)
       : capacity_(capacity),
         storage_(std::make_unique<T[]>(capacity)),
-        next_(0) {}
+        free_next_(std::make_unique<std::atomic<std::uint32_t>[]>(capacity)),
+        next_(0),
+        free_head_(pack(0, kNullIndex)),
+        free_count_(0) {
+    for (std::uint32_t i = 0; i < capacity; ++i) {
+      free_next_[i].store(kNullIndex, std::memory_order_relaxed);
+    }
+  }
 
-  /// Allocate one object; returns its index.  Throws std::bad_alloc on
-  /// exhaustion — the paper's M&C runs "run out of memory for larger
-  /// structures" the same way (§5.3).
+  /// Allocate one object; returns its index, or kNullIndex on exhaustion.
+  /// Recycled indices are handed out LIFO before the bump pointer grows.
   std::uint32_t alloc() {
+    std::uint64_t h = free_head_.load(std::memory_order_acquire);
+    while (idx_of(h) != kNullIndex) {
+      const std::uint32_t idx = idx_of(h);
+      const std::uint32_t nxt = free_next_[idx].load(std::memory_order_relaxed);
+      if (free_head_.compare_exchange_weak(h, pack(tag_of(h), nxt),
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_acquire)) {
+        free_count_.fetch_sub(1, std::memory_order_relaxed);
+        return idx;
+      }
+    }
     const std::uint32_t idx = next_.fetch_add(1, std::memory_order_relaxed);
     if (idx >= capacity_) {
       next_.fetch_sub(1, std::memory_order_relaxed);
-      throw std::bad_alloc();
+      return kNullIndex;
     }
     return idx;
   }
 
-  /// True if `count` more allocations would succeed right now.
+  /// Return an index to the free-list.  The caller must guarantee no thread
+  /// will still acquire new references to it (epoch grace period).
+  void free(std::uint32_t idx) {
+    std::uint64_t h = free_head_.load(std::memory_order_relaxed);
+    for (;;) {
+      free_next_[idx].store(idx_of(h), std::memory_order_relaxed);
+      if (free_head_.compare_exchange_weak(h, pack(tag_of(h) + 1, idx),
+                                           std::memory_order_release,
+                                           std::memory_order_relaxed)) {
+        break;
+      }
+    }
+    free_count_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// True if `count` more allocations would succeed right now — bump
+  /// headroom plus the free-list population, consistent with alloc().
   bool can_alloc(std::uint32_t count = 1) const {
-    return next_.load(std::memory_order_relaxed) + count <= capacity_;
+    const auto bumped = next_.load(std::memory_order_relaxed);
+    const std::uint32_t headroom = bumped < capacity_ ? capacity_ - bumped : 0;
+    return headroom + free_count_.load(std::memory_order_relaxed) >= count;
   }
 
   T& operator[](std::uint32_t idx) { return storage_[idx]; }
   const T& operator[](std::uint32_t idx) const { return storage_[idx]; }
 
   std::uint32_t capacity() const { return capacity_; }
+  /// Objects currently in use (bump high-water minus free-list population).
   std::uint32_t allocated() const {
+    const auto hw = high_water();
+    const auto freed = free_count_.load(std::memory_order_relaxed);
+    return freed < hw ? hw - freed : 0;
+  }
+  /// Highest index ever handed out; full-pool sweeps walk [0, high_water()).
+  std::uint32_t high_water() const {
     return std::min(next_.load(std::memory_order_relaxed), capacity_);
+  }
+  std::uint32_t free_count() const {
+    return free_count_.load(std::memory_order_relaxed);
   }
 
   /// Synthetic device byte address of element `idx` for the memory model.
@@ -58,14 +113,34 @@ class MemoryPool {
     return static_cast<std::uint64_t>(idx) * sizeof(T);
   }
 
-  /// Reset the bump pointer.  Only legal when no other thread is using the
-  /// pool (used by tests and by Gfsl::compact()).
-  void reset() { next_.store(0, std::memory_order_relaxed); }
+  /// Reset the bump pointer and drop the free-list.  Only legal when no
+  /// other thread is using the pool (used by tests).
+  void reset() {
+    next_.store(0, std::memory_order_relaxed);
+    free_head_.store(pack(0, kNullIndex), std::memory_order_relaxed);
+    free_count_.store(0, std::memory_order_relaxed);
+    for (std::uint32_t i = 0; i < capacity_; ++i) {
+      free_next_[i].store(kNullIndex, std::memory_order_relaxed);
+    }
+  }
 
  private:
+  static constexpr std::uint64_t pack(std::uint32_t tag, std::uint32_t idx) {
+    return (static_cast<std::uint64_t>(tag) << 32) | idx;
+  }
+  static constexpr std::uint32_t tag_of(std::uint64_t h) {
+    return static_cast<std::uint32_t>(h >> 32);
+  }
+  static constexpr std::uint32_t idx_of(std::uint64_t h) {
+    return static_cast<std::uint32_t>(h);
+  }
+
   std::uint32_t capacity_;
   std::unique_ptr<T[]> storage_;
+  std::unique_ptr<std::atomic<std::uint32_t>[]> free_next_;
   std::atomic<std::uint32_t> next_;
+  std::atomic<std::uint64_t> free_head_;
+  std::atomic<std::uint32_t> free_count_;
 };
 
 }  // namespace gfsl::device

@@ -29,7 +29,9 @@ CrashRunResult run_crash_at(const CrashSweepConfig& cfg,
   core::GfslConfig gcfg;
   gcfg.team_size = cfg.team_size;
   gcfg.pool_chunks = cfg.pool_chunks;
-  core::Gfsl sl(gcfg, &mem, &sched, &leases);
+  device::EpochManager epochs;
+  core::Gfsl sl(gcfg, &mem, &sched, &leases,
+                cfg.with_epochs ? &epochs : nullptr);
 
   WorkloadConfig wl;
   wl.mix = kMix_20_20_60;  // update-heavy: splits, merges, down-ptr swings

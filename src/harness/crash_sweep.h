@@ -46,6 +46,10 @@ struct CrashSweepConfig {
   // running by then are livelocked; the harness reports a hang.
   std::uint64_t watchdog_factor = 8;
   std::uint64_t watchdog_slack = 4096;
+  // Attach an EpochManager: kills then also land inside retire/reclaim
+  // spans, the medic must force-quiesce the victim's pin and adopt its
+  // limbo, and validation additionally classifies limbo/free chunks.
+  bool with_epochs = false;
 };
 
 struct CrashRunResult {

@@ -114,6 +114,11 @@ void sample_gfsl_gauges(obs::MetricsRegistry& reg, const core::Gfsl& sl) {
   reg.set_gauge(obs::kChunkOccupancy,
                 slots > 0.0 ? static_cast<double>(v.data_entries) / slots
                             : 0.0);
+  reg.set_gauge(obs::kLimboChunks, static_cast<double>(v.limbo_chunks));
+  reg.set_gauge(obs::kFreeChunks, static_cast<double>(v.free_chunks));
+  if (const device::EpochManager* ep = sl.epochs(); ep != nullptr) {
+    reg.set_gauge(obs::kEpochLag, static_cast<double>(ep->epoch_lag()));
+  }
 }
 
 }  // namespace

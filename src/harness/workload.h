@@ -33,6 +33,9 @@ inline constexpr Mix kMix_20_20_60{20, 20, 60};
 inline constexpr Mix kInsertOnly{100, 0, 0};
 inline constexpr Mix kDeleteOnly{0, 100, 0};
 inline constexpr Mix kContainsOnly{0, 0, 100};
+/// Pure churn: the steady-state insert/erase mix the reclamation soaks use
+/// (live size stays near the prefill while every op allocates or retires).
+inline constexpr Mix kMix_50_50_0{50, 50, 0};
 
 enum class Prefill {
   Empty,      // Insert-only benchmark

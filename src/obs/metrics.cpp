@@ -64,6 +64,13 @@ std::string_view counter_name(CounterId id) {
     case kBackoffRounds: return "backoff_rounds";
     case kBackoffSpinIters: return "backoff_spin_iters";
     case kLockRetraversals: return "lock_retraversals";
+    case kChunkRetires: return "chunk_retires";
+    case kChunkReclaims: return "chunk_reclaims";
+    case kChunkRequeues: return "chunk_requeues";
+    case kDownPtrScrubs: return "down_ptr_scrubs";
+    case kEmergencyReclaims: return "emergency_reclaims";
+    case kStaleChunkReads: return "stale_chunk_reads";
+    case kEpochAdvances: return "epoch_advances";
     case kInstructions: return "instructions";
     case kBallots: return "ballots";
     case kShfls: return "shfls";
@@ -97,6 +104,9 @@ std::string_view gauge_name(GaugeId id) {
     case kZombieChunks: return "zombie_chunks";
     case kChunksAllocated: return "chunks_allocated";
     case kChunkOccupancy: return "chunk_occupancy";
+    case kLimboChunks: return "limbo_chunks";
+    case kFreeChunks: return "free_chunks";
+    case kEpochLag: return "epoch_lag";
     case kGaugeIdCount: break;
   }
   return "unknown";

@@ -97,6 +97,14 @@ enum CounterId : int {
   kBackoffRounds,        // bounded-spin rounds that ended in a backoff
   kBackoffSpinIters,     // host pause/yield iterations spent backing off
   kLockRetraversals,     // spin caps that fell back to a fresh lateral walk
+  kChunkRetires,         // unlinked zombies queued into an epoch limbo list
+  kChunkReclaims,        // retired chunks recycled onto the arena free-list
+  kChunkRequeues,        // reclaim candidates sent back to limbo (still
+                         // referenced by a stale upper-level down pointer)
+  kDownPtrScrubs,        // stale down pointers repaired by the reclaim scan
+  kEmergencyReclaims,    // reclaim passes forced by allocation exhaustion
+  kStaleChunkReads,      // generation-stamp mismatches (reader raced a reuse)
+  kEpochAdvances,        // successful global-epoch advances by this team
   kInstructions,
   kBallots,
   kShfls,
@@ -124,6 +132,9 @@ enum GaugeId : int {
   kZombieChunks,
   kChunksAllocated,
   kChunkOccupancy,  // filled fraction of live chunks' data slots, [0, 1]
+  kLimboChunks,     // retired chunks awaiting their grace period
+  kFreeChunks,      // recycled chunks on the arena free-list
+  kEpochLag,        // global epoch minus the slowest pinned team's epoch
   kGaugeIdCount,
 };
 

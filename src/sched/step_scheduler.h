@@ -23,6 +23,11 @@
 // step itself — before the throw, under the scheduler mutex — so lease
 // expiry is part of the deterministic interleaving and reruns with the same
 // seed reproduce the exact recovery race.
+//
+// Epoch reclamation (core/reclaim.cpp) adds one more yield class: every
+// operation's epoch announcement on exit (Gfsl::epoch_exit) is a sync point,
+// so deterministic schedules interleave — and kill_at can land — right at
+// the retire/reclaim boundary as well.
 #pragma once
 
 #include <condition_variable>

@@ -21,6 +21,9 @@ std::string_view trace_event_name(TraceEvent e) {
     case TraceEvent::kLeaseExpired: return "lease-expired";
     case TraceEvent::kLockStolen: return "lock-stolen";
     case TraceEvent::kRecovery: return "recovery";
+    case TraceEvent::kChunkRetired: return "chunk-retired";
+    case TraceEvent::kChunkReclaimed: return "chunk-reclaimed";
+    case TraceEvent::kEpochAdvance: return "epoch-advance";
   }
   return "unknown";
 }

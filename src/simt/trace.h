@@ -35,6 +35,9 @@ enum class TraceEvent : std::uint8_t {
   kLeaseExpired,  // a = chunk ref, b = expired lease word
   kLockStolen,    // a = chunk ref, b = dead owner's lease word
   kRecovery,      // a = IntentKind, b = 1 roll-forward / 0 roll-back
+  kChunkRetired,    // a = chunk ref, b = retiring team's global epoch
+  kChunkReclaimed,  // a = chunk ref, b = 1 recycled / 0 requeued
+  kEpochAdvance,    // a = new global epoch
 };
 
 std::string_view trace_event_name(TraceEvent e);

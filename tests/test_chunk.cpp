@@ -39,12 +39,12 @@ TEST(ChunkArena, AllocInitializesLockedAndEmpty) {
   EXPECT_EQ(lock_entry_state(a.entry(c, a.lock_slot()).load()), kLocked);
 }
 
-TEST(ChunkArena, ExhaustionThrows) {
+TEST(ChunkArena, ExhaustionReturnsNullChunk) {
   ChunkArena a(8, 2);
   a.alloc_locked();
   a.alloc_locked();
   EXPECT_FALSE(a.can_alloc());
-  EXPECT_THROW(a.alloc_locked(), std::bad_alloc);
+  EXPECT_EQ(a.alloc_locked(), NULL_CHUNK);
 }
 
 TEST(ChunkArena, RejectsBadGeometry) {

@@ -18,14 +18,32 @@ TEST(MemoryPool, BumpAllocationAndAddresses) {
   EXPECT_EQ(pool.device_address(3), 24u);
 }
 
-TEST(MemoryPool, ExhaustionThrows) {
+TEST(MemoryPool, ExhaustionReturnsNullIndex) {
   MemoryPool<int> pool(2);
   pool.alloc();
   pool.alloc();
   EXPECT_FALSE(pool.can_alloc());
-  EXPECT_THROW(pool.alloc(), std::bad_alloc);
+  EXPECT_EQ(pool.alloc(), MemoryPool<int>::kNullIndex);
   pool.reset();
   EXPECT_TRUE(pool.can_alloc(2));
+}
+
+TEST(MemoryPool, FreeListRecyclesLifo) {
+  MemoryPool<int> pool(2);
+  const auto a = pool.alloc();
+  const auto b = pool.alloc();
+  EXPECT_EQ(pool.allocated(), 2u);
+  pool.free(a);
+  pool.free(b);
+  EXPECT_EQ(pool.allocated(), 0u);
+  EXPECT_EQ(pool.free_count(), 2u);
+  EXPECT_TRUE(pool.can_alloc(2));
+  // LIFO: the most recently freed index comes back first; the bump
+  // high-water mark never moves once indices recycle.
+  EXPECT_EQ(pool.alloc(), b);
+  EXPECT_EQ(pool.alloc(), a);
+  EXPECT_EQ(pool.high_water(), 2u);
+  EXPECT_EQ(pool.alloc(), MemoryPool<int>::kNullIndex);
 }
 
 TEST(CacheSim, HitsAfterFirstTouch) {

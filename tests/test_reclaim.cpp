@@ -1,0 +1,328 @@
+// Epoch-based chunk reclamation (DESIGN.md §9): generation-stamp ABA
+// detection, grace-period enforcement, crashed-team limbo adoption,
+// bounded-memory churn, and determinism with/without an EpochManager.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "core/chunk.h"
+#include "core/gfsl.h"
+#include "device/device_memory.h"
+#include "device/epoch.h"
+#include "harness/crash_sweep.h"
+#include "sched/step_scheduler.h"
+#include "simt/team.h"
+
+namespace gfsl::core {
+namespace {
+
+using device::EpochManager;
+using simt::Team;
+
+// ---- generation stamps (the ABA defence) ----------------------------------
+
+TEST(ReclaimArena, GenerationStampFlipsAcrossLifetimes) {
+  ChunkArena a(8, 4);
+  const ChunkRef c = a.alloc_locked();
+  const std::uint32_t g0 = a.generation(c);
+  EXPECT_EQ(g0 & 1u, 0u);  // even: in use
+
+  a.recycle(c);
+  EXPECT_EQ(a.generation(c), g0 + 1);  // odd: on the free-list
+
+  const ChunkRef c2 = a.alloc_locked();
+  EXPECT_EQ(c2, c);  // LIFO free-list hands the index straight back
+  const std::uint32_t g1 = a.generation(c);
+  EXPECT_EQ(g1 & 1u, 0u);
+  // A reader parked across the recycle+reuse compares its pre-recycle stamp
+  // against the current one and must see a mismatch — this inequality IS the
+  // seqlock's staleness signal.
+  EXPECT_NE(g1, g0);
+}
+
+TEST(ReclaimArena, StaleStampVisibleMidReuse) {
+  ChunkArena a(8, 2);
+  const ChunkRef c = a.alloc_locked();
+  const std::uint32_t parked = a.generation(c);  // reader "parks" here
+  a.recycle(c);
+  // Stale is detectable both while the index sits free (odd stamp) ...
+  EXPECT_NE(a.generation(c), parked);
+  EXPECT_EQ(a.generation(c) & 1u, 1u);
+  // ... and after it has been re-allocated into a new lifetime.
+  ASSERT_EQ(a.alloc_locked(), c);
+  EXPECT_NE(a.generation(c), parked);
+}
+
+TEST(ReclaimArena, AccountingSeparatesInUseFromHighWater) {
+  ChunkArena a(8, 4);
+  const ChunkRef c0 = a.alloc_locked();
+  const ChunkRef c1 = a.alloc_locked();
+  (void)c0;
+  EXPECT_EQ(a.allocated(), 2u);
+  EXPECT_EQ(a.high_water(), 2u);
+
+  a.recycle(c1);
+  EXPECT_EQ(a.allocated(), 1u);   // in-use shrinks ...
+  EXPECT_EQ(a.high_water(), 2u);  // ... the sweep bound does not
+  EXPECT_EQ(a.free_count(), 1u);
+  // Headroom counts both the bump tail and the recycled index.
+  EXPECT_TRUE(a.can_alloc(3));
+  EXPECT_FALSE(a.can_alloc(4));
+}
+
+// ---- epoch grace periods ---------------------------------------------------
+
+TEST(ReclaimEpoch, PinnedReaderBlocksDrainUntilUnpin) {
+  EpochManager ep;
+  ep.pin(1);         // reader enters at epoch 1
+  ep.retire(0, 7);   // writer retires chunk 7 (stamped epoch 1)
+
+  std::vector<ChunkRef> out;
+  EXPECT_EQ(ep.drain_safe(0, &out), 0u);  // no grace period yet
+  EXPECT_TRUE(ep.try_advance());          // 1 -> 2: reader has caught up
+  EXPECT_FALSE(ep.try_advance());         // parked at 1, the epoch wedges
+  EXPECT_EQ(ep.drain_safe(0, &out), 0u);  // still protected by the pin
+
+  ep.unpin(1);
+  EXPECT_TRUE(ep.try_advance());          // 2 -> 3
+  ASSERT_EQ(ep.drain_safe(0, &out), 1u);  // two epochs + no retire-era pin
+  EXPECT_EQ(out[0], 7u);
+  EXPECT_EQ(ep.limbo_depth(0), 0u);
+}
+
+TEST(ReclaimEpoch, RequeueRestartsTheGracePeriod) {
+  EpochManager ep;
+  ep.retire(0, 3);
+  EXPECT_TRUE(ep.try_advance());
+  EXPECT_TRUE(ep.try_advance());
+  std::vector<ChunkRef> out;
+  ASSERT_EQ(ep.drain_safe(0, &out), 1u);
+
+  ep.requeue(0, 3);  // a stale down pointer was found: age it again
+  out.clear();
+  EXPECT_EQ(ep.drain_safe(0, &out), 0u);  // re-stamped at the current epoch
+  EXPECT_TRUE(ep.try_advance());
+  EXPECT_TRUE(ep.try_advance());
+  EXPECT_EQ(ep.drain_safe(0, &out), 1u);
+}
+
+TEST(ReclaimEpoch, MedicQuiescesAndAdoptsCrashedTeam) {
+  EpochManager ep;
+  ep.pin(2);
+  ep.retire(2, 11);
+  ep.retire(2, 12);
+  EXPECT_TRUE(ep.try_advance());
+  EXPECT_FALSE(ep.try_advance());  // the "crashed" pin wedges everyone
+
+  ep.force_quiesce(2);
+  ep.adopt(2, 5);
+  EXPECT_EQ(ep.limbo_depth(2), 0u);
+  EXPECT_EQ(ep.limbo_depth(5), 2u);
+  EXPECT_TRUE(ep.try_advance());   // unwedged
+
+  std::vector<ChunkRef> out;
+  ASSERT_EQ(ep.drain_safe(5, &out), 2u);  // stamps survived the adoption
+  EXPECT_EQ(ep.limbo_total(), 0u);
+}
+
+// ---- structure-level reclamation -------------------------------------------
+
+void churn_cycle(Gfsl& sl, Team& team, Key lo, Key hi) {
+  for (Key k = lo; k <= hi; ++k) sl.insert(team, k, k);
+  for (Key k = lo; k <= hi; ++k) sl.erase(team, k);
+}
+
+TEST(ReclaimGfsl, ParkedPinPreventsReuseThenLimboDrains) {
+  device::DeviceMemory mem;
+  EpochManager ep;
+  GfslConfig cfg;
+  cfg.team_size = 8;
+  cfg.pool_chunks = 1u << 12;
+  Gfsl sl(cfg, &mem, nullptr, nullptr, &ep);
+  Team team(8, 0, 1);
+
+  // Scripted interleaving, host-driven: a reader pins, then a writer retires
+  // a full structure's worth of chunks "under" it.
+  for (Key k = 1; k <= 600; ++k) sl.insert(team, k, k);
+  ep.pin(99);  // the parked reader
+  for (Key k = 1; k <= 600; ++k) sl.erase(team, k);
+
+  EXPECT_GT(ep.limbo_total(), 0u);          // zombies retired ...
+  EXPECT_EQ(sl.chunks_reclaimed(), 0u);     // ... but nothing recycled:
+  churn_cycle(sl, team, 1, 600);            // even more churn cannot drain
+  EXPECT_EQ(sl.chunks_reclaimed(), 0u);     // past the parked pin
+
+  ep.unpin(99);
+  churn_cycle(sl, team, 1, 600);  // epoch advances again; limbo drains
+  EXPECT_GT(sl.chunks_reclaimed(), 0u);
+
+  const auto rep = sl.validate(/*strict=*/true);
+  EXPECT_TRUE(rep.ok) << rep.error;
+}
+
+TEST(ReclaimGfsl, ChurnSoakStaysWithinBoundedMemory) {
+  // 50/50 insert/erase on a small key range in a small pool: without
+  // reclamation every merge leaks a zombie chunk and this exhausts the pool
+  // long before the end; with it the in-use count stays near the live
+  // working set forever.
+  device::DeviceMemory mem;
+  EpochManager ep;
+  GfslConfig cfg;
+  cfg.team_size = 8;
+  cfg.pool_chunks = 4096;
+  Gfsl sl(cfg, &mem, nullptr, nullptr, &ep);
+
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kOpsEach = 12'000;  // 48k total > 10x pool capacity
+  std::atomic<int> oom{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Team team(8, t, 42);
+      Xoshiro256ss rng(derive_seed(7, static_cast<std::uint64_t>(t)));
+      try {
+        for (std::uint64_t i = 0; i < kOpsEach; ++i) {
+          const Key k = 1 + static_cast<Key>(rng.below(512));
+          if (rng.below(2) == 0) {
+            sl.insert(team, k, k);
+          } else {
+            sl.erase(team, k);
+          }
+        }
+      } catch (const std::bad_alloc&) {
+        oom.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(oom.load(), 0) << "pool exhausted mid-churn";
+  EXPECT_GT(sl.chunks_reclaimed(), 0u);
+  // In-use = live + zombies-in-flight + limbo: far below the pool size.
+  EXPECT_LT(sl.chunks_allocated(), 2048u);
+  const auto rep = sl.validate(/*strict=*/false);
+  EXPECT_TRUE(rep.ok) << rep.error;
+  EXPECT_EQ(rep.limbo_chunks + rep.free_chunks +
+                rep.live_chunks + rep.zombie_chunks,
+            static_cast<std::uint64_t>(sl.arena().high_water()))
+      << "every index the bump pointer handed out must be classified";
+}
+
+TEST(ReclaimGfsl, CompactReturnsChunksThroughFreeList) {
+  device::DeviceMemory mem;
+  EpochManager ep;
+  GfslConfig cfg;
+  cfg.team_size = 8;
+  cfg.pool_chunks = 1u << 12;
+  Gfsl sl(cfg, &mem, nullptr, nullptr, &ep);
+  Team team(8, 0, 3);
+
+  for (Key k = 1; k <= 300; ++k) sl.insert(team, k, k);
+  for (Key k = 1; k <= 300; k += 2) sl.erase(team, k);
+  const std::uint32_t before = sl.chunks_allocated();
+  const std::uint32_t hw_before = sl.arena().high_water();
+
+  sl.compact();
+  // Densely rebuilt: fewer in-use chunks, all through the free-list — the
+  // bump high-water mark must not grow.
+  EXPECT_LT(sl.chunks_allocated(), before);
+  EXPECT_LE(sl.arena().high_water(), hw_before);
+  EXPECT_EQ(sl.epochs()->limbo_total(), 0u);
+
+  auto rep = sl.validate(/*strict=*/true);
+  EXPECT_TRUE(rep.ok) << rep.error;
+  EXPECT_EQ(rep.bottom_keys, 150u);
+
+  // Idempotent, and the structure keeps answering queries.
+  sl.compact();
+  rep = sl.validate(/*strict=*/true);
+  EXPECT_TRUE(rep.ok) << rep.error;
+  EXPECT_TRUE(sl.contains(team, 2));
+  EXPECT_FALSE(sl.contains(team, 1));
+}
+
+// ---- crash composition -----------------------------------------------------
+
+TEST(ReclaimCrash, SweepWithEpochsStaysConsistent) {
+  harness::CrashSweepConfig cfg;
+  cfg.workers = 3;
+  cfg.team_size = 8;
+  cfg.ops = 96;
+  cfg.key_range = 48;
+  cfg.stride = 5;
+  cfg.with_epochs = true;
+  const auto res = harness::run_crash_sweep(cfg);
+  EXPECT_TRUE(res.ok) << res.error << " (kill step " << res.failed_at_step
+                      << ")";
+  EXPECT_GT(res.kills_landed, 0u);
+}
+
+// ---- determinism -----------------------------------------------------------
+
+struct DetRun {
+  std::vector<std::pair<Key, Value>> contents;
+  std::uint64_t instructions = 0;
+  std::uint64_t steps = 0;
+};
+
+DetRun deterministic_run(bool with_epochs, std::uint64_t seed) {
+  device::DeviceMemory mem;
+  EpochManager ep;
+  constexpr int kWorkers = 3;
+  sched::StepScheduler sched(sched::StepScheduler::Mode::Deterministic, seed,
+                             kWorkers);
+  GfslConfig cfg;
+  cfg.team_size = 8;
+  cfg.pool_chunks = 1u << 14;
+  Gfsl sl(cfg, &mem, &sched, nullptr, with_epochs ? &ep : nullptr);
+
+  DetRun out;
+  std::atomic<std::uint64_t> instructions{0};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWorkers; ++w) {
+    threads.emplace_back([&, w] {
+      Team team(8, w, 5);
+      Xoshiro256ss rng(derive_seed(seed, static_cast<std::uint64_t>(w)));
+      sched.enter(w);
+      for (int i = 0; i < 160; ++i) {
+        const Key k = 1 + static_cast<Key>(rng.below(64));
+        switch (rng.below(3)) {
+          case 0: sl.insert(team, k, k); break;
+          case 1: sl.erase(team, k); break;
+          default: sl.contains(team, k); break;
+        }
+      }
+      sched.leave(w);
+      instructions.fetch_add(team.counters().instructions,
+                             std::memory_order_relaxed);
+    });
+  }
+  for (auto& th : threads) th.join();
+  out.contents = sl.collect();
+  out.instructions = instructions.load(std::memory_order_relaxed);
+  out.steps = sched.global_steps();
+  return out;
+}
+
+TEST(ReclaimDeterminism, DetachedRunsAreBitIdentical) {
+  const DetRun a = deterministic_run(/*with_epochs=*/false, 17);
+  const DetRun b = deterministic_run(/*with_epochs=*/false, 17);
+  EXPECT_EQ(a.contents, b.contents);
+  EXPECT_EQ(a.instructions, b.instructions);
+  EXPECT_EQ(a.steps, b.steps);
+}
+
+TEST(ReclaimDeterminism, AttachedRunsAreBitIdentical) {
+  const DetRun a = deterministic_run(/*with_epochs=*/true, 17);
+  const DetRun b = deterministic_run(/*with_epochs=*/true, 17);
+  EXPECT_EQ(a.contents, b.contents);
+  EXPECT_EQ(a.instructions, b.instructions);
+  EXPECT_EQ(a.steps, b.steps);
+}
+
+}  // namespace
+}  // namespace gfsl::core

@@ -19,6 +19,17 @@
 //
 //   gfsl_fuzz --crash-at STEP [--crash-seed S] ...
 //       Replay a single kill step — the repro form printed on failure.
+//
+// Churn mode (the bounded-memory soak, DESIGN.md §9):
+//
+//   gfsl_fuzz --churn [--workers N] [--ops N] [--range N] [--team-size N]
+//             [--pool N] [--seed S]
+//       Free-running threads drive a 50/50 insert/erase mix through a small
+//       pool for >= 10x the pool's capacity in operations.  With epoch
+//       reclamation every merged-away chunk is recycled, so the run must
+//       finish with chunks_allocated() bounded and validate() clean; without
+//       it the same workload exhausts the pool almost immediately.
+#include <atomic>
 #include <cstdio>
 #include <fstream>
 #include <thread>
@@ -183,12 +194,95 @@ int run_crash_mode(const Options& opt) {
   return 0;
 }
 
+int run_churn_mode(const Options& opt) {
+  const int workers = static_cast<int>(opt.get_u64("workers", 4));
+  const int team_size = static_cast<int>(opt.get_u64("team-size", 8));
+  const auto pool = static_cast<std::uint32_t>(opt.get_u64("pool", 4096));
+  const auto range = opt.get_u64("range", 512);
+  const auto total_ops =
+      opt.get_u64("ops", 12ull * pool);  // default >= 10x pool capacity
+  const auto seed = opt.get_u64("seed", 0xC0FF);
+
+  device::DeviceMemory mem;
+  device::EpochManager epochs;
+  core::GfslConfig cfg;
+  cfg.team_size = team_size;
+  cfg.pool_chunks = pool;
+  core::Gfsl sl(cfg, &mem, nullptr, nullptr, &epochs);
+
+  std::atomic<int> oom{0};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < workers; ++w) {
+    threads.emplace_back([&, w] {
+      simt::Team team(team_size, w, 3);
+      Xoshiro256ss rng(derive_seed(seed, static_cast<std::uint64_t>(w)));
+      const std::uint64_t n = total_ops / static_cast<std::uint64_t>(workers);
+      try {
+        for (std::uint64_t i = 0; i < n; ++i) {
+          const Key k = 1 + static_cast<Key>(rng.below(range));
+          if (rng.below(2) == 0) {
+            sl.insert(team, k, k);
+          } else {
+            sl.erase(team, k);
+          }
+        }
+      } catch (const std::bad_alloc&) {
+        oom.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  bool ok = true;
+  if (oom.load() != 0) {
+    std::printf("FAIL churn: %d team(s) hit pool exhaustion\n", oom.load());
+    ok = false;
+  }
+  const auto rep = sl.validate(/*strict=*/false);
+  if (!rep.ok) {
+    std::printf("FAIL churn: structure invalid: %s\n", rep.error.c_str());
+    ok = false;
+  }
+  // "Bounded" = the steady state fits comfortably inside the pool: in-use
+  // (live + in-flight zombies + limbo) never approaches capacity even after
+  // an unbounded stream of merges.
+  if (sl.chunks_allocated() >= pool / 2) {
+    std::printf("FAIL churn: %u chunks in use of %u — reclamation fell behind\n",
+                sl.chunks_allocated(), pool);
+    ok = false;
+  }
+  if (sl.chunks_reclaimed() == 0) {
+    std::printf("FAIL churn: zero chunks reclaimed\n");
+    ok = false;
+  }
+  if (!ok) {
+    std::printf("  repro: --churn --seed %llu --workers %d --team-size %d "
+                "--ops %llu --range %llu --pool %u\n",
+                static_cast<unsigned long long>(seed), workers, team_size,
+                static_cast<unsigned long long>(total_ops),
+                static_cast<unsigned long long>(range), pool);
+    return 1;
+  }
+  std::printf(
+      "churn clean: %llu ops through a %u-chunk pool, %llu reclaimed, "
+      "%u in use at exit, %llu in limbo (workers=%d team=%d range=%llu)\n",
+      static_cast<unsigned long long>(total_ops), pool,
+      static_cast<unsigned long long>(sl.chunks_reclaimed()),
+      sl.chunks_allocated(),
+      static_cast<unsigned long long>(epochs.limbo_total()), workers,
+      team_size, static_cast<unsigned long long>(range));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const Options opt = Options::parse(argc, argv);
   if (opt.get_bool("crash-sweep") || opt.has("crash-at")) {
     return run_crash_mode(opt);
+  }
+  if (opt.get_bool("churn")) {
+    return run_churn_mode(opt);
   }
   const auto rounds = opt.get_u64("rounds", 40);
   RoundParams p{};
