@@ -55,13 +55,12 @@ ChunkRef ChunkArena::alloc_locked(std::uint32_t owner_word) {
     }
     ref = idx;
   }
-  // Transition the generation to "in use" (even).  acq_rel: the RMW's
-  // acquire half keeps the initialization stores below from being hoisted
-  // above it, so a seqlock reader cannot observe new contents under a stamp
-  // that still validates as the old lifetime.
-  if ((gen_[ref].load(std::memory_order_relaxed) & 1u) != 0) {
-    gen_[ref].fetch_add(1, std::memory_order_acq_rel);
-  }
+  // Seqlock write phase: the generation stays *odd* (recycle() flipped it)
+  // for the entire initialization, so a reader that samples the stamp at any
+  // point inside this window rejects the read.  Only after the last store
+  // does the generation go even — publishing the stamp before (or amid) the
+  // stores would let a reader whose read falls entirely inside the init
+  // window accept a torn mix of retired-lifetime and fresh contents.
   std::atomic<KV>* e = entries(ref);
   for (int i = 0; i < dsize(); ++i) {
     e[i].store(KV_EMPTY, std::memory_order_relaxed);
@@ -72,6 +71,13 @@ ChunkRef ChunkArena::alloc_locked(std::uint32_t owner_word) {
   // published pointer observes the initialized contents.
   e[lock_slot()].store(make_lock_entry(kLocked, owner_word),
                        std::memory_order_release);
+  // Transition to "in use" (even) as the last step.  Release publishes the
+  // initialization stores above before the stamp a seqlock reader validates
+  // against; bump-fresh indices are born even (0) and were never reachable
+  // before this call, so they need no flip.
+  if ((gen_[ref].load(std::memory_order_relaxed) & 1u) != 0) {
+    gen_[ref].fetch_add(1, std::memory_order_release);
+  }
   return ref;
 }
 

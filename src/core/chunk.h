@@ -23,12 +23,15 @@
 // pushes an index onto a lock-free LIFO free-list (Treiber stack with a
 // tagged head so free-list pops are themselves ABA-safe) and `alloc_locked`
 // pops from it before falling back to the bump pointer.  Each chunk carries
-// a *generation stamp*: odd while on the free-list, even while in use, and
-// bumped on both transitions.  A lock-free reader that raced past a reuse
-// validates the stamp it sampled before reading against the stamp after
-// (seqlock discipline) and restarts its traversal on mismatch — index reuse
-// is detectable even though the zombie-skip logic cannot distinguish the old
-// chunk from its reincarnation by contents alone.
+// a *generation stamp*: odd while on the free-list (and throughout the next
+// lifetime's initialization), even while in use, and bumped on both
+// transitions.  A lock-free reader samples the stamp when it *acquires* a
+// chunk reference and validates every read of that chunk against the sample
+// (seqlock discipline, Gfsl::guard_ref/read_chunk_checked), restarting its
+// traversal on mismatch — index reuse is detectable even though the reused
+// lifetime's own pre/post stamps are internally consistent and the
+// zombie-skip logic cannot distinguish the old chunk from its reincarnation
+// by contents alone.
 #pragma once
 
 #include <atomic>

@@ -58,13 +58,11 @@ bool Gfsl::erase_impl(Team& team, Key k) {
   }
 
   // Only after k is gone from every upper level is it removed from the
-  // bottom, and the bottom lock released (Algorithm 4.11 line 22).
-  if (!remove_from_chunk(team, k, bottom, 0)) {
-    // The bottom merge could not allocate its receiver split even after
-    // emergency reclaims; nothing was removed (the epoch scope dtor unpins
-    // silently during the throw).
-    throw std::bad_alloc();
-  }
+  // bottom, and the bottom lock released (Algorithm 4.11 line 22).  The
+  // bottom removal cannot fail: on merge-split OOM remove_from_chunk falls
+  // back to a plain (merge-free) removal, so an erase that reaches this
+  // point always completes instead of surfacing a partial mutation.
+  remove_from_chunk(team, k, bottom, 0);
   epoch.exit();
   return true;
 }
@@ -99,10 +97,25 @@ bool Gfsl::remove_from_chunk(Team& team, Key k, ChunkRef enc_ref, int level) {
     // The receiver is too full: split it first (no key inserted).
     split_moved = split_remove(team, next_ref, level);
     if (!split_moved.ok) {
-      // Split allocation failed; nothing changed.  Release both locks and
-      // report the merge as impossible — the caller decides whether the
-      // stale key is tolerable (upper levels) or fatal (bottom).
+      // Split allocation failed; nothing changed yet.
       unlock(team, next_ref);
+      if (level == 0) {
+        // The bottom removal must complete — erase_impl already removed k
+        // from every upper level, so failing here would leave the structure
+        // partially mutated while reporting total failure.  Skip the merge
+        // and remove k plainly, tolerating the underfull chunk; a later
+        // erase's merge, or compact(), re-coalesces it.  A survivor always
+        // remains (a sole-key chunk never needs the receiver split), and
+        // next_ref exists, so every validate() invariant still holds.
+        publish_intent(team, IntentKind::kEraseShift, k, enc_ref);
+        execute_remove_no_merge(team, kv, enc_ref, k, /*is_last_chunk=*/false);
+        clear_intent(team);
+        unlock(team, enc_ref);
+        return true;
+      }
+      // Upper levels: report the merge as impossible — the stale key is
+      // legal under strict=false validation and stays unreachable once
+      // removed from the bottom.
       unlock(team, enc_ref);
       return false;
     }
@@ -146,11 +159,14 @@ void Gfsl::execute_remove_no_merge(Team& team, const LaneVec<KV>& kv,
       [&](int i) { return i < dsz && !kv_is_empty(kv[i]); });
   const int last = Team::highest_lane(nb);
 
-  if (!is_last_chunk && idx == last) {
+  if (!is_last_chunk && idx == last && last > 0) {
     // k is this chunk's max: lower the max field *before* removing it so a
     // concurrent search never sees a max that is absent from the data
-    // (§4.2.3 "Delete With No Merge").  The chunk is above the merge
-    // threshold, so a predecessor key exists.
+    // (§4.2.3 "Delete With No Merge").  On the ordinary path the chunk is
+    // above the merge threshold, so a predecessor key exists (last > 0);
+    // only the merge-OOM fallback can remove a chunk's sole key, and then
+    // the old max is kept — a max no key matches merely routes searches for
+    // it into this chunk, where they correctly find nothing.
     const Key new_max = kv_key(team.shfl(kv, last - 1));
     const ChunkRef nxt = next_of(team, kv);
     atomic_entry_write(team, ref, arena_.next_slot(),

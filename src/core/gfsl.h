@@ -97,7 +97,10 @@ class Gfsl {
   /// Insert <k, v>; false if `k` is already present (§4.2.2).
   bool insert(simt::Team& team, Key k, Value v);
 
-  /// Remove `k`; false if not present (§4.2.3).
+  /// Remove `k`; false if not present (§4.2.3).  Never fails on pool
+  /// exhaustion: if an underfull-chunk merge cannot allocate its receiver
+  /// split, the removal completes merge-free and tolerates the underfull
+  /// chunk — an erase is all-or-nothing, never partially applied.
   bool erase(simt::Team& team, Key k);
 
   /// Lock-free cooperative range scan (extension): append up to `limit`
@@ -183,11 +186,30 @@ class Gfsl {
  private:
   // ---- cooperative building blocks (gfsl.cpp) ----
   simt::LaneVec<KV> read_chunk(simt::Team& team, ChunkRef ref);
-  /// read_chunk plus generation-stamp validation (seqlock read).  With an
-  /// EpochManager attached, `*stale` is set when the chunk was recycled
-  /// (or re-allocated) while we read it — the caller must restart its
+  /// A chunk reference paired with the generation stamp sampled when the
+  /// reference was acquired (guard_ref).  Checked reads validate against
+  /// this sample, so a recycle — or a completed recycle+reuse, which
+  /// restores a consistent even stamp — between acquisition and read is
+  /// detected, not just a recycle that lands mid-read.
+  struct Guarded {
+    ChunkRef ref = NULL_CHUNK;
+    std::uint32_t gen = 0;
+  };
+  /// Sample `ref`'s generation at acquisition time.  Call it where the ref
+  /// value is extracted from its (already validated) source chunk, with no
+  /// yield point in between; with no EpochManager stamps never change and
+  /// the load is skipped.
+  Guarded guard_ref(ChunkRef ref) const {
+    return {ref, (epochs_ != nullptr && ref != NULL_CHUNK)
+                     ? arena_.generation(ref, std::memory_order_acquire)
+                     : 0u};
+  }
+  /// read_chunk plus generation-stamp validation (seqlock read) against the
+  /// acquisition-time sample in `g`.  With an EpochManager attached,
+  /// `*stale` is set when the chunk was recycled (or recycled and reused)
+  /// at any point since guard_ref sampled it — the caller must restart its
   /// traversal; detached, stamps never change and this is read_chunk.
-  simt::LaneVec<KV> read_chunk_checked(simt::Team& team, ChunkRef ref,
+  simt::LaneVec<KV> read_chunk_checked(simt::Team& team, Guarded g,
                                        bool* stale);
   void sync_point(simt::Team& team);
   bool is_zombie(simt::Team& team, const simt::LaneVec<KV>& kv);
@@ -221,8 +243,8 @@ class Gfsl {
   static constexpr int kNone = -1;
   int tid_for_next_step(simt::Team& team, Key k, const simt::LaneVec<KV>& kv);
   int tid_with_equal_key(simt::Team& team, Key k, const simt::LaneVec<KV>& kv);
-  ChunkRef search_down(simt::Team& team, Key k);
-  bool search_lateral(simt::Team& team, Key k, ChunkRef start, Value* out_value,
+  Guarded search_down(simt::Team& team, Key k);
+  bool search_lateral(simt::Team& team, Key k, Guarded start, Value* out_value,
                       bool* stale = nullptr);
 
   struct SlowSearchResult {
@@ -239,9 +261,12 @@ class Gfsl {
 
   /// Follow next pointers from a zombie to the first non-zombie chunk.
   /// When `skipped` is non-null the intermediate zombies are appended to it
-  /// (the retire list of a successful unlink).
+  /// (the retire list of a successful unlink).  When `stale` is non-null the
+  /// chain is walked with generation-checked reads; on a stamp mismatch
+  /// `*stale` is set and NULL_CHUNK returned — the caller must restart.
   ChunkRef first_non_zombie(simt::Team& team, const simt::LaneVec<KV>& kv,
-                            std::vector<ChunkRef>* skipped = nullptr);
+                            std::vector<ChunkRef>* skipped = nullptr,
+                            bool* stale = nullptr);
   /// Lazily unlink zombies between prev and `first_nz` (searchSlow, §4.2.2).
   void redirect_to_remove_zombie(simt::Team& team, ChunkRef prev,
                                  ChunkRef first_nz);
@@ -280,7 +305,9 @@ class Gfsl {
   bool erase_impl(simt::Team& team, Key k);
   /// Remove k from the locked chunk `enc_ref`, merging if underfull.
   /// Releases (or zombifies) every lock it holds either way.  Returns false
-  /// only when a merge-path split ran out of memory — nothing was removed.
+  /// only when an *upper-level* merge-path split ran out of memory — nothing
+  /// was removed there.  At level 0 it always succeeds: merge-split OOM
+  /// falls back to a plain removal that tolerates the underfull chunk.
   bool remove_from_chunk(simt::Team& team, Key k, ChunkRef enc_ref, int level);
   void execute_remove_no_merge(simt::Team& team, const simt::LaneVec<KV>& kv,
                                ChunkRef ref, Key k, bool is_last_chunk);

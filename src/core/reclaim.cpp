@@ -10,7 +10,9 @@
 //                    could have seen the chunk linked)
 //                ->  reclaim_pass: reference-scan the upper levels for stale
 //                    down pointers into the candidates; repair + requeue the
-//                    referenced ones, recycle the rest onto the free-list
+//                    referenced ones — and, transitively, every candidate
+//                    their frozen next pointers reach — recycle the rest
+//                    onto the free-list
 //                ->  alloc_locked pops the recycled index, generation stamp
 //                    flips to a new lifetime
 //
@@ -26,8 +28,16 @@
 //
 // Parked readers — teams that already hold the chunk ref in a register —
 // are the one thing neither pins nor the scan can rule out once the index
-// is reused; they detect the reuse through the generation stamp
-// (read_chunk_checked) and restart their traversal.
+// is reused.  They detect it through the generation stamps: a traversal
+// samples the stamp when it *acquires* a ref (guard_ref, in the same
+// lockstep step as the validated read of the source chunk, so no yield can
+// fall in between) and every checked read validates against that sample
+// (read_chunk_checked).  A recycle — or a full recycle+reuse, which leaves
+// a consistent even stamp a pre/post-only check would accept — anywhere
+// between acquisition and read flips the stamp past the sample and the
+// traversal restarts.  The epoch pins remain the primary guarantee for
+// free-running teams; the stamps cover resumption after a pin was
+// force-quiesced and scheduler parks between lockstep steps.
 //
 // Everything here is gated on `epochs_ != nullptr`: detached, no stamp is
 // ever read, no extra yield point fires, and the structure is bit-identical
@@ -41,22 +51,27 @@ namespace gfsl::core {
 using simt::LaneVec;
 using simt::Team;
 
-LaneVec<KV> Gfsl::read_chunk_checked(Team& team, ChunkRef ref, bool* stale) {
+LaneVec<KV> Gfsl::read_chunk_checked(Team& team, Guarded g, bool* stale) {
   if (epochs_ == nullptr) {
     *stale = false;
-    return read_chunk(team, ref);
+    return read_chunk(team, g.ref);
   }
-  // Seqlock read: stamp, contents, stamp.  The stamp loads piggyback on the
-  // chunk's cache line and add no lockstep instruction of their own.
-  const auto g1 = arena_.generation(ref, std::memory_order_acquire);
-  LaneVec<KV> kv = read_chunk(team, ref);
+  // Seqlock read validated against the acquisition-time sample: the stamp
+  // must equal g.gen both before and after the contents read.  Comparing
+  // only pre vs. post would miss a *completed* recycle+reuse (the new
+  // lifetime's stamp is even and internally consistent); comparing against
+  // the sample taken when the ref was acquired catches it.  The stamp loads
+  // piggyback on the chunk's cache line and add no lockstep instruction of
+  // their own.
+  const auto g1 = arena_.generation(g.ref, std::memory_order_acquire);
+  LaneVec<KV> kv = read_chunk(team, g.ref);
   std::atomic_thread_fence(std::memory_order_acquire);
-  const auto g2 = arena_.generation(ref, std::memory_order_relaxed);
-  *stale = (g1 != g2) || (g1 & 1u) != 0;
+  const auto g2 = arena_.generation(g.ref, std::memory_order_relaxed);
+  *stale = g1 != g.gen || g2 != g.gen || (g.gen & 1u) != 0;
   if (*stale) {
     team.metric(obs::kStaleChunkReads);
     ++team.counters().restarts;
-    team.record(simt::TraceEvent::kRestart, ref);
+    team.record(simt::TraceEvent::kRestart, g.ref);
   }
   return kv;
 }
@@ -121,6 +136,27 @@ std::size_t Gfsl::reclaim_pass(Team& team) {
         }
       }
       cur = next_of(team, kv);
+    }
+  }
+
+  // Transitive closure over frozen next pointers: a referenced candidate is
+  // still *named* (by a stale down pointer), and its next pointer — frozen
+  // at zombification — may lead into sibling candidates.  A traversal that
+  // enters through the stale pointer walks that chain with plain reads, so
+  // everything reachable from a referenced candidate through candidates must
+  // survive this pass too; requeuing only the entry point while recycling
+  // its chain would hand the traversal a recycled index one hop later.
+  {
+    std::vector<ChunkRef> work(referenced.begin(), referenced.end());
+    while (!work.empty()) {
+      const ChunkRef z = work.back();
+      work.pop_back();
+      const LaneVec<KV> zkv = read_chunk(team, z);
+      const ChunkRef nxt = next_of(team, zkv);
+      if (nxt != NULL_CHUNK && cset.count(nxt) != 0 &&
+          referenced.insert(nxt).second) {
+        work.push_back(nxt);
+      }
     }
   }
 

@@ -37,15 +37,16 @@ int Gfsl::tid_with_equal_key(Team& team, Key k, const LaneVec<KV>& kv) {
   return Team::highest_lane(bal);
 }
 
-ChunkRef Gfsl::search_down(Team& team, Key k) {
+Gfsl::Guarded Gfsl::search_down(Team& team, Key k) {
   // Algorithm 4.2: lock-free descent through the upper levels.  Returns the
-  // level-0 chunk reached by the last down step.
+  // level-0 chunk reached by the last down step, with the generation stamp
+  // sampled when that ref was extracted (the caller keeps validating).
   std::uint64_t reads = 0;
   for (;;) {  // restart loop (the §4.2.1 lock-freedom edge case)
     LaneVec<KV> prev_kv;
     bool have_prev = false;
     int height = height_coop(team);
-    ChunkRef cur = head_of(team, height);
+    Guarded cur = guard_ref(head_of(team, height));
     bool restart = false;
 
     while (height > 0) {
@@ -58,23 +59,23 @@ ChunkRef Gfsl::search_down(Team& team, Key k) {
       }
       if (is_zombie(team, kv)) {
         // Zombies are skipped laterally; their contents moved right (§4.2.1).
-        note_zombie(team, cur);
-        cur = next_of(team, kv);
+        note_zombie(team, cur.ref);
+        cur = guard_ref(next_of(team, kv));
         continue;
       }
       const int step = tid_for_next_step(team, k, kv);
       if (step == team.next_lane()) {  // lateral step
         prev_kv = kv;
         have_prev = true;
-        cur = next_of(team, kv);
+        cur = guard_ref(next_of(team, kv));
       } else if (step != kNone) {  // down step
         --height;
         have_prev = false;
-        cur = ptr_from_tid(team, step, kv);
+        cur = guard_ref(ptr_from_tid(team, step, kv));
       } else {  // backtrack
         if (!have_prev) {
           ++team.counters().restarts;
-          team.record(simt::TraceEvent::kRestart, cur, k);
+          team.record(simt::TraceEvent::kRestart, cur.ref, k);
           restart = true;
           break;
         }
@@ -84,7 +85,7 @@ ChunkRef Gfsl::search_down(Team& team, Key k) {
           return i < team.dsize() && kv_key(prev_kv[i]) <= k;
         });
         --height;
-        cur = ptr_from_tid(team, Team::highest_lane(bal), prev_kv);
+        cur = guard_ref(ptr_from_tid(team, Team::highest_lane(bal), prev_kv));
         have_prev = false;
       }
     }
@@ -96,16 +97,16 @@ ChunkRef Gfsl::search_down(Team& team, Key k) {
   }
 }
 
-bool Gfsl::search_lateral(Team& team, Key k, ChunkRef start, Value* out_value,
+bool Gfsl::search_lateral(Team& team, Key k, Guarded start, Value* out_value,
                           bool* stale) {
   // Algorithm 4.4: bottom-level lateral walk to k's enclosing chunk.
-  ChunkRef cur = start;
+  Guarded cur = start;
   std::uint64_t reads = 0;
   for (;;) {
     bool st = false;
     const LaneVec<KV> kv = stale != nullptr
                                ? read_chunk_checked(team, cur, &st)
-                               : read_chunk(team, cur);
+                               : read_chunk(team, cur.ref);
     ++reads;
     if (st) {  // recycled under us; the caller restarts from the top
       traversal_chunk_reads_.fetch_add(reads, std::memory_order_relaxed);
@@ -114,12 +115,12 @@ bool Gfsl::search_lateral(Team& team, Key k, ChunkRef start, Value* out_value,
     }
     const int found = tid_with_equal_key(team, k, kv);
     if (found == team.next_lane()) {
-      cur = next_of(team, kv);
+      cur = guard_ref(next_of(team, kv));
       continue;
     }
     if (is_zombie(team, kv)) {
-      note_zombie(team, cur);
-      cur = next_of(team, kv);
+      note_zombie(team, cur.ref);
+      cur = guard_ref(next_of(team, kv));
       continue;
     }
     traversal_chunk_reads_.fetch_add(reads, std::memory_order_relaxed);
@@ -160,18 +161,27 @@ std::optional<Value> Gfsl::find(Team& team, Key k) {
 }
 
 ChunkRef Gfsl::first_non_zombie(Team& team, const LaneVec<KV>& kv,
-                                std::vector<ChunkRef>* skipped) {
+                                std::vector<ChunkRef>* skipped, bool* stale) {
   // Follow next pointers until a non-zombie chunk; the last chunk in a level
   // is never a zombie (§4.2.3), so this terminates.  Zombies are frozen
   // (terminal lock state; nobody writes their entries again), so the chain
   // recorded in `skipped` is exactly the chain a subsequent unlink removes.
-  ChunkRef cur = next_of(team, kv);
+  // With `stale` the walk is generation-checked: the chain may contain
+  // already-unlinked zombies a concurrent reclaim pass could recycle.
+  Guarded cur = guard_ref(next_of(team, kv));
   for (;;) {
-    const LaneVec<KV> nkv = read_chunk(team, cur);
-    if (!is_zombie(team, nkv)) return cur;
-    note_zombie(team, cur);
-    if (skipped != nullptr) skipped->push_back(cur);
-    cur = next_of(team, nkv);
+    bool st = false;
+    const LaneVec<KV> nkv = stale != nullptr
+                                ? read_chunk_checked(team, cur, &st)
+                                : read_chunk(team, cur.ref);
+    if (st) {
+      *stale = true;
+      return NULL_CHUNK;
+    }
+    if (!is_zombie(team, nkv)) return cur.ref;
+    note_zombie(team, cur.ref);
+    if (skipped != nullptr) skipped->push_back(cur.ref);
+    cur = guard_ref(next_of(team, nkv));
   }
 }
 
@@ -223,28 +233,38 @@ Gfsl::SlowSearchResult Gfsl::search_slow(Team& team, Key k) {
     ChunkRef prev_ref = NULL_CHUNK;
     bool have_prev = false;
     int height = height_coop(team);
-    ChunkRef cur = head_of(team, height);
+    Guarded cur = guard_ref(head_of(team, height));
     bool restart = false;
 
     while (height > 0) {
-      LaneVec<KV> kv = read_chunk(team, cur);
+      bool stale = false;
+      LaneVec<KV> kv = read_chunk_checked(team, cur, &stale);
       ++reads;
+      if (stale) {  // chunk recycled under us — the path is garbage
+        restart = true;
+        break;
+      }
       if (is_zombie(team, kv)) {
-        note_zombie(team, cur);
+        note_zombie(team, cur.ref);
         const bool at_head =
             !have_prev && head_[static_cast<std::size_t>(height)].load(
-                              std::memory_order_acquire) == cur;
+                              std::memory_order_acquire) == cur.ref;
         std::vector<ChunkRef> chain;
-        if (at_head) chain.push_back(cur);
-        const ChunkRef fnz =
-            first_non_zombie(team, kv, at_head ? &chain : nullptr);
+        if (at_head) chain.push_back(cur.ref);
+        bool chain_stale = false;
+        const ChunkRef fnz = first_non_zombie(
+            team, kv, at_head ? &chain : nullptr, &chain_stale);
+        if (chain_stale) {
+          restart = true;
+          break;
+        }
         if (have_prev) {
           redirect_to_remove_zombie(team, prev_ref, fnz);
         } else if (at_head) {
           // The zombie was the first chunk in the level: swing the head.
           // Zombie next pointers are frozen, so a won CAS from `cur`
           // unlinks exactly `chain` — the unique retire point for it.
-          ChunkRef expected = cur;
+          ChunkRef expected = cur.ref;
           mem_->atomic_rmw(head_device_base_ + 256 +
                            static_cast<std::uint64_t>(height) * 4u);
           if (head_[static_cast<std::size_t>(height)].compare_exchange_strong(
@@ -254,24 +274,24 @@ Gfsl::SlowSearchResult Gfsl::search_slow(Team& team, Key k) {
           }
           team.step();
         }
-        cur = fnz;
+        cur = guard_ref(fnz);
         continue;
       }
       const int step = tid_for_next_step(team, k, kv);
       if (step == team.next_lane()) {  // lateral
         prev_kv = kv;
-        prev_ref = cur;
+        prev_ref = cur.ref;
         have_prev = true;
-        cur = next_of(team, kv);
+        cur = guard_ref(next_of(team, kv));
       } else if (step != kNone) {  // down
-        r.path[height] = cur;
+        r.path[height] = cur.ref;
         --height;
         have_prev = false;
-        cur = ptr_from_tid(team, step, kv);
+        cur = guard_ref(ptr_from_tid(team, step, kv));
       } else {  // backtrack
         if (!have_prev) {
           ++team.counters().restarts;
-          team.record(simt::TraceEvent::kRestart, cur, k);
+          team.record(simt::TraceEvent::kRestart, cur.ref, k);
           restart = true;
           break;
         }
@@ -280,7 +300,7 @@ Gfsl::SlowSearchResult Gfsl::search_slow(Team& team, Key k) {
           return i < team.dsize() && kv_key(prev_kv[i]) <= k;
         });
         --height;
-        cur = ptr_from_tid(team, Team::highest_lane(bal), prev_kv);
+        cur = guard_ref(ptr_from_tid(team, Team::highest_lane(bal), prev_kv));
         have_prev = false;
       }
     }
@@ -290,10 +310,15 @@ Gfsl::SlowSearchResult Gfsl::search_slow(Team& team, Key k) {
     // becomes path[0].
     ChunkRef bprev = NULL_CHUNK;
     for (;;) {
-      const LaneVec<KV> kv = read_chunk(team, cur);
+      bool stale = false;
+      const LaneVec<KV> kv = read_chunk_checked(team, cur, &stale);
       ++reads;
+      if (stale) {
+        restart = true;
+        break;
+      }
       if (is_zombie(team, kv)) {
-        note_zombie(team, cur);
+        note_zombie(team, cur.ref);
         // The seed never unlinked a zombified *first* bottom chunk (no
         // predecessor to redirect through), which is harmless when zombies
         // leak but fatal under reclamation: erasing small keys merges the
@@ -302,15 +327,20 @@ Gfsl::SlowSearchResult Gfsl::search_slow(Team& team, Key k) {
         // detached, keep the seed's exact step sequence.
         const bool at_head =
             epochs_ != nullptr && bprev == NULL_CHUNK &&
-            head_[0].load(std::memory_order_acquire) == cur;
+            head_[0].load(std::memory_order_acquire) == cur.ref;
         std::vector<ChunkRef> chain;
-        if (at_head) chain.push_back(cur);
-        const ChunkRef fnz =
-            first_non_zombie(team, kv, at_head ? &chain : nullptr);
+        if (at_head) chain.push_back(cur.ref);
+        bool chain_stale = false;
+        const ChunkRef fnz = first_non_zombie(
+            team, kv, at_head ? &chain : nullptr, &chain_stale);
+        if (chain_stale) {
+          restart = true;
+          break;
+        }
         if (bprev != NULL_CHUNK) {
           redirect_to_remove_zombie(team, bprev, fnz);
         } else if (at_head) {
-          ChunkRef expected = cur;
+          ChunkRef expected = cur.ref;
           mem_->atomic_rmw(head_device_base_ + 256);
           if (head_[0].compare_exchange_strong(expected, fnz,
                                                std::memory_order_acq_rel,
@@ -319,19 +349,20 @@ Gfsl::SlowSearchResult Gfsl::search_slow(Team& team, Key k) {
           }
           team.step();
         }
-        cur = fnz;
+        cur = guard_ref(fnz);
         continue;
       }
       const int found = tid_with_equal_key(team, k, kv);
       if (found == team.next_lane()) {
-        bprev = cur;
-        cur = next_of(team, kv);
+        bprev = cur.ref;
+        cur = guard_ref(next_of(team, kv));
         continue;
       }
-      r.path[0] = cur;
+      r.path[0] = cur.ref;
       r.found = (found != kNone);
       break;
     }
+    if (restart) continue;
     traversal_chunk_reads_.fetch_add(reads, std::memory_order_relaxed);
     traversals_.fetch_add(1, std::memory_order_relaxed);
     return r;
@@ -351,15 +382,15 @@ std::size_t Gfsl::scan(Team& team, Key lo, Key hi,
   bool done = false;
   while (!done) {  // stale chunk read restarts the whole scan
     out.resize(start_size);
-    ChunkRef cur = search_down(team, lo);
+    Guarded cur = search_down(team, lo);
     for (;;) {
       bool stale = false;
       const LaneVec<KV> kv = read_chunk_checked(team, cur, &stale);
       if (stale) break;
       if (is_zombie(team, kv)) {
         // Zombie contents moved right; skip without collecting.
-        note_zombie(team, cur);
-        cur = next_of(team, kv);
+        note_zombie(team, cur.ref);
+        cur = guard_ref(next_of(team, kv));
         continue;
       }
       // Cooperative in-range vote; entries are sorted within the chunk, so
@@ -384,7 +415,7 @@ std::size_t Gfsl::scan(Team& team, Key lo, Key hi,
         done = true;
         break;
       }
-      cur = nxt;
+      cur = guard_ref(nxt);
     }
   }
   epoch.exit();

@@ -49,8 +49,10 @@ namespace gfsl::device {
 class EpochManager {
  public:
   using Epoch = std::uint64_t;
-  /// Matches sched::LeaseTable::kMaxTeams + 1 so every valid team id (and
-  /// the out-of-range medic ids the crash harness uses) has a slot.
+  /// Covers sched::LeaseTable::kMaxTeams plus the extra medic id the crash
+  /// harness uses.  Ids outside [0, kMaxSlots) share one dedicated overflow
+  /// slot (see slot_of) — they can interfere with each other but can never
+  /// alias a live in-range team's pin or limbo list.
   static constexpr int kMaxSlots = 256;
   /// Sentinel from min_active_epoch() when no team is pinned.
   static constexpr Epoch kNoPin = ~Epoch{0};
@@ -135,13 +137,18 @@ class EpochManager {
     std::vector<Retired> items;
   };
 
+  // Out-of-range ids map to the overflow slot at index kMaxSlots instead of
+  // wrapping onto a live team's slot: a stray force_quiesce/unpin on such an
+  // id must never drop an unrelated team's epoch pin, and a stray adopt must
+  // never splice an unrelated team's limbo.
   static std::size_t slot_of(int id) {
-    return static_cast<std::size_t>(id) % kMaxSlots;
+    return (id >= 0 && id < kMaxSlots) ? static_cast<std::size_t>(id)
+                                       : static_cast<std::size_t>(kMaxSlots);
   }
 
   std::atomic<Epoch> global_;
-  std::atomic<Epoch> slots_[kMaxSlots];
-  Limbo limbo_[kMaxSlots];
+  std::atomic<Epoch> slots_[kMaxSlots + 1];
+  Limbo limbo_[kMaxSlots + 1];
   std::atomic<std::uint64_t> retired_total_;
   std::atomic<std::uint64_t> advances_;
 };

@@ -110,6 +110,35 @@ TEST(ReclaimEpoch, RequeueRestartsTheGracePeriod) {
   EXPECT_EQ(ep.drain_safe(0, &out), 1u);
 }
 
+TEST(ReclaimEpoch, OutOfRangeIdsNeverAliasLiveTeamSlots) {
+  // Ids outside [0, kMaxSlots) map to one shared overflow slot instead of
+  // wrapping modulo onto a live team's slot: a stray force_quiesce/unpin on
+  // such an id must not void a real team's grace period, and a stray adopt
+  // must not splice a real team's limbo.
+  EpochManager ep;
+  ep.pin(3);
+  ep.retire(3, 21);
+  EXPECT_TRUE(ep.try_advance());  // slot 3 pinned at 1; 1 -> 2 still legal
+
+  ep.force_quiesce(3 + EpochManager::kMaxSlots);  // would alias slot 3 if
+  ep.unpin(-1);                                   // slot_of wrapped
+  EXPECT_TRUE(ep.pinned(3));
+  EXPECT_FALSE(ep.try_advance());  // the lagging pin still wedges the epoch
+
+  ep.adopt(3 + EpochManager::kMaxSlots, 9);
+  EXPECT_EQ(ep.limbo_depth(3), 1u);  // limbo stayed with its owner
+  EXPECT_EQ(ep.limbo_depth(9), 0u);
+
+  // Overflow ids are still fully usable (shared among themselves): a pin is
+  // honored by the epoch like any in-range team's.
+  ep.unpin(3);
+  ep.pin(EpochManager::kMaxSlots + 7);
+  EXPECT_TRUE(ep.try_advance());   // overflow pin caught up at pin time
+  EXPECT_FALSE(ep.try_advance());  // ... then lags and wedges
+  ep.force_quiesce(EpochManager::kMaxSlots + 7);
+  EXPECT_TRUE(ep.try_advance());
+}
+
 TEST(ReclaimEpoch, MedicQuiescesAndAdoptsCrashedTeam) {
   EpochManager ep;
   ep.pin(2);
@@ -210,6 +239,104 @@ TEST(ReclaimGfsl, ChurnSoakStaysWithinBoundedMemory) {
                 rep.live_chunks + rep.zombie_chunks,
             static_cast<std::uint64_t>(sl.arena().high_water()))
       << "every index the bump pointer handed out must be classified";
+}
+
+TEST(ReclaimGfsl, EraseCompletesOnMergeSplitOom) {
+  // No EpochManager: nothing is ever recycled, so once the bump pointer hits
+  // the pool end every merge-path receiver split fails.  Erase must still
+  // complete (merge-free fallback) instead of throwing bad_alloc *after*
+  // the key was already removed from the upper levels — a failed erase used
+  // to leave the structure partially mutated while reporting total failure.
+  device::DeviceMemory mem;
+  GfslConfig cfg;
+  cfg.team_size = 8;
+  cfg.pool_chunks = 48;  // tiny: inserts exhaust it
+  Gfsl sl(cfg, &mem, nullptr, nullptr, /*epochs=*/nullptr);
+  Team team(8, 0, 11);
+
+  Key last_inserted = 0;
+  try {
+    for (Key k = 1; k <= 100000; ++k) {
+      sl.insert(team, k, k);
+      last_inserted = k;
+    }
+  } catch (const std::bad_alloc&) {
+    // expected: the pool is now exhausted
+  }
+  ASSERT_GT(last_inserted, 0);
+
+  // Every erase below runs against a full pool; merges that need a receiver
+  // split hit OOM and must fall back, never throw, never lose the removal.
+  for (Key k = 1; k <= last_inserted; ++k) {
+    EXPECT_NO_THROW(EXPECT_TRUE(sl.erase(team, k))) << "key " << k;
+  }
+  for (Key k = 1; k <= last_inserted; ++k) {
+    EXPECT_FALSE(sl.contains(team, k)) << "key " << k;
+  }
+  // Underfull chunks are legal; every other invariant must hold.
+  const auto rep = sl.validate(/*strict=*/false);
+  EXPECT_TRUE(rep.ok) << rep.error;
+  EXPECT_EQ(rep.bottom_keys, 0u);
+}
+
+TEST(ReclaimGfsl, ChurnWithLockFreeReadersStaysConsistent) {
+  // Writers churn a small key range hard enough that chunks are retired,
+  // recycled, and reused while lock-free readers (contains + scan) traverse.
+  // Readers cross retire/reuse boundaries constantly: the epoch pins plus
+  // the transitive requeue of zombie chains (reclaim_pass) and the
+  // acquisition-time generation checks must keep a reader from ever walking
+  // into a reused chunk.  Every insert stores v == k, so a scan that strayed
+  // into a chunk reused as an upper level would return down-pointer values
+  // that differ from their keys — that mismatch is the detector.  (Sortedness
+  // is NOT asserted: in-chunk shift duplicates are legal seed semantics.)
+  device::DeviceMemory mem;
+  EpochManager ep;
+  GfslConfig cfg;
+  cfg.team_size = 8;
+  cfg.pool_chunks = 2048;
+  Gfsl sl(cfg, &mem, nullptr, nullptr, &ep);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> violations{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&, t] {
+      Team team(8, t, 23);
+      Xoshiro256ss rng(derive_seed(13, static_cast<std::uint64_t>(t)));
+      for (std::uint64_t i = 0; i < 8000; ++i) {
+        const Key k = 1 + static_cast<Key>(rng.below(256));
+        if (rng.below(2) == 0) {
+          sl.insert(team, k, k);
+        } else {
+          sl.erase(team, k);
+        }
+      }
+      stop.store(true, std::memory_order_release);
+    });
+  }
+  for (int t = 2; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      Team team(8, t, 23);
+      Xoshiro256ss rng(derive_seed(29, static_cast<std::uint64_t>(t)));
+      std::vector<std::pair<Key, Value>> hits;
+      while (!stop.load(std::memory_order_acquire)) {
+        sl.contains(team, 1 + static_cast<Key>(rng.below(256)));
+        hits.clear();
+        sl.scan(team, 1, 256, hits);
+        for (const auto& [hk, hv] : hits) {
+          if (hv != static_cast<Value>(hk)) {
+            violations.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(violations.load(), 0) << "a scan observed unsorted/duplicate keys";
+  EXPECT_GT(sl.chunks_reclaimed(), 0u);  // reuse actually happened
+  const auto rep = sl.validate(/*strict=*/false);
+  EXPECT_TRUE(rep.ok) << rep.error;
 }
 
 TEST(ReclaimGfsl, CompactReturnsChunksThroughFreeList) {
