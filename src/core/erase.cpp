@@ -26,7 +26,12 @@ bool Gfsl::erase_impl(Team& team, Key k) {
     epoch.exit();
     return false;
   }
+  const bool ok = erase_committed(team, k, sr);
+  epoch.exit();
+  return ok;
+}
 
+bool Gfsl::erase_committed(Team& team, Key k, const SlowSearchResult& sr) {
   ChunkRef bottom = team.shfl(sr.path, 0);
   bottom = find_and_lock_enclosing(team, bottom, k);
   {
@@ -34,7 +39,6 @@ bool Gfsl::erase_impl(Team& team, Key k) {
     if (!chunk_contains(team, bkv, k)) {
       // Concurrently deleted between search and lock.
       unlock(team, bottom);
-      epoch.exit();
       return false;
     }
   }
@@ -63,7 +67,6 @@ bool Gfsl::erase_impl(Team& team, Key k) {
   // back to a plain (merge-free) removal, so an erase that reaches this
   // point always completes instead of surfacing a partial mutation.
   remove_from_chunk(team, k, bottom, 0);
-  epoch.exit();
   return true;
 }
 

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "core/batch.h"
 #include "core/chunk.h"
 #include "core/intent.h"
 #include "device/device_memory.h"
@@ -112,6 +113,29 @@ class Gfsl {
   std::size_t scan(simt::Team& team, Key lo, Key hi,
                    std::vector<std::pair<Key, Value>>& out,
                    std::size_t limit = SIZE_MAX);
+
+  // --- Batch execution (batch.cpp; DESIGN.md §10) ---------------------------
+  // Cursor-carrying variants of contains/insert/erase for key-sorted shard
+  // execution.  Keys must be presented to one cursor in ascending order
+  // (batch_search falls back to a cold descent — and re-warms — otherwise).
+  // Semantics are identical to the per-op API.
+
+  bool contains_batch(simt::Team& team, Key k, BatchCursor& cur);
+  bool insert_batch(simt::Team& team, Key k, Value v, BatchCursor& cur);
+  bool erase_batch(simt::Team& team, Key k, BatchCursor& cur);
+
+  /// Execute ops[order[begin..end)] — one key-range shard of a planned batch
+  /// (sched::plan_shards) — with a single epoch pin for the whole shard
+  /// (refreshed every kBatchPinRefresh ops so a long shard cannot stall
+  /// reclamation) and a warm descent cursor.  Outcomes land in
+  /// `outcomes[order[i]]` as BatchOpStatus codes; pool exhaustion marks the
+  /// op kSkipped and continues.  `observer`, when non-null, brackets every
+  /// op (crash-sweep history logging).  A scheduler kill (TeamKilled)
+  /// propagates after a silent unpin.
+  ShardExecStats execute_shard(simt::Team& team, const Op* ops,
+                               const std::uint32_t* order, std::uint32_t begin,
+                               std::uint32_t end, std::uint8_t* outcomes,
+                               BatchOpObserver* observer = nullptr);
 
   // --- Configuration & quiescent introspection ------------------------------
 
@@ -271,9 +295,29 @@ class Gfsl {
   void redirect_to_remove_zombie(simt::Team& team, ChunkRef prev,
                                  ChunkRef first_nz);
 
+  // ---- batch engine (batch.cpp; DESIGN.md §10) ----
+  /// Ops executed under one shard pin before it is dropped and re-taken.
+  /// Bounds how long a shard can hold back the global epoch: without the
+  /// refresh a 4096-op shard would pin one epoch for its whole run and no
+  /// retired chunk anywhere could complete its grace period.
+  static constexpr std::uint32_t kBatchPinRefresh = 64;
+
+  /// search_slow with a warm start: descend from the lowest cursor level
+  /// still covering k instead of from the head, and refresh the cursor's
+  /// entries along the way.  Returns the same path/found result as
+  /// search_slow; any staleness or backtrack-without-prev goes cold
+  /// (cursor invalidated, full restart from the head).
+  SlowSearchResult batch_search(simt::Team& team, Key k, BatchCursor& cur);
+
   // ---- insert (insert.cpp) ----
   enum class InsertStatus { kInserted, kDuplicate, kNoMemory };
   bool insert_impl(simt::Team& team, Key k, Value v);
+  /// The post-search half of insert_impl: commit <k, v> through the recorded
+  /// path (bottom lock, raise loop).  Shared verbatim between the per-op and
+  /// batch entry points so their step sequences cannot drift.  Throws
+  /// bad_alloc on bottom-level pool exhaustion (structure untouched).
+  bool insert_committed(simt::Team& team, Key k, Value v,
+                        const SlowSearchResult& sr);
   InsertStatus insert_to_level(simt::Team& team, int level, ChunkRef& enc,
                                Key& k, Value v, bool& raise);
   void execute_insert(simt::Team& team, ChunkRef ref,
@@ -303,6 +347,11 @@ class Gfsl {
 
   // ---- erase (erase.cpp) ----
   bool erase_impl(simt::Team& team, Key k);
+  /// The post-search half of erase_impl: lock the bottom enclosing chunk,
+  /// re-check containment, peel k out of the upper levels top-down, then
+  /// remove it from the bottom.  Shared between the per-op and batch entry
+  /// points.  False when k vanished between search and lock.
+  bool erase_committed(simt::Team& team, Key k, const SlowSearchResult& sr);
   /// Remove k from the locked chunk `enc_ref`, merging if underfull.
   /// Releases (or zombifies) every lock it holds either way.  Returns false
   /// only when an *upper-level* merge-path split ran out of memory — nothing

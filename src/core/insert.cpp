@@ -27,7 +27,13 @@ bool Gfsl::insert_impl(Team& team, Key k, Value v) {
     epoch.exit();
     return false;
   }
+  const bool ok = insert_committed(team, k, v, sr);
+  epoch.exit();
+  return ok;
+}
 
+bool Gfsl::insert_committed(Team& team, Key k, Value v,
+                            const SlowSearchResult& sr) {
   bool raise = false;
   ChunkRef bottom = team.shfl(sr.path, 0);
   const InsertStatus st = insert_to_level(team, /*level=*/0, bottom, k, v,
@@ -35,11 +41,10 @@ bool Gfsl::insert_impl(Team& team, Key k, Value v) {
   if (st != InsertStatus::kInserted) {
     // kDuplicate: another team inserted k between our search and the lock.
     // kNoMemory: the pool is exhausted even after emergency reclaims; the
-    // structure is untouched, so unwind and surface it (the epoch scope
-    // dtor unpins silently during the throw).
+    // structure is untouched, so unwind and surface it (the caller's epoch
+    // scope dtor unpins silently during the throw).
     unlock(team, bottom);
     if (st == InsertStatus::kNoMemory) throw std::bad_alloc();
-    epoch.exit();
     return false;
   }
 
@@ -64,7 +69,6 @@ bool Gfsl::insert_impl(Team& team, Key k, Value v) {
   }
 
   unlock(team, bottom);
-  epoch.exit();
   return true;
 }
 

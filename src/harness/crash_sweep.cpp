@@ -8,10 +8,51 @@
 #include "device/device_memory.h"
 #include "harness/history.h"
 #include "harness/workload.h"
+#include "sched/batch_dispatch.h"
 #include "sched/lease.h"
 #include "sched/step_scheduler.h"
 
 namespace gfsl::harness {
+
+namespace {
+
+// Bridges execute_shard's per-op hooks into the HistoryLog, and remembers the
+// in-flight op so a TeamKilled unwind can record it as crashed (optional in
+// the linearizability check — recovery may roll it either way).  An op
+// abandoned on pool exhaustion is logged the same way: it began but never
+// produced a response, so "optional" is exactly its contract.
+class HistoryObserver final : public core::BatchOpObserver {
+ public:
+  HistoryObserver(HistoryLog& log, int worker) : log_(log), w_(worker) {}
+
+  void on_begin(std::uint32_t /*idx*/, const Op& op) override {
+    cur_ = &op;
+    tick_ = log_.begin_op();
+  }
+  void on_end(std::uint32_t /*idx*/, const Op& op, bool result) override {
+    log_.end_op(w_, tick_, op.kind, op.key, result);
+    cur_ = nullptr;
+  }
+  void on_skipped(std::uint32_t /*idx*/, const Op& op) override {
+    log_.crash_op(w_, tick_, op.kind, op.key);
+    cur_ = nullptr;
+  }
+
+  void record_crash() {
+    if (cur_ != nullptr) {
+      log_.crash_op(w_, tick_, cur_->kind, cur_->key);
+      cur_ = nullptr;
+    }
+  }
+
+ private:
+  HistoryLog& log_;
+  int w_;
+  const Op* cur_ = nullptr;
+  std::uint64_t tick_ = 0;
+};
+
+}  // namespace
 
 CrashRunResult run_crash_at(const CrashSweepConfig& cfg,
                             std::uint64_t kill_step,
@@ -42,6 +83,18 @@ CrashRunResult run_crash_at(const CrashSweepConfig& cfg,
 
   HistoryLog log(cfg.ops / static_cast<std::uint64_t>(cfg.workers) + 8,
                  cfg.workers);
+  // Batched mode: the whole op array is one batch, planned once and drained
+  // through a shared stealing queue — same shape as run_gfsl_batched, but
+  // under the deterministic scheduler with a kill step armed.
+  sched::ShardPlan plan;
+  std::vector<std::uint8_t> outcomes;
+  if (cfg.batched) {
+    plan = sched::plan_shards(ops, cfg.workers, cfg.batch_shard_ops);
+    outcomes.assign(ops.size(),
+                    static_cast<std::uint8_t>(core::BatchOpStatus::kSkipped));
+  }
+  sched::ShardQueue queue(plan);
+
   std::atomic<bool> hang{false};
   std::atomic<bool> victim_killed{false};
   std::vector<std::thread> threads;
@@ -49,28 +102,40 @@ CrashRunResult run_crash_at(const CrashSweepConfig& cfg,
     threads.emplace_back([&, w] {
       simt::Team team(cfg.team_size, w, 3);
       if (reg != nullptr) team.set_metrics(&reg->shard(w));
+      HistoryObserver observer(log, w);
       const Op* cur_op = nullptr;
       std::uint64_t cur_tick = 0;
       sched.enter(w);
       try {
-        for (std::size_t i = static_cast<std::size_t>(w); i < ops.size();
-             i += static_cast<std::size_t>(cfg.workers)) {
-          const Op& op = ops[i];
-          cur_op = &op;
-          cur_tick = log.begin_op();
-          bool r = false;
-          switch (op.kind) {
-            case OpKind::Insert: r = sl.insert(team, op.key, op.value); break;
-            case OpKind::Delete: r = sl.erase(team, op.key); break;
-            case OpKind::Contains: r = sl.contains(team, op.key); break;
+        if (cfg.batched) {
+          int s;
+          while ((s = queue.pop(w)) >= 0) {
+            const auto& shard = plan.shards[static_cast<std::size_t>(s)];
+            (void)sl.execute_shard(team, ops.data(), plan.order.data(),
+                                   shard.begin, shard.end, outcomes.data(),
+                                   &observer);
           }
-          log.end_op(w, cur_tick, op.kind, op.key, r);
-          cur_op = nullptr;
+        } else {
+          for (std::size_t i = static_cast<std::size_t>(w); i < ops.size();
+               i += static_cast<std::size_t>(cfg.workers)) {
+            const Op& op = ops[i];
+            cur_op = &op;
+            cur_tick = log.begin_op();
+            bool r = false;
+            switch (op.kind) {
+              case OpKind::Insert: r = sl.insert(team, op.key, op.value); break;
+              case OpKind::Delete: r = sl.erase(team, op.key); break;
+              case OpKind::Contains: r = sl.contains(team, op.key); break;
+            }
+            log.end_op(w, cur_tick, op.kind, op.key, r);
+            cur_op = nullptr;
+          }
         }
         sched.leave(w);
       } catch (const sched::TeamKilled&) {
         // Killed teams must not call leave(): yield() already deactivated
         // them and handed the baton on.
+        observer.record_crash();  // batched: the op execute_shard was inside
         if (cur_op != nullptr) {
           log.crash_op(w, cur_tick, cur_op->kind, cur_op->key);
         }

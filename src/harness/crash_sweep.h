@@ -24,6 +24,7 @@
 // with the same (wl_seed, sched_seed, s) triple.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <cstdio>
 #include <string>
@@ -50,6 +51,15 @@ struct CrashSweepConfig {
   // spans, the medic must force-quiesce the victim's pin and adopt its
   // limbo, and validation additionally classifies limbo/free chunks.
   bool with_epochs = false;
+  // Batched dispatch (DESIGN.md §10): the whole op array becomes ONE batch —
+  // key-sorted, sharded, drained through a stealing ShardQueue — so kills
+  // land inside shard execution: mid-shard with a warm cursor, between the
+  // per-shard pin and its refresh, inside a stolen shard.  Survivors keep
+  // pulling shards; the victim's popped-but-unfinished shard stays partially
+  // executed, which the history check must absorb (crashed op = optional,
+  // unexecuted ops were never logged).
+  bool batched = false;
+  std::size_t batch_shard_ops = 0;  // plan_shards granularity; 0 = auto
 };
 
 struct CrashRunResult {

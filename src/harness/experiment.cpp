@@ -197,7 +197,16 @@ Measurement measure_gfsl(const WorkloadConfig& wl,
   const auto ops = generate_ops(wl);
   rc.metrics = setup.metrics;  // telemetry covers only the measured run
   rc.trace = setup.trace;
-  RunResult rr = run_gfsl(sl, ops, rc, mem);
+  RunResult rr;
+  if (setup.batch_size > 0) {
+    BatchRunOptions bo;
+    bo.batch_size = setup.batch_size;
+    core::BatchResult br;
+    rr = run_gfsl_batched(sl, ops, rc, mem, bo, &br);
+    m.batch = std::move(br.stats);
+  } else {
+    rr = run_gfsl(sl, ops, rc, mem);
+  }
   if (setup.metrics != nullptr) sample_gfsl_gauges(*setup.metrics, sl);
 
   const model::Occupancy occ_calc;

@@ -21,6 +21,10 @@ struct StructureSetup {
   int warps_per_block = 16;  // launch config for the occupancy model
   int num_workers = 8;       // concurrent host threads in the simulator
   std::uint64_t warmup_ops = 10'000;  // untimed cache-warming operations
+  /// 0 = per-op dispatch (the seed's mode).  > 0 = kernel-style batched
+  /// execution: the measured op array is cut into batches of this many ops,
+  /// each key-sorted, sharded and drained by all teams (DESIGN.md §10).
+  std::size_t batch_size = 0;
   /// Optional telemetry for the *measured* run (warmup stays dark).  The
   /// registry needs >= num_workers shards; after the run the structure
   /// gauges (height, live/zombie chunks, occupancy, ...) are sampled into
@@ -37,6 +41,7 @@ struct Measurement {
   model::KernelRun kernel;
   simt::TeamCounters team_totals;  // GFSL only
   double avg_chunks_per_traversal = 0.0;  // GFSL only (§5.2 p_chunk metric)
+  core::BatchStats batch;  // populated when setup.batch_size > 0
 };
 
 /// One measured GFSL launch: fresh structure + prefill + warmup + timed run.

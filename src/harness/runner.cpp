@@ -8,6 +8,9 @@
 #include <stdexcept>
 #include <thread>
 
+#include "harness/workload.h"
+#include "sched/batch_dispatch.h"
+
 namespace gfsl::harness {
 
 namespace {
@@ -136,6 +139,151 @@ RunResult run_gfsl(core::Gfsl& sl, const std::vector<Op>& ops,
   res.kernel.ops = ops.size();
   res.kernel.mem = mem.snapshot() - before;
   // A coalesced team read is one serialized wait; so is each atomic.
+  res.kernel.mem_epochs = res.kernel.mem.warp_reads + res.kernel.mem.atomics;
+  res.kernel.warp_steps = res.team_totals.instructions;
+  res.kernel.lock_spins = res.team_totals.lock_spins;
+  return res;
+}
+
+RunResult run_gfsl_batched(core::Gfsl& sl, const std::vector<Op>& ops,
+                           const RunConfig& cfg, device::DeviceMemory& mem,
+                           const BatchRunOptions& opts,
+                           core::BatchResult* batch_out) {
+  RunResult res;
+  prepare_obs(cfg);
+  if (cfg.flush_cache_before) mem.flush_cache();
+  const device::MemStats before = mem.snapshot();
+  if (cfg.results != nullptr) cfg.results->assign(ops.size(), 0);
+
+  std::vector<std::uint8_t> outcomes(
+      ops.size(), static_cast<std::uint8_t>(core::BatchOpStatus::kSkipped));
+  const auto batches = batch_slices(ops.size(), opts.batch_size);
+  const std::size_t nb = batches.size();
+  const int workers = cfg.num_workers;
+
+  std::vector<simt::TeamCounters> counters(static_cast<std::size_t>(workers));
+  std::vector<core::ShardExecStats> worker_stats(
+      static_cast<std::size_t>(workers));
+  std::vector<std::uint64_t> worker_steals(static_cast<std::size_t>(workers),
+                                           0);
+  std::atomic<bool> oom{false};
+
+  const auto t0 = Clock::now();
+  // Host-side batch prep: sort + shard every launch (this is the work a GPU
+  // driver would do — or a tiny sort kernel — between launches; it is timed
+  // as part of the batched run so the A/B against per-op dispatch is fair).
+  std::vector<sched::ShardPlan> plans(nb);
+  std::vector<std::unique_ptr<sched::ShardQueue>> queues(nb);
+  for (std::size_t b = 0; b < nb; ++b) {
+    plans[b] = sched::plan_shards(ops.data() + batches[b].first,
+                                  batches[b].second - batches[b].first,
+                                  workers, opts.target_shard_ops);
+    queues[b] = std::make_unique<sched::ShardQueue>(plans[b]);
+  }
+
+  // One thread per team for the whole run: StepScheduler::enter is not
+  // re-entrant (the start barrier fires exactly once), so batches are
+  // separated by a yielding spin barrier instead of join/respawn.  Killed
+  // teams are excused from every subsequent barrier via `dead`.
+  auto arrived = std::make_unique<std::atomic<int>[]>(nb);
+  for (std::size_t b = 0; b < nb; ++b) arrived[b].store(0);
+  std::atomic<int> dead{0};
+
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) {
+      threads.emplace_back([&, w] {
+        simt::Team team(sl.team_size(), w, cfg.seed);
+        obs::MetricsShard* shard =
+            cfg.metrics != nullptr ? &cfg.metrics->shard(w) : nullptr;
+        if (shard != nullptr) team.set_metrics(shard);
+        if (cfg.trace != nullptr) team.set_trace(cfg.trace->team(w));
+        if (cfg.scheduler != nullptr) cfg.scheduler->enter(w);
+        core::ShardExecStats mine;
+        std::uint64_t mine_steals = 0;
+        try {
+          for (std::size_t b = 0; b < nb; ++b) {
+            const std::size_t off = batches[b].first;
+            int s;
+            bool stolen = false;
+            while ((s = queues[b]->pop(w, &stolen)) >= 0) {
+              const auto& sh = plans[b].shards[static_cast<std::size_t>(s)];
+              if (stolen) {
+                ++mine_steals;
+                team.metric(obs::kBatchShardsStolen);
+              }
+              const core::ShardExecStats ex = sl.execute_shard(
+                  team, ops.data() + off, plans[b].order.data(), sh.begin,
+                  sh.end, outcomes.data() + off);
+              mine.reuses += ex.reuses;
+              mine.fulls += ex.fulls;
+              mine.pins += ex.pins;
+              mine.applied_true += ex.applied_true;
+              if (ex.out_of_memory) oom.store(true, std::memory_order_relaxed);
+            }
+            // Batch boundary: a launch completes before the next begins.
+            arrived[b].fetch_add(1, std::memory_order_acq_rel);
+            while (arrived[b].load(std::memory_order_acquire) +
+                       dead.load(std::memory_order_acquire) <
+                   workers) {
+              if (cfg.scheduler != nullptr) {
+                cfg.scheduler->yield(w);  // may throw TeamKilled
+              } else {
+                std::this_thread::yield();
+              }
+            }
+          }
+        } catch (const sched::TeamKilled&) {
+          // Failure injection: excuse this team from remaining barriers.
+          dead.fetch_add(1, std::memory_order_acq_rel);
+        }
+        worker_stats[static_cast<std::size_t>(w)] = mine;
+        worker_steals[static_cast<std::size_t>(w)] = mine_steals;
+        counters[static_cast<std::size_t>(w)] = team.counters();
+        fold_team_counters(shard, team.counters());
+        if (cfg.scheduler != nullptr) cfg.scheduler->leave(w);
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  const auto t1 = Clock::now();
+
+  res.sim_wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  res.out_of_memory = oom.load(std::memory_order_relaxed);
+  for (const auto& c : counters) res.team_totals += c;
+  for (const auto& st : worker_stats) res.ops_true += st.applied_true;
+
+  if (cfg.results != nullptr) {
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      (*cfg.results)[i] =
+          outcomes[i] == static_cast<std::uint8_t>(core::BatchOpStatus::kTrue)
+              ? 1
+              : 0;
+    }
+  }
+  if (batch_out != nullptr) {
+    batch_out->outcomes = std::move(outcomes);
+    batch_out->out_of_memory = res.out_of_memory;
+    core::BatchStats& bs = batch_out->stats;
+    bs = core::BatchStats{};
+    bs.ops = ops.size();
+    for (std::size_t b = 0; b < nb; ++b) {
+      bs.shards += plans[b].shards.size();
+      for (const auto& sh : plans[b].shards) {
+        bs.shard_sizes.push_back(sh.end - sh.begin);
+      }
+    }
+    for (const auto& st : worker_stats) {
+      bs.descent_reuses += st.reuses;
+      bs.full_descents += st.fulls;
+      bs.epoch_pins += st.pins;
+    }
+    for (const std::uint64_t s : worker_steals) bs.steals += s;
+  }
+
+  res.kernel.ops = ops.size();
+  res.kernel.mem = mem.snapshot() - before;
   res.kernel.mem_epochs = res.kernel.mem.warp_reads + res.kernel.mem.atomics;
   res.kernel.warp_steps = res.team_totals.instructions;
   res.kernel.lock_spins = res.team_totals.lock_spins;

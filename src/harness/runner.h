@@ -45,6 +45,28 @@ struct RunResult {
 RunResult run_gfsl(core::Gfsl& sl, const std::vector<Op>& ops,
                    const RunConfig& cfg, device::DeviceMemory& mem);
 
+/// Batched execution mode (DESIGN.md §10).
+struct BatchRunOptions {
+  /// Ops per kernel launch; 0 = the whole op array as one batch.  Each batch
+  /// is key-sorted, sharded and drained by all teams (with stealing) before
+  /// the next one starts, mirroring back-to-back kernel launches.
+  std::size_t batch_size = 1024;
+  /// Shard granularity handed to sched::plan_shards; 0 = auto.
+  std::size_t target_shard_ops = 0;
+};
+
+/// Execute `ops` in kernel-style batches: sort + shard each batch, teams pull
+/// shards from a stealing work queue and carry a warm descent cursor across
+/// each shard, pinning their epoch once per shard.  Semantics match
+/// run_gfsl except for op interleaving: per-key submission order is
+/// preserved (stable sort + shards never split a key), so outcomes are
+/// deterministic for any scheduler.  `batch_out`, when non-null, receives
+/// submission-ordered BatchOpStatus codes and the batch-level stats.
+RunResult run_gfsl_batched(core::Gfsl& sl, const std::vector<Op>& ops,
+                           const RunConfig& cfg, device::DeviceMemory& mem,
+                           const BatchRunOptions& opts = {},
+                           core::BatchResult* batch_out = nullptr);
+
 /// Execute `ops` against the M&C baseline.
 RunResult run_mc(baseline::McSkiplist& sl, const std::vector<Op>& ops,
                  const RunConfig& cfg, device::DeviceMemory& mem);

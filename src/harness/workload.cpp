@@ -82,4 +82,15 @@ std::vector<std::pair<Key, Value>> generate_prefill(const WorkloadConfig& cfg) {
   return out;
 }
 
+std::vector<std::pair<std::size_t, std::size_t>> batch_slices(
+    std::size_t num_ops, std::size_t batch_size) {
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  if (num_ops == 0) return out;
+  if (batch_size == 0) batch_size = num_ops;
+  for (std::size_t begin = 0; begin < num_ops; begin += batch_size) {
+    out.emplace_back(begin, std::min(num_ops, begin + batch_size));
+  }
+  return out;
+}
+
 }  // namespace gfsl::harness

@@ -63,4 +63,10 @@ std::vector<std::pair<Key, Value>> generate_prefill(const WorkloadConfig& cfg);
 /// The prefill policy the paper pairs with each mix.
 Prefill default_prefill(const Mix& mix);
 
+/// Cut a `num_ops`-long op array into contiguous kernel launches of
+/// `batch_size` ops (the last one may be short).  `batch_size` 0 means one
+/// batch covering everything.  Returned as half-open [begin, end) ranges.
+std::vector<std::pair<std::size_t, std::size_t>> batch_slices(
+    std::size_t num_ops, std::size_t batch_size);
+
 }  // namespace gfsl::harness

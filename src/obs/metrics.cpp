@@ -71,6 +71,11 @@ std::string_view counter_name(CounterId id) {
     case kEmergencyReclaims: return "emergency_reclaims";
     case kStaleChunkReads: return "stale_chunk_reads";
     case kEpochAdvances: return "epoch_advances";
+    case kBatchShardsExecuted: return "batch_shards_executed";
+    case kBatchShardsStolen: return "batch_shards_stolen";
+    case kBatchDescentReuses: return "batch_descent_reuses";
+    case kBatchFullDescents: return "batch_full_descents";
+    case kBatchEpochPins: return "batch_epoch_pins";
     case kInstructions: return "instructions";
     case kBallots: return "ballots";
     case kShfls: return "shfls";
@@ -91,6 +96,7 @@ std::string_view hist_name(HistId id) {
     case kContainsSteps: return "contains_steps";
     case kScanSteps: return "scan_steps";
     case kLockHoldStepsHist: return "lock_hold_steps";
+    case kBatchShardOps: return "batch_shard_ops";
     case kHistIdCount: break;
   }
   return "unknown";

@@ -105,6 +105,11 @@ enum CounterId : int {
   kEmergencyReclaims,    // reclaim passes forced by allocation exhaustion
   kStaleChunkReads,      // generation-stamp mismatches (reader raced a reuse)
   kEpochAdvances,        // successful global-epoch advances by this team
+  kBatchShardsExecuted,  // key-range shards drained by this team
+  kBatchShardsStolen,    // shards popped from another team's queue range
+  kBatchDescentReuses,   // batch searches that started from a warm cursor
+  kBatchFullDescents,    // batch searches that restarted from the head
+  kBatchEpochPins,       // per-shard epoch pins (incl. mid-shard refreshes)
   kInstructions,
   kBallots,
   kShfls,
@@ -122,6 +127,7 @@ enum HistId : int {
   kContainsSteps,
   kScanSteps,
   kLockHoldStepsHist,
+  kBatchShardOps,  // ops per executed shard (batch dispatch granularity)
   kHistIdCount,
 };
 

@@ -1,0 +1,58 @@
+#include "sched/batch_dispatch.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace gfsl::sched {
+
+ShardPlan plan_shards(const Op* ops, std::size_t n, int num_teams,
+                      std::size_t target_shard_ops) {
+  if (num_teams < 1) num_teams = 1;
+  ShardPlan plan;
+  plan.team_ranges.assign(static_cast<std::size_t>(num_teams), {0, 0});
+  if (n == 0) return plan;
+
+  plan.order.resize(n);
+  std::iota(plan.order.begin(), plan.order.end(), 0u);
+  // (key, submission index) is a strict total order, so plain sort is stable
+  // in effect and the plan is deterministic across platforms.
+  std::sort(plan.order.begin(), plan.order.end(),
+            [ops](std::uint32_t a, std::uint32_t b) {
+              if (ops[a].key != ops[b].key) return ops[a].key < ops[b].key;
+              return a < b;
+            });
+
+  if (target_shard_ops == 0) {
+    target_shard_ops = std::max<std::size_t>(
+        16, n / (8 * static_cast<std::size_t>(num_teams)));
+  }
+
+  std::uint32_t begin = 0;
+  while (begin < n) {
+    std::uint32_t end = static_cast<std::uint32_t>(
+        std::min<std::size_t>(n, begin + target_shard_ops));
+    // Never split a run of equal keys: per-key submission order is the
+    // batch's semantic contract and it only holds inside one shard.
+    while (end < n &&
+           ops[plan.order[end]].key == ops[plan.order[end - 1]].key) {
+      ++end;
+    }
+    plan.shards.push_back({begin, end});
+    begin = end;
+  }
+
+  // Contiguous shard ranges per team: neighbouring shards share key
+  // locality, so a team's own queue preserves the warm-cursor effect.
+  const std::size_t ns = plan.shards.size();
+  for (int t = 0; t < num_teams; ++t) {
+    const std::size_t lo = ns * static_cast<std::size_t>(t) /
+                           static_cast<std::size_t>(num_teams);
+    const std::size_t hi = ns * static_cast<std::size_t>(t + 1) /
+                           static_cast<std::size_t>(num_teams);
+    plan.team_ranges[static_cast<std::size_t>(t)] = {
+        static_cast<std::uint32_t>(lo), static_cast<std::uint32_t>(hi)};
+  }
+  return plan;
+}
+
+}  // namespace gfsl::sched

@@ -1,0 +1,105 @@
+// Batch dispatch: the host-side half of the kernel-style batch engine
+// (DESIGN.md §10).  A batch of mixed operations is key-sorted, cut into
+// contiguous key-range shards, and the shards are handed to teams through a
+// work queue with stealing — the in-kernel equivalent of a persistent-threads
+// grid pulling tiles until the launch drains.
+//
+// Layering: gfsl_sched depends only on gfsl_common, so this header knows
+// nothing about the skiplist.  It deals purely in `Op` arrays and index
+// permutations; the structure-side consumer is core/batch.{h,cpp}.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+
+namespace gfsl::sched {
+
+/// The sorted, sharded form of one batch.  `order` is a permutation of
+/// [0, n): executing ops in `order` sequence visits keys in ascending order,
+/// with equal keys kept in submission order (stable sort by (key, index)).
+/// That stability is what makes batch outcomes deterministic: a shard never
+/// splits a run of equal keys, so all ops on one key execute sequentially in
+/// submission order inside a single shard, and ops on distinct keys commute.
+struct ShardPlan {
+  struct Shard {
+    std::uint32_t begin = 0;  // half-open range into `order`
+    std::uint32_t end = 0;
+  };
+
+  std::vector<std::uint32_t> order;
+  std::vector<Shard> shards;
+  /// Team t initially owns shards [team_ranges[t].first, .second); stealing
+  /// walks the other teams' ranges once its own is drained.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> team_ranges;
+
+  int num_teams() const { return static_cast<int>(team_ranges.size()); }
+};
+
+/// Sort + shard one batch.  `target_shard_ops` is the shard granularity; 0
+/// picks max(16, n / (8 * num_teams)) so each team sees ~8 shards — enough
+/// slack for stealing to balance skewed key ranges without shredding the
+/// cursor locality that makes shards worth having.  Equal-key runs are never
+/// split across shards.  Deterministic: same ops + teams + target ⇒ same plan.
+ShardPlan plan_shards(const Op* ops, std::size_t n, int num_teams,
+                      std::size_t target_shard_ops = 0);
+
+inline ShardPlan plan_shards(const std::vector<Op>& ops, int num_teams,
+                             std::size_t target_shard_ops = 0) {
+  return plan_shards(ops.data(), ops.size(), num_teams, target_shard_ops);
+}
+
+/// Multi-consumer shard queue over a ShardPlan: each team pops from its own
+/// range first and steals round-robin from the others once it drains.  Pops
+/// are a single fetch_add per attempt, so under a StepScheduler grant the
+/// pop order — and therefore the steal count — is replay-deterministic.
+class ShardQueue {
+ public:
+  explicit ShardQueue(const ShardPlan& plan) : plan_(plan) {
+    const std::size_t nt = plan.team_ranges.size();
+    cursors_ = std::make_unique<std::atomic<std::uint32_t>[]>(nt);
+    for (std::size_t t = 0; t < nt; ++t) {
+      cursors_[t].store(plan.team_ranges[t].first, std::memory_order_relaxed);
+    }
+  }
+
+  ShardQueue(const ShardQueue&) = delete;
+  ShardQueue& operator=(const ShardQueue&) = delete;
+
+  /// Pop the next shard index for `team` (its own range, then steals).
+  /// Returns -1 when every range is drained.  `*stolen` reports whether the
+  /// shard came from another team's range.
+  int pop(int team, bool* stolen = nullptr) {
+    const int nt = plan_.num_teams();
+    for (int d = 0; d < nt; ++d) {
+      const int victim = (team + d) % nt;
+      auto& cur = cursors_[static_cast<std::size_t>(victim)];
+      const std::uint32_t end =
+          plan_.team_ranges[static_cast<std::size_t>(victim)].second;
+      if (cur.load(std::memory_order_relaxed) >= end) continue;
+      const std::uint32_t got = cur.fetch_add(1, std::memory_order_relaxed);
+      if (got >= end) continue;  // lost the race for the victim's last shard
+      if (stolen != nullptr) *stolen = (d != 0);
+      if (d != 0) steals_.fetch_add(1, std::memory_order_relaxed);
+      return static_cast<int>(got);
+    }
+    if (stolen != nullptr) *stolen = false;
+    return -1;
+  }
+
+  std::uint64_t steals() const {
+    return steals_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const ShardPlan& plan_;
+  std::unique_ptr<std::atomic<std::uint32_t>[]> cursors_;
+  std::atomic<std::uint64_t> steals_{0};
+};
+
+}  // namespace gfsl::sched

@@ -362,4 +362,51 @@ TEST(CrashSweepConcurrent, SurvivorsStealViaLeaseProbe) {
       << "survivors never observed an expired lease across the sweep";
 }
 
+// ---------------------------------------------------------------------------
+// Batched dispatch sweep (DESIGN.md §10): kills land inside shard execution —
+// mid-shard with a warm descent cursor, between a shard's epoch pin and its
+// refresh, or while draining a stolen shard.  The victim's partially-executed
+// shard stays partial (unexecuted ops were never logged); survivors keep
+// pulling shards from the queue and must still finish, validate, and leave a
+// per-key-linearizable history.
+
+TEST(CrashSweepBatched, BoundedSweepInsideShardExecution) {
+  CrashSweepConfig cfg;
+  cfg.workers = 3;
+  cfg.team_size = 8;
+  cfg.ops = 48;
+  cfg.key_range = 24;
+  cfg.wl_seed = 31;
+  cfg.sched_seed = 32;
+  cfg.stride = 5;
+  cfg.batched = true;
+  cfg.batch_shard_ops = 6;  // many small shards: steals happen mid-sweep
+  const auto res = run_crash_sweep(cfg);
+  EXPECT_TRUE(res.ok) << "kill step " << res.failed_at_step << ": "
+                      << res.error;
+  EXPECT_GT(res.baseline_steps, 0u);
+  EXPECT_GT(res.kills_landed, 0u);
+}
+
+TEST(CrashSweepBatched, BatchedSweepWithEpochPins) {
+  // With an EpochManager attached the victim can die holding its per-shard
+  // pin; the medic's force-quiesce must unwedge the epoch so validation's
+  // limbo/free classification still balances.
+  CrashSweepConfig cfg;
+  cfg.workers = 3;
+  cfg.team_size = 8;
+  cfg.ops = 48;
+  cfg.key_range = 16;  // tight range: constant merge/split churn
+  cfg.wl_seed = 41;
+  cfg.sched_seed = 42;
+  cfg.stride = 7;
+  cfg.batched = true;
+  cfg.batch_shard_ops = 6;
+  cfg.with_epochs = true;
+  const auto res = run_crash_sweep(cfg);
+  EXPECT_TRUE(res.ok) << "kill step " << res.failed_at_step << ": "
+                      << res.error;
+  EXPECT_GT(res.kills_landed, 0u);
+}
+
 }  // namespace

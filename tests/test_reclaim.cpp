@@ -14,6 +14,7 @@
 #include "device/device_memory.h"
 #include "device/epoch.h"
 #include "harness/crash_sweep.h"
+#include "harness/runner.h"
 #include "sched/step_scheduler.h"
 #include "simt/team.h"
 
@@ -449,6 +450,88 @@ TEST(ReclaimDeterminism, AttachedRunsAreBitIdentical) {
   EXPECT_EQ(a.contents, b.contents);
   EXPECT_EQ(a.instructions, b.instructions);
   EXPECT_EQ(a.steps, b.steps);
+}
+
+// ---- batched dispatch vs reclamation (DESIGN.md SS10) ----------------------
+
+TEST(ReclaimGfsl, BatchedChurnSoakStaysWithinBoundedMemory) {
+  // The batched engine pins once per shard instead of once per op.  A pin
+  // held across a whole shard must still cycle fast enough for the epoch to
+  // advance and limbo to drain: 50/50 churn through run_gfsl_batched in a
+  // small pool would exhaust it within a few batches if per-shard pins
+  // stalled reclamation.
+  device::DeviceMemory mem;
+  EpochManager ep;
+  GfslConfig cfg;
+  cfg.team_size = 8;
+  cfg.pool_chunks = 4096;
+  Gfsl sl(cfg, &mem, nullptr, nullptr, &ep);
+
+  std::vector<Op> ops;
+  Xoshiro256ss rng(7);
+  for (int i = 0; i < 48000; ++i) {  // > 10x pool capacity worth of churn
+    const Key k = 1 + static_cast<Key>(rng.below(512));
+    ops.push_back(Op{rng.below(2) == 0 ? OpKind::Insert : OpKind::Delete, k,
+                     k, 0});
+  }
+
+  harness::RunConfig rc;
+  rc.num_workers = 4;
+  rc.seed = 42;
+  harness::BatchRunOptions bo;
+  bo.batch_size = 2048;
+  BatchResult br;
+  const auto rr = harness::run_gfsl_batched(sl, ops, rc, mem, bo, &br);
+
+  EXPECT_FALSE(rr.out_of_memory) << "pool exhausted mid-churn";
+  EXPECT_FALSE(br.out_of_memory);
+  EXPECT_GT(br.stats.epoch_pins, 0u);
+  EXPECT_GT(sl.chunks_reclaimed(), 0u);
+  EXPECT_LT(sl.chunks_allocated(), 2048u);
+  const auto rep = sl.validate(/*strict=*/false);
+  EXPECT_TRUE(rep.ok) << rep.error;
+  EXPECT_EQ(rep.limbo_chunks + rep.free_chunks +
+                rep.live_chunks + rep.zombie_chunks,
+            static_cast<std::uint64_t>(sl.arena().high_water()))
+      << "every index the bump pointer handed out must be classified";
+}
+
+TEST(ReclaimGfsl, PinRefreshInsideGiantShardUnblocksReclamation) {
+  // Force the degenerate plan: one team, ONE shard erasing an entire
+  // prefilled structure.  The sorted left-to-right erase sweep merges
+  // chunk after chunk, retiring ~130 zombies into the team's limbo — far
+  // past kReclaimBatch — while the team holds its per-shard pin.  Without
+  // the kBatchPinRefresh mid-shard re-pin the epoch could never advance
+  // past that pin, drain_safe would find nothing grace-expired, and the
+  // run would end with zero chunks recycled.  The refresh cycles the pin
+  // every 64 ops, so reclamation must have happened *during* the shard.
+  device::DeviceMemory mem;
+  EpochManager ep;
+  GfslConfig cfg;
+  cfg.team_size = 8;
+  cfg.pool_chunks = 1u << 12;
+  Gfsl sl(cfg, &mem, nullptr, nullptr, &ep);
+  Team team(8, 0, 5);
+
+  std::vector<std::pair<Key, Value>> prefill;
+  for (Key k = 1; k <= 800; ++k) prefill.emplace_back(k, k);
+  sl.bulk_load(prefill);
+
+  std::vector<Op> ops;
+  for (Key k = 1; k <= 800; ++k) ops.push_back(Op{OpKind::Delete, k, 0, 0});
+
+  // target_shard_ops >= n: plan_shards emits a single shard.
+  const BatchResult br = run_batch(sl, team, ops, ops.size());
+  ASSERT_EQ(br.stats.shards, 1u);
+  EXPECT_FALSE(br.out_of_memory);
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    ASSERT_EQ(br.status(i), BatchOpStatus::kTrue) << "erase " << i;
+  }
+  EXPECT_GT(br.stats.epoch_pins, 1u) << "no mid-shard pin refresh happened";
+  EXPECT_GT(sl.chunks_reclaimed(), 0u)
+      << "reclamation stalled behind the per-shard pin";
+  const auto rep = sl.validate(/*strict=*/false);
+  EXPECT_TRUE(rep.ok) << rep.error;
 }
 
 }  // namespace

@@ -16,6 +16,8 @@
 //   --workers N                     concurrent simulator threads [8]
 //   --prefill empty|half|full       initial structure [per-mix default]
 //   --warmup N                      untimed warmup ops [ops/4]
+//   --batch-size N                  kernel-style batched dispatch with N ops
+//                                   per launch (gfsl only; 0 = per-op) [0]
 //   --csv                           CSV output instead of a table
 //   --metrics-json PATH             write a telemetry report (one measured
 //                                   run) as gfsl-metrics-v1 JSON
@@ -61,8 +63,8 @@ int usage() {
                "usage: gfsl_cli [--structure gfsl|mc|gfsl-dual] [--mix i,d,c] "
                "[--range N] [--ops N] [--reps N] [--seed N] [--team-size N] "
                "[--p-chunk F] [--warps-per-block N] [--workers N] "
-               "[--prefill empty|half|full] [--warmup N] [--csv] "
-               "[--metrics-json PATH] [--trace-out PATH]\n");
+               "[--prefill empty|half|full] [--warmup N] [--batch-size N] "
+               "[--csv] [--metrics-json PATH] [--trace-out PATH]\n");
   return 2;
 }
 
@@ -80,7 +82,7 @@ int main(int argc, char** argv) {
       "structure", "mix",     "range",           "ops",    "reps",
       "seed",      "team-size", "p-chunk",       "warps-per-block",
       "workers",   "prefill", "warmup",          "csv",    "help",
-      "metrics-json", "trace-out"};
+      "metrics-json", "trace-out", "batch-size"};
   if (opt.get_bool("help")) return usage();
   for (const auto& u : opt.unknown(known)) {
     std::fprintf(stderr, "error: unknown option --%s\n", u.c_str());
@@ -103,6 +105,10 @@ int main(int argc, char** argv) {
         static_cast<int>(opt.get_u64("warps-per-block", 16));
     setup.num_workers = static_cast<int>(opt.get_u64("workers", 8));
     setup.warmup_ops = opt.get_u64("warmup", wl.num_ops / 4);
+    setup.batch_size = opt.get_u64("batch-size", 0);
+    if (setup.batch_size > 0 && opt.get("structure", "gfsl") != "gfsl") {
+      throw std::invalid_argument("--batch-size requires --structure gfsl");
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return usage();
@@ -156,6 +162,7 @@ int main(int argc, char** argv) {
     metrics.set_info("p_chunk", fmt(setup.p_chunk, 3));
     metrics.set_info("workers", std::to_string(telemetry_workers));
     metrics.set_info("warmup_ops", std::to_string(setup.warmup_ops));
+    metrics.set_info("batch_size", std::to_string(setup.batch_size));
     std::ofstream out(metrics_path);
     if (!out) {
       std::fprintf(stderr, "error: cannot open %s\n", metrics_path.c_str());
@@ -210,6 +217,18 @@ int main(int argc, char** argv) {
              fmt(static_cast<double>(k.lock_spins) * per_op, 3)});
   if (structure != "mc") {
     t.add_row({"chunks/traversal", fmt(detail.avg_chunks_per_traversal, 2)});
+  }
+  if (setup.batch_size > 0) {
+    const auto& b = detail.batch;
+    const std::uint64_t searches = b.descent_reuses + b.full_descents;
+    t.add_row({"batch size", std::to_string(setup.batch_size)});
+    t.add_row({"shards", std::to_string(b.shards)});
+    t.add_row({"shard steals", std::to_string(b.steals)});
+    t.add_row({"descent reuse",
+               fmt_pct(searches ? static_cast<double>(b.descent_reuses) /
+                                      static_cast<double>(searches)
+                                : 0.0)});
+    t.add_row({"epoch pins", std::to_string(b.epoch_pins)});
   }
   if (opt.get_bool("csv")) {
     t.print_csv(std::cout);

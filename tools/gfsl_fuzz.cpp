@@ -29,6 +29,17 @@
 //       reclamation every merged-away chunk is recycled, so the run must
 //       finish with chunks_allocated() bounded and validate() clean; without
 //       it the same workload exhausts the pool almost immediately.
+//
+// Batch mode (the differential oracle harness, DESIGN.md §10):
+//
+//   gfsl_fuzz --batch [--rounds N] [--workers N] [--ops N] [--range N]
+//             [--team-size N] [--seed S]
+//       Each round draws a random mixed batch and replays it against a
+//       std::map oracle (tests/oracle.h): every per-op outcome and the final
+//       structure must match the submission-order reference.  Rounds
+//       alternate single-team run_batch and the multi-team stealing runner,
+//       and attach an EpochManager on every second round so batched descent
+//       reuse is fuzzed against concurrent reclamation too.
 #include <atomic>
 #include <cstdio>
 #include <fstream>
@@ -37,10 +48,13 @@
 #include "common/random.h"
 #include "core/gfsl.h"
 #include "device/device_memory.h"
+#include "device/epoch.h"
 #include "harness/crash_sweep.h"
 #include "harness/history.h"
 #include "harness/options.h"
+#include "harness/runner.h"
 #include "harness/workload.h"
+#include "oracle.h"
 #include "sched/step_scheduler.h"
 
 using namespace gfsl;
@@ -274,6 +288,93 @@ int run_churn_mode(const Options& opt) {
   return 0;
 }
 
+int run_batch_mode(const Options& opt) {
+  const auto rounds = opt.get_u64("rounds", 30);
+  const int workers = static_cast<int>(opt.get_u64("workers", 4));
+  const int team_size = static_cast<int>(opt.get_u64("team-size", 8));
+  const auto nops = opt.get_u64("ops", 2048);
+  const auto range = opt.get_u64("range", 256);  // small: duplicate-key heavy
+  const auto master = opt.get_u64("seed", 0xBA7C);
+
+  Xoshiro256ss rng(master);
+  for (std::uint64_t round = 0; round < rounds; ++round) {
+    const std::uint64_t wl_seed = rng.next();
+    const bool multi_team = (round % 2) == 1;   // odd: stealing runner
+    const bool with_epochs = (round % 4) >= 2;  // every 2nd pair: reclamation
+
+    device::DeviceMemory mem;
+    device::EpochManager epochs;
+    core::GfslConfig cfg;
+    cfg.team_size = team_size;
+    cfg.pool_chunks = 1u << 14;
+    core::Gfsl sl(cfg, &mem, nullptr, nullptr, with_epochs ? &epochs : nullptr);
+
+    WorkloadConfig wl;
+    wl.mix = kMix_20_20_60;
+    wl.key_range = range;
+    wl.num_ops = nops;
+    wl.seed = wl_seed;
+    const auto ops = generate_ops(wl);
+
+    gfsl::testing::MapOracle oracle;
+    const auto want = oracle.apply_batch(ops);
+
+    core::BatchResult br;
+    if (multi_team) {
+      RunConfig rc;
+      rc.num_workers = workers;
+      rc.seed = wl_seed;
+      BatchRunOptions bo;
+      bo.batch_size = nops / 4;
+      (void)run_gfsl_batched(sl, ops, rc, mem, bo, &br);
+    } else {
+      simt::Team team(team_size, 0, 3);
+      br = core::run_batch(sl, team, ops);
+    }
+
+    std::string err;
+    for (std::size_t i = 0; i < want.size() && err.empty(); ++i) {
+      if (br.outcomes[i] != want[i]) {
+        err = "op " + std::to_string(i) + " (key " +
+              std::to_string(ops[i].key) + ") returned " +
+              std::to_string(br.outcomes[i]) + ", oracle says " +
+              std::to_string(want[i]);
+      }
+    }
+    if (err.empty() && sl.collect() != oracle.collect()) {
+      err = "final structure diverges from the oracle";
+    }
+    if (err.empty()) {
+      const auto rep = sl.validate(/*strict=*/false);
+      if (!rep.ok) err = "structure invalid: " + rep.error;
+    }
+    if (!err.empty()) {
+      std::printf(
+          "FAIL batch round %llu (%s-team%s): %s\n"
+          "  repro: --batch --seed %llu --rounds %llu --workers %d "
+          "--team-size %d --ops %llu --range %llu\n",
+          static_cast<unsigned long long>(round),
+          multi_team ? "multi" : "single", with_epochs ? ", epochs" : "",
+          err.c_str(), static_cast<unsigned long long>(master),
+          static_cast<unsigned long long>(round + 1), workers, team_size,
+          static_cast<unsigned long long>(nops),
+          static_cast<unsigned long long>(range));
+      return 1;
+    }
+    if ((round + 1) % 10 == 0) {
+      std::printf("%llu/%llu batch rounds clean\n",
+                  static_cast<unsigned long long>(round + 1),
+                  static_cast<unsigned long long>(rounds));
+    }
+  }
+  std::printf(
+      "all %llu batch rounds clean (workers=%d team=%d ops=%llu range=%llu)\n",
+      static_cast<unsigned long long>(rounds), workers, team_size,
+      static_cast<unsigned long long>(nops),
+      static_cast<unsigned long long>(range));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -283,6 +384,9 @@ int main(int argc, char** argv) {
   }
   if (opt.get_bool("churn")) {
     return run_churn_mode(opt);
+  }
+  if (opt.get_bool("batch")) {
+    return run_batch_mode(opt);
   }
   const auto rounds = opt.get_u64("rounds", 40);
   RoundParams p{};
