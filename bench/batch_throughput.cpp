@@ -1,71 +1,8 @@
 // Batch throughput A/B — kernel-style batched dispatch (DESIGN.md §10)
 // versus the seed's per-op dispatch, across batch sizes and key ranges.
 //
-// Per-op dispatch restarts every traversal from the head; batched dispatch
-// key-sorts each batch, cuts it into contiguous key-range shards, and a team
-// draining a shard carries a warm descent cursor from op to op, so most
-// searches resume partway down instead of paying a full descent.  The win
-// grows with batch size (bigger shards, denser key runs) and shrinks with
-// key range (sparser shards reuse less of the cursor).  Acceptance target:
-// >= 1.3x modeled throughput at batch >= 1024 on the 20/20/60 mix at 1M keys.
-#include "bench_common.h"
+// Thin shim over the campaign registry (src/harness/campaign.cpp holds the
+// A/B loop); see fig_5_1_chunk_size.cpp for the shim contract.
+#include "harness/campaign.h"
 
-using namespace gfsl;
-using namespace gfsl::bench;
-
-int main() {
-  const Scale sc = Scale::from_env();
-  print_scale_banner(sc);
-  std::printf(
-      "# Batched vs per-op dispatch (MOPS, mean of %llu reps), mix 20/20/60\n\n",
-      static_cast<unsigned long long>(sc.reps));
-
-  const std::uint64_t ranges[] = {100'000, 1'000'000};
-  const std::size_t batch_sizes[] = {256, 1024, 4096};
-  const int reps = static_cast<int>(sc.reps);
-
-  for (const auto range : ranges) {
-    std::printf("## key range %s\n", harness::fmt_range(range).c_str());
-    harness::Table t({"dispatch", "model MOPS", "sim MOPS", "speedup",
-                      "reuse %", "chunks/trav", "steals/batch"});
-
-    auto wl = workload(harness::kMix_20_20_60, range, sc.ops, sc.seed);
-    auto setup = setup_from_scale(sc);
-
-    setup.batch_size = 0;  // baseline: the seed's per-op dispatch
-    const auto base = harness::repeat_gfsl(wl, setup, reps);
-    const auto based = harness::measure_gfsl(wl, setup);
-    t.add_row({"per-op", harness::fmt_ci(base.mops.mean, base.mops.ci95_half),
-               harness::fmt(based.sim_mops), "1.00x", "-",
-               harness::fmt(based.avg_chunks_per_traversal, 2), "-"});
-
-    for (const auto bs : batch_sizes) {
-      setup.batch_size = bs;
-      const auto b = harness::repeat_gfsl(wl, setup, reps);
-      const auto bd = harness::measure_gfsl(wl, setup);
-      const auto descents =
-          bd.batch.descent_reuses + bd.batch.full_descents;
-      const double reuse =
-          descents ? static_cast<double>(bd.batch.descent_reuses) /
-                         static_cast<double>(descents)
-                   : 0.0;
-      const auto num_batches = (wl.num_ops + bs - 1) / bs;
-      t.add_row(
-          {"batch " + std::to_string(bs),
-           harness::fmt_ci(b.mops.mean, b.mops.ci95_half),
-           harness::fmt(bd.sim_mops),
-           harness::fmt(b.mops.mean / base.mops.mean, 2) + "x",
-           harness::fmt_pct(reuse),
-           harness::fmt(bd.avg_chunks_per_traversal, 2),
-           harness::fmt(static_cast<double>(bd.batch.steals) /
-                            static_cast<double>(num_batches),
-                        1)});
-    }
-    t.print(std::cout);
-    std::printf("\n");
-  }
-  std::printf(
-      "acceptance: batched >= 1.3x per-op modeled throughput at batch >= 1024, "
-      "1M key range.\n");
-  return 0;
-}
+int main() { return gfsl::harness::campaign_main("batch_throughput"); }

@@ -1,11 +1,13 @@
-// Shared bench-binary plumbing: scale knobs, standard setup, and the
-// paper-reference annotations printed next to measured values.
+// Shared bench-binary plumbing, now delegating to the campaign library
+// (src/harness/campaign.h) so the standalone table/ablation binaries and the
+// campaign runner share one copy of the scale/setup/workload helpers.
 #pragma once
 
-#include <cstdio>
 #include <iostream>
+#include <string>
 
 #include "common/env.h"
+#include "harness/campaign.h"
 #include "harness/experiment.h"
 #include "harness/report.h"
 #include "harness/workload.h"
@@ -14,26 +16,14 @@ namespace gfsl::bench {
 
 inline harness::StructureSetup setup_from_scale(const Scale& sc,
                                                 int team_size = 32) {
-  harness::StructureSetup s;
-  s.team_size = team_size;
-  s.p_chunk = env_double("GFSL_P_CHUNK", 1.0);
-  s.warps_per_block = static_cast<int>(env_u64("GFSL_WARPS_PER_BLOCK", 16));
-  s.num_workers = static_cast<int>(sc.teams);
-  s.warmup_ops = std::min<std::uint64_t>(sc.ops / 4, 20'000);
-  return s;
+  return harness::setup_from_scale(sc, team_size);
 }
 
 inline harness::WorkloadConfig workload(const harness::Mix& mix,
                                         std::uint64_t range,
                                         std::uint64_t ops,
                                         std::uint64_t seed) {
-  harness::WorkloadConfig wl;
-  wl.mix = mix;
-  wl.key_range = range;
-  wl.num_ops = ops;
-  wl.prefill = harness::default_prefill(mix);
-  wl.seed = seed;
-  return wl;
+  return harness::make_workload(mix, range, ops, seed);
 }
 
 /// "p50/p90/p99" tail column for a repetition summary (same unit as mean).
@@ -43,14 +33,7 @@ inline std::string fmt_tail(const Summary& s) {
 }
 
 inline void print_scale_banner(const Scale& sc) {
-  std::printf(
-      "# scale: ops=%llu max_range=%llu reps=%llu teams=%llu "
-      "(env: GFSL_OPS, GFSL_MAX_RANGE, GFSL_REPS, GFSL_TEAMS; "
-      "paper scale: ops=10M, ranges to 100M, reps=10)\n",
-      static_cast<unsigned long long>(sc.ops),
-      static_cast<unsigned long long>(sc.max_range),
-      static_cast<unsigned long long>(sc.reps),
-      static_cast<unsigned long long>(sc.teams));
+  harness::print_scale_banner(sc);
 }
 
 }  // namespace gfsl::bench

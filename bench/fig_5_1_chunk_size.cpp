@@ -1,37 +1,9 @@
 // Figure 5.1 — throughput of GFSL-16 vs GFSL-32 vs M&C on [10,10,80].
 //
-// The thesis shows the comparison at the 1M key range: GFSL-32 and GFSL-16
-// are close (GFSL-32 ahead by up to 28% in large ranges) and both are well
-// above M&C.  GFSL-16 chunks are 128 B (one transaction per team read);
-// GFSL-32 chunks are 256 B (two transactions) but make a shallower
-// structure.  A range sweep is printed as well, extending the figure.
-#include "bench_common.h"
+// Thin shim over the campaign registry (src/harness/campaign.cpp holds the
+// sweep): prints the figure tables at env scale and, when GFSL_BENCH_JSON_DIR
+// is set, writes the gfsl-bench-v1 report alongside.  `bench_runner` drives
+// the same campaign with quick/reps/out-dir knobs.
+#include "harness/campaign.h"
 
-using namespace gfsl;
-using namespace gfsl::bench;
-
-int main() {
-  const Scale sc = Scale::from_env();
-  print_scale_banner(sc);
-  std::printf("# Figure 5.1: GFSL-16 vs GFSL-32 vs M&C, mix [10,10,80]\n");
-  std::printf("# paper @1M: GFSL-32 ~65.7, GFSL-16 within 28%% below, M&C ~21.3 MOPS\n\n");
-
-  const int reps = static_cast<int>(sc.reps);
-  harness::Table t({"range", "GFSL-16 MOPS", "GFSL-32 MOPS", "M&C MOPS",
-                    "GFSL-32/GFSL-16"});
-  for (const auto range : harness::sweep_ranges(sc.max_range)) {
-    auto wl = workload(harness::kMix_10_10_80, range, sc.ops, sc.seed);
-    auto s16 = setup_from_scale(sc, /*team_size=*/16);
-    auto s32 = setup_from_scale(sc, /*team_size=*/32);
-    const auto g16 = harness::repeat_gfsl(wl, s16, reps);
-    const auto g32 = harness::repeat_gfsl(wl, s32, reps);
-    const auto mc = harness::repeat_mc(wl, s32, reps);
-    t.add_row({harness::fmt_range(range),
-               harness::fmt_ci(g16.mops.mean, g16.mops.ci95_half),
-               harness::fmt_ci(g32.mops.mean, g32.mops.ci95_half),
-               mc.oom ? "OOM" : harness::fmt_ci(mc.mops.mean, mc.mops.ci95_half),
-               harness::fmt(g32.mops.mean / g16.mops.mean, 2)});
-  }
-  t.print(std::cout);
-  return 0;
-}
+int main() { return gfsl::harness::campaign_main("fig_5_1_chunk_size"); }

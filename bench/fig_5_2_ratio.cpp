@@ -1,44 +1,7 @@
 // Figure 5.2 — "Ratio between GFSL and M&C as a function of the key range".
 //
-// For each mixed-op distribution, prints GFSL/M&C modeled-throughput ratios
-// across the key-range sweep.  Shape to reproduce (§5.3): ratio < 1 at 10K
-// (down to 0.54), ~1 around 30K, then rising — 1.27x to ~10.6x at large
-// ranges as M&C's uncoalesced traffic blows past the L2.
-#include "bench_common.h"
+// Thin shim over the campaign registry (src/harness/campaign.cpp holds the
+// sweep); see fig_5_1_chunk_size.cpp for the shim contract.
+#include "harness/campaign.h"
 
-using namespace gfsl;
-using namespace gfsl::bench;
-
-int main() {
-  const Scale sc = Scale::from_env();
-  print_scale_banner(sc);
-  std::printf("# Figure 5.2: GFSL / M&C throughput ratio per key range\n");
-  std::printf("# paper: 0.54-0.85 @10K, ~1 @30K, 1.27-10.64 above\n\n");
-
-  const harness::Mix mixes[] = {harness::kMix_1_1_98, harness::kMix_5_5_90,
-                                harness::kMix_10_10_80, harness::kMix_20_20_60};
-  const auto ranges = harness::sweep_ranges(sc.max_range);
-  const int reps = static_cast<int>(sc.reps);
-
-  std::vector<std::string> header{"range"};
-  for (const auto& m : mixes) header.push_back(m.name());
-  harness::Table t(header);
-
-  for (const auto range : ranges) {
-    std::vector<std::string> row{harness::fmt_range(range)};
-    for (const auto& mix : mixes) {
-      auto wl = workload(mix, range, sc.ops, sc.seed);
-      const auto setup = setup_from_scale(sc);
-      const auto g = harness::repeat_gfsl(wl, setup, reps);
-      const auto m = harness::repeat_mc(wl, setup, reps);
-      if (m.oom) {
-        row.push_back("M&C OOM");
-      } else {
-        row.push_back(harness::fmt(g.mops.mean / m.mops.mean, 2) + "x");
-      }
-    }
-    t.add_row(std::move(row));
-  }
-  t.print(std::cout);
-  return 0;
-}
+int main() { return gfsl::harness::campaign_main("fig_5_2_ratio"); }

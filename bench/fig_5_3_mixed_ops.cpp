@@ -1,59 +1,8 @@
-// Figure 5.3 — "Throughput, in millions of operations per second, as a
-// function of key range", one series pair (GFSL, M&C) per mixed-op
-// distribution, with 95% confidence intervals over repeated runs.
+// Figure 5.3 — throughput vs key range, one series pair (GFSL, M&C) per
+// mixed-op distribution, with 95% confidence intervals over repeated runs.
 //
-// Shape to reproduce (§5.3): M&C "melts down quickly as the range ... grows"
-// while GFSL stays nearly flat (e.g. 1M -> 10M costs M&C 69-75% and GFSL at
-// most 8%); GFSL shows a contention dip at small ranges that moves right as
-// the update share grows.
-#include "bench_common.h"
+// Thin shim over the campaign registry (src/harness/campaign.cpp holds the
+// sweep); see fig_5_1_chunk_size.cpp for the shim contract.
+#include "harness/campaign.h"
 
-using namespace gfsl;
-using namespace gfsl::bench;
-
-int main() {
-  const Scale sc = Scale::from_env();
-  print_scale_banner(sc);
-  std::printf("# Figure 5.3: throughput vs key range, per mix (MOPS, mean ±95%% CI)\n\n");
-
-  const harness::Mix mixes[] = {harness::kMix_1_1_98, harness::kMix_5_5_90,
-                                harness::kMix_10_10_80, harness::kMix_20_20_60};
-  const auto ranges = harness::sweep_ranges(sc.max_range);
-  const int reps = static_cast<int>(sc.reps);
-
-  for (const auto& mix : mixes) {
-    std::printf("## mix %s\n", mix.name().c_str());
-    harness::Table t({"range", "GFSL MOPS", "GFSL p50/p90/p99", "M&C MOPS",
-                      "GFSL spins/op", "L2 hit (GFSL)", "L2 hit (M&C)"});
-    for (const auto range : ranges) {
-      auto wl = workload(mix, range, sc.ops, sc.seed);
-      const auto setup = setup_from_scale(sc);
-      const auto g = harness::repeat_gfsl(wl, setup, reps);
-      const auto m = harness::repeat_mc(wl, setup, reps);
-      // One extra instrumented run for the diagnostic columns.
-      const auto gd = harness::measure_gfsl(wl, setup);
-      const auto md = harness::measure_mc(wl, setup);
-      const auto hit = [](const model::KernelRun& k) {
-        return k.mem.transactions
-                   ? static_cast<double>(k.mem.l2_hits) /
-                         static_cast<double>(k.mem.transactions)
-                   : 0.0;
-      };
-      t.add_row({harness::fmt_range(range),
-                 harness::fmt_ci(g.mops.mean, g.mops.ci95_half),
-                 fmt_tail(g.mops),
-                 m.oom ? "OOM" : harness::fmt_ci(m.mops.mean, m.mops.ci95_half),
-                 harness::fmt(static_cast<double>(gd.kernel.lock_spins) /
-                                  static_cast<double>(gd.kernel.ops),
-                              3),
-                 harness::fmt_pct(hit(gd.kernel)),
-                 harness::fmt_pct(hit(md.kernel))});
-    }
-    t.print(std::cout);
-    std::printf("\n");
-  }
-  std::printf(
-      "paper anchors @[10,10,80]: GFSL ~65.7 MOPS and M&C ~21.3 MOPS at 1M; "
-      "GFSL loses up to 46%% at 10K with few updates.\n");
-  return 0;
-}
+int main() { return gfsl::harness::campaign_main("fig_5_3_mixed_ops"); }

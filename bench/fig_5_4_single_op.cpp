@@ -1,62 +1,8 @@
 // Figure 5.4 — single-op-type throughput vs key range: Contains-only,
 // Insert-only, Delete-only.
 //
-// Per §5.1: Contains runs against a fully prefilled structure; Insert starts
-// empty; Delete starts full; insert/delete op counts track the key range
-// ("in order not to oversaturate small structures").  Shape to reproduce
-// (§5.3): GFSL wins everywhere — contains up to 4.4x, inserts 3.5-9.1x,
-// deletes 3.5-12.6x — and the Contains-only GFSL curve has no contention dip.
-#include "bench_common.h"
+// Thin shim over the campaign registry (src/harness/campaign.cpp holds the
+// sweep); see fig_5_1_chunk_size.cpp for the shim contract.
+#include "harness/campaign.h"
 
-using namespace gfsl;
-using namespace gfsl::bench;
-
-int main() {
-  const Scale sc = Scale::from_env();
-  print_scale_banner(sc);
-  std::printf("# Figure 5.4: single-op-type throughput vs key range\n\n");
-
-  struct Panel {
-    harness::Mix mix;
-    const char* title;
-    const char* paper;
-  };
-  const Panel panels[] = {
-      {harness::kContainsOnly, "Contains-only",
-       "paper: GFSL 2.9x-4.4x over M&C"},
-      {harness::kInsertOnly, "Insert-only", "paper: GFSL 3.5x-9.1x over M&C"},
-      {harness::kDeleteOnly, "Delete-only", "paper: GFSL 3.5x-12.6x over M&C"},
-  };
-  const auto ranges = harness::sweep_ranges(sc.max_range);
-  const int reps = static_cast<int>(sc.reps);
-
-  for (const auto& p : panels) {
-    std::printf("## %s (%s)\n", p.title, p.paper);
-    harness::Table t({"range", "GFSL MOPS", "M&C MOPS", "GFSL/M&C"});
-    for (const auto range : ranges) {
-      // Insert/Delete run `range` ops in the paper; scale alongside GFSL_OPS.
-      const std::uint64_t ops = (p.mix.contains_pct == 100)
-                                    ? sc.ops
-                                    : std::min<std::uint64_t>(range, sc.ops);
-      auto wl = workload(p.mix, range, ops, sc.seed);
-      // The paper's insert-only run grows an empty structure with ops ==
-      // range, so the structure averages ~range/2 keys.  When GFSL_OPS caps
-      // the op count below the range, start from that average instead —
-      // otherwise the structure never outgrows the L2 and the measurement
-      // degenerates to the cache-resident regime.
-      if (p.mix.insert_pct == 100 && ops < range) {
-        wl.prefill = harness::Prefill::HalfRange;
-      }
-      const auto setup = setup_from_scale(sc);
-      const auto g = harness::repeat_gfsl(wl, setup, reps);
-      const auto m = harness::repeat_mc(wl, setup, reps);
-      t.add_row({harness::fmt_range(range),
-                 harness::fmt_ci(g.mops.mean, g.mops.ci95_half),
-                 m.oom ? "OOM" : harness::fmt_ci(m.mops.mean, m.mops.ci95_half),
-                 m.oom ? "-" : harness::fmt(g.mops.mean / m.mops.mean, 2) + "x"});
-    }
-    t.print(std::cout);
-    std::printf("\n");
-  }
-  return 0;
-}
+int main() { return gfsl::harness::campaign_main("fig_5_4_single_op"); }

@@ -12,6 +12,7 @@
 #include "obs/metrics.h"
 #include "sched/lease.h"
 #include "simt/team.h"
+#include "simt/trace.h"
 
 namespace {
 
@@ -108,6 +109,37 @@ void BM_GfslInsertEraseWithMetrics(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GfslInsertEraseWithMetrics);
+
+// A/B partners with the flight recorder armed: a clockless TeamTrace ring
+// (timestamps disabled — no steady_clock read per record) attached to the
+// team, as the postmortem dump-on-anomaly path keeps it on every run.  The
+// delta against the detached loops is the always-armed recorder cost, which
+// must stay within noise (a ring store is a few arithmetic ops + one array
+// write; the seq counter replaces the clock).
+void BM_GfslContainsWithFlightRecorder(benchmark::State& state) {
+  GfslBench b(static_cast<int>(state.range(0)), 10'000);
+  simt::TeamTrace ring(256, /*timestamps=*/false);
+  b.team.set_trace(&ring);
+  Key k = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(b.sl->contains(b.team, k));
+    k = (k % 20'000) + 1;
+  }
+}
+BENCHMARK(BM_GfslContainsWithFlightRecorder)->Arg(16)->Arg(32);
+
+void BM_GfslInsertEraseWithFlightRecorder(benchmark::State& state) {
+  GfslBench b(32, 10'000);
+  simt::TeamTrace ring(256, /*timestamps=*/false);
+  b.team.set_trace(&ring);
+  Key k = 50'001;
+  for (auto _ : state) {
+    b.sl->insert(b.team, k, 0);
+    b.sl->erase(b.team, k);
+    ++k;
+  }
+}
+BENCHMARK(BM_GfslInsertEraseWithFlightRecorder);
 
 // A/B partner for BM_GfslInsertErase with crash tolerance armed: every lock
 // acquisition stamps a lease word and every mutation span publishes an

@@ -1,116 +1,9 @@
 // Steady-state churn — the memory-evolution bench for epoch reclamation
-// (DESIGN.md §9).
+// (DESIGN.md §9): a 50/50 insert/erase soak in a small pool, detached (leak)
+// vs attached (ebr).
 //
-// A 50/50 insert/erase mix over a small key range in a deliberately small
-// chunk pool, run slice by slice.  After each slice we sample the arena:
-// chunks in use (live + zombies + limbo), limbo depth, free-list depth and
-// the cumulative reclaim count, plus host-side throughput.
-//
-// Run detached (no EpochManager) the same workload leaks every merged-away
-// zombie and exhausts the pool within the first slices — the leak the paper's
-// allocate-only scheme accepts.  Attached, in-use flat-lines at the live
-// working set and the run continues indefinitely: churn in bounded memory.
-#include <atomic>
-#include <chrono>
-#include <thread>
-#include <vector>
+// Thin shim over the campaign registry (src/harness/campaign.cpp holds the
+// soak loop); see fig_5_1_chunk_size.cpp for the shim contract.
+#include "harness/campaign.h"
 
-#include "bench_common.h"
-#include "common/random.h"
-#include "core/gfsl.h"
-#include "device/device_memory.h"
-#include "device/epoch.h"
-#include "simt/team.h"
-
-using namespace gfsl;
-using namespace gfsl::bench;
-
-namespace {
-
-struct ChurnParams {
-  int workers = 4;
-  int team_size = 8;
-  std::uint32_t pool_chunks = 4096;
-  std::uint64_t key_range = 512;
-  std::uint64_t slices = 8;
-  std::uint64_t ops_per_slice = 6144;  // slices * this >= 10x pool capacity
-  std::uint64_t seed = 0xC0FF;
-};
-
-void run_churn(const ChurnParams& p, bool with_epochs, harness::Table* t) {
-  device::DeviceMemory mem;
-  device::EpochManager epochs;
-  core::GfslConfig cfg;
-  cfg.team_size = p.team_size;
-  cfg.pool_chunks = p.pool_chunks;
-  core::Gfsl sl(cfg, &mem, nullptr, nullptr, with_epochs ? &epochs : nullptr);
-  const char* mode = with_epochs ? "ebr" : "leak";
-
-  for (std::uint64_t s = 0; s < p.slices; ++s) {
-    std::atomic<int> oom{0};
-    const auto t0 = std::chrono::steady_clock::now();
-    std::vector<std::thread> threads;
-    for (int w = 0; w < p.workers; ++w) {
-      threads.emplace_back([&, w] {
-        simt::Team team(p.team_size, w, 3);
-        Xoshiro256ss rng(
-            derive_seed(p.seed + s, static_cast<std::uint64_t>(w)));
-        const std::uint64_t n =
-            p.ops_per_slice / static_cast<std::uint64_t>(p.workers);
-        try {
-          for (std::uint64_t i = 0; i < n; ++i) {
-            const Key k = 1 + static_cast<Key>(rng.below(p.key_range));
-            if (rng.below(2) == 0) {
-              sl.insert(team, k, k);
-            } else {
-              sl.erase(team, k);
-            }
-          }
-        } catch (const std::bad_alloc&) {
-          oom.fetch_add(1, std::memory_order_relaxed);
-        }
-      });
-    }
-    for (auto& th : threads) th.join();
-    const double sec =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-            .count();
-    const double kops = static_cast<double>(p.ops_per_slice) / sec / 1e3;
-
-    t->add_row({mode, std::to_string(s + 1), harness::fmt(kops),
-                std::to_string(sl.chunks_allocated()),
-                std::to_string(with_epochs ? epochs.limbo_total() : 0),
-                std::to_string(sl.arena().free_count()),
-                std::to_string(sl.chunks_reclaimed()),
-                oom.load() != 0 ? "POOL EXHAUSTED" : ""});
-    if (oom.load() != 0) return;  // leaking mode: no point continuing
-  }
-}
-
-}  // namespace
-
-int main() {
-  const Scale sc = Scale::from_env();
-  print_scale_banner(sc);
-  ChurnParams p;
-  // GFSL_OPS scales total churn volume; keep >= 10x pool capacity per mode.
-  p.ops_per_slice =
-      std::max<std::uint64_t>(sc.ops / p.slices, 10ull * p.pool_chunks /
-                                                     p.slices + 1);
-  std::printf(
-      "# steady-state churn: GFSL-%d, 50/50 insert/erase, range %llu, "
-      "pool %u chunks, %llu slices x %llu ops, %d free-running teams\n",
-      p.team_size, static_cast<unsigned long long>(p.key_range),
-      p.pool_chunks, static_cast<unsigned long long>(p.slices),
-      static_cast<unsigned long long>(p.ops_per_slice), p.workers);
-  std::printf(
-      "# detached (leak): every merge strands a zombie chunk until the pool "
-      "dies; attached (ebr): in-use flat-lines at the working set\n\n");
-
-  harness::Table t({"mode", "slice", "kops/s(host)", "in_use", "limbo",
-                    "free", "reclaimed", "note"});
-  run_churn(p, /*with_epochs=*/false, &t);
-  run_churn(p, /*with_epochs=*/true, &t);
-  t.print(std::cout);
-  return 0;
-}
+int main() { return gfsl::harness::campaign_main("steady_state_churn"); }

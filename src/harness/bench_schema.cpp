@@ -1,0 +1,329 @@
+#include "harness/bench_schema.h"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+#include "obs/json_util.h"
+#include "obs/json_value.h"
+
+namespace gfsl::harness {
+
+std::string_view better_name(Better b) {
+  switch (b) {
+    case Better::kHigher: return "higher";
+    case Better::kLower: return "lower";
+    case Better::kNone: return "none";
+  }
+  return "none";
+}
+
+namespace {
+
+Better better_from(const std::string& s) {
+  if (s == "higher") return Better::kHigher;
+  if (s == "lower") return Better::kLower;
+  return Better::kNone;
+}
+
+}  // namespace
+
+double BenchMetric::mean() const {
+  if (samples.empty()) return 0.0;
+  double s = 0.0;
+  for (const double v : samples) s += v;
+  return s / static_cast<double>(samples.size());
+}
+
+double BenchMetric::stddev() const {
+  if (samples.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (const double v : samples) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(samples.size() - 1));
+}
+
+double BenchMetric::min() const {
+  if (samples.empty()) return 0.0;
+  return *std::min_element(samples.begin(), samples.end());
+}
+
+double BenchMetric::max() const {
+  if (samples.empty()) return 0.0;
+  return *std::max_element(samples.begin(), samples.end());
+}
+
+double BenchMetric::percentile(double p) const {
+  if (samples.empty()) return 0.0;
+  std::vector<double> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  p = std::clamp(p, 0.0, 100.0);
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+const BenchMetric* BenchReport::find(const std::string& name) const {
+  for (const auto& m : metrics) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+void BenchReport::set_config(const std::string& key, const std::string& value) {
+  for (auto& [k, v] : config) {
+    if (k == key) {
+      v = value;
+      return;
+    }
+  }
+  config.emplace_back(key, value);
+}
+
+void BenchReport::stamp_environment() {
+  auto put = [&](const std::string& key, const std::string& value) {
+    for (const auto& [k, v] : environment) {
+      if (k == key) return;
+    }
+    environment.emplace_back(key, value);
+  };
+#if defined(__clang__)
+  put("compiler", std::string("clang ") + __clang_version__);
+#elif defined(__GNUC__)
+  put("compiler", std::string("gcc ") + __VERSION__);
+#else
+  put("compiler", "unknown");
+#endif
+#if defined(NDEBUG)
+  put("build", "release");
+#else
+  put("build", "debug");
+#endif
+#if defined(__linux__)
+  put("platform", "linux");
+#elif defined(__APPLE__)
+  put("platform", "darwin");
+#elif defined(_WIN32)
+  put("platform", "windows");
+#else
+  put("platform", "unknown");
+#endif
+  put("pointer_bits", std::to_string(sizeof(void*) * 8));
+  put("schema_producer", "gfsl bench_runner");
+}
+
+namespace {
+
+void write_string_map(
+    std::ostream& os, const char* indent,
+    const std::vector<std::pair<std::string, std::string>>& kv) {
+  os << "{";
+  for (std::size_t i = 0; i < kv.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n") << indent << "  ";
+    obs::json_string(os, kv[i].first);
+    os << ": ";
+    obs::json_string(os, kv[i].second);
+  }
+  if (!kv.empty()) os << "\n" << indent;
+  os << "}";
+}
+
+}  // namespace
+
+void write_bench_json(std::ostream& os, const BenchReport& report) {
+  os << "{\n  \"schema\": \"gfsl-bench-v1\",\n  \"campaign\": ";
+  obs::json_string(os, report.campaign);
+  os << ",\n  \"config\": ";
+  write_string_map(os, "  ", report.config);
+  os << ",\n  \"environment\": ";
+  write_string_map(os, "  ", report.environment);
+  os << ",\n  \"metrics\": [";
+  for (std::size_t i = 0; i < report.metrics.size(); ++i) {
+    const BenchMetric& m = report.metrics[i];
+    os << (i == 0 ? "\n" : ",\n") << "    {\"name\": ";
+    obs::json_string(os, m.name);
+    os << ", \"unit\": ";
+    obs::json_string(os, m.unit);
+    os << ", \"better\": ";
+    obs::json_string(os, better_name(m.better));
+    os << ", \"gate\": " << (m.gate ? "true" : "false");
+    os << ",\n     \"n\": " << m.samples.size();
+    os << ", \"mean\": ";
+    obs::json_number(os, m.mean());
+    os << ", \"stddev\": ";
+    obs::json_number(os, m.stddev());
+    os << ", \"min\": ";
+    obs::json_number(os, m.min());
+    os << ", \"max\": ";
+    obs::json_number(os, m.max());
+    os << ", \"p50\": ";
+    obs::json_number(os, m.percentile(50.0));
+    os << ", \"p99\": ";
+    obs::json_number(os, m.percentile(99.0));
+    os << ",\n     \"samples\": [";
+    for (std::size_t s = 0; s < m.samples.size(); ++s) {
+      if (s != 0) os << ", ";
+      obs::json_number(os, m.samples[s]);
+    }
+    os << "]}";
+  }
+  if (!report.metrics.empty()) os << "\n  ";
+  os << "]\n}\n";
+}
+
+namespace {
+
+bool read_string_map(const obs::JsonValue* v,
+                     std::vector<std::pair<std::string, std::string>>& out) {
+  if (v == nullptr || !v->is_object()) return false;
+  for (const auto& [k, val] : v->as_object()) {
+    if (!val.is_string()) return false;
+    out.emplace_back(k, val.as_string());
+  }
+  return true;
+}
+
+}  // namespace
+
+bool read_bench_json(const std::string& text, BenchReport& out,
+                     std::string& error) {
+  const obs::JsonParseResult parsed = obs::json_parse(text);
+  if (!parsed.ok) {
+    error = "JSON parse error: " + parsed.error;
+    return false;
+  }
+  const obs::JsonValue& root = parsed.value;
+  if (!root.is_object()) {
+    error = "document root is not an object";
+    return false;
+  }
+  if (root.string_or("schema", "") != "gfsl-bench-v1") {
+    error = "unexpected schema '" + root.string_or("schema", "<missing>") +
+            "' (want gfsl-bench-v1)";
+    return false;
+  }
+  out = BenchReport{};
+  out.campaign = root.string_or("campaign", "");
+  if (out.campaign.empty()) {
+    error = "missing campaign name";
+    return false;
+  }
+  // config/environment are informational; tolerate absence.
+  read_string_map(root.get("config"), out.config);
+  read_string_map(root.get("environment"), out.environment);
+
+  const obs::JsonValue* metrics = root.get("metrics");
+  if (metrics == nullptr || !metrics->is_array()) {
+    error = "missing metrics array";
+    return false;
+  }
+  for (const obs::JsonValue& mv : metrics->as_array()) {
+    if (!mv.is_object()) {
+      error = "metrics entry is not an object";
+      return false;
+    }
+    BenchMetric m;
+    m.name = mv.string_or("name", "");
+    if (m.name.empty()) {
+      error = "metric with missing name";
+      return false;
+    }
+    m.unit = mv.string_or("unit", "");
+    m.better = better_from(mv.string_or("better", "none"));
+    const obs::JsonValue* gate = mv.get("gate");
+    m.gate = gate != nullptr && gate->is_bool() && gate->as_bool();
+    const obs::JsonValue* samples = mv.get("samples");
+    if (samples != nullptr && samples->is_array()) {
+      for (const obs::JsonValue& s : samples->as_array()) {
+        if (!s.is_number()) {
+          error = "non-numeric sample in metric '" + m.name + "'";
+          return false;
+        }
+        m.samples.push_back(s.as_number());
+      }
+    } else {
+      // Degraded baseline (summary only): reconstruct a single pseudo-sample
+      // from the stored mean so comparisons still work, with zero stddev.
+      m.samples.push_back(mv.number_or("mean", 0.0));
+    }
+    out.metrics.push_back(std::move(m));
+  }
+  return true;
+}
+
+std::string_view verdict_name(Verdict v) {
+  switch (v) {
+    case Verdict::kOk: return "ok";
+    case Verdict::kImproved: return "improved";
+    case Verdict::kRegressed: return "REGRESSED";
+    case Verdict::kMissing: return "missing";
+    case Verdict::kNew: return "new";
+  }
+  return "ok";
+}
+
+CompareResult compare_reports(const BenchReport& baseline,
+                              const BenchReport& current,
+                              const CompareOptions& opts) {
+  CompareResult result;
+  for (const BenchMetric& base : baseline.metrics) {
+    if (opts.gated_only && !base.gate) continue;
+    MetricDelta d;
+    d.name = base.name;
+    d.unit = base.unit;
+    d.better = base.better;
+    d.gate = base.gate;
+    d.base_mean = base.mean();
+    d.base_stddev = base.stddev();
+
+    const BenchMetric* cur = current.find(base.name);
+    if (cur == nullptr) {
+      d.verdict = Verdict::kMissing;
+      // A vanished gated metric is a gate failure: silently dropping the
+      // regression-sensitive series would defeat the point of the gate.
+      if (base.gate) ++result.regressions;
+      result.deltas.push_back(std::move(d));
+      continue;
+    }
+    d.cur_mean = cur->mean();
+    d.cur_stddev = cur->stddev();
+    d.delta = d.cur_mean - d.base_mean;
+    d.threshold = std::max(opts.rel_thresh * std::fabs(d.base_mean),
+                           opts.k * std::max(d.base_stddev, d.cur_stddev));
+
+    if (!base.gate || base.better == Better::kNone) {
+      d.verdict = Verdict::kOk;
+    } else if (std::fabs(d.delta) <= d.threshold) {
+      d.verdict = Verdict::kOk;
+    } else {
+      const bool worse = (base.better == Better::kHigher) ? (d.delta < 0.0)
+                                                          : (d.delta > 0.0);
+      d.verdict = worse ? Verdict::kRegressed : Verdict::kImproved;
+      if (worse) {
+        ++result.regressions;
+      } else {
+        ++result.improvements;
+      }
+    }
+    result.deltas.push_back(std::move(d));
+  }
+  // Surface metrics that only the current run has (informational).
+  for (const BenchMetric& cur : current.metrics) {
+    if (opts.gated_only && !cur.gate) continue;
+    if (baseline.find(cur.name) != nullptr) continue;
+    MetricDelta d;
+    d.name = cur.name;
+    d.unit = cur.unit;
+    d.better = cur.better;
+    d.gate = cur.gate;
+    d.cur_mean = cur.mean();
+    d.cur_stddev = cur.stddev();
+    d.verdict = Verdict::kNew;
+    result.deltas.push_back(std::move(d));
+  }
+  return result;
+}
+
+}  // namespace gfsl::harness

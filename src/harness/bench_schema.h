@@ -1,0 +1,114 @@
+// gfsl-bench-v1: the stable benchmark-report schema plus the noise-aware
+// comparator behind `bench_compare`.
+//
+// A BenchReport is one campaign run: the campaign name, the knob settings it
+// ran under, an environment fingerprint (compiler / build type / platform —
+// enough to flag apples-to-oranges diffs), and a flat list of metrics.  Each
+// metric keeps its raw per-repetition samples; the summary statistics are
+// derived at write time so the JSON is self-contained for dashboards while
+// the samples stay available for re-analysis.
+//
+// Gating model: a metric opts into regression gating (`gate`) and declares
+// which direction is better (`better`).  compare_reports() flags a metric
+// only when the delta in the *worse* direction exceeds
+//   max(rel_thresh * |baseline.mean|, k * max(baseline.stddev, cur.stddev))
+// i.e. both a relative floor (ignore microscopic shifts) and a noise window
+// (ignore shifts explainable by run-to-run variance).  Host-wall-time metrics
+// ship with gate=false: they vary with the machine, unlike the modeled-MOPS
+// and structural metrics the gate is meant for.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace gfsl::harness {
+
+/// Direction in which a metric improves.
+enum class Better { kHigher, kLower, kNone };
+
+std::string_view better_name(Better b);
+
+struct BenchMetric {
+  std::string name;            // stable flat key, e.g. "gfsl32_mops.range_1000000"
+  std::string unit;            // "mops", "chunks", "percent", "ns", ...
+  Better better = Better::kNone;
+  bool gate = false;           // participates in regression gating
+  std::vector<double> samples; // one entry per repetition
+
+  // Derived views over `samples` (0 when empty).
+  double mean() const;
+  double stddev() const;  // sample stddev (n-1), 0 for < 2 samples
+  double min() const;
+  double max() const;
+  double percentile(double p) const;  // nearest-rank with interpolation
+};
+
+struct BenchReport {
+  std::string campaign;
+  std::vector<std::pair<std::string, std::string>> config;       // ordered
+  std::vector<std::pair<std::string, std::string>> environment;  // ordered
+  std::vector<BenchMetric> metrics;
+
+  const BenchMetric* find(const std::string& name) const;
+
+  /// Record one knob (insertion-ordered, last write per key wins).
+  void set_config(const std::string& key, const std::string& value);
+
+  /// Fill `environment` with the build fingerprint (compiler, build type,
+  /// platform, pointer width).  Existing keys are preserved.
+  void stamp_environment();
+};
+
+/// Serialize as gfsl-bench-v1 JSON.
+void write_bench_json(std::ostream& os, const BenchReport& report);
+
+/// Parse a gfsl-bench-v1 document.  Returns false (with `error` set) on
+/// syntax errors or schema mismatches.
+bool read_bench_json(const std::string& text, BenchReport& out,
+                     std::string& error);
+
+struct CompareOptions {
+  double rel_thresh = 0.25;  // relative floor on |delta| vs baseline mean
+  double k = 4.0;            // noise window: k * max(stddev_base, stddev_cur)
+  bool gated_only = true;    // ignore metrics with gate=false
+};
+
+enum class Verdict {
+  kOk,          // within threshold (or not gated)
+  kImproved,    // moved beyond threshold in the better direction
+  kRegressed,   // moved beyond threshold in the worse direction
+  kMissing,     // present in baseline, absent in current
+  kNew,         // present in current, absent in baseline
+};
+
+std::string_view verdict_name(Verdict v);
+
+struct MetricDelta {
+  std::string name;
+  std::string unit;
+  Better better = Better::kNone;
+  bool gate = false;
+  double base_mean = 0.0;
+  double base_stddev = 0.0;
+  double cur_mean = 0.0;
+  double cur_stddev = 0.0;
+  double delta = 0.0;      // cur - base
+  double threshold = 0.0;  // the |delta| bar this comparison used
+  Verdict verdict = Verdict::kOk;
+};
+
+struct CompareResult {
+  std::vector<MetricDelta> deltas;
+  int regressions = 0;
+  int improvements = 0;
+  bool ok() const { return regressions == 0; }
+};
+
+CompareResult compare_reports(const BenchReport& baseline,
+                              const BenchReport& current,
+                              const CompareOptions& opts = {});
+
+}  // namespace gfsl::harness

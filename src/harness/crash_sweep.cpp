@@ -4,13 +4,17 @@
 #include <thread>
 #include <vector>
 
+#include <memory>
+
 #include "core/gfsl.h"
 #include "device/device_memory.h"
 #include "harness/history.h"
+#include "harness/postmortem.h"
 #include "harness/workload.h"
 #include "sched/batch_dispatch.h"
 #include "sched/lease.h"
 #include "sched/step_scheduler.h"
+#include "simt/trace.h"
 
 namespace gfsl::harness {
 
@@ -83,6 +87,46 @@ CrashRunResult run_crash_at(const CrashSweepConfig& cfg,
 
   HistoryLog log(cfg.ops / static_cast<std::uint64_t>(cfg.workers) + 8,
                  cfg.workers);
+  // Flight recorder: clockless rings (no steady-clock read per record) for
+  // every team plus the medic, armed only when a postmortem sink is set.
+  std::vector<std::unique_ptr<simt::TeamTrace>> rings;
+  if (!cfg.postmortem_dir.empty()) {
+    for (int w = 0; w <= cfg.workers; ++w) {
+      rings.push_back(
+          std::make_unique<simt::TeamTrace>(1024, /*timestamps=*/false));
+    }
+  }
+  auto dump_failure = [&](const std::string& reason, const std::string& detail,
+                          const core::Gfsl* structure) {
+    if (cfg.postmortem_dir.empty()) return;
+    PostmortemContext ctx;
+    ctx.reason = reason;
+    ctx.detail = detail;
+    ctx.gfsl = structure;
+    ctx.metrics = reg;
+    for (const auto& ring : rings) ctx.rings.push_back(ring.get());
+    ctx.info = {
+        {"harness", "crash_sweep"},
+        {"wl_seed", std::to_string(cfg.wl_seed)},
+        {"sched_seed", std::to_string(cfg.sched_seed)},
+        {"kill_step", std::to_string(kill_step)},
+        {"watchdog_step", std::to_string(sched.watchdog_step())},
+        {"watchdog_fired", sched.watchdog_fired() ? "1" : "0"},
+        {"global_steps", std::to_string(sched.global_steps())},
+        {"workers", std::to_string(cfg.workers)},
+        {"victim", std::to_string(cfg.victim)},
+        {"team_size", std::to_string(cfg.team_size)},
+        {"ops", std::to_string(cfg.ops)},
+        {"key_range", std::to_string(cfg.key_range)},
+        {"with_epochs", cfg.with_epochs ? "1" : "0"},
+        {"batched", cfg.batched ? "1" : "0"},
+    };
+    const std::string stem =
+        "postmortem_crash_k" +
+        (kill_step == UINT64_MAX ? std::string("none")
+                                 : std::to_string(kill_step));
+    (void)dump_postmortem(cfg.postmortem_dir, stem, ctx);
+  };
   // Batched mode: the whole op array is one batch, planned once and drained
   // through a shared stealing queue — same shape as run_gfsl_batched, but
   // under the deterministic scheduler with a kill step armed.
@@ -102,6 +146,7 @@ CrashRunResult run_crash_at(const CrashSweepConfig& cfg,
     threads.emplace_back([&, w] {
       simt::Team team(cfg.team_size, w, 3);
       if (reg != nullptr) team.set_metrics(&reg->shard(w));
+      if (!rings.empty()) team.set_trace(rings[static_cast<std::size_t>(w)].get());
       HistoryObserver observer(log, w);
       const Op* cur_op = nullptr;
       std::uint64_t cur_tick = 0;
@@ -156,6 +201,8 @@ CrashRunResult run_crash_at(const CrashSweepConfig& cfg,
     res.hang = true;
     res.error = "hang: survivors hit the watchdog (step " +
                 std::to_string(res.steps) + ")";
+    // Every team is dead (killed or returned), so the walk is quiescent.
+    dump_failure("watchdog_stall", res.error, &sl);
     return res;
   }
 
@@ -164,12 +211,14 @@ CrashRunResult run_crash_at(const CrashSweepConfig& cfg,
   // the survivors should have been able to steal.
   simt::Team medic(cfg.team_size, cfg.workers, 7);
   if (reg != nullptr) medic.set_metrics(&reg->shard(cfg.workers));
+  if (!rings.empty()) medic.set_trace(rings.back().get());
   res.locks_recovered = sl.recover_all_expired(medic);
 
   const auto rep = sl.validate(/*strict=*/false);
   if (!rep.ok) {
     res.ok = false;
     res.error = "structure invalid: " + rep.error;
+    dump_failure("validate_failure", res.error, &sl);
     return res;
   }
   std::vector<Key> final_keys;
@@ -178,6 +227,7 @@ CrashRunResult run_crash_at(const CrashSweepConfig& cfg,
   if (!check.ok) {
     res.ok = false;
     res.error = "history violation: " + check.error;
+    dump_failure("history_violation", res.error, &sl);
     return res;
   }
   return res;

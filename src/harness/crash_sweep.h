@@ -60,6 +60,12 @@ struct CrashSweepConfig {
   // unexecuted ops were never logged).
   bool batched = false;
   std::size_t batch_shard_ops = 0;  // plan_shards granularity; 0 = auto
+  // Non-empty: arm clockless flight-recorder rings on every team (including
+  // the medic) and, when a run fails — watchdog stall, validate failure,
+  // history violation — drop a gfsl-postmortem-v1 bundle into this
+  // directory (which must exist).  The rings are cheap enough to keep armed
+  // across a full sweep; the dump carries the repro triple in its info map.
+  std::string postmortem_dir;
 };
 
 struct CrashRunResult {

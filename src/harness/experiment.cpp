@@ -1,8 +1,10 @@
 #include "harness/experiment.h"
 
 #include <algorithm>
+#include <fstream>
 
 #include "common/random.h"
+#include "harness/postmortem.h"
 
 namespace gfsl::harness {
 
@@ -98,9 +100,9 @@ double conflict_rate(double in_flight, double u, double window,
   return p / (1.0 - p);
 }
 
-/// Quiescent post-run sampling of the structure gauges (§"where did the
-/// space go"): heights, chunk population, zombie share, slot occupancy.
-void sample_gfsl_gauges(obs::MetricsRegistry& reg, const core::Gfsl& sl) {
+}  // namespace
+
+void sample_structure_gauges(obs::MetricsRegistry& reg, const core::Gfsl& sl) {
   // Non-strict: concurrent histories may legally leave stale upper keys.
   const core::ValidationReport v = sl.validate(false);
   reg.set_gauge(obs::kHeight, static_cast<double>(v.height));
@@ -120,8 +122,6 @@ void sample_gfsl_gauges(obs::MetricsRegistry& reg, const core::Gfsl& sl) {
     reg.set_gauge(obs::kEpochLag, static_cast<double>(ep->epoch_lag()));
   }
 }
-
-}  // namespace
 
 void apply_gfsl_contention(model::KernelRun& k,
                            const model::OccupancyResult& occ,
@@ -197,6 +197,13 @@ Measurement measure_gfsl(const WorkloadConfig& wl,
   const auto ops = generate_ops(wl);
   rc.metrics = setup.metrics;  // telemetry covers only the measured run
   rc.trace = setup.trace;
+  // On-demand postmortem with no trace attached: arm a clockless
+  // flight-recorder session for the measured run so the bundle has event
+  // tails to show.
+  obs::TraceSession recorder(256, /*timestamps=*/false);
+  if (!setup.postmortem_out.empty() && rc.trace == nullptr) {
+    rc.trace = &recorder;
+  }
   RunResult rr;
   if (setup.batch_size > 0) {
     BatchRunOptions bo;
@@ -207,7 +214,30 @@ Measurement measure_gfsl(const WorkloadConfig& wl,
   } else {
     rr = run_gfsl(sl, ops, rc, mem);
   }
-  if (setup.metrics != nullptr) sample_gfsl_gauges(*setup.metrics, sl);
+  if (setup.metrics != nullptr) sample_structure_gauges(*setup.metrics, sl);
+
+  if (!setup.postmortem_out.empty()) {
+    const core::ValidationReport v = sl.validate(/*strict=*/false);
+    PostmortemContext ctx;
+    ctx.reason = v.ok ? "on_demand" : "validate_failure";
+    ctx.detail = v.error;
+    ctx.gfsl = &sl;
+    ctx.metrics = setup.metrics;
+    const obs::TraceSession* session = rc.trace;
+    for (int t = 0; session != nullptr && t < session->teams(); ++t) {
+      ctx.rings.push_back(session->team(t));
+    }
+    ctx.info = {{"harness", "measure_gfsl"},
+                {"seed", std::to_string(wl.seed)},
+                {"ops", std::to_string(wl.num_ops)},
+                {"key_range", std::to_string(wl.key_range)},
+                {"mix", wl.mix.name()},
+                {"team_size", std::to_string(setup.team_size)},
+                {"workers", std::to_string(setup.num_workers)},
+                {"batch_size", std::to_string(setup.batch_size)}};
+    std::ofstream out(setup.postmortem_out);
+    if (out) write_postmortem(out, ctx);
+  }
 
   const model::Occupancy occ_calc;
   const auto occ = occ_calc.compute(model::kGfslKernel, setup.warps_per_block);
@@ -298,7 +328,7 @@ Measurement measure_gfsl_dual(const WorkloadConfig& wl,
   rc.metrics = setup.metrics;  // telemetry covers only the measured run
   rc.trace = setup.trace;
   RunResult rr = run_gfsl_paired(sl, ops, rc, mem);
-  if (setup.metrics != nullptr) sample_gfsl_gauges(*setup.metrics, sl);
+  if (setup.metrics != nullptr) sample_structure_gauges(*setup.metrics, sl);
 
   const model::Occupancy occ_calc;
   const auto occ = occ_calc.compute(model::kGfslKernel, setup.warps_per_block);
@@ -326,6 +356,7 @@ Repeated repeat_gfsl_dual(WorkloadConfig wl, const StructureSetup& setup,
     const auto m = measure_gfsl_dual(wl, setup);
     out.oom = out.oom || m.oom;
     stats.add(m.model_mops);
+    out.samples.push_back(m.model_mops);
   }
   out.mops = stats.summarize();
   return out;
@@ -340,6 +371,7 @@ Repeated repeat_gfsl(WorkloadConfig wl, const StructureSetup& setup,
     const auto m = measure_gfsl(wl, setup);
     out.oom = out.oom || m.oom;
     stats.add(m.model_mops);
+    out.samples.push_back(m.model_mops);
   }
   out.mops = stats.summarize();
   return out;
@@ -353,6 +385,7 @@ Repeated repeat_mc(WorkloadConfig wl, const StructureSetup& setup, int reps) {
     const auto m = measure_mc(wl, setup);
     out.oom = out.oom || m.oom;
     stats.add(m.model_mops);
+    out.samples.push_back(m.model_mops);
   }
   out.mops = stats.summarize();
   return out;

@@ -31,6 +31,13 @@ struct StructureSetup {
   /// it.  Both must outlive the measure_* call.
   obs::MetricsRegistry* metrics = nullptr;
   obs::TraceSession* trace = nullptr;
+  /// Non-empty: after the measured GFSL run, validate the structure and
+  /// write a gfsl-postmortem-v1 bundle to this exact path (reason
+  /// "on_demand" when the structure is healthy, "validate_failure"
+  /// otherwise).  When no TraceSession is attached, a clockless
+  /// flight-recorder session is armed for the measured run so the bundle
+  /// carries per-team event tails.  GFSL only; ignored by measure_mc.
+  std::string postmortem_out;
 };
 
 struct Measurement {
@@ -61,6 +68,7 @@ Measurement measure_gfsl_dual(const WorkloadConfig& wl,
 struct Repeated {
   Summary mops;
   bool oom = false;
+  std::vector<double> samples;  // per-repetition modeled MOPS, in run order
 };
 Repeated repeat_gfsl(WorkloadConfig wl, const StructureSetup& setup, int reps);
 Repeated repeat_mc(WorkloadConfig wl, const StructureSetup& setup, int reps);
@@ -69,6 +77,12 @@ Repeated repeat_gfsl_dual(WorkloadConfig wl, const StructureSetup& setup,
 
 /// The paper's key-range sweep points (10K ... max_range).
 std::vector<std::uint64_t> sweep_ranges(std::uint64_t max_range);
+
+/// Quiescent post-run sampling of the structure gauges (height, chunk
+/// population, zombie share, slot occupancy, epoch lag) into `reg`.  Also
+/// used by external drivers (gfsl_fuzz --metrics-json) that run the
+/// structure outside measure_gfsl.
+void sample_structure_gauges(obs::MetricsRegistry& reg, const core::Gfsl& sl);
 
 /// Device pool capacities emulating the GTX 970's 4 GB memory (§5.3: M&C
 /// "runs out of memory for larger structures").

@@ -78,6 +78,10 @@ std::string fmt_ci(double mean, double ci, int precision) {
   return fmt(mean, precision) + " ±" + fmt(ci, precision);
 }
 
+std::string fmt_mean_stddev(double mean, double stddev, int precision) {
+  return fmt(mean, precision) + " ±σ" + fmt(stddev, precision);
+}
+
 std::string fmt_range(std::uint64_t range) {
   if (range % 1'000'000 == 0) return std::to_string(range / 1'000'000) + "M";
   if (range % 1'000 == 0) return std::to_string(range / 1'000) + "K";

@@ -28,6 +28,10 @@ class Table {
 std::string fmt(double v, int precision = 1);
 /// "12.3 ±0.4" mean with CI half-width.
 std::string fmt_ci(double mean, double ci, int precision = 1);
+/// "12.3 ±σ0.4" mean with sample standard deviation — used where the
+/// spread itself (not a confidence bound) is the story, e.g. the noise
+/// window the bench_compare gate reasons about.
+std::string fmt_mean_stddev(double mean, double stddev, int precision = 1);
 /// Human-readable range ("10K", "1M").
 std::string fmt_range(std::uint64_t range);
 /// Percentage ("48.8%").

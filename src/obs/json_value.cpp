@@ -1,0 +1,299 @@
+#include "obs/json_value.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace gfsl::obs {
+
+const JsonValue* JsonValue::get(const std::string& key) const {
+  if (kind_ != Kind::Object) return nullptr;
+  auto it = object_.find(key);
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+double JsonValue::number_or(const std::string& key, double fallback) const {
+  const JsonValue* v = get(key);
+  return (v != nullptr && v->is_number()) ? v->as_number() : fallback;
+}
+
+std::string JsonValue::string_or(const std::string& key,
+                                 const std::string& fallback) const {
+  const JsonValue* v = get(key);
+  return (v != nullptr && v->is_string()) ? v->as_string() : fallback;
+}
+
+namespace detail {
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonParseResult run() {
+    JsonParseResult result;
+    skip_ws();
+    if (!parse_value(result.value)) {
+      result.error = error_;
+      return result;
+    }
+    skip_ws();
+    if (pos_ != text_.size()) {
+      result.error = fail("trailing garbage after document");
+      return result;
+    }
+    result.ok = true;
+    return result;
+  }
+
+ private:
+  std::string fail(const std::string& what) {
+    if (error_.empty()) {
+      error_ = what + " at byte " + std::to_string(pos_);
+    }
+    return error_;
+  }
+
+  bool eof() const { return pos_ >= text_.size(); }
+  char peek() const { return text_[pos_]; }
+
+  void skip_ws() {
+    while (!eof()) {
+      const char c = peek();
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool consume_literal(const char* lit) {
+    std::size_t n = 0;
+    while (lit[n] != '\0') ++n;
+    if (text_.compare(pos_, n, lit) != 0) {
+      fail(std::string("expected '") + lit + "'");
+      return false;
+    }
+    pos_ += n;
+    return true;
+  }
+
+  bool parse_value(JsonValue& out) {
+    if (++depth_ > kMaxDepth) {
+      fail("nesting depth limit exceeded");
+      return false;
+    }
+    bool ok = parse_value_inner(out);
+    --depth_;
+    return ok;
+  }
+
+  bool parse_value_inner(JsonValue& out) {
+    if (eof()) {
+      fail("unexpected end of input");
+      return false;
+    }
+    switch (peek()) {
+      case 'n':
+        out.kind_ = JsonValue::Kind::Null;
+        return consume_literal("null");
+      case 't':
+        out.kind_ = JsonValue::Kind::Bool;
+        out.bool_ = true;
+        return consume_literal("true");
+      case 'f':
+        out.kind_ = JsonValue::Kind::Bool;
+        out.bool_ = false;
+        return consume_literal("false");
+      case '"':
+        out.kind_ = JsonValue::Kind::String;
+        return parse_string(out.string_);
+      case '[':
+        return parse_array(out);
+      case '{':
+        return parse_object(out);
+      default:
+        return parse_number(out);
+    }
+  }
+
+  bool parse_number(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (!eof() && peek() == '-') ++pos_;
+    while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    if (!eof() && peek() == '.') {
+      ++pos_;
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (pos_ == start) {
+      fail("expected a value");
+      return false;
+    }
+    const std::string tok = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double v = std::strtod(tok.c_str(), &end);
+    if (end == tok.c_str() || *end != '\0') {
+      pos_ = start;
+      fail("malformed number");
+      return false;
+    }
+    out.kind_ = JsonValue::Kind::Number;
+    out.number_ = v;
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    ++pos_;  // opening quote
+    out.clear();
+    while (true) {
+      if (eof()) {
+        fail("unterminated string");
+        return false;
+      }
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (eof()) {
+        fail("unterminated escape");
+        return false;
+      }
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            if (eof()) {
+              fail("truncated \\u escape");
+              return false;
+            }
+            const char h = text_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') {
+              cp |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              cp |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              cp |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("bad hex digit in \\u escape");
+              return false;
+            }
+          }
+          // BMP-only UTF-8 encoding; our writers never emit surrogate pairs.
+          if (cp < 0x80) {
+            out.push_back(static_cast<char>(cp));
+          } else if (cp < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          }
+          break;
+        }
+        default:
+          fail("unknown escape");
+          return false;
+      }
+    }
+  }
+
+  bool parse_array(JsonValue& out) {
+    out.kind_ = JsonValue::Kind::Array;
+    ++pos_;  // '['
+    skip_ws();
+    if (!eof() && peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      JsonValue elem;
+      skip_ws();
+      if (!parse_value(elem)) return false;
+      out.array_.push_back(std::move(elem));
+      skip_ws();
+      if (eof()) {
+        fail("unterminated array");
+        return false;
+      }
+      const char c = text_[pos_++];
+      if (c == ']') return true;
+      if (c != ',') {
+        --pos_;
+        fail("expected ',' or ']' in array");
+        return false;
+      }
+    }
+  }
+
+  bool parse_object(JsonValue& out) {
+    out.kind_ = JsonValue::Kind::Object;
+    ++pos_;  // '{'
+    skip_ws();
+    if (!eof() && peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (eof() || peek() != '"') {
+        fail("expected object key");
+        return false;
+      }
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (eof() || text_[pos_++] != ':') {
+        fail("expected ':' after object key");
+        return false;
+      }
+      skip_ws();
+      JsonValue val;
+      if (!parse_value(val)) return false;
+      out.object_[std::move(key)] = std::move(val);
+      skip_ws();
+      if (eof()) {
+        fail("unterminated object");
+        return false;
+      }
+      const char c = text_[pos_++];
+      if (c == '}') return true;
+      if (c != ',') {
+        --pos_;
+        fail("expected ',' or '}' in object");
+        return false;
+      }
+    }
+  }
+
+  static constexpr int kMaxDepth = 256;
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+  std::string error_;
+};
+
+}  // namespace detail
+
+JsonParseResult json_parse(const std::string& text) {
+  return detail::JsonParser(text).run();
+}
+
+}  // namespace gfsl::obs

@@ -1,0 +1,71 @@
+// Minimal JSON document model + recursive-descent parser (std only).
+//
+// The observability layer *emits* JSON through the streaming helpers in
+// json_util.h; this is the read side: bench_compare loads committed
+// gfsl-bench-v1 baselines, and the schema tests round-trip every exporter
+// (metrics, bench, postmortem) through a real parse instead of grepping for
+// substrings.  Scope is deliberately small — RFC 8259 minus \uXXXX surrogate
+// pairs (escapes decode to code points <= 0xFFFF as UTF-8) — which covers
+// everything our own writers produce.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace gfsl::obs {
+
+namespace detail {
+class JsonParser;
+}
+
+class JsonValue {
+ public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  JsonValue() = default;
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::Null; }
+  bool is_bool() const { return kind_ == Kind::Bool; }
+  bool is_number() const { return kind_ == Kind::Number; }
+  bool is_string() const { return kind_ == Kind::String; }
+  bool is_array() const { return kind_ == Kind::Array; }
+  bool is_object() const { return kind_ == Kind::Object; }
+
+  bool as_bool() const { return bool_; }
+  double as_number() const { return number_; }
+  const std::string& as_string() const { return string_; }
+  const std::vector<JsonValue>& as_array() const { return array_; }
+  const std::map<std::string, JsonValue>& as_object() const { return object_; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* get(const std::string& key) const;
+
+  /// Convenience accessors with fallbacks for schema consumers.
+  double number_or(const std::string& key, double fallback) const;
+  std::string string_or(const std::string& key,
+                        const std::string& fallback) const;
+
+ private:
+  friend class detail::JsonParser;
+  Kind kind_ = Kind::Null;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+struct JsonParseResult {
+  bool ok = false;
+  std::string error;     // first syntax error, with byte offset
+  JsonValue value;
+};
+
+/// Parse one JSON document.  Trailing whitespace is allowed, trailing
+/// garbage is an error.
+JsonParseResult json_parse(const std::string& text);
+
+}  // namespace gfsl::obs

@@ -1,15 +1,32 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <cmath>
 #include <ostream>
 
 #include "obs/json_util.h"
 
 namespace gfsl::obs {
 
+double Histogram::stddev() const {
+  if (count_ < 2) return 0.0;
+  const double n = static_cast<double>(count_);
+  const double m = static_cast<double>(sum_) / n;
+  // Catastrophic cancellation can push the variance estimate slightly
+  // negative for near-constant samples; clamp instead of sqrt(-eps) = NaN.
+  const double var = std::max(0.0, sum_sq_ / n - m * m);
+  return std::sqrt(var);
+}
+
 double Histogram::percentile(double p) const {
   if (count_ == 0) return 0.0;
   p = std::clamp(p, 0.0, 100.0);
+  // The extremes are tracked exactly; returning them directly also keeps
+  // bucket interpolation off the p=0 edge (where `target` would be 0 and the
+  // lowest occupied bucket's floor — not the recorded minimum — would leak
+  // through).
+  if (p == 0.0) return static_cast<double>(min_);
+  if (p == 100.0) return static_cast<double>(max_);
   // Nearest-rank target in [1, count], then linear interpolation across the
   // covering bucket's value span.
   const double target = p / 100.0 * static_cast<double>(count_);
@@ -18,10 +35,15 @@ double Histogram::percentile(double p) const {
     const std::uint64_t n = buckets_[static_cast<std::size_t>(b)];
     if (n == 0) continue;
     if (static_cast<double>(seen + n) >= target) {
-      const double lo = static_cast<double>(bucket_lo(b));
-      // The recorded maximum caps the top occupied bucket, so p100 == max.
+      // The recorded extremes cap the occupied span.  Clamping `hi` to max_
+      // also keeps bucket 64 finite-safe: bucket_hi(64) == UINT64_MAX rounds
+      // UP to 2^64 as a double, so interpolating against it could return a
+      // value no uint64_t can hold; max_ is the largest value actually seen.
+      const double lo = std::max(static_cast<double>(bucket_lo(b)),
+                                 static_cast<double>(min_));
       const double hi = std::min(static_cast<double>(bucket_hi(b)),
                                  static_cast<double>(max_));
+      if (hi <= lo) return lo;
       const double frac =
           (target - static_cast<double>(seen)) / static_cast<double>(n);
       return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
@@ -38,7 +60,9 @@ Histogram& Histogram::operator+=(const Histogram& o) {
   }
   count_ += o.count_;
   sum_ += o.sum_;
+  sum_sq_ += o.sum_sq_;
   max_ = std::max(max_, o.max_);
+  min_ = std::min(min_, o.min_);
   return *this;
 }
 
@@ -189,13 +213,15 @@ void MetricsRegistry::write_json(std::ostream& os) const {
     json_string(os, hist_name(static_cast<HistId>(i)));
     os << ": {\"count\": " << h.count() << ", \"mean\": ";
     json_number(os, h.mean());
+    os << ", \"stddev\": ";
+    json_number(os, h.stddev());
     os << ", \"p50\": ";
     json_number(os, h.percentile(50.0));
     os << ", \"p90\": ";
     json_number(os, h.percentile(90.0));
     os << ", \"p99\": ";
     json_number(os, h.percentile(99.0));
-    os << ", \"max\": " << h.max() << "}";
+    os << ", \"min\": " << h.min() << ", \"max\": " << h.max() << "}";
   }
   os << "\n  }\n}\n";
 }

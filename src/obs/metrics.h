@@ -36,7 +36,10 @@ class Histogram {
     ++buckets_[static_cast<std::size_t>(bucket_of(v))];
     ++count_;
     sum_ += v;
+    const double dv = static_cast<double>(v);
+    sum_sq_ += dv * dv;
     if (v > max_) max_ = v;
+    if (v < min_) min_ = v;
   }
 
   static int bucket_of(std::uint64_t v) { return std::bit_width(v); }
@@ -53,6 +56,8 @@ class Histogram {
   std::uint64_t count() const { return count_; }
   std::uint64_t sum() const { return sum_; }
   std::uint64_t max() const { return max_; }
+  /// Smallest recorded value; 0 when empty.
+  std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
   std::uint64_t bucket(int b) const {
     return buckets_[static_cast<std::size_t>(b)];
   }
@@ -60,8 +65,14 @@ class Histogram {
     return count_ == 0 ? 0.0
                        : static_cast<double>(sum_) / static_cast<double>(count_);
   }
+  /// Population standard deviation of the recorded samples (exact up to
+  /// double rounding of the running sum of squares), 0 for < 2 samples.
+  double stddev() const;
 
-  /// Percentile estimate for p in [0, 100]; 0 when empty.
+  /// Percentile estimate for p in [0, 100], clamped outside that range.
+  /// p = 0 returns the exact recorded minimum and p = 100 the exact maximum;
+  /// interpolated estimates in between are clamped into [min, max].  An
+  /// empty histogram returns 0 for every p.
   double percentile(double p) const;
 
   Histogram& operator+=(const Histogram& o);
@@ -70,7 +81,9 @@ class Histogram {
   std::array<std::uint64_t, kBuckets> buckets_{};
   std::uint64_t count_ = 0;
   std::uint64_t sum_ = 0;
+  double sum_sq_ = 0.0;
   std::uint64_t max_ = 0;
+  std::uint64_t min_ = UINT64_MAX;
 };
 
 // Fixed metric identities.  Enum-indexed arrays keep the hot path to a load,

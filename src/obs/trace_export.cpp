@@ -12,7 +12,7 @@ namespace gfsl::obs {
 
 void TraceSession::ensure(int n) {
   while (static_cast<int>(rings_.size()) < n) {
-    rings_.push_back(std::make_unique<simt::TeamTrace>(capacity_));
+    rings_.push_back(std::make_unique<simt::TeamTrace>(capacity_, timestamps_));
   }
 }
 

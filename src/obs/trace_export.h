@@ -21,9 +21,14 @@ namespace gfsl::obs {
 class TraceSession {
  public:
   /// `ring_capacity` bounds the retained tail per team (the TeamTrace ring
-  /// size); older events are overwritten, never reallocated.
-  explicit TraceSession(std::size_t ring_capacity = 1u << 16)
-      : capacity_(ring_capacity) {}
+  /// size); older events are overwritten, never reallocated.  `timestamps` =
+  /// false creates clockless flight-recorder rings (simt/trace.h): cheap
+  /// enough to keep armed on every run, ordered by seq only — use the
+  /// default when the session feeds write_chrome_trace(), which needs the
+  /// wall-clock stamps to align team timelines.
+  explicit TraceSession(std::size_t ring_capacity = 1u << 16,
+                        bool timestamps = true)
+      : capacity_(ring_capacity), timestamps_(timestamps) {}
 
   /// Pre-create rings for `n` teams.  Must be called before worker threads
   /// start; team() afterwards is a plain index and thread-safe.
@@ -41,6 +46,7 @@ class TraceSession {
 
  private:
   std::size_t capacity_;
+  bool timestamps_ = true;
   std::vector<std::unique_ptr<simt::TeamTrace>> rings_;
 };
 

@@ -53,6 +53,7 @@ void StepScheduler::yield(int id) {
     kill_step_[static_cast<std::size_t>(id)] =
         std::numeric_limits<std::uint64_t>::max();
     active_[static_cast<std::size_t>(id)] = false;
+    if (steps_ >= watchdog_step_) watchdog_fired_ = true;
     if (leases_ != nullptr) leases_->mark_crashed(id);
     grant_next_locked();
     cv_.notify_all();
@@ -82,6 +83,7 @@ void StepScheduler::kill_at(int id, std::uint64_t step) {
 
 void StepScheduler::kill_all_at(std::uint64_t step) {
   std::lock_guard<std::mutex> lk(mu_);
+  watchdog_step_ = std::min(watchdog_step_, step);
   for (auto& s : kill_step_) s = std::min(s, step);
 }
 

@@ -90,6 +90,13 @@ class StepScheduler {
 
   std::uint64_t global_steps() const { return steps_; }
 
+  /// The step kill_all_at() armed (UINT64_MAX when no watchdog is set) and
+  /// whether any kill actually landed at/after it.  The crash harness
+  /// surfaces both in postmortem bundles so a hang report carries the
+  /// watchdog context that condemned the run.
+  std::uint64_t watchdog_step() const { return watchdog_step_; }
+  bool watchdog_fired() const { return watchdog_fired_; }
+
  private:
   void grant_next_locked();
 
@@ -105,6 +112,8 @@ class StepScheduler {
   int n_ = 0;
   int entered_ = 0;            // participants that have called enter()
   std::uint64_t steps_ = 0;
+  std::uint64_t watchdog_step_ = UINT64_MAX;  // set by kill_all_at
+  bool watchdog_fired_ = false;  // a kill landed at/after watchdog_step_
 };
 
 }  // namespace gfsl::sched

@@ -53,8 +53,12 @@ struct TraceRecord {
 
 class TeamTrace {
  public:
-  explicit TeamTrace(std::size_t capacity = 1024)
-      : ring_(capacity), capacity_(capacity) {}
+  /// `timestamps` = false skips the steady-clock read per record, leaving a
+  /// handful of plain stores — the flight-recorder configuration, cheap
+  /// enough to keep armed on every run (seq still totally orders the ring;
+  /// only the Chrome-trace exporter needs wall-clock alignment).
+  explicit TeamTrace(std::size_t capacity = 1024, bool timestamps = true)
+      : ring_(capacity), capacity_(capacity), timestamps_(timestamps) {}
 
   void record(TraceEvent e, std::uint64_t a = 0, std::uint64_t b = 0) {
     TraceRecord& r = ring_[static_cast<std::size_t>(next_ % capacity_)];
@@ -62,14 +66,17 @@ class TeamTrace {
     r.event = e;
     r.a = a;
     r.b = b;
-    r.ts_ns = static_cast<std::uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(
-            std::chrono::steady_clock::now().time_since_epoch())
-            .count());
+    r.ts_ns = timestamps_
+                  ? static_cast<std::uint64_t>(
+                        std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            std::chrono::steady_clock::now().time_since_epoch())
+                            .count())
+                  : 0;
   }
 
   std::uint64_t recorded() const { return next_; }
   std::size_t capacity() const { return capacity_; }
+  bool timestamps() const { return timestamps_; }
 
   /// Events still held in the ring, oldest first.
   std::vector<TraceRecord> snapshot() const;
@@ -82,6 +89,7 @@ class TeamTrace {
  private:
   std::vector<TraceRecord> ring_;
   std::size_t capacity_;
+  bool timestamps_ = true;
   std::uint64_t next_ = 0;
 };
 

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <sstream>
 #include <vector>
@@ -100,6 +101,82 @@ TEST(Histogram, PercentileSingleValue) {
     EXPECT_LE(h.percentile(p), 100.0);
   }
   EXPECT_DOUBLE_EQ(h.percentile(100.0), 100.0);
+}
+
+TEST(Histogram, EmptyHistogramIsAllZero) {
+  const Histogram h;
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.stddev(), 0.0);
+  for (const double p : {-5.0, 0.0, 50.0, 100.0, 150.0}) {
+    EXPECT_DOUBLE_EQ(h.percentile(p), 0.0) << p;
+  }
+}
+
+TEST(Histogram, PercentileEndpointsAreExactMinAndMax) {
+  Histogram h;
+  for (const std::uint64_t v : {3ull, 17ull, 900ull, 12'345ull}) h.record(v);
+  EXPECT_EQ(h.min(), 3u);
+  EXPECT_EQ(h.max(), 12'345u);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 3.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 12'345.0);
+  // Out-of-range p clamps to the endpoints instead of extrapolating.
+  EXPECT_DOUBLE_EQ(h.percentile(-1.0), 3.0);
+  EXPECT_DOUBLE_EQ(h.percentile(250.0), 12'345.0);
+  // Interpolated estimates never escape [min, max].
+  for (double p = 5.0; p < 100.0; p += 5.0) {
+    EXPECT_GE(h.percentile(p), 3.0) << p;
+    EXPECT_LE(h.percentile(p), 12'345.0) << p;
+  }
+}
+
+TEST(Histogram, TopBucketStaysFiniteAtUint64Max) {
+  // Bucket 64 spans [2^63, UINT64_MAX]; naive lo + (hi - lo + 1) * frac
+  // arithmetic overflows there.  Estimates must stay finite and inside the
+  // recorded [min, max].
+  Histogram h;
+  h.record(UINT64_MAX);
+  h.record(UINT64_MAX - 1);
+  h.record(std::uint64_t{1} << 63);
+  for (const double p : {0.0, 25.0, 50.0, 75.0, 99.0, 100.0}) {
+    const double est = h.percentile(p);
+    EXPECT_GE(est, static_cast<double>(std::uint64_t{1} << 63)) << p;
+    EXPECT_LE(est, static_cast<double>(UINT64_MAX)) << p;
+  }
+  EXPECT_DOUBLE_EQ(h.percentile(0.0),
+                   static_cast<double>(std::uint64_t{1} << 63));
+}
+
+TEST(Histogram, StddevMatchesClosedForm) {
+  Histogram h;
+  EXPECT_DOUBLE_EQ(h.stddev(), 0.0);
+  h.record(10);
+  EXPECT_DOUBLE_EQ(h.stddev(), 0.0);  // < 2 samples
+  h.record(20);
+  h.record(30);
+  // Population stddev of {10, 20, 30} = sqrt(200/3).
+  EXPECT_NEAR(h.stddev(), std::sqrt(200.0 / 3.0), 1e-9);
+
+  Histogram flat;
+  for (int i = 0; i < 100; ++i) flat.record(42);
+  EXPECT_DOUBLE_EQ(flat.stddev(), 0.0);
+}
+
+TEST(Histogram, MergePreservesMinMaxAndMoments) {
+  Histogram a, b;
+  a.record(100);
+  b.record(2);
+  b.record(400);
+  a += b;
+  EXPECT_EQ(a.min(), 2u);
+  EXPECT_EQ(a.max(), 400u);
+  Histogram ref;
+  ref.record(100);
+  ref.record(2);
+  ref.record(400);
+  EXPECT_DOUBLE_EQ(a.stddev(), ref.stddev());
+  EXPECT_DOUBLE_EQ(a.percentile(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(a.percentile(100.0), 400.0);
 }
 
 TEST(Histogram, MergeAddsMass) {

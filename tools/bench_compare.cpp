@@ -1,0 +1,142 @@
+// bench_compare — the noise-aware regression gate over gfsl-bench-v1 reports.
+//
+//   bench_compare --baseline FILE --current FILE
+//                 [--rel-thresh F] [--k F] [--all] [--csv]
+//
+// Diffs two BENCH_<campaign>.json reports metric by metric.  A gated metric
+// is flagged only when its mean moved in the *worse* direction by more than
+//   max(rel_thresh * |baseline mean|, k * max(stddev_base, stddev_cur))
+// — the relative floor suppresses microscopic shifts, the stddev window
+// suppresses shifts explainable by run-to-run noise.  A gated baseline
+// metric missing from the current report also fails the gate (a silently
+// dropped series is a regression in coverage).  --all widens the table to
+// ungated metrics (informational; they never fail the gate).
+//
+// Exit codes: 0 gate passed, 1 regressions found, 2 usage/parse errors.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "harness/bench_schema.h"
+#include "harness/options.h"
+#include "harness/report.h"
+
+using namespace gfsl;
+using namespace gfsl::harness;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: bench_compare --baseline FILE --current FILE "
+               "[--rel-thresh F] [--k F] [--all] [--csv]\n");
+  return 2;
+}
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+bool load_report(const std::string& path, BenchReport& out) {
+  std::string text;
+  if (!read_file(path, text)) {
+    std::fprintf(stderr, "error: cannot read %s\n", path.c_str());
+    return false;
+  }
+  std::string err;
+  if (!read_bench_json(text, out, err)) {
+    std::fprintf(stderr, "error: %s: %s\n", path.c_str(), err.c_str());
+    return false;
+  }
+  return true;
+}
+
+std::string lookup(
+    const std::vector<std::pair<std::string, std::string>>& kv,
+    const std::string& key) {
+  for (const auto& [k, v] : kv) {
+    if (k == key) return v;
+  }
+  return "";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  try {
+    opt = Options::parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return usage();
+  }
+  const std::set<std::string> known{"baseline", "current",   "rel-thresh",
+                                    "k",        "all",       "csv",
+                                    "help"};
+  if (opt.get_bool("help")) return usage();
+  for (const auto& u : opt.unknown(known)) {
+    std::fprintf(stderr, "error: unknown option --%s\n", u.c_str());
+    return usage();
+  }
+  const std::string base_path = opt.get("baseline", "");
+  const std::string cur_path = opt.get("current", "");
+  if (base_path.empty() || cur_path.empty()) return usage();
+
+  BenchReport base, cur;
+  if (!load_report(base_path, base) || !load_report(cur_path, cur)) return 2;
+  if (base.campaign != cur.campaign) {
+    std::fprintf(stderr, "error: campaign mismatch: baseline '%s' vs '%s'\n",
+                 base.campaign.c_str(), cur.campaign.c_str());
+    return 2;
+  }
+
+  CompareOptions copts;
+  copts.rel_thresh = opt.get_double("rel-thresh", copts.rel_thresh);
+  copts.k = opt.get_double("k", copts.k);
+  copts.gated_only = !opt.get_bool("all");
+
+  // Environment drift doesn't fail the gate (CI machines rotate) but it is
+  // the first thing to rule out when reading a surprising diff.
+  for (const auto& key : {"compiler", "build", "platform"}) {
+    const auto b = lookup(base.environment, key);
+    const auto c = lookup(cur.environment, key);
+    if (b != c) {
+      std::printf("note: environment %s differs: baseline '%s' vs '%s'\n",
+                  key, b.c_str(), c.c_str());
+    }
+  }
+
+  const CompareResult res = compare_reports(base, cur, copts);
+
+  Table t({"metric", "baseline", "current", "delta", "threshold", "verdict"});
+  for (const auto& d : res.deltas) {
+    t.add_row({d.name, fmt_mean_stddev(d.base_mean, d.base_stddev, 3),
+               fmt_mean_stddev(d.cur_mean, d.cur_stddev, 3),
+               fmt(d.delta, 3), fmt(d.threshold, 3),
+               std::string(verdict_name(d.verdict)) +
+                   (d.gate ? "" : " (ungated)")});
+  }
+  if (opt.get_bool("csv")) {
+    t.print_csv(std::cout);
+  } else {
+    std::printf("campaign %s: %zu metrics compared (rel_thresh=%s, k=%s)\n",
+                base.campaign.c_str(), res.deltas.size(),
+                fmt(copts.rel_thresh, 2).c_str(), fmt(copts.k, 1).c_str());
+    t.print(std::cout);
+  }
+  if (res.regressions > 0) {
+    std::printf("FAIL: %d regression(s), %d improvement(s)\n", res.regressions,
+                res.improvements);
+    return 1;
+  }
+  std::printf("OK: no regressions (%d improvement(s))\n", res.improvements);
+  return 0;
+}

@@ -23,6 +23,10 @@
 //                                   run) as gfsl-metrics-v1 JSON
 //   --trace-out PATH                write per-team Chrome trace-event JSON
 //                                   (load in chrome://tracing / perfetto)
+//   --postmortem-out PATH           after the detail run, validate the
+//                                   structure and write a gfsl-postmortem-v1
+//                                   bundle (reason "on_demand" when healthy,
+//                                   "validate_failure" otherwise; gfsl only)
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -64,7 +68,8 @@ int usage() {
                "[--range N] [--ops N] [--reps N] [--seed N] [--team-size N] "
                "[--p-chunk F] [--warps-per-block N] [--workers N] "
                "[--prefill empty|half|full] [--warmup N] [--batch-size N] "
-               "[--csv] [--metrics-json PATH] [--trace-out PATH]\n");
+               "[--csv] [--metrics-json PATH] [--trace-out PATH] "
+               "[--postmortem-out PATH]\n");
   return 2;
 }
 
@@ -82,7 +87,7 @@ int main(int argc, char** argv) {
       "structure", "mix",     "range",           "ops",    "reps",
       "seed",      "team-size", "p-chunk",       "warps-per-block",
       "workers",   "prefill", "warmup",          "csv",    "help",
-      "metrics-json", "trace-out", "batch-size"};
+      "metrics-json", "trace-out", "batch-size", "postmortem-out"};
   if (opt.get_bool("help")) return usage();
   for (const auto& u : opt.unknown(known)) {
     std::fprintf(stderr, "error: unknown option --%s\n", u.c_str());
@@ -116,6 +121,11 @@ int main(int argc, char** argv) {
   const int reps = static_cast<int>(opt.get_u64("reps", 3));
   const std::string metrics_path = opt.get("metrics-json", "");
   const std::string trace_path = opt.get("trace-out", "");
+  const std::string postmortem_path = opt.get("postmortem-out", "");
+  if (!postmortem_path.empty() && structure != "gfsl") {
+    std::fprintf(stderr, "error: --postmortem-out requires --structure gfsl\n");
+    return usage();
+  }
 
   // Telemetry is attached to the single detail run only (not the reps), so
   // the report describes exactly one measured launch.  gfsl-dual rounds its
@@ -129,6 +139,7 @@ int main(int argc, char** argv) {
   StructureSetup detail_setup = setup;
   if (!metrics_path.empty()) detail_setup.metrics = &metrics;
   if (!trace_path.empty()) detail_setup.trace = &trace;
+  detail_setup.postmortem_out = postmortem_path;
 
   Repeated rep;
   Measurement detail;

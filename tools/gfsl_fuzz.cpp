@@ -8,6 +8,18 @@
 // recorded history.  Any violation prints the reproduction parameters —
 // plug them into gfsl_replay to debug.  Exits non-zero on the first failure.
 //
+// Observability (every mode):
+//
+//   --postmortem-dir DIR   Arm clockless flight-recorder rings on every team
+//       and, when a round fails (validate failure, watchdog stall, history
+//       violation, oracle mismatch), drop a gfsl-postmortem-v1 bundle into
+//       DIR (which must exist) carrying the per-team event tails, a metrics
+//       snapshot, the epoch-pinned structure walk and the repro parameters.
+//   --metrics-json PATH    (churn / crash / batch modes) After the run,
+//       write the merged gfsl-metrics-v1 snapshot — op counters, retry and
+//       structure-shape histograms — to PATH.  Crash modes keep
+//       --metrics-out as an alias.
+//
 // Crash modes (harness/crash_sweep.h):
 //
 //   gfsl_fuzz --crash-sweep [--crash-seed S] [--crash-stride N]
@@ -43,6 +55,7 @@
 #include <atomic>
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <thread>
 
 #include "common/random.h"
@@ -50,12 +63,16 @@
 #include "device/device_memory.h"
 #include "device/epoch.h"
 #include "harness/crash_sweep.h"
+#include "harness/experiment.h"
 #include "harness/history.h"
 #include "harness/options.h"
+#include "harness/postmortem.h"
 #include "harness/runner.h"
 #include "harness/workload.h"
+#include "obs/trace_export.h"
 #include "oracle.h"
 #include "sched/step_scheduler.h"
+#include "simt/trace.h"
 
 using namespace gfsl;
 using namespace gfsl::harness;
@@ -69,6 +86,8 @@ struct RoundParams {
   int team_size;
   std::uint64_t ops;
   std::uint64_t range;
+  std::uint64_t round = 0;
+  std::string postmortem_dir;  // non-empty: arm rings, dump on failure
 };
 
 bool run_round(const RoundParams& p, std::string* err) {
@@ -88,10 +107,39 @@ bool run_round(const RoundParams& p, std::string* err) {
   const auto ops = generate_ops(wl);
 
   HistoryLog log(p.ops / static_cast<std::uint64_t>(p.workers) + 8, p.workers);
+  std::vector<std::unique_ptr<simt::TeamTrace>> rings;
+  if (!p.postmortem_dir.empty()) {
+    for (int w = 0; w < p.workers; ++w) {
+      rings.push_back(
+          std::make_unique<simt::TeamTrace>(1024, /*timestamps=*/false));
+    }
+  }
+  auto dump_failure = [&](const std::string& reason,
+                          const std::string& detail) {
+    if (p.postmortem_dir.empty()) return;
+    PostmortemContext ctx;
+    ctx.reason = reason;
+    ctx.detail = detail;
+    ctx.gfsl = &sl;
+    for (const auto& ring : rings) ctx.rings.push_back(ring.get());
+    ctx.info = {{"harness", "fuzz_round"},
+                {"round", std::to_string(p.round)},
+                {"wl_seed", std::to_string(p.wl_seed)},
+                {"sched_seed", std::to_string(p.sched_seed)},
+                {"workers", std::to_string(p.workers)},
+                {"team_size", std::to_string(p.team_size)},
+                {"ops", std::to_string(p.ops)},
+                {"range", std::to_string(p.range)}};
+    (void)dump_postmortem(p.postmortem_dir,
+                          "postmortem_round_" + std::to_string(p.round), ctx);
+  };
   std::vector<std::thread> threads;
   for (int w = 0; w < p.workers; ++w) {
     threads.emplace_back([&, w] {
       simt::Team team(p.team_size, w, 3);
+      if (!rings.empty()) {
+        team.set_trace(rings[static_cast<std::size_t>(w)].get());
+      }
       sched.enter(w);
       for (std::size_t i = static_cast<std::size_t>(w); i < ops.size();
            i += static_cast<std::size_t>(p.workers)) {
@@ -113,6 +161,7 @@ bool run_round(const RoundParams& p, std::string* err) {
   const auto rep = sl.validate(/*strict=*/false);
   if (!rep.ok) {
     *err = "structure invalid: " + rep.error;
+    dump_failure("validate_failure", *err);
     return false;
   }
   std::vector<Key> final_keys;
@@ -120,6 +169,7 @@ bool run_round(const RoundParams& p, std::string* err) {
   const auto check = check_history(log.merged(), {}, final_keys);
   if (!check.ok) {
     *err = "history violation: " + check.error;
+    dump_failure("history_violation", *err);
     return false;
   }
   return true;
@@ -145,7 +195,10 @@ int run_crash_mode(const Options& opt) {
   cfg.sched_seed = seed ^ 0x9E3779B97F4A7C15ull;
   obs::MetricsRegistry reg(cfg.workers + 1);
   reg.set_info("mode", opt.has("crash-at") ? "crash-at" : "crash-sweep");
-  const std::string metrics_out = opt.get("metrics-out", "");
+  // --metrics-json is the cross-mode spelling; --metrics-out predates it.
+  const std::string metrics_out =
+      opt.get("metrics-json", opt.get("metrics-out", ""));
+  cfg.postmortem_dir = opt.get("postmortem-dir", "");
 
   if (opt.has("crash-at")) {
     const auto step = opt.get_u64("crash-at", 1);
@@ -216,6 +269,9 @@ int run_churn_mode(const Options& opt) {
   const auto total_ops =
       opt.get_u64("ops", 12ull * pool);  // default >= 10x pool capacity
   const auto seed = opt.get_u64("seed", 0xC0FF);
+  const std::string metrics_json = opt.get("metrics-json", "");
+  const std::string pm_dir = opt.get("postmortem-dir", "");
+  const bool want_obs = !metrics_json.empty() || !pm_dir.empty();
 
   device::DeviceMemory mem;
   device::EpochManager epochs;
@@ -224,11 +280,25 @@ int run_churn_mode(const Options& opt) {
   cfg.pool_chunks = pool;
   core::Gfsl sl(cfg, &mem, nullptr, nullptr, &epochs);
 
+  obs::MetricsRegistry reg(workers);
+  reg.set_info("mode", "churn");
+  std::vector<std::unique_ptr<simt::TeamTrace>> rings;
+  if (!pm_dir.empty()) {
+    for (int w = 0; w < workers; ++w) {
+      rings.push_back(
+          std::make_unique<simt::TeamTrace>(1024, /*timestamps=*/false));
+    }
+  }
+
   std::atomic<int> oom{0};
   std::vector<std::thread> threads;
   for (int w = 0; w < workers; ++w) {
     threads.emplace_back([&, w] {
       simt::Team team(team_size, w, 3);
+      if (want_obs) team.set_metrics(&reg.shard(w));
+      if (!rings.empty()) {
+        team.set_trace(rings[static_cast<std::size_t>(w)].get());
+      }
       Xoshiro256ss rng(derive_seed(seed, static_cast<std::uint64_t>(w)));
       const std::uint64_t n = total_ops / static_cast<std::uint64_t>(workers);
       try {
@@ -246,30 +316,52 @@ int run_churn_mode(const Options& opt) {
     });
   }
   for (auto& t : threads) t.join();
+  if (want_obs) sample_structure_gauges(reg, sl);
 
   bool ok = true;
-  if (oom.load() != 0) {
-    std::printf("FAIL churn: %d team(s) hit pool exhaustion\n", oom.load());
+  bool validate_failed = false;
+  std::string detail;
+  auto fail = [&](const std::string& msg) {
+    std::printf("FAIL churn: %s\n", msg.c_str());
+    if (detail.empty()) detail = msg;
     ok = false;
+  };
+  if (oom.load() != 0) {
+    fail(std::to_string(oom.load()) + " team(s) hit pool exhaustion");
   }
   const auto rep = sl.validate(/*strict=*/false);
   if (!rep.ok) {
-    std::printf("FAIL churn: structure invalid: %s\n", rep.error.c_str());
-    ok = false;
+    fail("structure invalid: " + rep.error);
+    validate_failed = true;
   }
   // "Bounded" = the steady state fits comfortably inside the pool: in-use
   // (live + in-flight zombies + limbo) never approaches capacity even after
   // an unbounded stream of merges.
   if (sl.chunks_allocated() >= pool / 2) {
-    std::printf("FAIL churn: %u chunks in use of %u — reclamation fell behind\n",
-                sl.chunks_allocated(), pool);
-    ok = false;
+    fail(std::to_string(sl.chunks_allocated()) + " chunks in use of " +
+         std::to_string(pool) + " — reclamation fell behind");
   }
   if (sl.chunks_reclaimed() == 0) {
-    std::printf("FAIL churn: zero chunks reclaimed\n");
-    ok = false;
+    fail("zero chunks reclaimed");
   }
+  dump_metrics(reg, metrics_json);
   if (!ok) {
+    if (!pm_dir.empty()) {
+      PostmortemContext ctx;
+      ctx.reason = validate_failed ? "validate_failure" : "churn_anomaly";
+      ctx.detail = detail;
+      ctx.gfsl = &sl;
+      ctx.metrics = &reg;
+      for (const auto& ring : rings) ctx.rings.push_back(ring.get());
+      ctx.info = {{"harness", "churn"},
+                  {"seed", std::to_string(seed)},
+                  {"workers", std::to_string(workers)},
+                  {"team_size", std::to_string(team_size)},
+                  {"ops", std::to_string(total_ops)},
+                  {"range", std::to_string(range)},
+                  {"pool", std::to_string(pool)}};
+      (void)dump_postmortem(pm_dir, "postmortem_churn", ctx);
+    }
     std::printf("  repro: --churn --seed %llu --workers %d --team-size %d "
                 "--ops %llu --range %llu --pool %u\n",
                 static_cast<unsigned long long>(seed), workers, team_size,
@@ -295,6 +387,14 @@ int run_batch_mode(const Options& opt) {
   const auto nops = opt.get_u64("ops", 2048);
   const auto range = opt.get_u64("range", 256);  // small: duplicate-key heavy
   const auto master = opt.get_u64("seed", 0xBA7C);
+  const std::string metrics_json = opt.get("metrics-json", "");
+  const std::string pm_dir = opt.get("postmortem-dir", "");
+  const bool want_obs = !metrics_json.empty() || !pm_dir.empty();
+
+  // One registry across rounds: counters accumulate, histograms merge, so
+  // the snapshot summarizes the whole campaign of batches.
+  obs::MetricsRegistry reg(workers);
+  reg.set_info("mode", "batch");
 
   Xoshiro256ss rng(master);
   for (std::uint64_t round = 0; round < rounds; ++round) {
@@ -319,16 +419,26 @@ int run_batch_mode(const Options& opt) {
     gfsl::testing::MapOracle oracle;
     const auto want = oracle.apply_batch(ops);
 
+    obs::TraceSession session(1024, /*timestamps=*/false);
+    std::unique_ptr<simt::TeamTrace> solo_ring;
     core::BatchResult br;
     if (multi_team) {
       RunConfig rc;
       rc.num_workers = workers;
       rc.seed = wl_seed;
+      if (want_obs) rc.metrics = &reg;
+      if (!pm_dir.empty()) rc.trace = &session;
       BatchRunOptions bo;
       bo.batch_size = nops / 4;
       (void)run_gfsl_batched(sl, ops, rc, mem, bo, &br);
     } else {
       simt::Team team(team_size, 0, 3);
+      if (want_obs) team.set_metrics(&reg.shard(0));
+      if (!pm_dir.empty()) {
+        solo_ring =
+            std::make_unique<simt::TeamTrace>(1024, /*timestamps=*/false);
+        team.set_trace(solo_ring.get());
+      }
       br = core::run_batch(sl, team, ops);
     }
 
@@ -341,14 +451,47 @@ int run_batch_mode(const Options& opt) {
               std::to_string(want[i]);
       }
     }
+    bool validate_failed = false;
     if (err.empty() && sl.collect() != oracle.collect()) {
       err = "final structure diverges from the oracle";
     }
     if (err.empty()) {
       const auto rep = sl.validate(/*strict=*/false);
-      if (!rep.ok) err = "structure invalid: " + rep.error;
+      if (!rep.ok) {
+        err = "structure invalid: " + rep.error;
+        validate_failed = true;
+      }
     }
+    if (err.empty() && want_obs) sample_structure_gauges(reg, sl);
     if (!err.empty()) {
+      if (!pm_dir.empty()) {
+        PostmortemContext ctx;
+        ctx.reason = validate_failed ? "validate_failure" : "oracle_mismatch";
+        ctx.detail = err;
+        ctx.gfsl = &sl;
+        ctx.metrics = want_obs ? &reg : nullptr;
+        if (multi_team) {
+          for (int t = 0; t < session.teams(); ++t) {
+            ctx.rings.push_back(session.team(t));
+          }
+        } else if (solo_ring != nullptr) {
+          ctx.rings.push_back(solo_ring.get());
+        }
+        ctx.info = {{"harness", "batch"},
+                    {"seed", std::to_string(master)},
+                    {"round", std::to_string(round)},
+                    {"wl_seed", std::to_string(wl_seed)},
+                    {"multi_team", multi_team ? "1" : "0"},
+                    {"with_epochs", with_epochs ? "1" : "0"},
+                    {"workers", std::to_string(workers)},
+                    {"team_size", std::to_string(team_size)},
+                    {"ops", std::to_string(nops)},
+                    {"range", std::to_string(range)}};
+        (void)dump_postmortem(pm_dir,
+                              "postmortem_batch_r" + std::to_string(round),
+                              ctx);
+      }
+      dump_metrics(reg, metrics_json);
       std::printf(
           "FAIL batch round %llu (%s-team%s): %s\n"
           "  repro: --batch --seed %llu --rounds %llu --workers %d "
@@ -367,6 +510,7 @@ int run_batch_mode(const Options& opt) {
                   static_cast<unsigned long long>(rounds));
     }
   }
+  dump_metrics(reg, metrics_json);
   std::printf(
       "all %llu batch rounds clean (workers=%d team=%d ops=%llu range=%llu)\n",
       static_cast<unsigned long long>(rounds), workers, team_size,
@@ -394,10 +538,12 @@ int main(int argc, char** argv) {
   p.team_size = static_cast<int>(opt.get_u64("team-size", 8));
   p.ops = opt.get_u64("ops", 600);
   p.range = opt.get_u64("range", 60);
+  p.postmortem_dir = opt.get("postmortem-dir", "");
   const auto master = opt.get_u64("seed", 0xF022);
 
   Xoshiro256ss rng(master);
   for (std::uint64_t round = 0; round < rounds; ++round) {
+    p.round = round;
     p.wl_seed = rng.next();
     p.sched_seed = rng.next();
     std::string err;
