@@ -1,25 +1,70 @@
 #include "core/chunk.h"
 
+#include <cassert>
+#include <new>
 #include <stdexcept>
 
 namespace gfsl::core {
 
-ChunkArena::ChunkArena(int entries_per_chunk, std::uint32_t capacity)
-    : n_(entries_per_chunk),
-      capacity_(capacity),
-      slots_(new std::atomic<KV>[static_cast<std::size_t>(entries_per_chunk) *
-                                 capacity]),
-      next_(0),
-      gen_(new std::atomic<std::uint32_t>[capacity]),
-      free_next_(new std::atomic<std::uint32_t>[capacity]),
-      free_head_(pack_head(0, NULL_CHUNK)),
-      free_count_(0) {
+namespace {
+
+// Region-backed atomics are placed into the mapped file by address; both
+// properties below are what make that representation-stable: the atomic is
+// exactly its value word (no embedded lock) and same-sized as the plain type.
+static_assert(std::atomic<KV>::is_always_lock_free);
+static_assert(std::atomic<std::uint32_t>::is_always_lock_free);
+static_assert(std::atomic<std::uint64_t>::is_always_lock_free);
+static_assert(sizeof(std::atomic<KV>) == sizeof(KV));
+static_assert(sizeof(std::atomic<std::uint32_t>) == sizeof(std::uint32_t));
+static_assert(sizeof(std::atomic<std::uint64_t>) == sizeof(std::uint64_t));
+
+}  // namespace
+
+ChunkArena::ChunkArena(int entries_per_chunk, std::uint32_t capacity,
+                       device::PersistRegion* region)
+    : n_(entries_per_chunk), capacity_(capacity) {
   if (n_ < 8 || n_ > 32 || (n_ & (n_ - 1)) != 0) {
     throw std::invalid_argument("chunk size must be a power of two in [8, 32]");
   }
   if (capacity == 0) {
     throw std::invalid_argument("chunk arena capacity must be positive");
   }
+  if (region == nullptr) {
+    slots_own_.reset(new std::atomic<KV>[static_cast<std::size_t>(n_) *
+                                         capacity]);
+    gen_own_.reset(new std::atomic<std::uint32_t>[capacity]);
+    free_next_own_.reset(new std::atomic<std::uint32_t>[capacity]);
+    slots_ = slots_own_.get();
+    gen_ = gen_own_.get();
+    free_next_ = free_next_own_.get();
+    next_ = &ctl_own_.next;
+    free_count_ = &ctl_own_.free_count;
+    free_head_ = &ctl_own_.free_head;
+  } else {
+    if (region->geometry().entries_per_chunk !=
+            static_cast<std::uint32_t>(n_) ||
+        region->geometry().capacity != capacity_) {
+      throw std::invalid_argument(
+          "persist region geometry does not match the arena configuration");
+    }
+    slots_ = static_cast<std::atomic<KV>*>(region->chunk_slots());
+    gen_ = static_cast<std::atomic<std::uint32_t>*>(region->generations());
+    free_next_ = static_cast<std::atomic<std::uint32_t>*>(region->free_links());
+    auto* ctl = static_cast<Control*>(region->arena_control());
+    static_assert(sizeof(Control) <= device::PersistRegion::kArenaControlBytes);
+    next_ = &ctl->next;
+    free_count_ = &ctl->free_count;
+    free_head_ = &ctl->free_head;
+    if (!region->fresh()) {
+      // Attach: the stored arena state IS the arena.  Gfsl::recover()
+      // re-derives the free-list and normalizes torn allocations before the
+      // structure serves anything.
+      return;
+    }
+  }
+  next_->store(0, std::memory_order_relaxed);
+  free_head_->store(pack_head(0, NULL_CHUNK), std::memory_order_relaxed);
+  free_count_->store(0, std::memory_order_relaxed);
   for (std::uint32_t i = 0; i < capacity; ++i) {
     gen_[i].store(0, std::memory_order_relaxed);
     free_next_[i].store(NULL_CHUNK, std::memory_order_relaxed);
@@ -27,17 +72,22 @@ ChunkArena::ChunkArena(int entries_per_chunk, std::uint32_t capacity)
 }
 
 ChunkRef ChunkArena::pop_free() {
-  std::uint64_t h = free_head_.load(std::memory_order_acquire);
+  std::uint64_t h = free_head_->load(std::memory_order_acquire);
   while (head_index(h) != NULL_CHUNK) {
     const std::uint32_t idx = head_index(h);
     const std::uint32_t nxt = free_next_[idx].load(std::memory_order_relaxed);
     // The tag is bumped only on push, so the popped node's `free_next_` read
     // above is stable across a successful CAS: a concurrent pop+repush of
     // `idx` would have changed the tag.
-    if (free_head_.compare_exchange_weak(h, pack_head(head_tag(h), nxt),
-                                         std::memory_order_acq_rel,
-                                         std::memory_order_acquire)) {
-      free_count_.fetch_sub(1, std::memory_order_relaxed);
+    if (free_head_->compare_exchange_weak(h, pack_head(head_tag(h), nxt),
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire)) {
+      free_count_->fetch_sub(1, std::memory_order_relaxed);
+      // Generation protocol: an index coming off the free-list is mid-flip —
+      // recycle() made it odd and it stays odd until this allocation's last
+      // initialization store.
+      assert((gen_[idx].load(std::memory_order_relaxed) & 1u) != 0 &&
+             "free-list entry with an even (in-use) generation");
       return idx;
     }
   }
@@ -48,9 +98,9 @@ ChunkRef ChunkArena::alloc_locked(std::uint32_t owner_word) {
   // Recycled indices first (LIFO keeps the working set hot), bump fallback.
   ChunkRef ref = pop_free();
   if (ref == NULL_CHUNK) {
-    const std::uint32_t idx = next_.fetch_add(1, std::memory_order_relaxed);
+    const std::uint32_t idx = next_->fetch_add(1, std::memory_order_relaxed);
     if (idx >= capacity_) {
-      next_.fetch_sub(1, std::memory_order_relaxed);
+      next_->fetch_sub(1, std::memory_order_relaxed);
       return NULL_CHUNK;  // exhaustion is a value, not an exception
     }
     ref = idx;
@@ -82,29 +132,55 @@ ChunkRef ChunkArena::alloc_locked(std::uint32_t owner_word) {
 }
 
 void ChunkArena::recycle(ChunkRef ref) {
+  // Generation protocol: only an in-use (even) chunk may be recycled; a
+  // second recycle of the same lifetime would flip it back to "in use" while
+  // it sits on the free-list.
+  assert((gen_[ref].load(std::memory_order_relaxed) & 1u) == 0 &&
+         "recycle of a chunk that is already free (odd generation)");
   // Odd = free.  acq_rel: release publishes every store of the retiring
   // lifetime before the stamp flips, so a reader whose post-read stamp still
   // matches its pre-read stamp is guaranteed a consistent snapshot.
   gen_[ref].fetch_add(1, std::memory_order_acq_rel);
-  std::uint64_t h = free_head_.load(std::memory_order_relaxed);
+  std::uint64_t h = free_head_->load(std::memory_order_relaxed);
   for (;;) {
     free_next_[ref].store(head_index(h), std::memory_order_relaxed);
-    if (free_head_.compare_exchange_weak(h, pack_head(head_tag(h) + 1, ref),
-                                         std::memory_order_release,
-                                         std::memory_order_relaxed)) {
+    if (free_head_->compare_exchange_weak(h, pack_head(head_tag(h) + 1, ref),
+                                          std::memory_order_release,
+                                          std::memory_order_relaxed)) {
       break;
     }
   }
-  free_count_.fetch_add(1, std::memory_order_relaxed);
+  free_count_->fetch_add(1, std::memory_order_relaxed);
 }
 
 void ChunkArena::reset() {
-  next_.store(0, std::memory_order_relaxed);
-  free_head_.store(pack_head(0, NULL_CHUNK), std::memory_order_relaxed);
-  free_count_.store(0, std::memory_order_relaxed);
+  next_->store(0, std::memory_order_relaxed);
+  free_head_->store(pack_head(0, NULL_CHUNK), std::memory_order_relaxed);
+  free_count_->store(0, std::memory_order_relaxed);
   for (std::uint32_t i = 0; i < capacity_; ++i) {
     free_next_[i].store(NULL_CHUNK, std::memory_order_relaxed);
   }
+}
+
+void ChunkArena::rebuild_free(const std::vector<ChunkRef>& free_refs) {
+  for (std::uint32_t i = 0; i < capacity_; ++i) {
+    free_next_[i].store(NULL_CHUNK, std::memory_order_relaxed);
+  }
+  std::uint32_t head = NULL_CHUNK;
+  for (const ChunkRef ref : free_refs) {
+    const std::uint32_t g = gen_[ref].load(std::memory_order_relaxed);
+    if ((g & 1u) == 0) {
+      // A torn allocation (killed mid-init) or an unreachable in-use chunk:
+      // flip it free.  Already-odd stamps stay put so re-running recovery
+      // reproduces the same image bit for bit.
+      gen_[ref].store(g + 1, std::memory_order_relaxed);
+    }
+    free_next_[ref].store(head, std::memory_order_relaxed);
+    head = ref;
+  }
+  free_head_->store(pack_head(0, head), std::memory_order_relaxed);
+  free_count_->store(static_cast<std::uint32_t>(free_refs.size()),
+                     std::memory_order_relaxed);
 }
 
 }  // namespace gfsl::core

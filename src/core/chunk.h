@@ -37,8 +37,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "common/types.h"
+#include "device/persist.h"
 
 namespace gfsl::core {
 
@@ -53,7 +55,16 @@ class ChunkArena {
  public:
   /// `entries_per_chunk` is N (== team size); must be a power of two in
   /// [8, 32].  `capacity` is the total number of chunks in the pool.
-  ChunkArena(int entries_per_chunk, std::uint32_t capacity);
+  ///
+  /// With `region == nullptr` every array is heap-owned (the seed's exact
+  /// behavior).  With a PersistRegion attached, the chunk slots, generation
+  /// stamps, free-list linkage and the control words (bump pointer, tagged
+  /// free head, free count) all live inside the mapped file: a fresh region
+  /// is initialized to the empty-arena state, an attached region's stored
+  /// state is adopted as-is (the caller is expected to run Gfsl::recover()
+  /// before serving).  The region's geometry must match.
+  ChunkArena(int entries_per_chunk, std::uint32_t capacity,
+             device::PersistRegion* region = nullptr);
 
   /// Allocate one chunk, "allocated locked with inf values in all key-data
   /// pairs, as well as in the max field" (§4.1).  The inf max marks it as a
@@ -79,16 +90,16 @@ class ChunkArena {
   /// True if `count` more allocations would succeed right now (bump headroom
   /// plus recycled chunks).
   bool can_alloc(std::uint32_t count = 1) const {
-    const auto bumped = next_.load(std::memory_order_relaxed);
+    const auto bumped = next_->load(std::memory_order_relaxed);
     const std::uint32_t headroom = bumped < capacity_ ? capacity_ - bumped : 0;
-    return headroom + free_count_.load(std::memory_order_relaxed) >= count;
+    return headroom + free_count_->load(std::memory_order_relaxed) >= count;
   }
 
   std::atomic<KV>* entries(ChunkRef ref) {
-    return slots_.get() + static_cast<std::size_t>(ref) * n_;
+    return slots_ + static_cast<std::size_t>(ref) * n_;
   }
   const std::atomic<KV>* entries(ChunkRef ref) const {
-    return slots_.get() + static_cast<std::size_t>(ref) * n_;
+    return slots_ + static_cast<std::size_t>(ref) * n_;
   }
 
   std::atomic<KV>& entry(ChunkRef ref, int i) { return entries(ref)[i]; }
@@ -104,17 +115,17 @@ class ChunkArena {
   /// allocation count.
   std::uint32_t allocated() const {
     const auto hw = high_water();
-    const auto freed = free_count_.load(std::memory_order_relaxed);
+    const auto freed = free_count_->load(std::memory_order_relaxed);
     return freed < hw ? hw - freed : 0;
   }
   /// Highest index ever handed out (sweep bound: recycled chunks keep their
   /// slots, so full-arena scans must walk [0, high_water)).
   std::uint32_t high_water() const {
-    const auto v = next_.load(std::memory_order_relaxed);
+    const auto v = next_->load(std::memory_order_relaxed);
     return v < capacity_ ? v : capacity_;
   }
   std::uint32_t free_count() const {
-    return free_count_.load(std::memory_order_relaxed);
+    return free_count_->load(std::memory_order_relaxed);
   }
   std::uint32_t chunk_bytes() const { return static_cast<std::uint32_t>(n_) * 8u; }
 
@@ -130,6 +141,13 @@ class ChunkArena {
   /// that straddle a reset still see monotone stamps; odd stamps are
   /// normalized back to even by the next alloc of that index.
   void reset();
+
+  /// Quiescent (recovery only): replace the free-list wholesale.  Every ref
+  /// in `free_refs` gets an odd generation (bumped if currently even) and is
+  /// pushed in order — the last element ends up at the head — with the head
+  /// tag reset to 0, so the rebuilt linkage is a deterministic function of
+  /// the input list alone (recovery idempotence depends on this).
+  void rebuild_free(const std::vector<ChunkRef>& free_refs);
 
  private:
   // Tagged Treiber head: {tag:32 | index:32}.  The tag increments on every
@@ -150,12 +168,27 @@ class ChunkArena {
 
   int n_;
   std::uint32_t capacity_;
-  std::unique_ptr<std::atomic<KV>[]> slots_;
-  std::atomic<std::uint32_t> next_;
-  std::unique_ptr<std::atomic<std::uint32_t>[]> gen_;
-  std::unique_ptr<std::atomic<std::uint32_t>[]> free_next_;
-  std::atomic<std::uint64_t> free_head_;
-  std::atomic<std::uint32_t> free_count_;
+
+  // Owned backing storage, allocated only when no region is attached.  The
+  // raw pointers below are the single access path either way, so the
+  // detached hot path is bit-identical to the seed (one extra indirection
+  // that the owned case had through unique_ptr anyway).
+  std::unique_ptr<std::atomic<KV>[]> slots_own_;
+  std::unique_ptr<std::atomic<std::uint32_t>[]> gen_own_;
+  std::unique_ptr<std::atomic<std::uint32_t>[]> free_next_own_;
+  struct Control {
+    std::atomic<std::uint32_t> next;
+    std::atomic<std::uint32_t> free_count;
+    std::atomic<std::uint64_t> free_head;
+  };
+  Control ctl_own_{};
+
+  std::atomic<KV>* slots_ = nullptr;
+  std::atomic<std::uint32_t>* gen_ = nullptr;
+  std::atomic<std::uint32_t>* free_next_ = nullptr;
+  std::atomic<std::uint32_t>* next_ = nullptr;
+  std::atomic<std::uint64_t>* free_head_ = nullptr;
+  std::atomic<std::uint32_t>* free_count_ = nullptr;
 };
 
 // --- Entry helpers ----------------------------------------------------------

@@ -8,18 +8,31 @@ namespace gfsl::core {
 using simt::LaneVec;
 using simt::Team;
 
+namespace {
+// The region reserves fixed strides for the sections core places into it;
+// a drift in either constant would silently corrupt a restart image.
+static_assert(sizeof(IntentSlot) <= device::PersistRegion::kIntentSlotBytes);
+static_assert(Gfsl::kMaxLevels == device::PersistRegion::kMaxLevels);
+static_assert(sched::LeaseTable::kMaxTeams ==
+              static_cast<int>(device::PersistRegion::kMaxTeams));
+static_assert(std::atomic<ChunkRef>::is_always_lock_free);
+static_assert(sizeof(std::atomic<ChunkRef>) == sizeof(ChunkRef));
+}  // namespace
+
 Gfsl::Gfsl(const GfslConfig& cfg, device::DeviceMemory* mem,
            sched::StepScheduler* scheduler, sched::LeaseTable* leases,
-           device::EpochManager* epochs)
+           device::EpochManager* epochs, device::PersistRegion* region)
     : cfg_(cfg),
       mem_(mem),
       sched_(scheduler),
       leases_(leases),
       epochs_(epochs),
-      intents_(leases == nullptr
-                   ? nullptr
-                   : new IntentSlot[sched::LeaseTable::kMaxTeams]),
-      arena_(cfg.team_size, cfg.pool_chunks) {
+      region_(region),
+      intents_own_((leases == nullptr || region != nullptr)
+                       ? nullptr
+                       : new IntentSlot[sched::LeaseTable::kMaxTeams]),
+      intents_(nullptr),
+      arena_(cfg.team_size, cfg.pool_chunks, region) {
   if (mem_ == nullptr) throw std::invalid_argument("DeviceMemory required");
   if (cfg_.team_size < 8 || cfg_.team_size > 32 ||
       (cfg_.team_size & (cfg_.team_size - 1)) != 0) {
@@ -28,13 +41,43 @@ Gfsl::Gfsl(const GfslConfig& cfg, device::DeviceMemory* mem,
   if (cfg_.p_chunk < 0.0 || cfg_.p_chunk > 1.0) {
     throw std::invalid_argument("p_chunk must be in [0, 1]");
   }
-  if (!arena_.can_alloc(static_cast<std::uint32_t>(max_levels()))) {
-    throw std::invalid_argument("pool too small for initial head chunks");
+  if (region_ != nullptr && leases_ == nullptr) {
+    // Without leases a crash image would hold unattributable locks that no
+    // recovery pass may ever steal.
+    throw std::invalid_argument("a persist region requires a LeaseTable");
+  }
+  if (region_ != nullptr) {
+    head_ = static_cast<std::atomic<ChunkRef>*>(region_->level_heads());
+    auto* islots = static_cast<char*>(region_->intent_slots());
+    if (region_->fresh()) {
+      for (int id = 0; id < sched::LeaseTable::kMaxTeams; ++id) {
+        new (islots + static_cast<std::size_t>(id) * sizeof(IntentSlot))
+            IntentSlot();
+      }
+    }
+    intents_ = reinterpret_cast<IntentSlot*>(islots);
+  } else {
+    head_ = head_own_.data();
+    intents_ = intents_own_.get();
   }
   // The head array lives after the chunk pool in the synthetic device
   // address space so it maps to its own cache lines.
   head_device_base_ =
       arena_.device_address(arena_.capacity());
+
+  if (region_ != nullptr && !region_->fresh()) {
+    // Attach: the mapped image IS the structure.  Heads, chunks, intents and
+    // leases are adopted as stored; the volatile per-level gauges are
+    // rebuilt by recover(), which the caller must run before serving.
+    for (int level = 0; level < kMaxLevels; ++level) {
+      level_chunks_[static_cast<std::size_t>(level)].store(
+          0, std::memory_order_relaxed);
+    }
+    return;
+  }
+  if (!arena_.can_alloc(static_cast<std::uint32_t>(max_levels()))) {
+    throw std::invalid_argument("pool too small for initial head chunks");
+  }
 
   // §4.1: "The structure initially consists of a single unlocked chunk in
   // each level, containing the -inf key and a pointer to the chunk in the
@@ -158,6 +201,7 @@ bool Gfsl::try_lock(Team& team, ChunkRef ref) {
               std::memory_order_acq_rel, std::memory_order_acquire);
   team.step();
   if (ok) {
+    persist_point();
     ++team.counters().lock_acquires;
     team.note_lock_acquired(ref);
     team.record(simt::TraceEvent::kLockAcquired, ref);
@@ -175,6 +219,7 @@ void Gfsl::unlock(Team& team, ChunkRef ref) {
   mem_->lane_write(arena_.entry_address(ref, arena_.lock_slot()), 8);
   arena_.entry(ref, arena_.lock_slot())
       .store(make_lock_entry(kUnlocked), std::memory_order_release);
+  persist_point();
   team.step();
 }
 
@@ -192,6 +237,7 @@ void Gfsl::mark_zombie(Team& team, ChunkRef ref) {
   mem_->lane_write(arena_.entry_address(ref, arena_.lock_slot()), 8);
   arena_.entry(ref, arena_.lock_slot())
       .store(make_lock_entry(kZombie), std::memory_order_release);
+  persist_point();
   team.step();
 }
 
@@ -199,6 +245,10 @@ void Gfsl::write_entry(Team& team, ChunkRef ref, int slot, KV v) {
   sync_point(team);
   mem_->lane_write(arena_.entry_address(ref, slot), 8);
   arena_.entry(ref, slot).store(v, std::memory_order_release);
+  // Every mutating span publish (shifts, NEXT rewrites, down swings, frozen
+  // copies) flows through this store — the persist point right after it is
+  // the single hook that makes each one individually crash-atomic.
+  persist_point();
   team.step();
 }
 

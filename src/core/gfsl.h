@@ -64,6 +64,18 @@ struct ValidationReport {
   std::uint64_t free_chunks = 0;   // recycled onto the arena free-list
 };
 
+/// Result of Gfsl::recover() — the whole-process restart pass.
+struct RecoveryReport {
+  bool ok = true;
+  std::string error;          // first failure, if any
+  int locks_released = 0;     // dead-owned locks the medic sweep released
+  int intents_repaired = 0;   // claimable intents found published at attach
+  std::uint64_t chunks_freed = 0;    // indices moved to the rebuilt free-list
+  std::uint64_t stale_keys_scrubbed = 0;  // upper-level keys with no home below
+  std::uint64_t chunks_unlinked = 0;      // upper chunks emptied by the scrub
+  ValidationReport validation;  // the strict post-recovery check
+};
+
 class Gfsl {
  public:
   static constexpr int kMaxLevels = 32;  // hard bound; runtime bound = team size
@@ -79,10 +91,19 @@ class Gfsl {
   /// attached every operation pins an epoch, unlinked zombies are retired to
   /// limbo, and their indices are recycled through the arena free-list after
   /// a grace period (DESIGN.md §9) — churn workloads run in bounded memory.
+  /// `region` may be null: no byte of persistence machinery runs (seed
+  /// semantics).  With a device::PersistRegion attached (which requires a
+  /// LeaseTable), every durable word — chunk slots, generation stamps,
+  /// free-list, level heads, intents, leases — lives in the mapped file and
+  /// every durable transition crosses a persist point (DESIGN.md §12).  A
+  /// *fresh* region builds the usual empty structure; an *attached* region
+  /// adopts the stored image and the caller MUST run recover() before any
+  /// operation.
   Gfsl(const GfslConfig& cfg, device::DeviceMemory* mem,
        sched::StepScheduler* scheduler = nullptr,
        sched::LeaseTable* leases = nullptr,
-       device::EpochManager* epochs = nullptr);
+       device::EpochManager* epochs = nullptr,
+       device::PersistRegion* region = nullptr);
 
   Gfsl(const Gfsl&) = delete;
   Gfsl& operator=(const Gfsl&) = delete;
@@ -194,6 +215,21 @@ class Gfsl {
   const ChunkArena& arena() const { return arena_; }
   sched::LeaseTable* leases() const { return leases_; }
   device::EpochManager* epochs() const { return epochs_; }
+  device::PersistRegion* region() const { return region_; }
+
+  /// Whole-process restart recovery (persist_recovery.cpp; DESIGN.md §12).
+  /// Quiescent, offline: call on a structure constructed over an *attached*
+  /// PersistRegion before serving any operation.  Marks every persisted
+  /// lease crashed, replays the §8 intent repairs against the expired
+  /// leases, releases every dead lock, scrubs upper-level keys whose bottom
+  /// home vanished, rebuilds the tagged free-list from the generation
+  /// stamps (live/zombie/limbo/free classification per validate()'s rules —
+  /// an odd-generation chunk is always free, never live), rebuilds the
+  /// per-level chunk gauges, resets the lease table to its canonical state
+  /// and finishes with a *strict* validate().  Idempotent: a second run — or
+  /// a re-run after a recoverer was itself killed mid-repair — converges to
+  /// the bit-identical image.
+  RecoveryReport recover();
 
   /// Chunks recycled into the arena free-list since construction.
   std::uint64_t chunks_reclaimed() const {
@@ -434,7 +470,7 @@ class Gfsl {
         team_id >= sched::LeaseTable::kMaxTeams) {
       return nullptr;
     }
-    return intents_.get() + team_id;
+    return intents_ + team_id;
   }
   void publish_intent(simt::Team& team, IntentKind kind, Key k, ChunkRef a,
                       ChunkRef b = NULL_CHUNK, ChunkRef fresh = NULL_CHUNK);
@@ -471,17 +507,38 @@ class Gfsl {
   /// entry by shifting everything right of it one slot left.
   void dedup_shift(simt::Team& team, ChunkRef ref);
 
+  // ---- durable persistence (persist_recovery.cpp; DESIGN.md §12) ----
+  /// One persist point: a durable transition just published.  Detached this
+  /// is a single pointer test — no fence, no yield, no model traffic — so
+  /// the fault-free run is bit-identical to the seed.
+  void persist_point() {
+    if (region_ != nullptr) region_->barrier();
+  }
+
+  /// The medic id recover() runs its repairs under (the last id, outside
+  /// every harness's worker range).
+  static constexpr int kRecoveryMedicId = sched::LeaseTable::kMaxTeams - 1;
+
+  /// Scrub pass of recover(): drop every upper-level key that no longer
+  /// exists in the level below and re-home surviving down pointers whose
+  /// target chunk is gone; unlink upper chunks the scrub emptied.  Returns
+  /// through the report fields.
+  void scrub_upper_levels(RecoveryReport& rep);
+
   // ---- data ----
   GfslConfig cfg_;
   device::DeviceMemory* mem_;
   sched::StepScheduler* sched_;
   sched::LeaseTable* leases_;
   device::EpochManager* epochs_;
-  std::unique_ptr<IntentSlot[]> intents_;  // one per team id; null w/o leases
+  device::PersistRegion* region_;
+  std::unique_ptr<IntentSlot[]> intents_own_;  // backing when not region-mapped
+  IntentSlot* intents_;  // one per team id; null w/o leases
   ChunkArena arena_;
   std::atomic<std::uint64_t> chunks_reclaimed_{0};
   std::uint64_t head_device_base_;  // synthetic address of the head array
-  std::array<std::atomic<ChunkRef>, kMaxLevels> head_;
+  std::array<std::atomic<ChunkRef>, kMaxLevels> head_own_;
+  std::atomic<ChunkRef>* head_;  // head_own_ or the region's head section
   std::array<std::atomic<std::int64_t>, kMaxLevels> level_chunks_;
   std::atomic<std::uint64_t> traversals_{0};
   std::atomic<std::uint64_t> traversal_chunk_reads_{0};

@@ -1,0 +1,310 @@
+// Whole-process crash recovery over a persisted region (DESIGN.md §12).
+//
+// The process-crash model: every durable word (chunk slots, generation
+// stamps, free-list linkage, level heads, intent descriptors, lease slots)
+// lives in an mmap'd MAP_SHARED file, so a SIGKILL at any persist point
+// leaves exactly the prefix of stores issued before that point.  recover()
+// turns such an image back into a serviceable structure:
+//
+//   1. Death certificates: every persisted lease generation is marked
+//      crashed — no team of the dead process can still be running — and the
+//      recovery medic id is revived so its own repairs are attributable.
+//   2. Intent replay: the §8 medic sweep (recover_all_expired) claims every
+//      published intent against the now-expired leases, rolls each half-done
+//      mutation forward or back with the chunk-state-only repairs, releases
+//      every dead-owned lock, and force-quiesces stale epoch pins.
+//   3. Upper-level scrub: a key whose bottom-level home vanished mid-crash
+//      (the raise published before the bottom insert, or an erase peeled the
+//      bottom copy and died before the upper one) is dropped; surviving down
+//      pointers whose target chunk no longer laterally reaches the key's
+//      enclosing chunk are re-homed to the level-below head, from which it
+//      always is.  Upper chunks emptied by the drop are unlinked.
+//   4. Arena normalization: one reachability walk over every level (zombies
+//      included) classifies each index the bump pointer ever handed out —
+//      odd generation or unreachable means free — and rebuilds the tagged
+//      free-list deterministically (ascending pops, tag 0).  A torn
+//      allocation (killed inside alloc_locked's init window) is odd by
+//      construction and therefore always classified free, never live.
+//   5. Canonicalization: lease slots reset to epoch 0, superblock marked
+//      recovered.  This — plus repairs that only ever touch chunk state and
+//      generation bumps that only go even -> odd — is what makes recover()
+//      idempotent: a second run, or a re-run after a recoverer was itself
+//      killed mid-repair, converges to the bit-identical image.
+//   6. A strict validate() gates the result; serving a structure recover()
+//      did not pass is a caller bug.
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/gfsl.h"
+#include "core/inspect.h"
+
+namespace gfsl::core {
+
+using simt::Team;
+
+namespace {
+
+// Non-empty data entries of `ref`, host-side (quiescent).
+std::vector<KV> data_of(const ChunkArena& arena, ChunkRef ref) {
+  std::vector<KV> out;
+  const std::atomic<KV>* e = arena.entries(ref);
+  for (int i = 0; i < arena.dsize(); ++i) {
+    const KV kv = e[i].load(std::memory_order_acquire);
+    if (!kv_is_empty(kv)) out.push_back(kv);
+  }
+  return out;
+}
+
+}  // namespace
+
+void Gfsl::scrub_upper_levels(RecoveryReport& rep) {
+  // Bottom-up: level l is scrubbed against the *post-scrub* level l-1, so
+  // one pass suffices.  All stores are direct (quiescent, offline); each
+  // chunk rewrite is compacted ascending so the empties-grouped-at-end and
+  // sortedness invariants hold at every intermediate store.
+  std::set<Key> below_keys;
+  std::set<ChunkRef> below_live;
+  {
+    ChunkRef cur = head_[0].load(std::memory_order_acquire);
+    std::set<ChunkRef> seen;
+    while (cur != NULL_CHUNK && seen.insert(cur).second) {
+      const std::atomic<KV>* e = arena_.entries(cur);
+      const KV lk = e[arena_.lock_slot()].load(std::memory_order_acquire);
+      if (lock_entry_state(lk) != kZombie) {
+        below_live.insert(cur);
+        for (const KV kv : data_of(arena_, cur)) {
+          if (kv_key(kv) != KEY_NEG_INF) below_keys.insert(kv_key(kv));
+        }
+      }
+      cur = next_entry_ref(
+          e[arena_.next_slot()].load(std::memory_order_acquire));
+    }
+  }
+
+  for (int l = 1; l < max_levels(); ++l) {
+    const ChunkRef head =
+        head_[static_cast<std::size_t>(l)].load(std::memory_order_acquire);
+    if (head == NULL_CHUNK) break;
+    std::set<Key> kept_keys;
+    std::set<ChunkRef> kept_live;
+
+    // `prev` tracks the last surviving non-zombie chunk: it owns the NEXT
+    // entry that unlinks an emptied successor.
+    ChunkRef prev = NULL_CHUNK;
+    Key prev_max = KEY_NEG_INF;
+    ChunkRef cur = head;
+    std::set<ChunkRef> seen;
+    while (cur != NULL_CHUNK && seen.insert(cur).second) {
+      std::atomic<KV>* e = arena_.entries(cur);
+      const KV nx = e[arena_.next_slot()].load(std::memory_order_acquire);
+      const ChunkRef nxt = next_entry_ref(nx);
+      const KV lk = e[arena_.lock_slot()].load(std::memory_order_acquire);
+      if (lock_entry_state(lk) == kZombie) {
+        // Reachable zombies stay linked (validate accepts linked zombies);
+        // post-restart traversals unlink them organically.
+        cur = nxt;
+        continue;
+      }
+
+      const std::vector<KV> data = data_of(arena_, cur);
+      std::vector<KV> kept;
+      kept.reserve(data.size());
+      for (const KV kv : data) {
+        const Key k = kv_key(kv);
+        if (k != KEY_NEG_INF && below_keys.count(k) == 0) {
+          ++rep.stale_keys_scrubbed;
+          continue;  // no home below: the raise lost its key
+        }
+        // Down-pointer validity (§4.3): from the target, the key's
+        // enclosing chunk below must be laterally reachable.  Re-home to
+        // the level-below head otherwise — the head reaches everything.
+        auto target = static_cast<ChunkRef>(kv_value(kv));
+        bool reaches = false;
+        ChunkRef walk = target;
+        std::set<ChunkRef> wseen;
+        while (walk != NULL_CHUNK && wseen.insert(walk).second) {
+          const std::atomic<KV>* we = arena_.entries(walk);
+          const KV wl = we[arena_.lock_slot()].load(std::memory_order_acquire);
+          const KV wn = we[arena_.next_slot()].load(std::memory_order_acquire);
+          if (lock_entry_state(wl) != kZombie && next_entry_max(wn) >= k) {
+            reaches = below_live.count(walk) != 0;
+            break;
+          }
+          walk = next_entry_ref(wn);
+        }
+        if (!reaches) {
+          target = head_[static_cast<std::size_t>(l - 1)].load(
+              std::memory_order_acquire);
+        }
+        kept.push_back(make_kv(k, static_cast<Value>(target)));
+      }
+
+      if (kept.empty() && nxt != NULL_CHUNK && prev != NULL_CHUNK) {
+        // Emptied non-last chunk: unlink it under recovery's exclusive
+        // ownership (an empty non-last chunk violates validate()).  The
+        // predecessor's max is preserved — unless the unlink makes it the
+        // last chunk, whose max must be inf.
+        e[arena_.lock_slot()].store(make_lock_entry(kZombie),
+                                    std::memory_order_release);
+        persist_point();
+        arena_.entry(prev, arena_.next_slot())
+            .store(make_next_entry(prev_max, nxt), std::memory_order_release);
+        persist_point();
+        ++rep.chunks_unlinked;
+        cur = nxt;
+        continue;
+      }
+
+      // Rewrite the data span if anything changed, compacted ascending.
+      for (std::size_t i = 0; i < kept.size(); ++i) {
+        if (i >= data.size() || data[i] != kept[i]) {
+          e[i].store(kept[i], std::memory_order_release);
+          persist_point();
+        }
+      }
+      for (std::size_t i = kept.size(); i < data.size(); ++i) {
+        e[i].store(KV_EMPTY, std::memory_order_release);
+        persist_point();
+      }
+      // Non-last max must equal the largest key; the scrub can only have
+      // lowered it.  (An emptied *last* chunk keeps max == inf.)
+      if (nxt != NULL_CHUNK && !kept.empty() &&
+          next_entry_max(nx) != kv_key(kept.back())) {
+        e[arena_.next_slot()].store(
+            make_next_entry(kv_key(kept.back()), nxt),
+            std::memory_order_release);
+        persist_point();
+      }
+
+      kept_live.insert(cur);
+      for (const KV kv : kept) {
+        if (kv_key(kv) != KEY_NEG_INF) kept_keys.insert(kv_key(kv));
+      }
+      prev = cur;
+      prev_max = kept.empty() ? prev_max : kv_key(kept.back());
+      cur = nxt;
+    }
+
+    below_keys.swap(kept_keys);
+    below_live.swap(kept_live);
+  }
+}
+
+RecoveryReport Gfsl::recover() {
+  RecoveryReport rep;
+  auto fail = [&rep](const std::string& msg) {
+    if (rep.ok) {
+      rep.ok = false;
+      rep.error = msg;
+    }
+  };
+  if (region_ == nullptr) {
+    fail("recover() requires a persist region");
+    return rep;
+  }
+  // The constructor enforces region => leases, so leases_ is non-null here.
+
+  // 1. Death certificates for every persisted lease generation, then a live
+  // lease for the medic so its claims and repair locks are attributable
+  // (and themselves recoverable if a test kills recovery mid-repair).
+  leases_->mark_all_crashed();
+  leases_->revive(kRecoveryMedicId);
+
+  for (int id = 0; id < sched::LeaseTable::kMaxTeams; ++id) {
+    if (intents_[id].word.load(std::memory_order_acquire) != 0) {
+      ++rep.intents_repaired;
+    }
+  }
+
+  // 2. Intent replay + dead-lock release + stale-pin quiesce: the same §8
+  // medic sweep the in-process crash harness runs, now against an image
+  // where *every* lease is expired.
+  Team medic(cfg_.team_size, kRecoveryMedicId, /*seed=*/7);
+  rep.locks_released = recover_all_expired(medic);
+
+  const std::uint32_t hw = arena_.high_water();
+  for (std::uint32_t i = 0; i < hw; ++i) {
+    const KV lk = arena_.entries(static_cast<ChunkRef>(i))[arena_.lock_slot()]
+                      .load(std::memory_order_acquire);
+    if (lock_entry_state(lk) == kLocked) {
+      fail("chunk " + std::to_string(i) + " still locked after the medic "
+           "sweep (owner word " + std::to_string(lock_entry_owner(lk)) + ")");
+      return rep;
+    }
+  }
+  for (int id = 0; id < sched::LeaseTable::kMaxTeams; ++id) {
+    if (intents_[id].word.load(std::memory_order_acquire) != 0) {
+      fail("intent slot " + std::to_string(id) +
+           " still claimed after the medic sweep");
+      return rep;
+    }
+  }
+
+  // 3. Drop upper-level keys whose bottom home vanished; re-home surviving
+  // down pointers; unlink emptied upper chunks.
+  scrub_upper_levels(rep);
+
+  // 4. Rebuild the volatile per-level gauges: chunks-in-level counts
+  // non-zombie chunks beyond the first (construction stores 0 with one
+  // chunk in the level).
+  GfslInspector insp(*this);
+  std::set<ChunkRef> reachable;
+  for (int l = 0; l < max_levels(); ++l) {
+    bool cycle = false;
+    const auto chain = insp.level_chain(l, &cycle);
+    if (cycle) {
+      fail("cycle in level " + std::to_string(l) + " survived recovery");
+      return rep;
+    }
+    if (chain.empty()) {
+      fail("level " + std::to_string(l) + " lost its head chunk");
+      return rep;
+    }
+    std::int64_t live = 0;
+    for (const auto& ch : chain) {
+      reachable.insert(ch.ref);
+      if (ch.lock != kZombie) ++live;
+    }
+    level_chunks_[static_cast<std::size_t>(l)].store(
+        live - 1, std::memory_order_relaxed);
+  }
+  for (int l = max_levels(); l < kMaxLevels; ++l) {
+    level_chunks_[static_cast<std::size_t>(l)].store(
+        0, std::memory_order_relaxed);
+  }
+
+  // 5. Rebuild the free-list from the classification: an index is free iff
+  // its generation is odd (a completed recycle, or an allocation killed
+  // inside its init window — the stamp goes even only after the last init
+  // store) or nothing reaches it (unlinked zombies whose retire never
+  // drained, allocations killed before their link was published, limbo
+  // carried by the dead process).  Descending collection => ascending pops,
+  // and rebuild_free resets the tag: the rebuilt list is a pure function of
+  // the repaired image.
+  std::vector<ChunkRef> free_refs;
+  for (std::uint32_t i = hw; i > 0; --i) {
+    const auto ref = static_cast<ChunkRef>(i - 1);
+    if ((arena_.generation(ref) & 1u) != 0 || reachable.count(ref) == 0) {
+      free_refs.push_back(ref);
+    }
+  }
+  arena_.rebuild_free(free_refs);
+  rep.chunks_freed = free_refs.size();
+  persist_point();
+
+  // 6. Canonicalize: no lock or intent references a minted lease word any
+  // more, so the table resets to epoch 0 across the board — a recovered
+  // image is a function of the crash state alone, not of how many recovery
+  // attempts it took.  Then stamp the superblock.
+  leases_->reset_all();
+  region_->mark_recovered();
+
+  rep.validation = validate(/*strict=*/true);
+  if (!rep.validation.ok) {
+    fail("post-recovery validation failed: " + rep.validation.error);
+  }
+  return rep;
+}
+
+}  // namespace gfsl::core

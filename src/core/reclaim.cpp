@@ -79,6 +79,7 @@ LaneVec<KV> Gfsl::read_chunk_checked(Team& team, Guarded g, bool* stale) {
 void Gfsl::retire_chunk(Team& team, ChunkRef ref) {
   if (epochs_ == nullptr) return;  // seed semantics: the zombie just leaks
   epochs_->retire(team.id(), ref);
+  persist_point();
   team.metric(obs::kChunkRetires);
   team.record(simt::TraceEvent::kChunkRetired, ref, epochs_->global());
 }
@@ -190,6 +191,7 @@ std::size_t Gfsl::reclaim_pass(Team& team) {
       team.record(simt::TraceEvent::kChunkReclaimed, ref, 0);
     } else {
       arena_.recycle(ref);
+      persist_point();  // the generation flip + free-list push just hit disk
       chunks_reclaimed_.fetch_add(1, std::memory_order_relaxed);
       ++freed;
       team.metric(obs::kChunkReclaims);
@@ -201,6 +203,7 @@ std::size_t Gfsl::reclaim_pass(Team& team) {
 
 ChunkRef Gfsl::alloc_chunk(Team& team) {
   ChunkRef ref = arena_.alloc_locked(lease_word(team));
+  if (ref != NULL_CHUNK) persist_point();
   if (ref != NULL_CHUNK || epochs_ == nullptr) return ref;
   // Exhausted: help the epoch along and drain our own limbo.  Our own pin
   // (taken at operation entry) only blocks candidates retired during this
@@ -211,6 +214,7 @@ ChunkRef Gfsl::alloc_chunk(Team& team) {
     reclaim_pass(team);
     ref = arena_.alloc_locked(lease_word(team));
   }
+  if (ref != NULL_CHUNK) persist_point();
   return ref;
 }
 

@@ -42,6 +42,9 @@ void Gfsl::publish_intent(Team& team, IntentKind kind, Key k, ChunkRef a,
   s.b.store(b, std::memory_order_relaxed);
   s.fresh.store(fresh, std::memory_order_relaxed);
   s.word.store(mine, std::memory_order_release);
+  // The intent IS the write-ahead record: it must be durable before the
+  // span's first destructive store, or recovery has nothing to replay.
+  persist_point();
   team.step();
 }
 
@@ -49,6 +52,7 @@ void Gfsl::clear_intent(Team& team) {
   const std::uint32_t mine = lease_word(team);
   if (mine == 0) return;
   intents_[team.id()].word.store(0, std::memory_order_release);
+  persist_point();
   team.step();
 }
 

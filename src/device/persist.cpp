@@ -1,0 +1,176 @@
+#include "device/persist.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace gfsl::device {
+
+namespace {
+
+/// On-disk superblock, at offset 0.  Fixed-width, host-endian (the region is
+/// a same-machine restart image, not an interchange format).
+struct Super {
+  std::uint64_t magic;
+  std::uint32_t version;
+  std::uint32_t entries_per_chunk;
+  std::uint32_t capacity;
+  std::uint32_t max_levels;
+  std::uint32_t max_teams;
+  std::uint32_t clean;  // 1 = closed through mark_clean()/mark_recovered()
+  std::uint64_t persist_points;
+};
+static_assert(sizeof(Super) <= PersistRegion::kSuperBytes);
+
+constexpr std::uint64_t align64(std::uint64_t v) { return (v + 63u) & ~63ull; }
+
+[[noreturn]] void throw_errno(const std::string& what, const std::string& path) {
+  throw std::runtime_error("persist region: " + what + " failed for " + path +
+                           ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+PersistRegion::PersistRegion(const std::string& path, Mode mode,
+                             PersistGeometry geom)
+    : path_(path) {
+  fd_ = ::open(path.c_str(),
+               mode == Mode::kCreate ? (O_RDWR | O_CREAT | O_TRUNC) : O_RDWR,
+               0644);
+  if (fd_ < 0) throw_errno("open", path);
+
+  if (mode == Mode::kAttach) {
+    Super sb{};
+    const ssize_t got = ::pread(fd_, &sb, sizeof(sb), 0);
+    if (got != static_cast<ssize_t>(sizeof(sb))) {
+      ::close(fd_);
+      throw std::runtime_error("persist region: " + path +
+                               " is too short to hold a superblock");
+    }
+    if (sb.magic != kMagic || sb.version != kVersion) {
+      ::close(fd_);
+      throw std::runtime_error("persist region: " + path +
+                               " has a bad magic/version (not a gfsl region, "
+                               "or written by an incompatible build)");
+    }
+    if (sb.max_levels != kMaxLevels || sb.max_teams != kMaxTeams ||
+        sb.entries_per_chunk < 8 || sb.entries_per_chunk > 32 ||
+        sb.capacity == 0) {
+      ::close(fd_);
+      throw std::runtime_error("persist region: " + path +
+                               " superblock geometry is invalid");
+    }
+    geom_.entries_per_chunk = sb.entries_per_chunk;
+    geom_.capacity = sb.capacity;
+    was_clean_ = sb.clean != 0;
+    recorded_points_ = sb.persist_points;
+  } else {
+    if (geom.entries_per_chunk < 8 || geom.entries_per_chunk > 32 ||
+        geom.capacity == 0) {
+      ::close(fd_);
+      throw std::runtime_error(
+          "persist region: create needs a valid geometry (N in [8,32], "
+          "capacity > 0)");
+    }
+    geom_ = geom;
+    fresh_ = true;
+  }
+
+  const std::uint64_t n = geom_.entries_per_chunk;
+  const std::uint64_t cap = geom_.capacity;
+  std::uint64_t off = kSuperBytes;
+  off_slots_ = off;
+  off = align64(off + cap * n * 8);
+  off_gen_ = off;
+  off = align64(off + cap * 4);
+  off_free_ = off;
+  off = align64(off + cap * 4);
+  off_ctl_ = off;
+  off = align64(off + kArenaControlBytes);
+  off_heads_ = off;
+  off = align64(off + static_cast<std::uint64_t>(kMaxLevels) * 4);
+  off_intents_ = off;
+  off = align64(off + static_cast<std::uint64_t>(kMaxTeams) * kIntentSlotBytes);
+  off_leases_ = off;
+  off = align64(off + static_cast<std::uint64_t>(kMaxTeams) * 4);
+  bytes_ = static_cast<std::size_t>(off);
+
+  if (mode == Mode::kCreate) {
+    if (::ftruncate(fd_, static_cast<off_t>(bytes_)) != 0) {
+      ::close(fd_);
+      throw_errno("ftruncate", path);
+    }
+  } else {
+    struct stat st{};
+    if (::fstat(fd_, &st) != 0 ||
+        st.st_size < static_cast<off_t>(bytes_)) {
+      ::close(fd_);
+      throw std::runtime_error("persist region: " + path +
+                               " is shorter than its superblock geometry "
+                               "implies (truncated image)");
+    }
+  }
+
+  base_ = ::mmap(nullptr, bytes_, PROT_READ | PROT_WRITE, MAP_SHARED, fd_, 0);
+  if (base_ == MAP_FAILED) {
+    base_ = nullptr;
+    ::close(fd_);
+    throw_errno("mmap", path);
+  }
+
+  auto* sb = static_cast<Super*>(base_);
+  if (mode == Mode::kCreate) {
+    sb->magic = kMagic;
+    sb->version = kVersion;
+    sb->entries_per_chunk = geom_.entries_per_chunk;
+    sb->capacity = geom_.capacity;
+    sb->max_levels = kMaxLevels;
+    sb->max_teams = kMaxTeams;
+    sb->clean = 0;
+    sb->persist_points = 0;
+  } else {
+    // Open-for-write marks the image dirty: only mark_clean()/
+    // mark_recovered() restore the flag.
+    sb->clean = 0;
+  }
+}
+
+PersistRegion::~PersistRegion() {
+  if (base_ != nullptr) ::munmap(base_, bytes_);
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void PersistRegion::mark_clean() {
+  auto* sb = static_cast<Super*>(base_);
+  sb->persist_points = points_.load(std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  sb->clean = 1;
+  sync();
+}
+
+void PersistRegion::mark_recovered() {
+  auto* sb = static_cast<Super*>(base_);
+  sb->persist_points = 0;
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  sb->clean = 1;
+  sync();
+}
+
+void PersistRegion::sync() {
+  if (base_ != nullptr) ::msync(base_, bytes_, MS_SYNC);
+}
+
+void PersistRegion::kill_self() {
+  // SIGKILL, not abort(): no atexit handlers, no stream flushes, no unwind —
+  // the image must be exactly what the stores left behind.
+  ::kill(::getpid(), SIGKILL);
+  for (;;) ::pause();  // never reached; kill(2) cannot fail against self
+}
+
+}  // namespace gfsl::device

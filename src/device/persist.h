@@ -1,0 +1,160 @@
+// File-backed persistent region for the chunk arena (DESIGN.md §12).
+//
+// The region is one mmap(MAP_SHARED) file holding every word of durable
+// state a restart needs to rebuild the skiplist: the chunk slots themselves,
+// the per-chunk generation stamps, the free-list linkage, the arena control
+// words (bump pointer, tagged free-list head, free count), the per-level
+// head array, the per-team IntentSlot descriptors and the lease table slots.
+// A versioned superblock in the first page pins the geometry so an attach
+// can refuse a file written with a different chunk size or pool capacity.
+//
+// Durability model: with MAP_SHARED, every store a thread performs lands in
+// the shared page cache immediately — a SIGKILL (the process-crash model
+// this repo sweeps) loses *nothing* that was already stored, only whatever
+// a thread had in registers.  msync() is therefore not required for the
+// crash sweeps; `sync()` exists for callers that also want to survive a
+// machine crash (NVRAM-style flush-at-barrier semantics).
+//
+// Persist points: `barrier()` is the hook the structure calls at every
+// durable transition (mutating-entry store, lock/zombie/intent publish,
+// retire/recycle/alloc).  It issues a full fence (so the crash image is
+// ordered exactly as the memory model promised the stores) and counts the
+// point.  The crash harness arms `arm_kill_at(n)` in a forked child: the
+// n-th barrier SIGKILLs the process mid-protocol, which is how the sweep
+// visits every persist point of a run.  The counter is deliberately *not*
+// stored in the region on every barrier — the recovered image must be a
+// deterministic function of the crash state, and recovery itself re-enters
+// barrier() while repairing.  A clean shutdown records the final count in
+// the superblock (`mark_clean()`), which is what the sweep's baseline run
+// uses to learn how many kill points a workload has.
+//
+// Layering: this file exposes raw, 64-byte-aligned byte sections; the typed
+// casts live with the owning subsystem (core::ChunkArena / core::Gfsl /
+// sched::LeaseTable), keeping device below core in the library graph.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace gfsl::device {
+
+struct PersistGeometry {
+  std::uint32_t entries_per_chunk = 0;  // chunk size N (== team size)
+  std::uint32_t capacity = 0;           // total chunks in the pool
+};
+
+class PersistRegion {
+ public:
+  static constexpr std::uint64_t kMagic = 0x3152455031534647ull;  // "GFSL0PER1"
+  static constexpr std::uint32_t kVersion = 1;
+  /// Superblock page size; all sections start 64-byte aligned after it.
+  static constexpr std::uint64_t kSuperBytes = 4096;
+  /// Mirrors core::Gfsl::kMaxLevels (static_asserted at the use site).
+  static constexpr std::uint32_t kMaxLevels = 32;
+  /// Mirrors sched::LeaseTable::kMaxTeams (static_asserted at the use site).
+  static constexpr std::uint32_t kMaxTeams = 255;
+  /// Per-team IntentSlot stride reserved in the region; the real struct is
+  /// smaller (static_asserted where it is placed).
+  static constexpr std::uint32_t kIntentSlotBytes = 64;
+  /// Arena control section: bump pointer, free count, tagged free head.
+  static constexpr std::uint32_t kArenaControlBytes = 64;
+
+  enum class Mode {
+    kCreate,  // truncate/extend the file and zero-initialize the region
+    kAttach,  // map an existing file; superblock must validate
+  };
+
+  /// kCreate requires `geom`; kAttach reads the geometry back from the
+  /// superblock and ignores the argument.  Throws std::runtime_error on I/O
+  /// failure or superblock mismatch.
+  PersistRegion(const std::string& path, Mode mode, PersistGeometry geom = {});
+  ~PersistRegion();
+
+  PersistRegion(const PersistRegion&) = delete;
+  PersistRegion& operator=(const PersistRegion&) = delete;
+
+  bool fresh() const { return fresh_; }
+  const PersistGeometry& geometry() const { return geom_; }
+  const std::string& path() const { return path_; }
+  std::size_t bytes() const { return bytes_; }
+  /// Whole mapping, superblock included (tests byte-compare images).
+  const void* raw() const { return base_; }
+
+  // --- Section pointers (64-byte aligned, zero on kCreate) ------------------
+  void* chunk_slots() const { return at(off_slots_); }     // capacity * N * 8
+  void* generations() const { return at(off_gen_); }       // capacity * 4
+  void* free_links() const { return at(off_free_); }       // capacity * 4
+  void* arena_control() const { return at(off_ctl_); }     // kArenaControlBytes
+  void* level_heads() const { return at(off_heads_); }     // kMaxLevels * 4
+  void* intent_slots() const { return at(off_intents_); }  // kMaxTeams * 64
+  void* lease_slots() const { return at(off_leases_); }    // kMaxTeams * 4
+
+  // --- Persist points -------------------------------------------------------
+
+  /// One persist point: full fence + count + (armed) self-SIGKILL.
+  void barrier() {
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const std::uint64_t n = points_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (kill_at_ != 0 && n >= kill_at_) kill_self();
+    if (sync_on_barrier_) sync();
+  }
+  /// Persist points crossed by this process since the region was opened.
+  std::uint64_t persist_points() const {
+    return points_.load(std::memory_order_relaxed);
+  }
+  /// SIGKILL this process at the n-th barrier (n >= 1; 0 disarms).  The
+  /// crash harness arms this in a forked child.
+  void arm_kill_at(std::uint64_t n) { kill_at_ = n; }
+  /// Also msync the region at every barrier (machine-crash durability; the
+  /// process-crash sweeps do not need it).
+  void set_sync_on_barrier(bool on) { sync_on_barrier_ = on; }
+
+  // --- Superblock state -----------------------------------------------------
+
+  /// True when the file was last closed through mark_clean()/mark_recovered()
+  /// (sampled at open; opening for write clears the flag in the file).
+  bool was_clean() const { return was_clean_; }
+  /// Recorded persist-point count of the last clean run (sampled at open).
+  std::uint64_t recorded_persist_points() const { return recorded_points_; }
+
+  /// Clean shutdown: record this process's persist-point count, set the
+  /// clean flag, msync.
+  void mark_clean();
+  /// Recovery epilogue: set the clean flag with a canonical zero count so a
+  /// recovered image is a deterministic function of the crash state alone.
+  void mark_recovered();
+
+  /// msync the whole mapping (synchronous).
+  void sync();
+
+ private:
+  void* at(std::uint64_t off) const {
+    return static_cast<char*>(base_) + off;
+  }
+  [[noreturn]] void kill_self();
+
+  std::string path_;
+  PersistGeometry geom_{};
+  void* base_ = nullptr;
+  std::size_t bytes_ = 0;
+  int fd_ = -1;
+  bool fresh_ = false;
+  bool was_clean_ = false;
+  std::uint64_t recorded_points_ = 0;
+
+  std::uint64_t off_slots_ = 0;
+  std::uint64_t off_gen_ = 0;
+  std::uint64_t off_free_ = 0;
+  std::uint64_t off_ctl_ = 0;
+  std::uint64_t off_heads_ = 0;
+  std::uint64_t off_intents_ = 0;
+  std::uint64_t off_leases_ = 0;
+
+  std::atomic<std::uint64_t> points_{0};
+  std::uint64_t kill_at_ = 0;
+  bool sync_on_barrier_ = false;
+};
+
+}  // namespace gfsl::device

@@ -14,7 +14,9 @@
 #include "core/gfsl.h"
 #include "device/device_memory.h"
 #include "device/epoch.h"
+#include "device/persist.h"
 #include "harness/report.h"
+#include "sched/lease.h"
 #include "model/cost_model.h"
 #include "obs/metrics.h"
 #include "simt/team.h"
@@ -656,6 +658,170 @@ BenchReport run_micro_ops(const CampaignOptions& opts) {
   return report;
 }
 
+// ---------------------------------------------------------------------------
+// Persistence micro suite — host ns/op A/B across the durability ladder:
+// detached (no leases, no region — the seed's zero-cost path, persist_point()
+// is one pointer test), leased (lease words stamped, still in-memory), armed
+// (file-backed region, every durable transition crosses a persist barrier).
+// Raw nanoseconds are machine-speed-bound and stay informational; the gated
+// metrics are the *ratios* against detached, which cancel the machine out.
+
+enum class PersistMode { kDetached, kLeased, kArmed };
+
+const char* persist_mode_key(PersistMode m) {
+  switch (m) {
+    case PersistMode::kDetached: return "detached";
+    case PersistMode::kLeased: return "leased";
+    case PersistMode::kArmed: return "armed";
+  }
+  return "detached";
+}
+
+struct PersistFixture {
+  PersistFixture(int team_size, Key prefill, PersistMode mode,
+                 const std::string& region_path)
+      : team(team_size, 0, 1) {
+    core::GfslConfig cfg;
+    cfg.team_size = team_size;
+    cfg.pool_chunks = 1u << 16;
+    if (mode == PersistMode::kArmed) {
+      region = std::make_unique<device::PersistRegion>(
+          region_path, device::PersistRegion::Mode::kCreate,
+          device::PersistGeometry{static_cast<std::uint32_t>(team_size),
+                                  cfg.pool_chunks});
+    }
+    if (mode != PersistMode::kDetached) {
+      leases = std::make_unique<sched::LeaseTable>();
+      if (region) {
+        leases->attach(
+            static_cast<std::atomic<std::uint32_t>*>(region->lease_slots()),
+            /*adopt=*/false);
+      }
+    }
+    sl = std::make_unique<core::Gfsl>(cfg, &mem, nullptr, leases.get(),
+                                      nullptr, region.get());
+    std::vector<std::pair<Key, Value>> pairs;
+    for (Key k = 1; k <= prefill; ++k) pairs.emplace_back(k * 2, k);
+    sl->bulk_load(pairs);
+  }
+  device::DeviceMemory mem;
+  simt::Team team;
+  std::unique_ptr<device::PersistRegion> region;
+  std::unique_ptr<sched::LeaseTable> leases;
+  std::unique_ptr<core::Gfsl> sl;
+};
+
+double persist_contains_ns(PersistMode mode, std::uint64_t iters,
+                           const std::string& region_path) {
+  PersistFixture f(32, 10'000, mode, region_path);
+  Key k = 1;
+  bool sink = false;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    sink ^= f.sl->contains(f.team, k);
+    k = (k % 20'000) + 1;
+  }
+  const auto dt = std::chrono::steady_clock::now() - t0;
+  if (sink) std::fputs("", stdout);
+  return static_cast<double>(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(dt).count()) /
+         static_cast<double>(iters);
+}
+
+double persist_insert_erase_ns(PersistMode mode, std::uint64_t iters,
+                               const std::string& region_path) {
+  PersistFixture f(32, 10'000, mode, region_path);
+  Key k = 50'001;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    f.sl->insert(f.team, k, 0);
+    f.sl->erase(f.team, k);
+    ++k;
+  }
+  const auto dt = std::chrono::steady_clock::now() - t0;
+  return static_cast<double>(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(dt).count()) /
+         static_cast<double>(iters * 2);
+}
+
+BenchReport run_persist_overhead(const CampaignOptions& opts) {
+  const Scale sc = campaign_scale(opts);
+  BenchReport report;
+  report.campaign = "persist_overhead";
+  stamp_scale(report, sc, opts);
+
+  const std::uint64_t iters = opts.quick ? 20'000 : 50'000;
+  const int reps = static_cast<int>(sc.reps);
+  report.set_config("iters", std::to_string(iters));
+  const std::string region_path =
+      (std::filesystem::temp_directory_path() / "gfsl_persist_overhead.region")
+          .string();
+
+  std::printf(
+      "# persist_overhead: host ns/op across the durability ladder — "
+      "detached (seed path) / leased (lease words only) / armed "
+      "(file-backed region + persist barriers)\n"
+      "# (%d reps x %llu iters; gated on the armed/detached and "
+      "leased/detached ratios, which cancel machine speed)\n\n",
+      reps, static_cast<unsigned long long>(iters));
+
+  const PersistMode modes[] = {PersistMode::kDetached, PersistMode::kLeased,
+                               PersistMode::kArmed};
+  Table t({"loop", "mode", "ns/op (mean ±stddev)", "vs detached"});
+  // Interleave the modes within each rep so machine drift (thermal, cache
+  // pressure from neighbors) hits all three arms of rep r alike; the gated
+  // per-rep ratios then carry a real spread for bench_compare's k·σ band.
+  std::vector<double> ns_c[3], ns_ie[3];
+  for (int r = 0; r < reps; ++r) {
+    for (int mi = 0; mi < 3; ++mi) {
+      ns_c[mi].push_back(persist_contains_ns(modes[mi], iters, region_path));
+      ns_ie[mi].push_back(
+          persist_insert_erase_ns(modes[mi], iters, region_path));
+    }
+  }
+  for (int mi = 0; mi < 3; ++mi) {
+    BenchMetric c;
+    c.samples = ns_c[mi];
+    BenchMetric ie;
+    ie.samples = ns_ie[mi];
+    const bool base = mi == 0;
+    const std::string mk = persist_mode_key(modes[mi]);
+    std::vector<double> ratio_c, ratio_ie;
+    for (int r = 0; r < reps; ++r) {
+      ratio_c.push_back(ns_c[mi][static_cast<std::size_t>(r)] /
+                        ns_c[0][static_cast<std::size_t>(r)]);
+      ratio_ie.push_back(ns_ie[mi][static_cast<std::size_t>(r)] /
+                         ns_ie[0][static_cast<std::size_t>(r)]);
+    }
+    BenchMetric rc;
+    rc.samples = ratio_c;
+    BenchMetric rie;
+    rie.samples = ratio_ie;
+    t.add_row({"contains", mk, fmt_mean_stddev(c.mean(), c.stddev(), 1),
+               base ? "1.00x" : fmt(rc.mean(), 2) + "x"});
+    t.add_row({"insert_erase", mk, fmt_mean_stddev(ie.mean(), ie.stddev(), 1),
+               base ? "1.00x" : fmt(rie.mean(), 2) + "x"});
+    add_metric(report, "contains_ns." + mk, "ns", Better::kLower, false,
+               ns_c[mi]);
+    add_metric(report, "insert_erase_ns." + mk, "ns", Better::kLower, false,
+               ns_ie[mi]);
+    if (!base) {
+      add_metric(report, "contains_ratio." + mk, "x", Better::kLower, true,
+                 std::move(ratio_c));
+      add_metric(report, "insert_erase_ratio." + mk, "x", Better::kLower, true,
+                 std::move(ratio_ie));
+    }
+  }
+  t.print(std::cout);
+  std::printf(
+      "\nacceptance: the fault-free detached path pays nothing (persist_point"
+      "() is a single pointer test); the armed ratio is the price of "
+      "durability and must not creep.\n");
+  std::error_code ec;
+  std::filesystem::remove(region_path, ec);
+  return report;
+}
+
 }  // namespace
 
 const std::vector<Campaign>& campaigns() {
@@ -674,6 +840,9 @@ const std::vector<Campaign>& campaigns() {
        run_steady_state_churn},
       {"micro_ops", "host ns/op with observability layers detached vs armed",
        run_micro_ops},
+      {"persist_overhead",
+       "host ns/op with the durable region detached / leased / armed",
+       run_persist_overhead},
   };
   return kCampaigns;
 }

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <fstream>
+#include <memory>
 
 #include "common/random.h"
+#include "device/persist.h"
 #include "harness/postmortem.h"
+#include "sched/lease.h"
 
 namespace gfsl::harness {
 
@@ -178,7 +181,19 @@ Measurement measure_gfsl(const WorkloadConfig& wl,
   cfg.team_size = setup.team_size;
   cfg.p_chunk = setup.p_chunk;
   cfg.pool_chunks = gfsl_pool_chunks(wl, setup.team_size);
-  core::Gfsl sl(cfg, &mem);
+  std::unique_ptr<device::PersistRegion> region;
+  std::unique_ptr<sched::LeaseTable> leases;
+  if (!setup.persist_path.empty()) {
+    region = std::make_unique<device::PersistRegion>(
+        setup.persist_path, device::PersistRegion::Mode::kCreate,
+        device::PersistGeometry{static_cast<std::uint32_t>(setup.team_size),
+                                cfg.pool_chunks});
+    leases = std::make_unique<sched::LeaseTable>();
+    leases->attach(
+        static_cast<std::atomic<std::uint32_t>*>(region->lease_slots()),
+        /*adopt=*/false);
+  }
+  core::Gfsl sl(cfg, &mem, nullptr, leases.get(), nullptr, region.get());
 
   sl.bulk_load(generate_prefill(wl));
 
@@ -239,6 +254,7 @@ Measurement measure_gfsl(const WorkloadConfig& wl,
     if (out) write_postmortem(out, ctx);
   }
 
+  if (region) region->mark_clean();
   const model::Occupancy occ_calc;
   const auto occ = occ_calc.compute(model::kGfslKernel, setup.warps_per_block);
   apply_gfsl_contention(rr.kernel, occ, contention_inputs(wl),

@@ -38,6 +38,13 @@ struct StructureSetup {
   /// flight-recorder session is armed for the measured run so the bundle
   /// carries per-team event tails.  GFSL only; ignored by measure_mc.
   std::string postmortem_out;
+  /// Non-empty: back the GFSL arena with a file-backed device::PersistRegion
+  /// at this path (created fresh), so every mutating transition of the
+  /// measured run crosses a persist barrier — the armed-persistence cost the
+  /// persist_overhead campaign measures.  A lease table is attached
+  /// automatically (the durability protocol requires one); the run ends with
+  /// a clean-shutdown mark.  GFSL only; ignored by measure_mc.
+  std::string persist_path;
 };
 
 struct Measurement {

@@ -53,6 +53,14 @@ class LeaseTable {
                                                   std::memory_order_acq_rel);
   }
 
+  /// Death certificate for every id at once: the whole-process crash case.
+  /// Gfsl::recover() calls this before replaying intents — no team of the
+  /// dead process can still be running, so every persisted lease word
+  /// becomes an expired one.
+  void mark_all_crashed() {
+    for (int id = 0; id < kMaxTeams; ++id) mark_crashed(id);
+  }
+
   /// Revive an id for reuse: bump the epoch and clear the crashed bit.  Every
   /// lease word of the previous generation becomes expired.  Only call after
   /// the dead generation's locks/intents have been (or will be) recovered.
@@ -63,6 +71,17 @@ class LeaseTable {
     while (!s.compare_exchange_weak(cur, ((cur >> 1) + 1) << 1,
                                     std::memory_order_acq_rel,
                                     std::memory_order_acquire)) {
+    }
+  }
+
+  /// Canonical post-recovery state: every slot back to epoch 0, not crashed.
+  /// Only legal when no lock or intent anywhere references a minted word —
+  /// Gfsl::recover() guarantees that before calling.  Resetting (rather than
+  /// leaving the recovery medic's bumped epoch behind) is what makes a
+  /// recovered image a deterministic function of the crash state alone.
+  void reset_all() {
+    for (int id = 0; id < kMaxTeams; ++id) {
+      slots_[static_cast<std::size_t>(id)].store(0, std::memory_order_relaxed);
     }
   }
 
@@ -90,8 +109,25 @@ class LeaseTable {
     return static_cast<int>(lease_word & 0xFFu) - 1;
   }
 
+  /// Back the table with external storage — kMaxTeams packed slot words,
+  /// typically the lease section of a device::PersistRegion, so lease state
+  /// survives a process crash.  `adopt == false` (fresh region) zeroes the
+  /// slots; `adopt == true` (restart) takes the stored words as-is so the
+  /// dead process's epochs/crash bits are what recovery probes against.
+  /// Must be called before any concurrent use.
+  void attach(std::atomic<std::uint32_t>* external, bool adopt) {
+    slots_ = external;
+    if (!adopt) {
+      for (int id = 0; id < kMaxTeams; ++id) {
+        slots_[static_cast<std::size_t>(id)].store(0,
+                                                   std::memory_order_relaxed);
+      }
+    }
+  }
+
  private:
-  std::array<std::atomic<std::uint32_t>, kMaxTeams> slots_{};
+  std::array<std::atomic<std::uint32_t>, kMaxTeams> own_{};
+  std::atomic<std::uint32_t>* slots_ = own_.data();
 };
 
 }  // namespace gfsl::sched

@@ -220,3 +220,29 @@ TEST(JsonValue, RejectsTrailingGarbageAndBadSyntax) {
   EXPECT_FALSE(obs::json_parse("[1, 2").ok);
   EXPECT_FALSE(obs::json_parse("").ok);
 }
+
+TEST(JsonValue, PathologicalNestingFailsGracefullyNotFatally) {
+  // The recursive-descent parser guards its depth; adversarial input (a
+  // crafted postmortem bundle, a corrupted bench report) must come back as a
+  // parse error naming the limit, never a stack overflow.  10k opens is ~40x
+  // the limit — deep enough that an unguarded recursion would crash.
+  const std::string deep_arrays(10'000, '[');
+  const auto ra = obs::json_parse(deep_arrays);
+  EXPECT_FALSE(ra.ok);
+  EXPECT_NE(ra.error.find("depth"), std::string::npos) << ra.error;
+
+  std::string deep_objects;
+  for (int i = 0; i < 10'000; ++i) deep_objects += "{\"k\":";
+  const auto ro = obs::json_parse(deep_objects);
+  EXPECT_FALSE(ro.ok);
+  EXPECT_NE(ro.error.find("depth"), std::string::npos) << ro.error;
+
+  // Nesting *at* the limit still parses: the guard rejects only beyond it.
+  const int kMaxDepth = 256;  // mirrors json_value.cpp
+  std::string at_limit(static_cast<std::size_t>(kMaxDepth), '[');
+  at_limit.append(static_cast<std::size_t>(kMaxDepth), ']');
+  EXPECT_TRUE(obs::json_parse(at_limit).ok);
+  std::string over_limit(static_cast<std::size_t>(kMaxDepth) + 1, '[');
+  over_limit.append(static_cast<std::size_t>(kMaxDepth) + 1, ']');
+  EXPECT_FALSE(obs::json_parse(over_limit).ok);
+}

@@ -13,8 +13,10 @@
 #include "core/gfsl.h"
 #include "device/device_memory.h"
 #include "device/epoch.h"
+#include "device/persist.h"
 #include "harness/crash_sweep.h"
 #include "harness/runner.h"
+#include "sched/lease.h"
 #include "sched/step_scheduler.h"
 #include "simt/team.h"
 
@@ -371,6 +373,91 @@ TEST(ReclaimGfsl, CompactReturnsChunksThroughFreeList) {
   EXPECT_TRUE(rep.ok) << rep.error;
   EXPECT_TRUE(sl.contains(team, 2));
   EXPECT_FALSE(sl.contains(team, 1));
+}
+
+// ---- generation protocol across process crashes ----------------------------
+
+TEST(ReclaimPersist, TornOddGenChunkClassifiedFreeNeverLive) {
+  // The recycle protocol is gen-flip-first: the generation goes odd *before*
+  // the free-list push, so a process crash between the two persists chunks
+  // that are odd-generation yet on no list.  Recovery must classify every
+  // such chunk as free — odd is never reachable — and must never serve it
+  // as live data.  Simulate the torn state by wiping the persisted free-list
+  // control words (head + count) out from under a churned image.
+  using device::PersistGeometry;
+  using device::PersistRegion;
+  const std::string path = testing::TempDir() + "gfsl_reclaim_torn.region";
+  std::set<Key> expected;
+  {
+    PersistRegion region(path, PersistRegion::Mode::kCreate,
+                         PersistGeometry{8, 4096});
+    sched::LeaseTable leases;
+    leases.attach(
+        static_cast<std::atomic<std::uint32_t>*>(region.lease_slots()),
+        /*adopt=*/false);
+    device::DeviceMemory mem;
+    EpochManager ep;
+    GfslConfig cfg;
+    cfg.team_size = 8;
+    cfg.pool_chunks = 4096;
+    Gfsl sl(cfg, &mem, nullptr, &leases, &ep, &region);
+    Team team(8, 0, 1);
+    for (int round = 0; round < 3; ++round) churn_cycle(sl, team, 1, 600);
+    for (Key k = 1; k <= 100; ++k) sl.insert(team, k, k);
+    ASSERT_GT(sl.chunks_reclaimed(), 0u) << "churn produced no recycles";
+    ASSERT_GT(sl.arena().free_count(), 0u);
+    for (const auto& [k, v] : sl.collect()) expected.insert(k);
+    // No mark_clean(): the image is dirty, as after SIGKILL.
+  }
+  std::uint32_t odd_before = 0;
+  {
+    // Tear the free-list: same control layout the arena maps (chunk.cpp).
+    struct Ctl {
+      std::atomic<std::uint32_t> next;
+      std::atomic<std::uint32_t> free_count;
+      std::atomic<std::uint64_t> free_head;
+    };
+    PersistRegion region(path, PersistRegion::Mode::kAttach);
+    auto* ctl = static_cast<Ctl*>(region.arena_control());
+    const auto* gens =
+        static_cast<const std::atomic<std::uint32_t>*>(region.generations());
+    const std::uint32_t hw = ctl->next.load(std::memory_order_relaxed);
+    for (std::uint32_t i = 0; i < hw; ++i) {
+      if ((gens[i].load(std::memory_order_relaxed) & 1u) != 0) ++odd_before;
+    }
+    ASSERT_GT(odd_before, 0u);
+    ctl->free_count.store(0, std::memory_order_relaxed);
+    ctl->free_head.store((std::uint64_t{0} << 32) | NULL_CHUNK,
+                         std::memory_order_relaxed);
+  }
+  {
+    PersistRegion region(path, PersistRegion::Mode::kAttach);
+    sched::LeaseTable leases;
+    leases.attach(
+        static_cast<std::atomic<std::uint32_t>*>(region.lease_slots()),
+        /*adopt=*/true);
+    device::DeviceMemory mem;
+    GfslConfig cfg;
+    cfg.team_size = 8;
+    cfg.pool_chunks = 4096;
+    Gfsl sl(cfg, &mem, nullptr, &leases, nullptr, &region);
+    const auto rep = sl.recover();
+    ASSERT_TRUE(rep.ok) << rep.error;
+    // Every stranded odd-gen chunk is back on the free-list ...
+    EXPECT_GE(rep.chunks_freed, odd_before);
+    EXPECT_GE(sl.arena().free_count(), odd_before);
+    // ... and none of them leaked into the live structure: the contents are
+    // exactly what the dirty image held, and post-recovery the free-list
+    // population and the odd-generation population coincide.
+    std::set<Key> recovered;
+    for (const auto& [k, v] : sl.collect()) recovered.insert(k);
+    EXPECT_EQ(recovered, expected);
+    std::uint32_t odd_after = 0;
+    for (std::uint32_t i = 0; i < sl.arena().high_water(); ++i) {
+      if ((sl.arena().generation(i) & 1u) != 0) ++odd_after;
+    }
+    EXPECT_EQ(odd_after, sl.arena().free_count());
+  }
 }
 
 // ---- crash composition -----------------------------------------------------

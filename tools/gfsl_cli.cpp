@@ -27,17 +27,27 @@
 //                                   structure and write a gfsl-postmortem-v1
 //                                   bundle (reason "on_demand" when healthy,
 //                                   "validate_failure" otherwise; gfsl only)
+//   --persist PATH                  back the detail run's arena with a durable
+//                                   file-backed region at PATH (gfsl only);
+//                                   the run ends with a clean-shutdown mark
+//   --recover                       offline recovery: attach the region at
+//                                   --persist PATH, run Gfsl::recover() and
+//                                   print the repair report; no workload runs
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <stdexcept>
 #include <string>
 
+#include "core/gfsl.h"
+#include "device/device_memory.h"
+#include "device/persist.h"
 #include "harness/experiment.h"
 #include "harness/options.h"
 #include "harness/report.h"
 #include "obs/metrics.h"
 #include "obs/trace_export.h"
+#include "sched/lease.h"
 
 using namespace gfsl;
 using namespace gfsl::harness;
@@ -69,8 +79,51 @@ int usage() {
                "[--p-chunk F] [--warps-per-block N] [--workers N] "
                "[--prefill empty|half|full] [--warmup N] [--batch-size N] "
                "[--csv] [--metrics-json PATH] [--trace-out PATH] "
-               "[--postmortem-out PATH]\n");
+               "[--postmortem-out PATH] [--persist PATH] [--recover]\n");
   return 2;
+}
+
+/// Offline crash recovery: attach the region file, adopt its image, run the
+/// full recover() pass and report what was repaired.  The structure is torn
+/// down immediately after — this is the "fsck" entry point; a subsequent run
+/// with --persist PATH picks the repaired image back up.
+int run_recover(const std::string& path, bool csv) {
+  device::PersistRegion region(path, device::PersistRegion::Mode::kAttach);
+  if (region.was_clean()) {
+    std::fprintf(stderr,
+                 "note: region was marked clean (%llu persist points "
+                 "recorded); recovering anyway\n",
+                 static_cast<unsigned long long>(
+                     region.recorded_persist_points()));
+  }
+  sched::LeaseTable leases;
+  leases.attach(
+      static_cast<std::atomic<std::uint32_t>*>(region.lease_slots()),
+      /*adopt=*/true);
+  device::DeviceMemory mem;
+  core::GfslConfig cfg;
+  cfg.team_size = static_cast<int>(region.geometry().entries_per_chunk);
+  cfg.pool_chunks = region.geometry().capacity;
+  core::Gfsl sl(cfg, &mem, nullptr, &leases, nullptr, &region);
+  const core::RecoveryReport rep = sl.recover();
+
+  Table t({"metric", "value"});
+  t.add_row({"region", path});
+  t.add_row({"team size", std::to_string(cfg.team_size)});
+  t.add_row({"pool chunks", std::to_string(cfg.pool_chunks)});
+  t.add_row({"recovered", rep.ok ? "yes" : "NO"});
+  t.add_row({"locks released", std::to_string(rep.locks_released)});
+  t.add_row({"intents repaired", std::to_string(rep.intents_repaired)});
+  t.add_row({"chunks freed", std::to_string(rep.chunks_freed)});
+  t.add_row({"stale keys scrubbed", std::to_string(rep.stale_keys_scrubbed)});
+  t.add_row({"upper chunks unlinked", std::to_string(rep.chunks_unlinked)});
+  if (!rep.ok) t.add_row({"error", rep.error});
+  if (csv) {
+    t.print_csv(std::cout);
+  } else {
+    t.print(std::cout);
+  }
+  return rep.ok ? 0 : 1;
 }
 
 }  // namespace
@@ -87,11 +140,25 @@ int main(int argc, char** argv) {
       "structure", "mix",     "range",           "ops",    "reps",
       "seed",      "team-size", "p-chunk",       "warps-per-block",
       "workers",   "prefill", "warmup",          "csv",    "help",
-      "metrics-json", "trace-out", "batch-size", "postmortem-out"};
+      "metrics-json", "trace-out", "batch-size", "postmortem-out",
+      "persist",   "recover"};
   if (opt.get_bool("help")) return usage();
   for (const auto& u : opt.unknown(known)) {
     std::fprintf(stderr, "error: unknown option --%s\n", u.c_str());
     return usage();
+  }
+  if (opt.get_bool("recover")) {
+    const std::string path = opt.get("persist", "");
+    if (path.empty()) {
+      std::fprintf(stderr, "error: --recover requires --persist PATH\n");
+      return usage();
+    }
+    try {
+      return run_recover(path, opt.get_bool("csv"));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: recovery failed: %s\n", e.what());
+      return 1;
+    }
   }
 
   WorkloadConfig wl;
@@ -113,6 +180,10 @@ int main(int argc, char** argv) {
     setup.batch_size = opt.get_u64("batch-size", 0);
     if (setup.batch_size > 0 && opt.get("structure", "gfsl") != "gfsl") {
       throw std::invalid_argument("--batch-size requires --structure gfsl");
+    }
+    setup.persist_path = opt.get("persist", "");
+    if (!setup.persist_path.empty() && structure != "gfsl") {
+      throw std::invalid_argument("--persist requires --structure gfsl");
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -32,15 +32,29 @@
 //   gfsl_fuzz --crash-at STEP [--crash-seed S] ...
 //       Replay a single kill step — the repro form printed on failure.
 //
+//   gfsl_fuzz --proc-crash-sweep [--crash-seed S] [--crash-stride N]
+//             [--workers N] [--team-size N] [--ops N] [--range N]
+//             [--with-epochs] [--work-dir DIR]
+//       Whole-PROCESS crash sweep (harness/proc_crash_sweep.h): a forked
+//       child runs the workload over a file-backed persist region and is
+//       SIGKILLed at every persist point; the parent attaches the orphaned
+//       region, runs Gfsl::recover() and checks the recovered contents
+//       against the child's op journal (plus an exact std::map replay when
+//       --workers 1).
+//
 // Churn mode (the bounded-memory soak, DESIGN.md §9):
 //
 //   gfsl_fuzz --churn [--workers N] [--ops N] [--range N] [--team-size N]
-//             [--pool N] [--seed S]
+//             [--pool N] [--seed S] [--persist PATH]
 //       Free-running threads drive a 50/50 insert/erase mix through a small
 //       pool for >= 10x the pool's capacity in operations.  With epoch
 //       reclamation every merged-away chunk is recycled, so the run must
 //       finish with chunks_allocated() bounded and validate() clean; without
 //       it the same workload exhausts the pool almost immediately.
+//       --persist backs the arena with a durable region at PATH (leases
+//       attached, every transition crossing a persist barrier), soaking the
+//       persistence hot path under free-running contention; the run ends
+//       with a clean shutdown mark.
 //
 // Batch mode (the differential oracle harness, DESIGN.md §10):
 //
@@ -62,8 +76,10 @@
 #include "core/gfsl.h"
 #include "device/device_memory.h"
 #include "device/epoch.h"
+#include "device/persist.h"
 #include "harness/crash_sweep.h"
 #include "harness/experiment.h"
+#include "harness/proc_crash_sweep.h"
 #include "harness/history.h"
 #include "harness/options.h"
 #include "harness/postmortem.h"
@@ -71,6 +87,7 @@
 #include "harness/workload.h"
 #include "obs/trace_export.h"
 #include "oracle.h"
+#include "sched/lease.h"
 #include "sched/step_scheduler.h"
 #include "simt/trace.h"
 
@@ -261,6 +278,53 @@ int run_crash_mode(const Options& opt) {
   return 0;
 }
 
+int run_proc_crash_mode(const Options& opt) {
+  ProcCrashSweepConfig cfg;
+  cfg.workers = static_cast<int>(opt.get_u64("workers", 2));
+  cfg.team_size = static_cast<int>(opt.get_u64("team-size", 8));
+  cfg.ops = opt.get_u64("ops", 160);
+  cfg.key_range = opt.get_u64("range", 64);
+  cfg.pool_chunks = static_cast<std::uint32_t>(opt.get_u64("pool", 1u << 14));
+  cfg.stride = opt.get_u64("crash-stride", 1);
+  cfg.with_epochs = opt.get_bool("with-epochs");
+  cfg.work_dir = opt.get("work-dir", ".");
+  cfg.postmortem_dir = opt.get("postmortem-dir", "");
+  const auto seed = opt.get_u64("crash-seed", 0xAB5E);
+  cfg.wl_seed = seed;
+  cfg.sched_seed = seed ^ 0x9E3779B97F4A7C15ull;
+
+  const auto sweep = run_proc_crash_sweep(cfg, stdout);
+  if (!sweep.ok) {
+    std::printf(
+        "FAIL proc-crash-sweep at persist point %llu: %s\n"
+        "  repro: --proc-crash-sweep --crash-seed %llu --workers %d "
+        "--team-size %d --ops %llu --range %llu%s\n",
+        static_cast<unsigned long long>(sweep.failed_at_point),
+        sweep.error.c_str(), static_cast<unsigned long long>(seed),
+        cfg.workers, cfg.team_size, static_cast<unsigned long long>(cfg.ops),
+        static_cast<unsigned long long>(cfg.key_range),
+        cfg.with_epochs ? " --with-epochs" : "");
+    return 1;
+  }
+  std::printf(
+      "proc-crash-sweep clean: %llu child runs over %llu persist points "
+      "(stride %llu), %llu SIGKILLs landed, %llu locks released, "
+      "%llu intents replayed, %llu chunks freed "
+      "(workers=%d team=%d ops=%llu range=%llu seed=%llu%s)\n",
+      static_cast<unsigned long long>(sweep.runs),
+      static_cast<unsigned long long>(sweep.persist_points),
+      static_cast<unsigned long long>(cfg.stride),
+      static_cast<unsigned long long>(sweep.kills_landed),
+      static_cast<unsigned long long>(sweep.locks_released),
+      static_cast<unsigned long long>(sweep.intents_replayed),
+      static_cast<unsigned long long>(sweep.chunks_freed), cfg.workers,
+      cfg.team_size, static_cast<unsigned long long>(cfg.ops),
+      static_cast<unsigned long long>(cfg.key_range),
+      static_cast<unsigned long long>(seed),
+      cfg.with_epochs ? " epochs" : "");
+  return 0;
+}
+
 int run_churn_mode(const Options& opt) {
   const int workers = static_cast<int>(opt.get_u64("workers", 4));
   const int team_size = static_cast<int>(opt.get_u64("team-size", 8));
@@ -271,6 +335,7 @@ int run_churn_mode(const Options& opt) {
   const auto seed = opt.get_u64("seed", 0xC0FF);
   const std::string metrics_json = opt.get("metrics-json", "");
   const std::string pm_dir = opt.get("postmortem-dir", "");
+  const std::string persist_path = opt.get("persist", "");
   const bool want_obs = !metrics_json.empty() || !pm_dir.empty();
 
   device::DeviceMemory mem;
@@ -278,7 +343,21 @@ int run_churn_mode(const Options& opt) {
   core::GfslConfig cfg;
   cfg.team_size = team_size;
   cfg.pool_chunks = pool;
-  core::Gfsl sl(cfg, &mem, nullptr, nullptr, &epochs);
+  // --persist: back the arena with a durable region so every transition in
+  // the churn storm crosses a persist barrier — the persistence hot path
+  // soaked under free-running (non-deterministic) contention.
+  std::unique_ptr<device::PersistRegion> region;
+  std::unique_ptr<sched::LeaseTable> leases;
+  if (!persist_path.empty()) {
+    region = std::make_unique<device::PersistRegion>(
+        persist_path, device::PersistRegion::Mode::kCreate,
+        device::PersistGeometry{static_cast<std::uint32_t>(team_size), pool});
+    leases = std::make_unique<sched::LeaseTable>();
+    leases->attach(
+        static_cast<std::atomic<std::uint32_t>*>(region->lease_slots()),
+        /*adopt=*/false);
+  }
+  core::Gfsl sl(cfg, &mem, nullptr, leases.get(), &epochs, region.get());
 
   obs::MetricsRegistry reg(workers);
   reg.set_info("mode", "churn");
@@ -369,6 +448,7 @@ int run_churn_mode(const Options& opt) {
                 static_cast<unsigned long long>(range), pool);
     return 1;
   }
+  if (region) region->mark_clean();
   std::printf(
       "churn clean: %llu ops through a %u-chunk pool, %llu reclaimed, "
       "%u in use at exit, %llu in limbo (workers=%d team=%d range=%llu)\n",
@@ -377,6 +457,12 @@ int run_churn_mode(const Options& opt) {
       sl.chunks_allocated(),
       static_cast<unsigned long long>(epochs.limbo_total()), workers,
       team_size, static_cast<unsigned long long>(range));
+  if (region) {
+    std::printf("  persisted: %llu barriers crossed, clean shutdown marked "
+                "at %s\n",
+                static_cast<unsigned long long>(region->persist_points()),
+                persist_path.c_str());
+  }
   return 0;
 }
 
@@ -523,6 +609,9 @@ int run_batch_mode(const Options& opt) {
 
 int main(int argc, char** argv) {
   const Options opt = Options::parse(argc, argv);
+  if (opt.get_bool("proc-crash-sweep")) {
+    return run_proc_crash_mode(opt);
+  }
   if (opt.get_bool("crash-sweep") || opt.has("crash-at")) {
     return run_crash_mode(opt);
   }
