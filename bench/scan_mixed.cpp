@@ -1,0 +1,9 @@
+// Scan-mixed A/B — MVCC snapshot scans (DESIGN.md §13) concurrent with a
+// mutating mix, versus the seed's best-effort legacy scan with versioning
+// detached.
+//
+// Thin shim over the campaign registry (src/harness/campaign.cpp holds the
+// A/B loop); see fig_5_1_chunk_size.cpp for the shim contract.
+#include "harness/campaign.h"
+
+int main() { return gfsl::harness::campaign_main("scan_mixed"); }

@@ -297,9 +297,31 @@ ShardExecStats Gfsl::execute_shard(Team& team, const Op* ops,
                                    const std::uint32_t* order,
                                    std::uint32_t begin, std::uint32_t end,
                                    std::uint8_t* outcomes,
-                                   BatchOpObserver* observer) {
+                                   BatchOpObserver* observer, Rev batch_rev) {
   ShardExecStats ex;
   BatchCursor cur;
+  // Install the whole-batch revision for this team's ops: the per-op
+  // CommitScopes see a non-zero context and stamp `batch_rev` instead of
+  // allocating their own.  The caller keeps the batch's commit slot
+  // registered across every shard, so no snapshot can land between two
+  // shards of one batch.  Restored even on a kill (the repair stamps under
+  // its own scope).
+  struct BatchRevGuard {
+    Gfsl& g;
+    int slot;
+    bool set = false;
+    ~BatchRevGuard() {
+      if (set) g.commit_ctx_[static_cast<std::size_t>(slot)] = {};
+    }
+  } rev_guard{*this, 0};
+  if (snaps_ != nullptr && batch_rev != 0) {
+    rev_guard.slot = SnapshotManager::commit_slot(team.id());
+    CommitCtx& ctx = commit_ctx_[static_cast<std::size_t>(rev_guard.slot)];
+    if (ctx.rev == 0) {
+      ctx = {batch_rev, false};
+      rev_guard.set = true;
+    }
+  }
   // Pin once per shard, not once per op (the batch engine's reclamation
   // contract).  The per-op EpochScopes inside the *_batch calls see the slot
   // already pinned and become no-ops.
@@ -384,11 +406,35 @@ BatchResult run_batch(Gfsl& sl, Team& team, const BatchRequest& ops,
   const sched::ShardPlan plan = sched::plan_shards(ops, 1, target_shard_ops);
   res.stats.shards = plan.shards.size();
   res.stats.shard_sizes.reserve(plan.shards.size());
+
+  // One revision for the whole batch (none-or-all snapshot visibility): the
+  // batch commit slot stays registered until every shard has drained, so
+  // stable_rev — and therefore every snapshot taken meanwhile — stays below
+  // it.  Slot exhaustion degrades to per-op revisions (still consistent,
+  // just not atomic as a batch).
+  SnapshotManager* snaps = sl.snapshots();
+  int batch_slot = -1;
+  Rev batch_rev = 0;
+  if (snaps != nullptr) {
+    batch_slot = snaps->acquire_batch_slot();
+    if (batch_slot >= 0) batch_rev = snaps->begin_commit(batch_slot);
+  }
+  struct BatchCommitGuard {
+    SnapshotManager* snaps;
+    int slot;
+    ~BatchCommitGuard() {
+      if (snaps != nullptr && slot >= 0) {
+        snaps->end_commit(slot);
+        snaps->release_batch_slot(slot);
+      }
+    }
+  } commit_guard{snaps, batch_slot};
+
   for (const auto& s : plan.shards) {
     res.stats.shard_sizes.push_back(s.end - s.begin);
     const ShardExecStats ex =
         sl.execute_shard(team, ops.data(), plan.order.data(), s.begin, s.end,
-                         res.outcomes.data());
+                         res.outcomes.data(), nullptr, batch_rev);
     res.stats.descent_reuses += ex.reuses;
     res.stats.full_descents += ex.fulls;
     res.stats.epoch_pins += ex.pins;

@@ -52,6 +52,9 @@ ChunkArena::ChunkArena(int entries_per_chunk, std::uint32_t capacity,
     free_next_ = static_cast<std::atomic<std::uint32_t>*>(region->free_links());
     auto* ctl = static_cast<Control*>(region->arena_control());
     static_assert(sizeof(Control) <= device::PersistRegion::kArenaControlBytes);
+    // The durable MVCC revision lives at byte 16 of this section
+    // (PersistRegion::durable_rev); the arena must not grow into it.
+    static_assert(sizeof(Control) <= 16);
     next_ = &ctl->next;
     free_count_ = &ctl->free_count;
     free_head_ = &ctl->free_head;

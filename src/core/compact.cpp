@@ -42,11 +42,26 @@ void Gfsl::bulk_load(const std::vector<std::pair<Key, Value>>& pairs) {
 }
 
 void Gfsl::rebuild(const std::vector<std::pair<Key, Value>>& pairs) {
+  // Rebuild is quiescent: version history cannot survive it (chunk refs are
+  // reassigned wholesale), so the whole version store resets — every open
+  // snapshot is expired via the store-generation bump and the rebuilt keys
+  // act as insert_rev 0 (visible to every future snapshot).  Record indices
+  // still parked in epoch ticket limbo are discarded, not freed: reset()
+  // rebuilds the record free-list wholesale, so freeing them later would
+  // double-free.
+  if (snaps_ != nullptr) {
+    if (epochs_ != nullptr) {
+      std::vector<RecIdx> discard;
+      epochs_->drain_all_tickets(&discard);
+    }
+    snaps_->reset();
+  }
   // Recreate the per-level head chunks exactly as construction does.
   ChunkRef below = NULL_CHUNK;
   for (int level = 0; level < max_levels(); ++level) {
     const ChunkRef ch = arena_.alloc_locked();
     if (ch == NULL_CHUNK) throw std::bad_alloc();
+    set_chunk_level(ch, level);
     const Value down = (level == 0) ? Value{0} : static_cast<Value>(below);
     arena_.entry(ch, 0).store(make_kv(KEY_NEG_INF, down),
                               std::memory_order_relaxed);
@@ -78,6 +93,7 @@ void Gfsl::rebuild(const std::vector<std::pair<Key, Value>>& pairs) {
       const std::size_t n = std::min<std::size_t>(fill, current.size() - at);
       const ChunkRef ch = arena_.alloc_locked();
       if (ch == NULL_CHUNK) throw std::bad_alloc();
+      set_chunk_level(ch, level);
       for (std::size_t i = 0; i < n; ++i) {
         arena_.entry(ch, static_cast<int>(i))
             .store(make_kv(current[at + i].first, current[at + i].second),

@@ -9,6 +9,19 @@ namespace gfsl::core {
 using simt::LaneVec;
 using simt::Team;
 
+namespace {
+
+// Value of `k` inside a chunk image (pre-removal), used as the value hint for
+// legacy erase records (core/snapshot.h, mark_erased).
+Value value_of(const LaneVec<KV>& kv, int dsz, Key k) {
+  for (int i = 0; i < dsz; ++i) {
+    if (!kv_is_empty(kv[i]) && kv_key(kv[i]) == k) return kv_value(kv[i]);
+  }
+  return 0;
+}
+
+}  // namespace
+
 bool Gfsl::erase(Team& team, Key k) {
   if (k < MIN_USER_KEY || k > MAX_USER_KEY) {
     throw std::invalid_argument("key outside the user key range");
@@ -32,6 +45,9 @@ bool Gfsl::erase_impl(Team& team, Key k) {
 }
 
 bool Gfsl::erase_committed(Team& team, Key k, const SlowSearchResult& sr) {
+  // One revision for the whole op (no-op under a batch revision or without a
+  // SnapshotManager).  Every remove_from_chunk below stamps under this rev.
+  CommitScope commit(*this, team);
   ChunkRef bottom = team.shfl(sr.path, 0);
   bottom = find_and_lock_enclosing(team, bottom, k);
   {
@@ -78,8 +94,13 @@ bool Gfsl::remove_from_chunk(Team& team, Key k, ChunkRef enc_ref, int level) {
   if (count > threshold) {  // plain removal, no merge
     const bool is_last = max_of(team, kv) == KEY_INF;
     publish_intent(team, IntentKind::kEraseShift, k, enc_ref);
+    // Erase record BEFORE the shift, inside the intent span: a snapshot
+    // older than this op keeps seeing <k, v> through the record even while
+    // (or after) the entry vanishes; a crash replays the stamp idempotently.
+    stamp_erase(team, enc_ref, k, value_of(kv, team.dsize(), k));
     execute_remove_no_merge(team, kv, enc_ref, k, is_last);
     clear_intent(team);
+    maybe_prune_records(team, enc_ref);
     unlock(team, enc_ref);
     return true;
   }
@@ -111,8 +132,10 @@ bool Gfsl::remove_from_chunk(Team& team, Key k, ChunkRef enc_ref, int level) {
         // remains (a sole-key chunk never needs the receiver split), and
         // next_ref exists, so every validate() invariant still holds.
         publish_intent(team, IntentKind::kEraseShift, k, enc_ref);
+        stamp_erase(team, enc_ref, k, value_of(kv, team.dsize(), k));
         execute_remove_no_merge(team, kv, enc_ref, k, /*is_last_chunk=*/false);
         clear_intent(team);
+        maybe_prune_records(team, enc_ref);
         unlock(team, enc_ref);
         return true;
       }
@@ -130,10 +153,19 @@ bool Gfsl::remove_from_chunk(Team& team, Key k, ChunkRef enc_ref, int level) {
   // forward from any midpoint (the union of the two chunks' survivors is
   // the intended merged array at every partial state).
   publish_intent(team, IntentKind::kMerge, k, enc_ref, next_ref);
+  // Version bookkeeping inside the merge's intent span, BEFORE any entry
+  // moves: first stamp k's erase on the donor, then copy the donor's whole
+  // record chain to the receiver — after the merge, searches for the donor's
+  // keys (k included) land in next_ref, so that is where their history must
+  // live.  Both steps replay idempotently from any crash midpoint.
+  stamp_erase(team, enc_ref, k, value_of(kv, team.dsize(), k));
+  copy_version_records(team, enc_ref, next_ref, KEY_NEG_INF,
+                       max_of(team, kv), level);
   execute_remove_merge(team, kv, enc_ref, next_ref, k);
   mark_zombie(team, enc_ref);  // terminal; the zombie is never unlocked
   clear_intent(team);
   bump_level(level, -1);
+  maybe_prune_records(team, next_ref);
   unlock(team, next_ref);
 
   // Down-pointer repair after the locks are gone (Algorithm 4.12 line 27):
@@ -162,7 +194,7 @@ void Gfsl::execute_remove_no_merge(Team& team, const LaneVec<KV>& kv,
       [&](int i) { return i < dsz && !kv_is_empty(kv[i]); });
   const int last = Team::highest_lane(nb);
 
-  if (!is_last_chunk && idx == last && last > 0) {
+  if (!is_last_chunk && idx == last && last > 0 && snaps_ == nullptr) {
     // k is this chunk's max: lower the max field *before* removing it so a
     // concurrent search never sees a max that is absent from the data
     // (§4.2.3 "Delete With No Merge").  On the ordinary path the chunk is
@@ -170,6 +202,13 @@ void Gfsl::execute_remove_no_merge(Team& team, const LaneVec<KV>& kv,
     // only the merge-OOM fallback can remove a chunk's sole key, and then
     // the old max is kept — a max no key matches merely routes searches for
     // it into this chunk, where they correctly find nothing.
+    //
+    // With versioning attached the max stays sticky (the fallback's benign
+    // routing argument): lowering it would maroon k's version record beyond
+    // the chunk's range, where scan_at's cmax harvest cap, prune_chain's
+    // out-of-range rule, and searches for k (now routed to the successor,
+    // whose chain never had the record) all lose it.  The next split or
+    // merge re-tightens the field and re-homes the record.
     const Key new_max = kv_key(team.shfl(kv, last - 1));
     const ChunkRef nxt = next_of(team, kv);
     atomic_entry_write(team, ref, arena_.next_slot(),
@@ -188,8 +227,10 @@ void Gfsl::remove_from_last_chunk(Team& team, Key k, ChunkRef ref,
                                   int level) {
   const LaneVec<KV> kv = read_chunk(team, ref);
   publish_intent(team, IntentKind::kEraseShift, k, ref);
+  stamp_erase(team, ref, k, value_of(kv, team.dsize(), k));
   execute_remove_no_merge(team, kv, ref, k, /*is_last_chunk=*/true);
   clear_intent(team);
+  maybe_prune_records(team, ref);
 
   // If the whole level is now just the -inf key in this (first == last)
   // chunk, mark the level empty so traversals skip it (§4.2.3).

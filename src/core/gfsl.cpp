@@ -21,13 +21,20 @@ static_assert(sizeof(std::atomic<ChunkRef>) == sizeof(ChunkRef));
 
 Gfsl::Gfsl(const GfslConfig& cfg, device::DeviceMemory* mem,
            sched::StepScheduler* scheduler, sched::LeaseTable* leases,
-           device::EpochManager* epochs, device::PersistRegion* region)
+           device::EpochManager* epochs, device::PersistRegion* region,
+           SnapshotManager* snaps)
     : cfg_(cfg),
       mem_(mem),
       sched_(scheduler),
       leases_(leases),
       epochs_(epochs),
       region_(region),
+      snaps_(snaps),
+      chunk_level_(snaps == nullptr ? nullptr
+                                    : new std::uint8_t[cfg.pool_chunks]()),
+      commit_ctx_(snaps == nullptr
+                      ? nullptr
+                      : new CommitCtx[SnapshotManager::kCommitSlots]()),
       intents_own_((leases == nullptr || region != nullptr)
                        ? nullptr
                        : new IntentSlot[sched::LeaseTable::kMaxTeams]),
@@ -45,6 +52,16 @@ Gfsl::Gfsl(const GfslConfig& cfg, device::DeviceMemory* mem,
     // Without leases a crash image would hold unattributable locks that no
     // recovery pass may ever steal.
     throw std::invalid_argument("a persist region requires a LeaseTable");
+  }
+  if (snaps_ != nullptr) {
+    if (snaps_->pool_chunks() < cfg_.pool_chunks) {
+      // The per-chunk chain-head array must cover every ChunkRef.
+      throw std::invalid_argument("SnapshotManager sized for a smaller pool");
+    }
+    if (region_ != nullptr) {
+      snaps_->attach_durable(static_cast<std::atomic<std::uint64_t>*>(
+          region_->durable_rev()));
+    }
   }
   if (region_ != nullptr) {
     head_ = static_cast<std::atomic<ChunkRef>*>(region_->level_heads());
@@ -85,6 +102,7 @@ Gfsl::Gfsl(const GfslConfig& cfg, device::DeviceMemory* mem,
   ChunkRef below = NULL_CHUNK;
   for (int level = 0; level < max_levels(); ++level) {
     const ChunkRef ch = arena_.alloc_locked();
+    set_chunk_level(ch, level);
     const Value down = (level == 0) ? Value{0} : static_cast<Value>(below);
     arena_.entry(ch, 0).store(make_kv(KEY_NEG_INF, down),
                               std::memory_order_relaxed);

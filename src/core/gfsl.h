@@ -30,6 +30,7 @@
 #include "core/batch.h"
 #include "core/chunk.h"
 #include "core/intent.h"
+#include "core/snapshot.h"
 #include "device/device_memory.h"
 #include "device/epoch.h"
 #include "sched/lease.h"
@@ -99,11 +100,17 @@ class Gfsl {
   /// *fresh* region builds the usual empty structure; an *attached* region
   /// adopts the stored image and the caller MUST run recover() before any
   /// operation.
+  /// `snaps` may be null: no versioning, bit-identical to the seed.  With a
+  /// SnapshotManager attached every bottom-level mutation commits under a
+  /// revision and stamps version records, snapshot()/scan_at() serve
+  /// point-in-time-consistent range scans, and the version chains are GC'd
+  /// down to the min-snapshot watermark (DESIGN.md §13).
   Gfsl(const GfslConfig& cfg, device::DeviceMemory* mem,
        sched::StepScheduler* scheduler = nullptr,
        sched::LeaseTable* leases = nullptr,
        device::EpochManager* epochs = nullptr,
-       device::PersistRegion* region = nullptr);
+       device::PersistRegion* region = nullptr,
+       SnapshotManager* snaps = nullptr);
 
   Gfsl(const Gfsl&) = delete;
   Gfsl& operator=(const Gfsl&) = delete;
@@ -129,11 +136,41 @@ class Gfsl {
   /// pairs with keys in [lo, hi] to `out`, in ascending key order.  The
   /// chunked layout makes this a sequence of coalesced chunk reads — the
   /// ordered-scan operation key-value stores need from their memtables.
-  /// Concurrent updates may or may not be observed (same guarantee as a
-  /// lock-free iterator); keys present for the whole scan are returned.
+  ///
+  /// Consistency contract (best-effort / "legacy" scan): the result is NOT a
+  /// point-in-time snapshot.  Each visited chunk is internally consistent
+  /// (seqlock-checked read), and any key present in [lo, hi] for the *whole*
+  /// scan is returned, but keys inserted or erased concurrently may or may
+  /// not appear, a concurrent split/merge can restart the scan from `lo`,
+  /// and two keys in the result may never have coexisted.  For a consistent
+  /// cut use snapshot() + scan_at(), which resolves every key as-of one
+  /// revision and never restarts mid-range.
   std::size_t scan(simt::Team& team, Key lo, Key hi,
                    std::vector<std::pair<Key, Value>>& out,
                    std::size_t limit = SIZE_MAX);
+
+  // --- MVCC snapshots (snapshot.cpp; DESIGN.md §13) -------------------------
+
+  /// Take a snapshot at the newest stable revision.  Never blocks; O(1).
+  /// Returns a closed handle when no SnapshotManager is attached.  The
+  /// caller must release_snapshot() — an unreleased snapshot pins version
+  /// records (GC watermark) until the lagging-snapshot policy expires it.
+  Snapshot snapshot();
+  void release_snapshot(Snapshot& s);
+
+  /// Consistent ordered range scan as-of `s`: append up to `limit` pairs
+  /// with keys in [lo, hi] resolved at revision s.rev, ascending.  Never
+  /// restarts from `lo` — concurrent splits/merges only cause a bounded
+  /// re-descend to the current position (keys only move forward between
+  /// chunks, so the monotone key watermark never misses one).  Returns
+  /// kSnapshotExpired without touching `out`'s tail when `s` was released,
+  /// expired by the lagging-snapshot policy, or invalidated by a store
+  /// generation bump (compact / bulk_load / record-arena overflow).
+  ScanAtStatus scan_at(simt::Team& team, const Snapshot& s, Key lo, Key hi,
+                       std::vector<std::pair<Key, Value>>& out,
+                       std::size_t limit = SIZE_MAX);
+
+  SnapshotManager* snapshots() const { return snaps_; }
 
   // --- Batch execution (batch.cpp; DESIGN.md §10) ---------------------------
   // Cursor-carrying variants of contains/insert/erase for key-sorted shard
@@ -152,11 +189,15 @@ class Gfsl {
   /// `outcomes[order[i]]` as BatchOpStatus codes; pool exhaustion marks the
   /// op kSkipped and continues.  `observer`, when non-null, brackets every
   /// op (crash-sweep history logging).  A scheduler kill (TeamKilled)
-  /// propagates after a silent unpin.
+  /// propagates after a silent unpin.  `batch_rev`, when non-zero, is the
+  /// whole-batch revision (SnapshotManager::begin_commit on a batch slot
+  /// held by the caller across every shard): all mutations of the batch
+  /// stamp it, so snapshots see none or all of the batch.
   ShardExecStats execute_shard(simt::Team& team, const Op* ops,
                                const std::uint32_t* order, std::uint32_t begin,
                                std::uint32_t end, std::uint8_t* outcomes,
-                               BatchOpObserver* observer = nullptr);
+                               BatchOpObserver* observer = nullptr,
+                               Rev batch_rev = 0);
 
   // --- Configuration & quiescent introspection ------------------------------
 
@@ -507,6 +548,90 @@ class Gfsl {
   /// entry by shifting everything right of it one slot left.
   void dedup_shift(simt::Team& team, ChunkRef ref);
 
+  // ---- MVCC versioning (snapshot.cpp; DESIGN.md §13) ----
+  /// Chunks visited between scan_at pin refreshes (same rationale as
+  /// kBatchPinRefresh: a long scan must not stall reclamation).
+  static constexpr std::uint32_t kScanPinRefresh = 64;
+  /// Chain length at which a record op opportunistically prunes its chunk's
+  /// chain down to the GC watermark.
+  static constexpr std::size_t kRecordPruneLen = 8;
+
+  /// The revision a mutating team stamps records with.  Owned commits
+  /// (per-op path) begin/end a revision on the team's commit slot; a batch
+  /// context (execute_shard) pre-installs the whole-batch revision instead.
+  struct CommitCtx {
+    Rev rev = 0;
+    bool own = false;  // true: this op ran begin_commit and must end it
+  };
+
+  /// Scoped per-op revision: on entry, if a SnapshotManager is attached and
+  /// no batch revision is installed for this slot, begin_commit; on exit,
+  /// end_commit.  No yield points on either edge.  Detached: no-op.
+  class CommitScope {
+   public:
+    CommitScope(Gfsl& g, simt::Team& team) : g_(g) {
+      if (g_.snaps_ == nullptr) return;
+      slot_ = SnapshotManager::commit_slot(team.id());
+      CommitCtx& ctx = g_.commit_ctx_[static_cast<std::size_t>(slot_)];
+      if (ctx.rev == 0) {
+        ctx = {g_.snaps_->begin_commit(slot_), true};
+        own_ = true;
+      }
+    }
+    ~CommitScope() {
+      if (own_) {
+        g_.commit_ctx_[static_cast<std::size_t>(slot_)] = {};
+        g_.snaps_->end_commit(slot_);
+      }
+    }
+    CommitScope(const CommitScope&) = delete;
+    CommitScope& operator=(const CommitScope&) = delete;
+
+   private:
+    Gfsl& g_;
+    int slot_ = 0;
+    bool own_ = false;
+  };
+
+  /// The installed revision for this team's ops; 0 when detached or when no
+  /// CommitScope/batch context is active (e.g. a medic repairing outside an
+  /// op — recover_intent opens its own scope).
+  Rev commit_rev(simt::Team& team) const {
+    if (snaps_ == nullptr) return 0;
+    return commit_ctx_[static_cast<std::size_t>(
+                           SnapshotManager::commit_slot(team.id()))]
+        .rev;
+  }
+
+  /// Only bottom-level (level 0) chunks carry version chains; upper levels
+  /// are index-only and never stamped.
+  bool is_bottom(ChunkRef ref) const {
+    return chunk_level_ != nullptr && chunk_level_[ref] == 0;
+  }
+  void set_chunk_level(ChunkRef ref, int level) {
+    if (chunk_level_ != nullptr && ref != NULL_CHUNK) {
+      chunk_level_[ref] = static_cast<std::uint8_t>(level);
+    }
+  }
+
+  /// Stamp a live version record for an insert of <k, v> into bottom chunk
+  /// `ref`.  Idempotent: skipped when k already has a live record (crash
+  /// repair re-executing a half-done insert keeps the original revision).
+  void stamp_insert(simt::Team& team, ChunkRef ref, Key k, Value v);
+  /// Stamp k's record in bottom chunk `ref` with this op's erase revision.
+  void stamp_erase(simt::Team& team, ChunkRef ref, Key k, Value v_hint);
+  /// Copy version records for keys in (lo_excl, hi_incl] moving from `from`
+  /// to `to` (split/merge key movement); levels above the bottom are a no-op.
+  void copy_version_records(simt::Team& team, ChunkRef from, ChunkRef to,
+                            Key lo_excl, Key hi_incl, int level);
+  /// Opportunistic chain GC at record-op sites: when `ref`'s chain exceeds
+  /// kRecordPruneLen, prune it to the watermark under the held chunk lock,
+  /// routing freed records through the epoch ticket limbo.
+  void maybe_prune_records(simt::Team& team, ChunkRef ref);
+  /// Detach `ref`'s whole chain when the chunk is recycled (reclaim pass /
+  /// recovery free-list rebuild).
+  void purge_version_records(ChunkRef ref);
+
   // ---- durable persistence (persist_recovery.cpp; DESIGN.md §12) ----
   /// One persist point: a durable transition just published.  Detached this
   /// is a single pointer test — no fence, no yield, no model traffic — so
@@ -532,6 +657,15 @@ class Gfsl {
   sched::LeaseTable* leases_;
   device::EpochManager* epochs_;
   device::PersistRegion* region_;
+  SnapshotManager* snaps_;
+  /// Level of every allocated chunk (versioning only stamps level 0);
+  /// allocated iff snaps_ != nullptr.  Written under the chunk's lock (or
+  /// quiescently); racing readers only ever see it for refs they hold.
+  std::unique_ptr<std::uint8_t[]> chunk_level_;
+  /// Installed commit revision per commit slot (team ids + batch overflow).
+  /// A slot is only touched by its owning team (or the single batch driver),
+  /// so plain values suffice.
+  std::unique_ptr<CommitCtx[]> commit_ctx_;
   std::unique_ptr<IntentSlot[]> intents_own_;  // backing when not region-mapped
   IntentSlot* intents_;  // one per team id; null w/o leases
   ChunkArena arena_;

@@ -34,6 +34,9 @@ bool Gfsl::insert_impl(Team& team, Key k, Value v) {
 
 bool Gfsl::insert_committed(Team& team, Key k, Value v,
                             const SlowSearchResult& sr) {
+  // One revision for the whole op (no-op when a batch revision is already
+  // installed for this team, or when no SnapshotManager is attached).
+  CommitScope commit(*this, team);
   bool raise = false;
   ChunkRef bottom = team.shfl(sr.path, 0);
   const InsertStatus st = insert_to_level(team, /*level=*/0, bottom, k, v,
@@ -119,6 +122,11 @@ void Gfsl::execute_insert(Team& team, ChunkRef ref, const LaneVec<KV>& kv,
   // adjacent duplicated entry (or the landed key), which the intent's
   // recovery rolls back (or declares complete).
   publish_intent(team, IntentKind::kInsertShift, k, ref);
+  // Version record BEFORE the entry mutation, inside the intent span: a
+  // reader that misses the mid-shift entry still resolves k through the
+  // record, and a crash between stamp and shift repairs forward (the live
+  // record turns the insert-shift repair into a roll-forward).
+  stamp_insert(team, ref, k, v);
   for (int i = team.dsize() - 1; i >= idx; --i) {
     if (!kv_is_empty(insert_kv[i])) {
       atomic_entry_write(team, ref, i, insert_kv[i]);
@@ -127,6 +135,7 @@ void Gfsl::execute_insert(Team& team, ChunkRef ref, const LaneVec<KV>& kv,
     }
   }
   clear_intent(team);
+  maybe_prune_records(team, ref);
   // The max field never changes: a key is only inserted into its enclosing
   // chunk, whose max is >= k by definition (§4.3).
 }

@@ -264,6 +264,10 @@ RecoveryReport Gfsl::recover() {
     std::int64_t live = 0;
     for (const auto& ch : chain) {
       reachable.insert(ch.ref);
+      // The chunk-level byte array is volatile; the reachability walk is
+      // the one place that knows every live chunk's level, so rebuild the
+      // bottom-gate for version stamping here.
+      set_chunk_level(ch.ref, l);
       if (ch.lock != kZombie) ++live;
     }
     level_chunks_[static_cast<std::size_t>(l)].store(
@@ -299,6 +303,19 @@ RecoveryReport Gfsl::recover() {
   // attempts it took.  Then stamp the superblock.
   leases_->reset_all();
   region_->mark_recovered();
+
+  // 7. Collapse version history: no snapshot survives a process death, so
+  // every surviving key acts as insert_rev 0 (visible to all future
+  // snapshots) and the chains drop wholesale.  The durable revision word
+  // (CAS-max'd at every begin_commit) restores the clock so post-restart
+  // revisions never collide with pre-crash ones a lagging replica (or a
+  // re-attached image) might have observed.
+  if (snaps_ != nullptr) {
+    snaps_->reset();
+    snaps_->restore_rev(
+        static_cast<std::atomic<std::uint64_t>*>(region_->durable_rev())
+            ->load(std::memory_order_relaxed));
+  }
 
   rep.validation = validate(/*strict=*/true);
   if (!rep.validation.ok) {

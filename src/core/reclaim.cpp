@@ -91,6 +91,18 @@ void Gfsl::epoch_exit(Team& team) {
   if (epochs_->limbo_depth(team.id()) >= kReclaimBatch) {
     reclaim_pass(team);
   }
+  if (snaps_ != nullptr) {
+    // Version-record indices parked by maybe_prune_records ride the same
+    // grace machinery as chunks (ticket limbo); once safe they return to
+    // the record arena.  Then apply the lagging-snapshot policy so a
+    // forgotten snapshot cannot pin the GC watermark forever.
+    std::vector<RecIdx> freed;
+    if (epochs_->drain_safe_tickets(team.id(), &freed) != 0) {
+      snaps_->free_records(freed);
+    }
+    const Rev max_age = snaps_->max_snapshot_age();
+    if (max_age != 0) snaps_->expire_lagging(max_age);
+  }
   epochs_->unpin(team.id());
   if (epochs_->try_advance()) {
     team.metric(obs::kEpochAdvances);
@@ -190,6 +202,11 @@ std::size_t Gfsl::reclaim_pass(Team& team) {
       team.metric(obs::kChunkRequeues);
       team.record(simt::TraceEvent::kChunkReclaimed, ref, 0);
     } else {
+      // The chunk's version chain dies with it: the grace period that freed
+      // the chunk also covers its chain (no walker can still acquire the
+      // head; a parked one fails the generation re-check), so the record
+      // indices return to the arena immediately.
+      purge_version_records(ref);
       arena_.recycle(ref);
       persist_point();  // the generation flip + free-list push just hit disk
       chunks_reclaimed_.fetch_add(1, std::memory_order_relaxed);

@@ -142,6 +142,12 @@ bool Gfsl::recover_intent(Team& team, IntentSlot& slot, std::uint32_t iw) {
   team.step();
   if (!claimed) return false;  // another recoverer won the race
 
+  // Version revision for whatever the repair re-stamps: inherit the medic's
+  // active commit context (it may be mid-operation or mid-batch) or open a
+  // fresh one.  A repaired mutation linearizes at repair time — the dead
+  // team's op never returned, so no caller observed an earlier commit.
+  CommitScope commit(*this, team);
+
   const std::uint32_t owner = slot.owner.load(std::memory_order_relaxed);
   const auto kind =
       static_cast<IntentKind>(slot.kind.load(std::memory_order_relaxed));
@@ -207,7 +213,21 @@ void Gfsl::dedup_shift(Team& team, ChunkRef ref) {
 bool Gfsl::repair_insert_shift(Team& team, ChunkRef ref, Key k) {
   const LaneVec<KV> kv = read_chunk(team, ref);
   if (chunk_contains(team, kv, k)) return true;  // key landed: shift complete
-  dedup_shift(team, ref);  // roll back to the pre-insert chunk
+  dedup_shift(team, ref);  // collapse the partial shift's duplicate, if any
+  Value v = 0;
+  if (snaps_ != nullptr && is_bottom(ref) &&
+      snaps_->has_live_record(ref, k, &v)) {
+    // The dead team stamped k's version record before its first entry write,
+    // so a snapshot reader may already have resolved k through the chain.
+    // Rolling back would un-happen an observed insert; roll FORWARD instead:
+    // the chunk is back in its pre-insert shape, so re-run the insert shift
+    // with the record's value (execute_insert's own stamp is idempotent).
+    const LaneVec<KV> cur = read_chunk(team, ref);
+    execute_insert(team, ref, cur, k, v);
+    return true;
+  }
+  // No record: the death hit between intent publish and stamp, before any
+  // entry write — no reader can have seen k.  Roll back.
   return false;
 }
 
@@ -215,10 +235,19 @@ bool Gfsl::repair_erase_shift(Team& team, ChunkRef ref, Key k) {
   const LaneVec<KV> kv = read_chunk(team, ref);
   if (chunk_contains(team, kv, k)) {
     // The shift never started (at most the max field was pre-lowered, which
-    // is idempotent to redo): re-execute the removal.
+    // is idempotent to redo): re-stamp the erase record (the death may have
+    // hit between intent publish and stamp; mark_erased replays as a no-op
+    // when the stamp landed) and re-execute the removal.
+    Value v = 0;
+    for (int i = 0; i < team.dsize(); ++i) {
+      if (!kv_is_empty(kv[i]) && kv_key(kv[i]) == k) v = kv_value(kv[i]);
+    }
+    stamp_erase(team, ref, k, v);
     const bool is_last = max_of(team, kv) == KEY_INF;
     execute_remove_no_merge(team, kv, ref, k, is_last);
   } else {
+    // Entries already moved, and the stamp precedes the first entry write:
+    // k's erase record is in place.  Resume the shift.
     dedup_shift(team, ref);  // resume: collapse the duplicate, if any
   }
   return true;
@@ -256,6 +285,21 @@ bool Gfsl::repair_merge(Team& team, ChunkRef enc_ref, ChunkRef next_ref,
   const LaneVec<KV> ekv = read_chunk(team, enc_ref);
   const LaneVec<KV> nkv = read_chunk(team, next_ref);
   const int dsz = team.dsize();
+
+  // Replay the version bookkeeping first, exactly as the merge orders it
+  // (erase.cpp): stamp k's erase on the donor, then copy the donor's chain
+  // into the receiver.  Both replay idempotently; the zombify below is what
+  // makes the receiver the sole resolution point for the donor's keys, so
+  // the history must be there before it.
+  if (snaps_ != nullptr && is_bottom(enc_ref)) {
+    Value v = 0;
+    for (int i = 0; i < dsz; ++i) {
+      if (!kv_is_empty(ekv[i]) && kv_key(ekv[i]) == k) v = kv_value(ekv[i]);
+    }
+    stamp_erase(team, enc_ref, k, v);
+    copy_version_records(team, enc_ref, next_ref, KEY_NEG_INF,
+                         max_of(team, ekv), /*level=*/0);
+  }
 
   std::array<KV, 64> all{};
   int n = 0;

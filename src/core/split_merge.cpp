@@ -23,6 +23,7 @@ Gfsl::MovedKeys Gfsl::split_remove(Team& team, ChunkRef next_ref, int level) {
     failed.ok = false;
     return failed;
   }
+  set_chunk_level(fresh, level);
   const ChunkRef after = lock_next_chunk(team, next_ref);
   const LaneVec<KV> skv = read_chunk(team, next_ref);
   const int dsz = team.dsize();
@@ -44,6 +45,12 @@ Gfsl::MovedKeys Gfsl::split_remove(Team& team, ChunkRef next_ref, int level) {
                    static_cast<std::uint32_t>(half + 1) * 8u);
   team.step();
 
+  // Version records for the moved span (thresh, old_max] ride along with the
+  // entries: copied into the fresh chunk's chain while it is still private.
+  // A crash here merely leaks the fresh chunk — records included, purged
+  // when the chunk is reclaimed.  The copy is idempotent under replay.
+  copy_version_records(team, next_ref, fresh, thresh, old_max, level);
+
   // Publish: new max + new next pointer in a single atomic write (§4.2.2).
   // This is the split span's first destructive store: before it, the fresh
   // chunk is unreachable and a crash merely leaks it; after it, recovery
@@ -59,6 +66,9 @@ Gfsl::MovedKeys Gfsl::split_remove(Team& team, ChunkRef next_ref, int level) {
     atomic_entry_write(team, next_ref, i, KV_EMPTY);
   }
   clear_intent(team);
+  // The donor's chain still holds the moved keys' records; now that its max
+  // dropped to `thresh` they are out-of-range there and prunable.
+  maybe_prune_records(team, next_ref);
 
   MovedKeys moved;
   moved.count = half;
@@ -82,6 +92,7 @@ Gfsl::SplitOutcome Gfsl::split_insert(Team& team, ChunkRef split_ref, Key k,
     oom.fresh = NULL_CHUNK;
     return oom;
   }
+  set_chunk_level(fresh, level);
   // preSplit: lock the successor so it cannot merge away mid-split.
   const ChunkRef after = lock_next_chunk(team, split_ref);
   const LaneVec<KV> skv = read_chunk(team, split_ref);
@@ -102,6 +113,10 @@ Gfsl::SplitOutcome Gfsl::split_insert(Team& team, ChunkRef split_ref, Key k,
                    static_cast<std::uint32_t>(half + 1) * 8u);
   team.step();
 
+  // Moved-span records travel with the entries while `fresh` is private
+  // (same protocol as split_remove above).
+  copy_version_records(team, split_ref, fresh, thresh, old_max, level);
+
   publish_intent(team, IntentKind::kSplit, thresh, split_ref, after, fresh);
   atomic_entry_write(team, split_ref, arena_.next_slot(),
                      make_next_entry(thresh, fresh));
@@ -109,6 +124,7 @@ Gfsl::SplitOutcome Gfsl::split_insert(Team& team, ChunkRef split_ref, Key k,
     atomic_entry_write(team, split_ref, i, KV_EMPTY);
   }
   clear_intent(team);
+  maybe_prune_records(team, split_ref);
 
   SplitOutcome out;
   out.fresh = fresh;

@@ -102,7 +102,11 @@ ValidationReport Gfsl::validate(bool strict) const {
         if (ch.max != KEY_INF) fail(where.str() + ": last chunk max != inf");
       } else if (ch.data.empty()) {
         fail(where.str() + ": empty non-last chunk");
-      } else if (ch.max != kv_key(ch.data.back())) {
+      } else if (snaps_ == nullptr ? ch.max != kv_key(ch.data.back())
+                                   : ch.max < kv_key(ch.data.back())) {
+        // With versioning attached, erasing a chunk's max key keeps the max
+        // field sticky (erase.cpp) so the key's version record stays in
+        // range — the field may exceed the largest key, never undercut it.
         fail(where.str() + ": max field != largest key");
       }
 
@@ -197,6 +201,42 @@ ValidationReport Gfsl::validate(bool strict) const {
             fail(name + ": zombie neither reachable nor in limbo (leak)");
           }
         }
+      }
+    }
+  }
+
+  // Version-store invariant (DESIGN.md §13): a LIVE record (erase_rev still
+  // open) in a live bottom chunk's chain, with its key inside the chunk's
+  // range, asserts "this key is present with this value" — resolution rule 1
+  // would serve it to a current snapshot, so the structure must agree.
+  // Records beyond the chunk's max are superseded split copies (prunable,
+  // not a fault); annulled and departed records assert nothing.
+  if (snaps_ != nullptr && rep.ok) {
+    for (const auto& ch : insp.level_chain(0, nullptr)) {
+      if (ch.lock == kZombie) continue;
+      std::map<Key, Value> here;
+      for (const KV kv : ch.data) here[kv_key(kv)] = kv_value(kv);
+      std::uint32_t steps = 0;
+      for (RecIdx i = snaps_->chain_head(ch.ref);
+           i != SnapshotManager::kNullRec && steps < snaps_->walk_cap();
+           ++steps) {
+        const VersionRec& r = snaps_->rec(i);
+        const Rev er = r.erase_rev.load(std::memory_order_acquire);
+        if (er == SnapshotManager::kRevLive && r.key <= ch.max) {
+          const auto it = here.find(r.key);
+          if (it == here.end()) {
+            fail("level 0 chunk " + std::to_string(ch.ref) +
+                 ": live version record for absent key " +
+                 std::to_string(r.key));
+          } else if (it->second != r.value) {
+            fail("level 0 chunk " + std::to_string(ch.ref) + ": key " +
+                 std::to_string(r.key) + " value " +
+                 std::to_string(it->second) +
+                 " disagrees with its live version record " +
+                 std::to_string(r.value));
+          }
+        }
+        i = r.next.load(std::memory_order_acquire);
       }
     }
   }

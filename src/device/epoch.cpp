@@ -107,6 +107,57 @@ std::size_t EpochManager::drain_all(std::vector<ChunkRef>* out) {
   return moved;
 }
 
+void EpochManager::retire_ticket(int id, std::uint32_t ticket) {
+  const Epoch e = global_.load(std::memory_order_seq_cst);
+  auto& l = tickets_[slot_of(id)];
+  std::lock_guard<std::mutex> g(l.mu);
+  l.items.push_back({ticket, e});
+}
+
+std::size_t EpochManager::drain_safe_tickets(int id,
+                                             std::vector<std::uint32_t>* out) {
+  const Epoch g = global_.load(std::memory_order_seq_cst);
+  const Epoch ma = min_active_epoch();
+  auto& l = tickets_[slot_of(id)];
+  std::lock_guard<std::mutex> guard(l.mu);
+  std::size_t moved = 0;
+  std::size_t keep = 0;
+  for (std::size_t i = 0; i < l.items.size(); ++i) {
+    const RetiredTicket& r = l.items[i];
+    const bool safe = g >= r.epoch + 2 && (ma == kNoPin || ma > r.epoch + 1);
+    if (safe) {
+      out->push_back(r.ticket);
+      ++moved;
+    } else {
+      l.items[keep++] = r;
+    }
+  }
+  l.items.resize(keep);
+  return moved;
+}
+
+std::size_t EpochManager::drain_all_tickets(std::vector<std::uint32_t>* out) {
+  std::size_t moved = 0;
+  for (auto& l : tickets_) {
+    std::lock_guard<std::mutex> g(l.mu);
+    for (const auto& r : l.items) {
+      out->push_back(r.ticket);
+      ++moved;
+    }
+    l.items.clear();
+  }
+  return moved;
+}
+
+std::size_t EpochManager::ticket_limbo_total() const {
+  std::size_t total = 0;
+  for (const auto& l : tickets_) {
+    std::lock_guard<std::mutex> g(l.mu);
+    total += l.items.size();
+  }
+  return total;
+}
+
 void EpochManager::force_quiesce(int id) {
   slots_[slot_of(id)].store(0, std::memory_order_seq_cst);
 }
@@ -124,6 +175,15 @@ void EpochManager::adopt(int from, int to) {
   auto& dst = limbo_[t].items;
   dst.insert(dst.end(), src.begin(), src.end());
   src.clear();
+  // Tickets ride along under the same ordering discipline.
+  TicketLimbo& ta = tickets_[f < t ? f : t];
+  TicketLimbo& tb = tickets_[f < t ? t : f];
+  std::lock_guard<std::mutex> gta(ta.mu);
+  std::lock_guard<std::mutex> gtb(tb.mu);
+  auto& tsrc = tickets_[f].items;
+  auto& tdst = tickets_[t].items;
+  tdst.insert(tdst.end(), tsrc.begin(), tsrc.end());
+  tsrc.clear();
 }
 
 std::size_t EpochManager::limbo_depth(int id) const {

@@ -102,6 +102,21 @@ class EpochManager {
   /// no team is running — there is nothing a stamp could still protect.
   std::size_t drain_all(std::vector<ChunkRef>* out);
 
+  // --- Ticket limbo ---------------------------------------------------------
+  // A second, payload-agnostic limbo channel with the same grace-period
+  // rules, for resources other than chunk indices that lock-free readers
+  // reach under an epoch pin (today: MVCC version-record indices,
+  // core/snapshot.h).  Tickets never take the reclaim pass's structural
+  // reference scan — once their grace elapses they are simply handed back.
+
+  /// Queue `ticket` on `id`'s ticket limbo, stamped with the current epoch.
+  void retire_ticket(int id, std::uint32_t ticket);
+  /// Move every grace-elapsed ticket from `id`'s list into `out`.
+  std::size_t drain_safe_tickets(int id, std::vector<std::uint32_t>* out);
+  /// Quiescent only: empty every ticket list regardless of grace periods.
+  std::size_t drain_all_tickets(std::vector<std::uint32_t>* out);
+  std::size_t ticket_limbo_total() const;
+
   // --- Crash composition ---------------------------------------------------
 
   /// Drop `id`'s pin unconditionally (the team is certified crashed and
@@ -136,6 +151,14 @@ class EpochManager {
     mutable std::mutex mu;
     std::vector<Retired> items;
   };
+  struct RetiredTicket {
+    std::uint32_t ticket;
+    Epoch epoch;
+  };
+  struct TicketLimbo {
+    mutable std::mutex mu;
+    std::vector<RetiredTicket> items;
+  };
 
   // Out-of-range ids map to the overflow slot at index kMaxSlots instead of
   // wrapping onto a live team's slot: a stray force_quiesce/unpin on such an
@@ -149,6 +172,7 @@ class EpochManager {
   std::atomic<Epoch> global_;
   std::atomic<Epoch> slots_[kMaxSlots + 1];
   Limbo limbo_[kMaxSlots + 1];
+  TicketLimbo tickets_[kMaxSlots + 1];
   std::atomic<std::uint64_t> retired_total_;
   std::atomic<std::uint64_t> advances_;
 };

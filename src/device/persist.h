@@ -90,6 +90,13 @@ class PersistRegion {
   void* level_heads() const { return at(off_heads_); }     // kMaxLevels * 4
   void* intent_slots() const { return at(off_intents_); }  // kMaxTeams * 64
   void* lease_slots() const { return at(off_leases_); }    // kMaxTeams * 4
+  /// Durable MVCC revision (CAS-max mirror of the SnapshotEpoch), stored in
+  /// the spare tail of the arena-control section so version-1 images stay
+  /// attachable — a pre-MVCC file reads back revision 0, which recover()
+  /// treats as "everything collapses to insert_rev 0" (core/snapshot.h).
+  /// ChunkArena's Control struct occupies the first 16 bytes of the section
+  /// (static_asserted at the cast site).
+  void* durable_rev() const { return at(off_ctl_ + 16); }
 
   // --- Persist points -------------------------------------------------------
 

@@ -7,6 +7,7 @@
 #include <memory>
 
 #include "core/gfsl.h"
+#include "core/snapshot.h"
 #include "device/device_memory.h"
 #include "harness/history.h"
 #include "harness/postmortem.h"
@@ -75,8 +76,31 @@ CrashRunResult run_crash_at(const CrashSweepConfig& cfg,
   gcfg.team_size = cfg.team_size;
   gcfg.pool_chunks = cfg.pool_chunks;
   device::EpochManager epochs;
+  std::unique_ptr<core::SnapshotManager> snaps;
+  if (cfg.with_snapshots) {
+    snaps = std::make_unique<core::SnapshotManager>(gcfg.pool_chunks);
+  }
   core::Gfsl sl(gcfg, &mem, &sched, &leases,
-                cfg.with_epochs ? &epochs : nullptr);
+                cfg.with_epochs ? &epochs : nullptr, /*region=*/nullptr,
+                snaps.get());
+
+  // Snapshot-held-across-kill: freeze a bulk-loaded prefill under a snapshot
+  // before any scheduled team runs.  Every op of the workload — including
+  // the one the kill interrupts and recovery rolls forward or back — commits
+  // at a revision above the snapshot, so the post-run scan must reproduce
+  // the prefill exactly no matter where the victim died.
+  std::vector<std::pair<Key, Value>> frozen;
+  core::Snapshot held;
+  if (cfg.with_snapshots && cfg.prefill > 0) {
+    const std::uint64_t span = cfg.key_range > 1 ? cfg.key_range : 2;
+    for (std::uint64_t i = 0; i < cfg.prefill; ++i) {
+      const Key k = static_cast<Key>(1 + (2 * i) % span);
+      if (!frozen.empty() && frozen.back().first >= k) break;  // wrapped
+      frozen.emplace_back(k, static_cast<Value>(k * 31 + 7));
+    }
+    sl.bulk_load(frozen);
+    held = sl.snapshot();
+  }
 
   WorkloadConfig wl;
   wl.mix = kMix_20_20_60;  // update-heavy: splits, merges, down-ptr swings
@@ -119,6 +143,7 @@ CrashRunResult run_crash_at(const CrashSweepConfig& cfg,
         {"ops", std::to_string(cfg.ops)},
         {"key_range", std::to_string(cfg.key_range)},
         {"with_epochs", cfg.with_epochs ? "1" : "0"},
+        {"with_snapshots", cfg.with_snapshots ? "1" : "0"},
         {"batched", cfg.batched ? "1" : "0"},
     };
     const std::string stem =
@@ -223,12 +248,52 @@ CrashRunResult run_crash_at(const CrashSweepConfig& cfg,
   }
   std::vector<Key> final_keys;
   for (const auto& [k, v] : sl.collect()) final_keys.push_back(k);
-  const auto check = check_history(log.merged(), {}, final_keys);
+  std::vector<Key> initial_keys;
+  for (const auto& [k, v] : frozen) initial_keys.push_back(k);
+  const auto check = check_history(log.merged(), initial_keys, final_keys);
   if (!check.ok) {
     res.ok = false;
     res.error = "history violation: " + check.error;
     dump_failure("history_violation", res.error, &sl);
     return res;
+  }
+
+  // The held snapshot survived the kill, the recovery rolls, and the medic:
+  // its scan must still be exactly the frozen prefill.
+  if (cfg.with_snapshots && held.open()) {
+    std::vector<std::pair<Key, Value>> got;
+    const auto st = sl.scan_at(medic, held, MIN_USER_KEY, MAX_USER_KEY, got);
+    if (st != core::ScanAtStatus::kOk) {
+      res.ok = false;
+      res.error = "held snapshot expired across the kill (scan_at status " +
+                  std::to_string(static_cast<int>(st)) + ")";
+      dump_failure("snapshot_mismatch", res.error, &sl);
+      return res;
+    }
+    if (got != frozen) {
+      std::string detail = "held snapshot drifted: harvested " +
+                           std::to_string(got.size()) + " pairs, froze " +
+                           std::to_string(frozen.size());
+      for (const auto& [k, v] : got) {
+        bool found = false;
+        for (const auto& [fk, fv] : frozen) {
+          if (fk == k && fv == v) {
+            found = true;
+            break;
+          }
+        }
+        if (!found) {
+          detail += "; first divergence at key " + std::to_string(k);
+          break;
+        }
+      }
+      res.ok = false;
+      res.error = detail;
+      dump_failure("snapshot_mismatch", res.error, &sl);
+      return res;
+    }
+    res.snapshot_checked = true;
+    sl.release_snapshot(held);
   }
   return res;
 }
@@ -257,6 +322,7 @@ CrashSweepResult run_crash_sweep(const CrashSweepConfig& cfg,
     const auto r = run_crash_at(cfg, s, watchdog, reg);
     ++out.runs;
     if (r.victim_killed) ++out.kills_landed;
+    if (r.snapshot_checked) ++out.snapshot_checks;
     out.medic_recoveries += static_cast<std::uint64_t>(r.locks_recovered);
     if (!r.ok) {
       out.ok = false;

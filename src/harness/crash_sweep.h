@@ -51,6 +51,14 @@ struct CrashSweepConfig {
   // spans, the medic must force-quiesce the victim's pin and adopt its
   // limbo, and validation additionally classifies limbo/free chunks.
   bool with_epochs = false;
+  // Attach a SnapshotManager, bulk-load `prefill` pairs, and hold a snapshot
+  // of them across the whole run: wherever the kill lands (and whichever way
+  // recovery rolls the victim's half-done mutation), every post-run
+  // scan_at() over that snapshot must still return exactly the prefill —
+  // snapshot isolation is not allowed to depend on the crash-repair path.
+  // Failures dump a `snapshot_mismatch` postmortem bundle.
+  bool with_snapshots = false;
+  std::uint64_t prefill = 24;  // bulk-loaded pairs frozen under the snapshot
   // Batched dispatch (DESIGN.md §10): the whole op array becomes ONE batch —
   // key-sorted, sharded, drained through a stealing ShardQueue — so kills
   // land inside shard execution: mid-shard with a warm cursor, between the
@@ -73,6 +81,7 @@ struct CrashRunResult {
   std::string error;
   bool hang = false;           // a survivor hit the watchdog
   bool victim_killed = false;  // the kill actually landed (victim was alive)
+  bool snapshot_checked = false;  // the held snapshot was scanned and matched
   std::uint64_t steps = 0;     // global yield steps the run consumed
   int locks_recovered = 0;     // dead locks released by the post-run medic
 };
@@ -84,6 +93,7 @@ struct CrashSweepResult {
   std::uint64_t runs = 0;
   std::uint64_t kills_landed = 0;
   std::uint64_t medic_recoveries = 0;  // sum of locks_recovered over runs
+  std::uint64_t snapshot_checks = 0;   // held-snapshot scans that matched
   std::uint64_t failed_at_step = 0;    // kill step of the first failure
 };
 

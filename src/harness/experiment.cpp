@@ -1,10 +1,14 @@
 #include "harness/experiment.h"
 
 #include <algorithm>
+#include <atomic>
 #include <fstream>
 #include <memory>
+#include <thread>
 
 #include "common/random.h"
+#include "core/snapshot.h"
+#include "device/epoch.h"
 #include "device/persist.h"
 #include "harness/postmortem.h"
 #include "sched/lease.h"
@@ -124,6 +128,14 @@ void sample_structure_gauges(obs::MetricsRegistry& reg, const core::Gfsl& sl) {
   if (const device::EpochManager* ep = sl.epochs(); ep != nullptr) {
     reg.set_gauge(obs::kEpochLag, static_cast<double>(ep->epoch_lag()));
   }
+  if (const core::SnapshotManager* sn = sl.snapshots(); sn != nullptr) {
+    reg.set_gauge(obs::kActiveSnapshots,
+                  static_cast<double>(sn->active_snapshots()));
+    reg.set_gauge(obs::kSnapshotAgeRevs,
+                  static_cast<double>(sn->oldest_snapshot_age()));
+    reg.set_gauge(obs::kVersionRecordsLive,
+                  static_cast<double>(sn->records_live()));
+  }
 }
 
 void apply_gfsl_contention(model::KernelRun& k,
@@ -193,7 +205,16 @@ Measurement measure_gfsl(const WorkloadConfig& wl,
         static_cast<std::atomic<std::uint32_t>*>(region->lease_slots()),
         /*adopt=*/false);
   }
-  core::Gfsl sl(cfg, &mem, nullptr, leases.get(), nullptr, region.get());
+  std::unique_ptr<device::EpochManager> epochs;
+  std::unique_ptr<core::SnapshotManager> snaps;
+  if (setup.snapshot_scan) {
+    // The scanner needs versioned mutations; the EpochManager rides along so
+    // pruned version records get their grace period instead of leaking.
+    epochs = std::make_unique<device::EpochManager>();
+    snaps = std::make_unique<core::SnapshotManager>(cfg.pool_chunks);
+  }
+  core::Gfsl sl(cfg, &mem, nullptr, leases.get(), epochs.get(), region.get(),
+                snaps.get());
 
   sl.bulk_load(generate_prefill(wl));
 
@@ -219,6 +240,55 @@ Measurement measure_gfsl(const WorkloadConfig& wl,
   if (!setup.postmortem_out.empty() && rc.trace == nullptr) {
     rc.trace = &recorder;
   }
+  // Concurrent snapshot scanner: one extra thread (team id num_workers)
+  // repeatedly takes a snapshot and harvests consistent subranges through
+  // scan_at while the workers mutate.  Each harvest is checked for the one
+  // property scan_at owes its caller regardless of concurrency: strictly
+  // ascending keys with no duplicates.
+  std::atomic<bool> scan_stop{false};
+  std::thread scanner;
+  if (setup.snapshot_scan) {
+    scanner = std::thread([&] {
+      simt::Team team(sl.team_size(), setup.num_workers,
+                      derive_seed(wl.seed, 0x5CA7));
+      if (setup.metrics != nullptr &&
+          setup.metrics->shards() > setup.num_workers) {
+        team.set_metrics(&setup.metrics->shard(setup.num_workers));
+      }
+      Xoshiro256ss rng(derive_seed(wl.seed, 0x5CA8));
+      const std::uint64_t range = std::max<std::uint64_t>(wl.key_range, 2);
+      const std::uint64_t span = std::max<std::uint64_t>(range / 64, 64);
+      std::vector<std::pair<Key, Value>> out;
+      while (!scan_stop.load(std::memory_order_acquire)) {
+        core::Snapshot s = sl.snapshot();
+        for (int i = 0; i < 4 && !scan_stop.load(std::memory_order_acquire);
+             ++i) {
+          const std::uint64_t lo64 = 1 + rng.below(range - 1);
+          const Key lo = static_cast<Key>(
+              std::min<std::uint64_t>(lo64, MAX_USER_KEY));
+          const Key hi = static_cast<Key>(
+              std::min<std::uint64_t>(lo64 + span, MAX_USER_KEY));
+          out.clear();
+          const core::ScanAtStatus st =
+              sl.scan_at(team, s, lo, hi, out, /*limit=*/4096);
+          if (st == core::ScanAtStatus::kOk) {
+            for (std::size_t j = 1; j < out.size(); ++j) {
+              if (out[j - 1].first >= out[j].first) {
+                std::abort();  // scan_at broke its ordering contract
+              }
+            }
+            ++m.snapshot_scans;
+            m.snapshot_scan_items += out.size();
+          } else {
+            ++m.snapshot_scans_expired;
+            break;
+          }
+        }
+        sl.release_snapshot(s);
+      }
+    });
+  }
+
   RunResult rr;
   if (setup.batch_size > 0) {
     BatchRunOptions bo;
@@ -228,6 +298,10 @@ Measurement measure_gfsl(const WorkloadConfig& wl,
     m.batch = std::move(br.stats);
   } else {
     rr = run_gfsl(sl, ops, rc, mem);
+  }
+  if (scanner.joinable()) {
+    scan_stop.store(true, std::memory_order_release);
+    scanner.join();
   }
   if (setup.metrics != nullptr) sample_structure_gauges(*setup.metrics, sl);
 

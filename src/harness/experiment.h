@@ -45,6 +45,13 @@ struct StructureSetup {
   /// automatically (the durability protocol requires one); the run ends with
   /// a clean-shutdown mark.  GFSL only; ignored by measure_mc.
   std::string persist_path;
+  /// Attach a core::SnapshotManager (plus an EpochManager, so version chains
+  /// are GC'd to the min-snapshot watermark) and run a concurrent scanner
+  /// thread through snapshot() + scan_at() for the whole measured run.  The
+  /// scanner's traffic lands in Measurement::snapshot_* and, when a metrics
+  /// registry with > num_workers shards is attached, in shard num_workers —
+  /// it does not count toward the modeled MOPS.  GFSL only.
+  bool snapshot_scan = false;
 };
 
 struct Measurement {
@@ -56,6 +63,10 @@ struct Measurement {
   simt::TeamCounters team_totals;  // GFSL only
   double avg_chunks_per_traversal = 0.0;  // GFSL only (§5.2 p_chunk metric)
   core::BatchStats batch;  // populated when setup.batch_size > 0
+  // Populated when setup.snapshot_scan: concurrent scan_at traffic.
+  std::uint64_t snapshot_scans = 0;          // scans that completed kOk
+  std::uint64_t snapshot_scan_items = 0;     // pairs harvested across them
+  std::uint64_t snapshot_scans_expired = 0;  // snapshots expired mid-scan
 };
 
 /// One measured GFSL launch: fresh structure + prefill + warmup + timed run.

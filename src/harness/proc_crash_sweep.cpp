@@ -5,13 +5,16 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include "core/gfsl.h"
+#include "core/snapshot.h"
 #include "device/device_memory.h"
 #include "device/epoch.h"
 #include "device/persist.h"
@@ -89,8 +92,12 @@ std::vector<Op> sweep_ops(const ProcCrashSweepConfig& cfg) {
     sched.attach_leases(&leases);
     device::DeviceMemory mem;
     device::EpochManager epochs;
+    std::unique_ptr<core::SnapshotManager> snaps;
+    if (cfg.with_snapshots) {
+      snaps = std::make_unique<core::SnapshotManager>(cfg.pool_chunks);
+    }
     core::Gfsl sl(gfsl_config(cfg), &mem, &sched, &leases,
-                  cfg.with_epochs ? &epochs : nullptr, &region);
+                  cfg.with_epochs ? &epochs : nullptr, &region, snaps.get());
 
     const auto ops = sweep_ops(cfg);
     const int jfd = ::open(journal_path(cfg).c_str(),
@@ -164,18 +171,23 @@ VerifyOutcome verify_image(const ProcCrashSweepConfig& cfg,
       /*adopt=*/true);
   device::DeviceMemory mem;
   device::EpochManager epochs;  // fresh: limbo is rebuilt by classification
+  std::unique_ptr<core::SnapshotManager> snaps;
+  if (cfg.with_snapshots) {
+    snaps = std::make_unique<core::SnapshotManager>(cfg.pool_chunks);
+  }
   core::Gfsl sl(gfsl_config(cfg), &mem, /*scheduler=*/nullptr, &leases,
-                cfg.with_epochs ? &epochs : nullptr, &region);
+                cfg.with_epochs ? &epochs : nullptr, &region, snaps.get());
   out.recovery = sl.recover();
 
-  auto fail = [&](const std::string& msg) {
+  auto fail = [&](const std::string& msg,
+                  const std::string& reason = "recovery_failure") {
     if (out.ok) {
       out.ok = false;
       out.error = msg;
     }
     if (!cfg.postmortem_dir.empty()) {
       PostmortemContext ctx;
-      ctx.reason = "recovery_failure";
+      ctx.reason = reason;
       ctx.detail = msg;
       ctx.gfsl = &sl;
       ctx.info = {
@@ -188,6 +200,7 @@ VerifyOutcome verify_image(const ProcCrashSweepConfig& cfg,
           {"ops", std::to_string(cfg.ops)},
           {"key_range", std::to_string(cfg.key_range)},
           {"with_epochs", cfg.with_epochs ? "1" : "0"},
+          {"with_snapshots", cfg.with_snapshots ? "1" : "0"},
       };
       (void)dump_postmortem(cfg.postmortem_dir,
                             "postmortem_proc_crash_k" + std::to_string(kill_at),
@@ -292,6 +305,45 @@ VerifyOutcome verify_image(const ProcCrashSweepConfig& cfg,
            ")");
       return out;
     }
+  }
+
+  // Post-recovery MVCC coherence: the child's version chains died with it,
+  // so a fresh snapshot must see the recovered contents verbatim (every
+  // surviving key resolves as a legacy, pre-history key), and its revision
+  // must sit at or above the durable clock the child pushed — a regressed
+  // clock would let post-restart commits reuse pre-crash revisions.
+  if (cfg.with_snapshots) {
+    const std::uint64_t durable =
+        static_cast<std::atomic<std::uint64_t>*>(region.durable_rev())
+            ->load(std::memory_order_acquire);
+    core::Snapshot fresh = sl.snapshot();
+    if (!fresh.open()) {
+      fail("post-recovery snapshot acquisition failed", "snapshot_mismatch");
+      return out;
+    }
+    if (fresh.rev < durable) {
+      fail("post-recovery snapshot rev " + std::to_string(fresh.rev) +
+               " below the durable revision " + std::to_string(durable),
+           "snapshot_mismatch");
+      return out;
+    }
+    simt::Team team(cfg.team_size, 0, 7);
+    std::vector<std::pair<Key, Value>> got;
+    const auto st = sl.scan_at(team, fresh, MIN_USER_KEY, MAX_USER_KEY, got);
+    if (st != core::ScanAtStatus::kOk) {
+      fail("post-recovery scan_at failed with status " +
+               std::to_string(static_cast<int>(st)),
+           "snapshot_mismatch");
+      return out;
+    }
+    if (got != contents) {
+      fail("post-recovery snapshot scan (" + std::to_string(got.size()) +
+               " pairs) disagrees with recovered contents (" +
+               std::to_string(contents.size()) + ")",
+           "snapshot_mismatch");
+      return out;
+    }
+    sl.release_snapshot(fresh);
   }
   return out;
 }

@@ -46,6 +46,14 @@ struct ProcCrashSweepConfig {
   // retire/recycle transitions and recovery must rebuild limbo accounting
   // from the generation stamps alone.
   bool with_epochs = false;
+  // Attach a SnapshotManager in both child and parent: child kills then also
+  // land inside version-record stamps, commit-slot windows, and durable
+  // revision CAS-max updates.  After recover(), the parent opens a fresh
+  // snapshot and its scan_at must equal the recovered contents exactly (the
+  // chains died with the child; every surviving key resolves as legacy), and
+  // the restored revision clock must be at least the durable revision —
+  // failures dump a `snapshot_mismatch` postmortem.
+  bool with_snapshots = false;
   // Region + journal live under this directory (must exist; files are
   // recreated per run and removed on success).
   std::string work_dir = ".";

@@ -189,6 +189,35 @@ RunResult run_gfsl_batched(core::Gfsl& sl, const std::vector<Op>& ops,
   for (std::size_t b = 0; b < nb; ++b) arrived[b].store(0);
   std::atomic<int> dead{0};
 
+  // Whole-batch MVCC revision, same protocol as core::run_batch: the first
+  // worker to reach batch b claims a batch commit slot and publishes one
+  // revision for the whole launch; every shard stamps it, so a snapshot sees
+  // none or all of the batch.  The revision stays in-flight (invisible to
+  // stable_rev) until the batch barrier clears; exactly one survivor ends
+  // it, and the host sweeps up after killed teams post-join.  Slot
+  // exhaustion (or no SnapshotManager) degrades to per-op revisions (rev 0).
+  constexpr core::Rev kRevUnset = ~core::Rev{0};
+  core::SnapshotManager* snaps = sl.snapshots();
+  auto brev = std::make_unique<std::atomic<core::Rev>[]>(nb);
+  auto bslot = std::make_unique<std::atomic<int>[]>(nb);
+  auto bclaim = std::make_unique<std::atomic<int>[]>(nb);
+  auto bended = std::make_unique<std::atomic<int>[]>(nb);
+  for (std::size_t b = 0; b < nb; ++b) {
+    brev[b].store(snaps != nullptr ? kRevUnset : 0);
+    bslot[b].store(-1);
+    bclaim[b].store(0);
+    bended[b].store(0);
+  }
+  auto end_batch_commit = [&](std::size_t b) {
+    if (snaps == nullptr) return;
+    if (bended[b].exchange(1, std::memory_order_acq_rel) != 0) return;
+    const int s = bslot[b].load(std::memory_order_acquire);
+    if (s >= 0) {
+      snaps->end_commit(s);
+      snaps->release_batch_slot(s);
+    }
+  };
+
   {
     std::vector<std::thread> threads;
     threads.reserve(static_cast<std::size_t>(workers));
@@ -205,6 +234,31 @@ RunResult run_gfsl_batched(core::Gfsl& sl, const std::vector<Op>& ops,
         try {
           for (std::size_t b = 0; b < nb; ++b) {
             const std::size_t off = batches[b].first;
+            // Publish (or wait for) this launch's whole-batch revision.
+            core::Rev rev = brev[b].load(std::memory_order_acquire);
+            if (rev == kRevUnset) {
+              int claim = 0;
+              if (bclaim[b].compare_exchange_strong(
+                      claim, 1, std::memory_order_acq_rel)) {
+                const int bs = snaps->acquire_batch_slot();
+                core::Rev r = 0;
+                if (bs >= 0) {
+                  bslot[b].store(bs, std::memory_order_release);
+                  r = snaps->begin_commit(bs);
+                }
+                brev[b].store(r, std::memory_order_release);
+                rev = r;
+              } else {
+                while ((rev = brev[b].load(std::memory_order_acquire)) ==
+                       kRevUnset) {
+                  if (cfg.scheduler != nullptr) {
+                    cfg.scheduler->yield(w);  // may throw TeamKilled
+                  } else {
+                    std::this_thread::yield();
+                  }
+                }
+              }
+            }
             int s;
             bool stolen = false;
             while ((s = queues[b]->pop(w, &stolen)) >= 0) {
@@ -215,7 +269,7 @@ RunResult run_gfsl_batched(core::Gfsl& sl, const std::vector<Op>& ops,
               }
               const core::ShardExecStats ex = sl.execute_shard(
                   team, ops.data() + off, plans[b].order.data(), sh.begin,
-                  sh.end, outcomes.data() + off);
+                  sh.end, outcomes.data() + off, nullptr, rev);
               mine.reuses += ex.reuses;
               mine.fulls += ex.fulls;
               mine.pins += ex.pins;
@@ -233,6 +287,9 @@ RunResult run_gfsl_batched(core::Gfsl& sl, const std::vector<Op>& ops,
                 std::this_thread::yield();
               }
             }
+            // Every shard of the launch has retired; the batch's revision
+            // becomes stable in one step.
+            end_batch_commit(b);
           }
         } catch (const sched::TeamKilled&) {
           // Failure injection: excuse this team from remaining barriers.
@@ -246,6 +303,14 @@ RunResult run_gfsl_batched(core::Gfsl& sl, const std::vector<Op>& ops,
       });
     }
     for (auto& t : threads) t.join();
+  }
+  // Killed teams may have left batch commits in flight; a stuck in-flight
+  // revision would pin stable_rev (and every future snapshot) forever.
+  for (std::size_t b = 0; b < nb; ++b) {
+    if (snaps != nullptr &&
+        brev[b].load(std::memory_order_acquire) != kRevUnset) {
+      end_batch_commit(b);
+    }
   }
   const auto t1 = Clock::now();
 

@@ -100,6 +100,13 @@ std::string_view counter_name(CounterId id) {
     case kBatchDescentReuses: return "batch_descent_reuses";
     case kBatchFullDescents: return "batch_full_descents";
     case kBatchEpochPins: return "batch_epoch_pins";
+    case kOpScanAtCount: return "scan_at_count";
+    case kOpScanAtItems: return "scan_at_items";
+    case kScanAtRedescents: return "scan_at_redescents";
+    case kScanAtExpired: return "scan_at_expired";
+    case kVersionRecordsCreated: return "version_records_created";
+    case kVersionRecordsPruned: return "version_records_pruned";
+    case kVersionRecordCopies: return "version_record_copies";
     case kInstructions: return "instructions";
     case kBallots: return "ballots";
     case kShfls: return "shfls";
@@ -121,6 +128,9 @@ std::string_view hist_name(HistId id) {
     case kScanSteps: return "scan_steps";
     case kLockHoldStepsHist: return "lock_hold_steps";
     case kBatchShardOps: return "batch_shard_ops";
+    case kScanAtWallNs: return "scan_at_wall_ns";
+    case kScanAtSteps: return "scan_at_steps";
+    case kVersionChainLen: return "version_chain_len";
     case kHistIdCount: break;
   }
   return "unknown";
@@ -137,6 +147,9 @@ std::string_view gauge_name(GaugeId id) {
     case kLimboChunks: return "limbo_chunks";
     case kFreeChunks: return "free_chunks";
     case kEpochLag: return "epoch_lag";
+    case kActiveSnapshots: return "active_snapshots";
+    case kSnapshotAgeRevs: return "snapshot_age_revs";
+    case kVersionRecordsLive: return "version_records_live";
     case kGaugeIdCount: break;
   }
   return "unknown";
@@ -148,6 +161,7 @@ std::string_view op_tag_name(std::uint8_t tag) {
     case 1: return "erase";
     case 2: return "contains";
     case 3: return "scan";
+    case 4: return "scan_at";
     default: return "op";
   }
 }

@@ -123,6 +123,13 @@ enum CounterId : int {
   kBatchDescentReuses,   // batch searches that started from a warm cursor
   kBatchFullDescents,    // batch searches that restarted from the head
   kBatchEpochPins,       // per-shard epoch pins (incl. mid-shard refreshes)
+  kOpScanAtCount,        // snapshot scans started (scan_at)
+  kOpScanAtItems,        // pairs emitted by snapshot scans
+  kScanAtRedescents,     // scan_at resumes (stale chunk -> re-descend, no restart)
+  kScanAtExpired,        // scan_at calls aborted on an expired snapshot
+  kVersionRecordsCreated,  // version records stamped by this team
+  kVersionRecordsPruned,   // records unlinked by chain pruning / purges
+  kVersionRecordCopies,    // records copied along split/merge key movement
   kInstructions,
   kBallots,
   kShfls,
@@ -141,6 +148,9 @@ enum HistId : int {
   kScanSteps,
   kLockHoldStepsHist,
   kBatchShardOps,  // ops per executed shard (batch dispatch granularity)
+  kScanAtWallNs,
+  kScanAtSteps,
+  kVersionChainLen,  // chain length observed at prune points
   kHistIdCount,
 };
 
@@ -154,6 +164,9 @@ enum GaugeId : int {
   kLimboChunks,     // retired chunks awaiting their grace period
   kFreeChunks,      // recycled chunks on the arena free-list
   kEpochLag,        // global epoch minus the slowest pinned team's epoch
+  kActiveSnapshots,     // registered snapshots at report time
+  kSnapshotAgeRevs,     // current revision minus the oldest snapshot's
+  kVersionRecordsLive,  // version records resident in chunk chains
   kGaugeIdCount,
 };
 
@@ -179,6 +192,8 @@ inline constexpr OpIds kContainsOp{kOpContainsCount, kOpContainsTrue,
                                    kContainsWallNs, kContainsSteps, 2};
 inline constexpr OpIds kScanOp{kOpScanCount, kOpScanItems, kScanWallNs,
                                kScanSteps, 3};
+inline constexpr OpIds kScanAtOp{kOpScanAtCount, kOpScanAtItems, kScanAtWallNs,
+                                 kScanAtSteps, 4};
 
 std::string_view op_tag_name(std::uint8_t tag);
 

@@ -6,11 +6,17 @@
 // and without epoch reclamation.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "common/random.h"
 #include "core/gfsl.h"
+#include "core/snapshot.h"
 #include "device/device_memory.h"
 #include "device/epoch.h"
 #include "harness/runner.h"
@@ -21,6 +27,7 @@ namespace gfsl::core {
 namespace {
 
 using gfsl::testing::MapOracle;
+using gfsl::testing::SnapshotOracle;
 using simt::Team;
 
 Value value_of(Key k) { return static_cast<Value>(k * 31 + 7); }
@@ -292,6 +299,237 @@ TEST(BatchDifferential, SingleTeamWithEpochsReclaims) {
   }
   expect_structure_matches(sl, team, oracle);
   EXPECT_GT(sl.chunks_reclaimed(), 0u);
+}
+
+// --- MVCC snapshot differentials (DESIGN.md §13) ---------------------------
+// A SnapshotOracle freezes the reference map the instant Gfsl::snapshot() is
+// taken; however much batch or per-op traffic lands afterwards, scan_at over
+// that snapshot must keep reproducing the frozen state exactly.
+
+TEST(BatchDifferential, SnapshotsStayFrozenAcrossBatches) {
+  device::DeviceMemory mem;
+  device::EpochManager ep;
+  GfslConfig cfg;
+  cfg.pool_chunks = 1u << 12;
+  SnapshotManager snaps(cfg.pool_chunks);
+  Gfsl sl(cfg, &mem, nullptr, nullptr, &ep, nullptr, &snaps);
+  Team team(sl.team_size(), 0, 41);
+  MapOracle oracle;
+
+  std::vector<std::pair<Key, Value>> prefill;
+  for (Key k = 1; k <= 1024; k += 2) prefill.emplace_back(k, value_of(k));
+  sl.bulk_load(prefill);
+  oracle.preload(prefill);
+
+  // One snapshot + frozen oracle per batch boundary; every batch of churn
+  // must leave ALL earlier snapshots intact.
+  std::vector<Snapshot> snapshots;
+  std::vector<SnapshotOracle> frozen;
+  Xoshiro256ss rng(41);
+  for (int batch = 0; batch < 6; ++batch) {
+    snapshots.push_back(sl.snapshot());
+    frozen.emplace_back(oracle);
+    const auto ops = random_batch(rng, 512, 1024, 35, 35);
+    const BatchResult br = run_batch(sl, team, ops);
+    expect_outcomes_match(br, oracle.apply_batch(ops), ops);
+    for (std::size_t i = 0; i < snapshots.size(); ++i) {
+      std::vector<std::pair<Key, Value>> got;
+      ASSERT_EQ(sl.scan_at(team, snapshots[i], MIN_USER_KEY, MAX_USER_KEY, got),
+                ScanAtStatus::kOk);
+      EXPECT_EQ(got, frozen[i].expected_range(MIN_USER_KEY, MAX_USER_KEY))
+          << "snapshot " << i << " drifted after batch " << batch;
+      // Subrange + limit shapes must agree with the same frozen state.
+      std::vector<std::pair<Key, Value>> sub;
+      ASSERT_EQ(sl.scan_at(team, snapshots[i], 100, 400, sub, /*limit=*/37),
+                ScanAtStatus::kOk);
+      EXPECT_EQ(sub, frozen[i].expected_range(100, 400, 37));
+    }
+  }
+  for (auto& s : snapshots) sl.release_snapshot(s);
+  expect_structure_matches(sl, team, oracle);
+  // A released snapshot is refused, not served stale data.
+  std::vector<std::pair<Key, Value>> got;
+  EXPECT_EQ(sl.scan_at(team, snapshots[0], MIN_USER_KEY, MAX_USER_KEY, got),
+            ScanAtStatus::kSnapshotExpired);
+}
+
+TEST(BatchDifferential, SnapshotSeesNoneOrAllOfEachBatch) {
+  // Batches commit under ONE revision: a scanner thread racing run_batch may
+  // observe the structure only at batch boundaries.  Precompute every
+  // boundary state; each concurrent scan_at harvest must equal one of them.
+  device::DeviceMemory mem;
+  device::EpochManager ep;
+  GfslConfig cfg;
+  cfg.pool_chunks = 1u << 12;
+  SnapshotManager snaps(cfg.pool_chunks);
+  Gfsl sl(cfg, &mem, nullptr, nullptr, &ep, nullptr, &snaps);
+  MapOracle oracle;
+
+  std::vector<std::pair<Key, Value>> prefill;
+  for (Key k = 1; k <= 512; k += 2) prefill.emplace_back(k, value_of(k));
+  sl.bulk_load(prefill);
+  oracle.preload(prefill);
+
+  constexpr int kBatches = 10;
+  Xoshiro256ss rng(43);
+  std::vector<std::vector<Op>> batches;
+  std::vector<std::vector<std::pair<Key, Value>>> boundary;
+  boundary.push_back(oracle.collect());
+  for (int b = 0; b < kBatches; ++b) {
+    batches.push_back(random_batch(rng, 384, 512, 40, 40));
+    (void)oracle.apply_batch(batches.back());
+    boundary.push_back(oracle.collect());
+  }
+
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> scans{0};
+  std::atomic<std::uint64_t> mismatches{0};
+  std::string torn;  // first mismatch, diffed against the nearest boundary
+  std::thread scanner([&] {
+    Team stm(sl.team_size(), 1, 47);
+    while (!done.load(std::memory_order_acquire)) {
+      Snapshot s = sl.snapshot();
+      std::vector<std::pair<Key, Value>> got;
+      if (sl.scan_at(stm, s, MIN_USER_KEY, MAX_USER_KEY, got) ==
+          ScanAtStatus::kOk) {
+        ++scans;
+        bool hit = false;
+        for (const auto& st : boundary) {
+          if (got == st) {
+            hit = true;
+            break;
+          }
+        }
+        if (!hit && mismatches.fetch_add(1) == 0) {
+          // Postmortem: diff against the boundary with the fewest
+          // symmetric differences so the failure names the torn keys.
+          std::size_t best = SIZE_MAX, bi = 0;
+          for (std::size_t i = 0; i < boundary.size(); ++i) {
+            std::map<Key, Value> bm(boundary[i].begin(), boundary[i].end());
+            std::size_t d = 0;
+            for (const auto& [k, v] : got) {
+              const auto it = bm.find(k);
+              if (it == bm.end() || it->second != v) ++d;
+            }
+            std::map<Key, Value> gm(got.begin(), got.end());
+            for (const auto& [k, v] : boundary[i]) {
+              if (gm.find(k) == gm.end()) ++d;
+            }
+            if (d < best) {
+              best = d;
+              bi = i;
+            }
+          }
+          std::ostringstream os;
+          os << "snapshot rev " << s.rev << " harvested " << got.size()
+             << " pairs; nearest boundary " << bi << " (size "
+             << boundary[bi].size() << ", " << best << " diffs):";
+          std::map<Key, Value> bm(boundary[bi].begin(), boundary[bi].end());
+          std::map<Key, Value> gm(got.begin(), got.end());
+          int shown = 0;
+          for (const auto& [k, v] : gm) {
+            const auto it = bm.find(k);
+            if (it == bm.end()) {
+              os << " extra<" << k << "," << v << ">";
+            } else if (it->second != v) {
+              os << " val<" << k << ":" << v << "!=" << it->second << ">";
+            } else {
+              continue;
+            }
+            if (++shown == 12) break;
+          }
+          for (const auto& [k, v] : bm) {
+            if (gm.find(k) == gm.end()) {
+              os << " missing<" << k << "," << v << ">";
+              if (++shown == 24) break;
+            }
+          }
+          torn = os.str();
+        }
+      }
+      sl.release_snapshot(s);
+    }
+  });
+
+  Team team(sl.team_size(), 0, 43);
+  for (const auto& ops : batches) {
+    const BatchResult br = run_batch(sl, team, ops);
+    EXPECT_FALSE(br.out_of_memory);
+  }
+  done.store(true, std::memory_order_release);
+  scanner.join();
+
+  EXPECT_GT(scans.load(), 0u);
+  EXPECT_EQ(mismatches.load(), 0u) << torn;
+  expect_structure_matches(sl, team, oracle);
+}
+
+TEST(BatchDifferential, SnapshotFrozenUnderConcurrentPerOpChurn) {
+  // Freeze a snapshot at a quiescent point, then hammer the structure with
+  // concurrent per-op insert/erase workers while a scanner keeps comparing
+  // scan_at against the frozen oracle.
+  device::DeviceMemory mem;
+  device::EpochManager ep;
+  GfslConfig cfg;
+  cfg.pool_chunks = 1u << 13;
+  SnapshotManager snaps(cfg.pool_chunks);
+  Gfsl sl(cfg, &mem, nullptr, nullptr, &ep, nullptr, &snaps);
+
+  std::vector<std::pair<Key, Value>> prefill;
+  for (Key k = 1; k <= 2048; k += 2) prefill.emplace_back(k, value_of(k));
+  sl.bulk_load(prefill);
+
+  Snapshot s = sl.snapshot();
+  const SnapshotOracle frozen(sl.collect());
+
+  constexpr int kWorkers = 3;
+  std::atomic<bool> done{false};
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([&, w] {
+      Team team(sl.team_size(), w, 100 + static_cast<std::uint64_t>(w));
+      Xoshiro256ss rng(200 + static_cast<std::uint64_t>(w));
+      while (!done.load(std::memory_order_acquire)) {
+        const Key k = static_cast<Key>(1 + rng.below(2048));
+        if (rng.below(2) == 0) {
+          sl.insert(team, k, value_of(k) + 1);
+        } else {
+          sl.erase(team, k);
+        }
+      }
+    });
+  }
+
+  Team stm(sl.team_size(), kWorkers, 57);
+  Xoshiro256ss srng(57);
+  // Don't start comparing until the workers have actually mutated something,
+  // or a heavily loaded machine lets all scans finish against an untouched
+  // structure.
+  while (snaps.records_created() == 0) std::this_thread::yield();
+  std::string drift;  // first mismatch; asserted after the workers join
+  for (std::uint64_t ok_scans = 0; ok_scans < 200 && drift.empty();
+       ++ok_scans) {
+    const Key lo = static_cast<Key>(1 + srng.below(2048));
+    const Key hi = static_cast<Key>(std::min<std::uint64_t>(lo + 256, 2048));
+    std::vector<std::pair<Key, Value>> got;
+    const ScanAtStatus st = sl.scan_at(stm, s, lo, hi, got);
+    if (st != ScanAtStatus::kOk) {
+      drift = "scan_at status " + std::to_string(static_cast<int>(st));
+    } else if (got != frozen.expected_range(lo, hi)) {
+      drift = "snapshot drifted under churn in [" + std::to_string(lo) +
+              ", " + std::to_string(hi) + "]: got " +
+              std::to_string(got.size()) + " pairs, want " +
+              std::to_string(frozen.expected_range(lo, hi).size());
+    }
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& t : workers) t.join();
+  EXPECT_TRUE(drift.empty()) << drift;
+  sl.release_snapshot(s);
+
+  const auto rep = sl.validate(false);
+  EXPECT_TRUE(rep.ok) << rep.error;
+  EXPECT_GT(snaps.records_created(), 0u);
 }
 
 }  // namespace

@@ -409,4 +409,56 @@ TEST(CrashSweepBatched, BatchedSweepWithEpochPins) {
   EXPECT_GT(res.kills_landed, 0u);
 }
 
+// ---------------------------------------------------------------------------
+// Snapshot-holding sweeps (DESIGN.md §13): a snapshot of the bulk-loaded
+// prefill is held across the whole run, so every kill — and whichever way
+// recovery rolls the victim's half-done mutation — happens *under* it.  The
+// post-run scan_at over that snapshot must return exactly the prefill:
+// snapshot isolation is not allowed to depend on the crash-repair path.
+
+TEST(CrashSweepSnapshots, HeldSnapshotSurvivesEveryKill) {
+  CrashSweepConfig cfg;
+  cfg.workers = 3;
+  cfg.team_size = 8;
+  cfg.ops = 48;
+  cfg.key_range = 24;
+  cfg.wl_seed = 51;
+  cfg.sched_seed = 52;
+  cfg.stride = 5;
+  cfg.with_snapshots = true;
+  cfg.prefill = 10;
+  const auto res = run_crash_sweep(cfg);
+  EXPECT_TRUE(res.ok) << "kill step " << res.failed_at_step << ": "
+                      << res.error;
+  EXPECT_GT(res.kills_landed, 0u);
+  EXPECT_GT(res.snapshot_checks, 0u)
+      << "sweep never actually verified the held snapshot";
+}
+
+TEST(CrashSweepSnapshots, HeldSnapshotSurvivesBatchedKillsWithEpochs) {
+  // The hardest combination: batched dispatch (kills land inside shard
+  // execution) plus an EpochManager (the medic force-quiesces the victim's
+  // pin and reclaim/prune can run), all under a held snapshot.  Record
+  // pruning through the watermark must still respect the held revision.
+  CrashSweepConfig cfg;
+  cfg.workers = 3;
+  cfg.team_size = 8;
+  cfg.ops = 48;
+  cfg.key_range = 16;  // tight range: constant merge/split churn over prefill
+  cfg.wl_seed = 61;
+  cfg.sched_seed = 62;
+  cfg.stride = 7;
+  cfg.batched = true;
+  cfg.batch_shard_ops = 6;
+  cfg.with_epochs = true;
+  cfg.with_snapshots = true;
+  cfg.prefill = 7;
+  const auto res = run_crash_sweep(cfg);
+  EXPECT_TRUE(res.ok) << "kill step " << res.failed_at_step << ": "
+                      << res.error;
+  EXPECT_GT(res.kills_landed, 0u);
+  EXPECT_GT(res.snapshot_checks, 0u)
+      << "sweep never actually verified the held snapshot";
+}
+
 }  // namespace

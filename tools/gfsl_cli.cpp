@@ -18,6 +18,12 @@
 //   --warmup N                      untimed warmup ops [ops/4]
 //   --batch-size N                  kernel-style batched dispatch with N ops
 //                                   per launch (gfsl only; 0 = per-op) [0]
+//   --snapshot-scan                 attach a SnapshotManager to the detail run
+//                                   and drive a concurrent scanner thread
+//                                   through snapshot() + scan_at(); scan
+//                                   traffic is reported separately and the
+//                                   repetition runs stay unversioned (gfsl
+//                                   only)
 //   --csv                           CSV output instead of a table
 //   --metrics-json PATH             write a telemetry report (one measured
 //                                   run) as gfsl-metrics-v1 JSON
@@ -78,8 +84,9 @@ int usage() {
                "[--range N] [--ops N] [--reps N] [--seed N] [--team-size N] "
                "[--p-chunk F] [--warps-per-block N] [--workers N] "
                "[--prefill empty|half|full] [--warmup N] [--batch-size N] "
-               "[--csv] [--metrics-json PATH] [--trace-out PATH] "
-               "[--postmortem-out PATH] [--persist PATH] [--recover]\n");
+               "[--snapshot-scan] [--csv] [--metrics-json PATH] "
+               "[--trace-out PATH] [--postmortem-out PATH] [--persist PATH] "
+               "[--recover]\n");
   return 2;
 }
 
@@ -141,7 +148,7 @@ int main(int argc, char** argv) {
       "seed",      "team-size", "p-chunk",       "warps-per-block",
       "workers",   "prefill", "warmup",          "csv",    "help",
       "metrics-json", "trace-out", "batch-size", "postmortem-out",
-      "persist",   "recover"};
+      "persist",   "recover", "snapshot-scan"};
   if (opt.get_bool("help")) return usage();
   for (const auto& u : opt.unknown(known)) {
     std::fprintf(stderr, "error: unknown option --%s\n", u.c_str());
@@ -185,6 +192,9 @@ int main(int argc, char** argv) {
     if (!setup.persist_path.empty() && structure != "gfsl") {
       throw std::invalid_argument("--persist requires --structure gfsl");
     }
+    if (opt.get_bool("snapshot-scan") && structure != "gfsl") {
+      throw std::invalid_argument("--snapshot-scan requires --structure gfsl");
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return usage();
@@ -205,12 +215,17 @@ int main(int argc, char** argv) {
   if (structure == "gfsl-dual" && telemetry_workers % 2 != 0) {
     ++telemetry_workers;
   }
+  const bool snapshot_scan = opt.get_bool("snapshot-scan");
+  if (snapshot_scan) ++telemetry_workers;  // the scanner thread's shard
   obs::MetricsRegistry metrics(telemetry_workers);
   obs::TraceSession trace;
   StructureSetup detail_setup = setup;
   if (!metrics_path.empty()) detail_setup.metrics = &metrics;
   if (!trace_path.empty()) detail_setup.trace = &trace;
   detail_setup.postmortem_out = postmortem_path;
+  // Versioning is attached to the detail run only: the repetition runs keep
+  // the seed's unversioned fast path so the reported MOPS stay comparable.
+  detail_setup.snapshot_scan = snapshot_scan;
 
   Repeated rep;
   Measurement detail;
@@ -245,6 +260,7 @@ int main(int argc, char** argv) {
     metrics.set_info("workers", std::to_string(telemetry_workers));
     metrics.set_info("warmup_ops", std::to_string(setup.warmup_ops));
     metrics.set_info("batch_size", std::to_string(setup.batch_size));
+    metrics.set_info("snapshot_scan", snapshot_scan ? "1" : "0");
     std::ofstream out(metrics_path);
     if (!out) {
       std::fprintf(stderr, "error: cannot open %s\n", metrics_path.c_str());
@@ -311,6 +327,13 @@ int main(int argc, char** argv) {
                                       static_cast<double>(searches)
                                 : 0.0)});
     t.add_row({"epoch pins", std::to_string(b.epoch_pins)});
+  }
+  if (snapshot_scan) {
+    t.add_row({"snapshot scans", std::to_string(detail.snapshot_scans)});
+    t.add_row({"snapshot scan items",
+               std::to_string(detail.snapshot_scan_items)});
+    t.add_row({"snapshot scans expired",
+               std::to_string(detail.snapshot_scans_expired)});
   }
   if (opt.get_bool("csv")) {
     t.print_csv(std::cout);

@@ -24,23 +24,31 @@
 //
 //   gfsl_fuzz --crash-sweep [--crash-seed S] [--crash-stride N]
 //             [--workers N] [--team-size N] [--ops N] [--range N]
-//             [--metrics-out FILE]
+//             [--metrics-out FILE] [--with-snapshots]
 //       Exhaustive crash-point sweep: kill the victim team at every yield
 //       step of the seeded reference run; every run must recover (no hang,
 //       valid structure, linearizable history with the crashed op optional).
+//       --with-snapshots additionally bulk-loads a prefill, holds a
+//       snapshot of it across every kill, and requires the post-recovery
+//       scan_at to reproduce the prefill exactly (snapshot_mismatch
+//       postmortems otherwise).
 //
 //   gfsl_fuzz --crash-at STEP [--crash-seed S] ...
 //       Replay a single kill step — the repro form printed on failure.
 //
 //   gfsl_fuzz --proc-crash-sweep [--crash-seed S] [--crash-stride N]
 //             [--workers N] [--team-size N] [--ops N] [--range N]
-//             [--with-epochs] [--work-dir DIR]
+//             [--with-epochs] [--with-snapshots] [--work-dir DIR]
 //       Whole-PROCESS crash sweep (harness/proc_crash_sweep.h): a forked
 //       child runs the workload over a file-backed persist region and is
 //       SIGKILLed at every persist point; the parent attaches the orphaned
 //       region, runs Gfsl::recover() and checks the recovered contents
 //       against the child's op journal (plus an exact std::map replay when
-//       --workers 1).
+//       --workers 1).  --with-snapshots versions the child (kills land
+//       inside record stamps and durable-revision pushes) and makes the
+//       parent verify a fresh post-recovery snapshot: scan_at must equal
+//       the recovered contents and its revision must not regress below the
+//       durable clock.
 //
 // Churn mode (the bounded-memory soak, DESIGN.md §9):
 //
@@ -207,6 +215,9 @@ int run_crash_mode(const Options& opt) {
   cfg.key_range = opt.get_u64("range", 48);
   cfg.victim = static_cast<int>(opt.get_u64("victim", 0));
   cfg.stride = opt.get_u64("crash-stride", 1);
+  cfg.with_epochs = opt.get_bool("with-epochs");
+  cfg.with_snapshots = opt.get_bool("with-snapshots");
+  cfg.prefill = opt.get_u64("prefill", cfg.key_range / 2);
   const auto seed = opt.get_u64("crash-seed", 0xC4A5);
   cfg.wl_seed = seed;
   cfg.sched_seed = seed ^ 0x9E3779B97F4A7C15ull;
@@ -265,16 +276,18 @@ int run_crash_mode(const Options& opt) {
   }
   std::printf(
       "crash-sweep clean: %llu runs over %llu steps (stride %llu), "
-      "%llu kills landed, %llu medic recoveries "
-      "(workers=%d team=%d ops=%llu range=%llu seed=%llu)\n",
+      "%llu kills landed, %llu medic recoveries, %llu snapshot checks "
+      "(workers=%d team=%d ops=%llu range=%llu seed=%llu%s)\n",
       static_cast<unsigned long long>(sweep.runs),
       static_cast<unsigned long long>(sweep.baseline_steps),
       static_cast<unsigned long long>(cfg.stride),
       static_cast<unsigned long long>(sweep.kills_landed),
-      static_cast<unsigned long long>(sweep.medic_recoveries), cfg.workers,
+      static_cast<unsigned long long>(sweep.medic_recoveries),
+      static_cast<unsigned long long>(sweep.snapshot_checks), cfg.workers,
       cfg.team_size, static_cast<unsigned long long>(cfg.ops),
       static_cast<unsigned long long>(cfg.key_range),
-      static_cast<unsigned long long>(seed));
+      static_cast<unsigned long long>(seed),
+      cfg.with_snapshots ? " --with-snapshots" : "");
   return 0;
 }
 
@@ -287,6 +300,7 @@ int run_proc_crash_mode(const Options& opt) {
   cfg.pool_chunks = static_cast<std::uint32_t>(opt.get_u64("pool", 1u << 14));
   cfg.stride = opt.get_u64("crash-stride", 1);
   cfg.with_epochs = opt.get_bool("with-epochs");
+  cfg.with_snapshots = opt.get_bool("with-snapshots");
   cfg.work_dir = opt.get("work-dir", ".");
   cfg.postmortem_dir = opt.get("postmortem-dir", "");
   const auto seed = opt.get_u64("crash-seed", 0xAB5E);
@@ -303,7 +317,9 @@ int run_proc_crash_mode(const Options& opt) {
         sweep.error.c_str(), static_cast<unsigned long long>(seed),
         cfg.workers, cfg.team_size, static_cast<unsigned long long>(cfg.ops),
         static_cast<unsigned long long>(cfg.key_range),
-        cfg.with_epochs ? " --with-epochs" : "");
+        (std::string(cfg.with_epochs ? " --with-epochs" : "") +
+         (cfg.with_snapshots ? " --with-snapshots" : ""))
+            .c_str());
     return 1;
   }
   std::printf(
@@ -321,7 +337,9 @@ int run_proc_crash_mode(const Options& opt) {
       cfg.team_size, static_cast<unsigned long long>(cfg.ops),
       static_cast<unsigned long long>(cfg.key_range),
       static_cast<unsigned long long>(seed),
-      cfg.with_epochs ? " epochs" : "");
+      (std::string(cfg.with_epochs ? " epochs" : "") +
+       (cfg.with_snapshots ? " snapshots" : ""))
+          .c_str());
   return 0;
 }
 
