@@ -1,0 +1,9 @@
+// Foresight point-ops A/B — hinted bottom-chunk descent through the epoch-
+// published hint table (DESIGN.md §14) versus the classic head descent, on
+// the paper's point-lookup mixes.
+//
+// Thin shim over the campaign registry (src/harness/campaign.cpp holds the
+// A/B loop); see fig_5_1_chunk_size.cpp for the shim contract.
+#include "harness/campaign.h"
+
+int main() { return gfsl::harness::campaign_main("foresight_pointops"); }

@@ -81,6 +81,17 @@ Gfsl::SlowSearchResult Gfsl::batch_search(Team& team, Key k,
         ++cur.reuses;
         team.metric(obs::kBatchDescentReuses);
       }
+    } else if (foresight_start(team, k, &cur_g)) {
+      // Cold descent seeded by a validated foresight hint: enter the bottom
+      // walk directly.  Only the level-0 cursor entry gets warmed (height 0),
+      // so the next ascending key either reuses it or consults a hint again.
+      height = 0;
+      descent_top = 0;
+      if (!counted) {
+        counted = true;
+        ++cur.fulls;
+        team.metric(obs::kBatchFullDescents);
+      }
     } else {
       height = height_coop(team);
       descent_top = height;

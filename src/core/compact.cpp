@@ -56,6 +56,9 @@ void Gfsl::rebuild(const std::vector<std::pair<Key, Value>>& pairs) {
     }
     snaps_->reset();
   }
+  // Chunk refs are reassigned wholesale: every published hint is garbage.
+  // Unpublish now; the first operation after the rebuild republishes.
+  if (foresight_ != nullptr) foresight_->invalidate_all();
   // Recreate the per-level head chunks exactly as construction does.
   ChunkRef below = NULL_CHUNK;
   for (int level = 0; level < max_levels(); ++level) {

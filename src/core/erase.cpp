@@ -163,6 +163,9 @@ bool Gfsl::remove_from_chunk(Team& team, Key k, ChunkRef enc_ref, int level) {
                        max_of(team, kv), level);
   execute_remove_merge(team, kv, enc_ref, next_ref, k);
   mark_zombie(team, enc_ref);  // terminal; the zombie is never unlocked
+  // Hints naming the zombified donor now fail the non-zombie validation and
+  // fall back; mark the erosion so the table republishes.
+  if (foresight_ != nullptr && level == 0) foresight_->mark_dirty();
   clear_intent(team);
   bump_level(level, -1);
   maybe_prune_records(team, next_ref);

@@ -22,7 +22,7 @@ static_assert(sizeof(std::atomic<ChunkRef>) == sizeof(ChunkRef));
 Gfsl::Gfsl(const GfslConfig& cfg, device::DeviceMemory* mem,
            sched::StepScheduler* scheduler, sched::LeaseTable* leases,
            device::EpochManager* epochs, device::PersistRegion* region,
-           SnapshotManager* snaps)
+           SnapshotManager* snaps, ForesightIndex* foresight)
     : cfg_(cfg),
       mem_(mem),
       sched_(scheduler),
@@ -30,6 +30,7 @@ Gfsl::Gfsl(const GfslConfig& cfg, device::DeviceMemory* mem,
       epochs_(epochs),
       region_(region),
       snaps_(snaps),
+      foresight_(foresight),
       chunk_level_(snaps == nullptr ? nullptr
                                     : new std::uint8_t[cfg.pool_chunks]()),
       commit_ctx_(snaps == nullptr

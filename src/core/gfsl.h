@@ -29,6 +29,7 @@
 #include "common/types.h"
 #include "core/batch.h"
 #include "core/chunk.h"
+#include "core/foresight.h"
 #include "core/intent.h"
 #include "core/snapshot.h"
 #include "device/device_memory.h"
@@ -105,12 +106,21 @@ class Gfsl {
   /// revision and stamps version records, snapshot()/scan_at() serve
   /// point-in-time-consistent range scans, and the version chains are GC'd
   /// down to the min-snapshot watermark (DESIGN.md §13).
+  /// `foresight` may be null: every operation descends from the head (seed
+  /// semantics, bit-identical).  With a ForesightIndex attached, per-op
+  /// contains/find/insert/erase and the batch engine's cold descents consult
+  /// the published hint table and jump straight to a validated bottom-level
+  /// chunk, falling back to the classic descent on any generation mismatch
+  /// or zombie hit (DESIGN.md §14).  The table is rebuilt lazily, under the
+  /// consulting operation's epoch pin, once enough split/merge/recycle
+  /// events have accumulated.
   Gfsl(const GfslConfig& cfg, device::DeviceMemory* mem,
        sched::StepScheduler* scheduler = nullptr,
        sched::LeaseTable* leases = nullptr,
        device::EpochManager* epochs = nullptr,
        device::PersistRegion* region = nullptr,
-       SnapshotManager* snaps = nullptr);
+       SnapshotManager* snaps = nullptr,
+       ForesightIndex* foresight = nullptr);
 
   Gfsl(const Gfsl&) = delete;
   Gfsl& operator=(const Gfsl&) = delete;
@@ -257,6 +267,12 @@ class Gfsl {
   sched::LeaseTable* leases() const { return leases_; }
   device::EpochManager* epochs() const { return epochs_; }
   device::PersistRegion* region() const { return region_; }
+  ForesightIndex* foresight() const { return foresight_; }
+
+  /// Build and publish the foresight hint table now (quiescent; e.g. right
+  /// after bulk_load) so measured traffic starts hinted instead of paying
+  /// the lazy first rebuild mid-run.  No-op when no index is attached.
+  void foresight_prime(simt::Team& team);
 
   /// Whole-process restart recovery (persist_recovery.cpp; DESIGN.md §12).
   /// Quiescent, offline: call on a structure constructed over an *attached*
@@ -371,6 +387,23 @@ class Gfsl {
   /// Lazily unlink zombies between prev and `first_nz` (searchSlow, §4.2.2).
   void redirect_to_remove_zombie(simt::Team& team, ChunkRef prev,
                                  ChunkRef first_nz);
+
+  // ---- foresight hint index (foresight.cpp; DESIGN.md §14) ----
+  /// Hinted start for k's bottom-level lateral walk: consult the published
+  /// hint table and validate the result (generation-consistent AND
+  /// non-zombie on the first checked read) under the caller's epoch pin.
+  /// Exactly one of {kForesightHits, kForesightFallbacks} is recorded per
+  /// call, so hits + fallbacks always equals the number of consults.  False
+  /// (= take the classic head descent) when detached, unpublished, no hint
+  /// covers k, or validation failed — a stale hint is never followed.
+  bool foresight_start(simt::Team& team, Key k, Guarded* out);
+  /// Republish the hint table when due (never published, invalidated, or
+  /// past the dirty-event threshold): claim the single-writer flag, walk the
+  /// bottom level under the caller's epoch pin sampling one live chunk per
+  /// stride, and atomically swap the double-buffered table.  Abandons on any
+  /// stale read or scheduler kill — lookups keep missing until a later
+  /// rebuild succeeds.
+  void foresight_maybe_rebuild(simt::Team& team);
 
   // ---- batch engine (batch.cpp; DESIGN.md §10) ----
   /// Ops executed under one shard pin before it is dropped and re-taken.
@@ -658,6 +691,7 @@ class Gfsl {
   device::EpochManager* epochs_;
   device::PersistRegion* region_;
   SnapshotManager* snaps_;
+  ForesightIndex* foresight_;
   /// Level of every allocated chunk (versioning only stamps level 0);
   /// allocated iff snaps_ != nullptr.  Written under the chunk's lock (or
   /// quiescently); racing readers only ever see it for refs they hold.

@@ -204,6 +204,9 @@ RecoveryReport Gfsl::recover() {
     return rep;
   }
   // The constructor enforces region => leases, so leases_ is non-null here.
+  // The hint table is process-local and describes the pre-crash image;
+  // unpublish it before any repair so no post-recovery op trusts it.
+  if (foresight_ != nullptr) foresight_->invalidate_all();
 
   // 1. Death certificates for every persisted lease generation, then a live
   // lease for the medic so its claims and repair locks are attributable

@@ -209,6 +209,9 @@ std::size_t Gfsl::reclaim_pass(Team& team) {
       purge_version_records(ref);
       arena_.recycle(ref);
       persist_point();  // the generation flip + free-list push just hit disk
+      // Belt-and-braces erosion mark: a hint naming this index already fails
+      // its generation check, but the recycle means the table is aging.
+      if (foresight_ != nullptr) foresight_->mark_dirty();
       chunks_reclaimed_.fetch_add(1, std::memory_order_relaxed);
       ++freed;
       team.metric(obs::kChunkReclaims);

@@ -136,7 +136,17 @@ bool Gfsl::contains(Team& team, Key k) {
   bool r = false;
   for (;;) {  // generation-stamp staleness restarts the whole traversal
     bool stale = false;
-    r = search_lateral(team, k, search_down(team, k), nullptr, &stale);
+    // A validated foresight hint replaces the whole upper descent with one
+    // jump to an at-or-left bottom chunk; any miss takes the classic path.
+    // A hinted jump is still one traversal — count it here, where the
+    // classic path has search_down do it.
+    Guarded start;
+    if (foresight_start(team, k, &start)) {
+      traversals_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      start = search_down(team, k);
+    }
+    r = search_lateral(team, k, start, nullptr, &stale);
     if (!stale) break;
   }
   epoch.exit();
@@ -151,7 +161,13 @@ std::optional<Value> Gfsl::find(Team& team, Key k) {
   bool r = false;
   for (;;) {
     bool stale = false;
-    r = search_lateral(team, k, search_down(team, k), &v, &stale);
+    Guarded start;
+    if (foresight_start(team, k, &start)) {
+      traversals_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      start = search_down(team, k);
+    }
+    r = search_lateral(team, k, start, &v, &stale);
     if (!stale) break;
   }
   epoch.exit();
@@ -232,8 +248,18 @@ Gfsl::SlowSearchResult Gfsl::search_slow(Team& team, Key k) {
     LaneVec<KV> prev_kv;
     ChunkRef prev_ref = NULL_CHUNK;
     bool have_prev = false;
-    int height = height_coop(team);
-    Guarded cur = guard_ref(head_of(team, height));
+    int height;
+    Guarded cur;
+    // A validated foresight hint skips the whole upper descent.  The upper
+    // path lanes keep their head-chunk defaults, which the commit halves
+    // tolerate explicitly (erase re-reads the height; insert's raise loop
+    // walks from the head — raises are rare).
+    if (foresight_start(team, k, &cur)) {
+      height = 0;
+    } else {
+      height = height_coop(team);
+      cur = guard_ref(head_of(team, height));
+    }
     bool restart = false;
 
     while (height > 0) {

@@ -58,6 +58,10 @@ Gfsl::MovedKeys Gfsl::split_remove(Team& team, ChunkRef next_ref, int level) {
   publish_intent(team, IntentKind::kSplit, thresh, next_ref, after, fresh);
   atomic_entry_write(team, next_ref, arena_.next_slot(),
                      make_next_entry(thresh, fresh));
+  // The donor's coverage just shrank to (.., thresh]: hints for the moved
+  // span now land a chunk early (harmless, one extra lateral hop) — erode
+  // the table toward its next rebuild.
+  if (foresight_ != nullptr && level == 0) foresight_->mark_dirty();
 
   // Empty the moved entries, highest tId first; traversals give precedence
   // to the NEXT lane's (already lowered) max, so stale high entries are
@@ -120,6 +124,7 @@ Gfsl::SplitOutcome Gfsl::split_insert(Team& team, ChunkRef split_ref, Key k,
   publish_intent(team, IntentKind::kSplit, thresh, split_ref, after, fresh);
   atomic_entry_write(team, split_ref, arena_.next_slot(),
                      make_next_entry(thresh, fresh));
+  if (foresight_ != nullptr && level == 0) foresight_->mark_dirty();
   for (int i = dsz - 1; i >= half; --i) {
     atomic_entry_write(team, split_ref, i, KV_EMPTY);
   }

@@ -12,6 +12,7 @@ MemStats& MemStats::operator+=(const MemStats& o) {
   dram_transactions += o.dram_transactions;
   atomics += o.atomics;
   bytes_moved += o.bytes_moved;
+  prefetches += o.prefetches;
   return *this;
 }
 
@@ -26,6 +27,7 @@ MemStats MemStats::operator-(const MemStats& o) const {
   r.dram_transactions -= o.dram_transactions;
   r.atomics -= o.atomics;
   r.bytes_moved -= o.bytes_moved;
+  r.prefetches -= o.prefetches;
   return r;
 }
 
@@ -66,6 +68,20 @@ void DeviceMemory::atomic_rmw(std::uint64_t addr) {
   }
 }
 
+void DeviceMemory::prefetch(std::uint64_t addr, std::uint32_t bytes) {
+  if (!accounting()) return;
+  prefetches_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint32_t line = cache_.config().line_bytes;
+  const std::uint64_t first = addr / line;
+  const std::uint64_t last = (addr + bytes - 1) / line;
+  for (std::uint64_t l = first; l <= last; ++l) {
+    // Touch the line through the L2 model so the demand read that follows
+    // classifies as a hit; no transaction or byte accounting — a prefetch
+    // rides otherwise-idle bandwidth in the modeled machine.
+    cache_.access(l * line);
+  }
+}
+
 MemStats DeviceMemory::snapshot() const {
   MemStats s;
   s.warp_reads = warp_reads_.load(std::memory_order_relaxed);
@@ -77,6 +93,7 @@ MemStats DeviceMemory::snapshot() const {
   s.dram_transactions = dram_transactions_.load(std::memory_order_relaxed);
   s.atomics = atomics_.load(std::memory_order_relaxed);
   s.bytes_moved = bytes_moved_.load(std::memory_order_relaxed);
+  s.prefetches = prefetches_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -90,6 +107,7 @@ void DeviceMemory::reset_stats() {
   dram_transactions_.store(0, std::memory_order_relaxed);
   atomics_.store(0, std::memory_order_relaxed);
   bytes_moved_.store(0, std::memory_order_relaxed);
+  prefetches_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace gfsl::device

@@ -37,6 +37,7 @@ struct MemStats {
   std::uint64_t dram_transactions = 0;  // transactions that went to DRAM
   std::uint64_t atomics = 0;
   std::uint64_t bytes_moved = 0;     // line_bytes per transaction
+  std::uint64_t prefetches = 0;      // software prefetches issued (foresight)
 
   std::uint64_t reads() const { return warp_reads + lane_reads; }
   std::uint64_t writes() const { return warp_writes + lane_writes; }
@@ -62,6 +63,12 @@ class DeviceMemory {
     record_contiguous(addr, bytes, &lane_writes_);
   }
   void atomic_rmw(std::uint64_t addr);
+
+  /// Software prefetch: pull the covered lines into the simulated L2 ahead
+  /// of a predicted demand access (the foresight hint path).  Warms the
+  /// cache without counting as demand traffic — only the prefetch counter
+  /// moves, so A/B comparisons can attribute the hit-rate shift to it.
+  void prefetch(std::uint64_t addr, std::uint32_t bytes);
 
   void set_accounting(bool on) { accounting_.store(on, std::memory_order_relaxed); }
   bool accounting() const { return accounting_.load(std::memory_order_relaxed); }
@@ -90,6 +97,7 @@ class DeviceMemory {
   std::atomic<std::uint64_t> dram_transactions_{0};
   std::atomic<std::uint64_t> atomics_{0};
   std::atomic<std::uint64_t> bytes_moved_{0};
+  std::atomic<std::uint64_t> prefetches_{0};
 };
 
 }  // namespace gfsl::device

@@ -1002,6 +1002,93 @@ BenchReport run_scan_mixed(const CampaignOptions& opts) {
   return report;
 }
 
+// ---------------------------------------------------------------------------
+// Foresight point ops — hinted descent A/B (DESIGN.md §14).
+
+BenchReport run_foresight_pointops(const CampaignOptions& opts) {
+  const Scale sc = campaign_scale(opts);
+  BenchReport report;
+  report.campaign = "foresight_pointops";
+  stamp_scale(report, sc, opts);
+
+  print_scale_banner(sc);
+  std::printf(
+      "# Foresight hint table A/B: classic head descent (detached) vs hinted "
+      "bottom-chunk jump (foresight), per-op dispatch\n"
+      "# (hit/stale rates from gfsl-metrics-v1 counters of one armed rep)\n\n");
+
+  std::vector<std::uint64_t> ranges{100'000};
+  if (sc.max_range >= 1'000'000) ranges.push_back(1'000'000);
+  // Contains-only is the paper's pure point-lookup test; 5/5/90 adds enough
+  // churn that splits and merges keep dirtying the published table.
+  const Mix mixes[] = {kContainsOnly, kMix_5_5_90};
+  const int reps = static_cast<int>(sc.reps);
+
+  for (const auto range : ranges) {
+    for (const auto& mix : mixes) {
+      std::printf("## key range %s, mix %s\n", fmt_range(range).c_str(),
+                  mix.name().c_str());
+      Table t({"mode", "model MOPS", "speedup", "chunks/trav", "hit %",
+               "stale %", "rebuilds"});
+
+      auto wl = make_workload(mix, range, sc.ops, sc.seed);
+      auto setup = setup_from_scale(sc);
+      const std::string key = mix_key(mix) + "." + range_key(range);
+
+      setup.foresight = false;
+      const auto base = repeat_gfsl(wl, setup, reps);
+      const auto based = measure_gfsl(wl, setup);
+      t.add_row({"detached", fmt_ci(base.mops.mean, base.mops.ci95_half),
+                 "1.00x", fmt(based.avg_chunks_per_traversal, 2), "-", "-",
+                 "-"});
+      add_metric(report, "detached_mops." + key, "mops", Better::kHigher, true,
+                 base.samples);
+      add_metric(report, "detached_chunks_per_trav." + key, "chunks",
+                 Better::kLower, true, {based.avg_chunks_per_traversal});
+
+      setup.foresight = true;
+      const auto fs = repeat_gfsl(wl, setup, reps);
+      obs::MetricsRegistry reg(setup.num_workers);
+      setup.metrics = &reg;
+      const auto fsd = measure_gfsl(wl, setup);
+      setup.metrics = nullptr;
+      const obs::MetricsShard all = reg.merged();
+      const double hits =
+          static_cast<double>(all.counter(obs::kForesightHits));
+      const double falls =
+          static_cast<double>(all.counter(obs::kForesightFallbacks));
+      const double stale =
+          static_cast<double>(all.counter(obs::kForesightStaleHints));
+      const double consults = hits + falls;
+      const double hit_rate = consults > 0.0 ? hits / consults : 0.0;
+      const double stale_rate = consults > 0.0 ? stale / consults : 0.0;
+      const double rebuilds =
+          static_cast<double>(all.counter(obs::kForesightRebuilds));
+      t.add_row({"foresight", fmt_ci(fs.mops.mean, fs.mops.ci95_half),
+                 fmt(fs.mops.mean / base.mops.mean, 2) + "x",
+                 fmt(fsd.avg_chunks_per_traversal, 2), fmt_pct(hit_rate),
+                 fmt_pct(stale_rate), fmt(rebuilds, 0)});
+      add_metric(report, "foresight_mops." + key, "mops", Better::kHigher,
+                 true, fs.samples);
+      add_metric(report, "foresight_speedup." + key, "x", Better::kHigher,
+                 false, {fs.mops.mean / base.mops.mean});
+      add_metric(report, "foresight_chunks_per_trav." + key, "chunks",
+                 Better::kLower, true, {fsd.avg_chunks_per_traversal});
+      add_metric(report, "foresight_hit_rate." + key, "fraction",
+                 Better::kHigher, true, {hit_rate});
+      add_metric(report, "foresight_stale_rate." + key, "fraction",
+                 Better::kLower, false, {stale_rate});
+      t.print(std::cout);
+      std::printf("\n");
+    }
+  }
+  std::printf(
+      "acceptance: hinted point lookups average <= 2 chunks/traversal at 1M+ "
+      "keys with a high hit rate; churny mixes degrade to fallbacks, never "
+      "to wrong results.\n");
+  return report;
+}
+
 }  // namespace
 
 const std::vector<Campaign>& campaigns() {
@@ -1026,6 +1113,9 @@ const std::vector<Campaign>& campaigns() {
       {"scan_mixed",
        "mutator mix vs a full-range scanner, legacy scan / mvcc scan_at A/B",
        run_scan_mixed},
+      {"foresight_pointops",
+       "hinted bottom-chunk descent vs classic head descent A/B",
+       run_foresight_pointops},
   };
   return kCampaigns;
 }

@@ -80,9 +80,18 @@ CrashRunResult run_crash_at(const CrashSweepConfig& cfg,
   if (cfg.with_snapshots) {
     snaps = std::make_unique<core::SnapshotManager>(gcfg.pool_chunks);
   }
+  std::unique_ptr<core::ForesightIndex> foresight;
+  if (cfg.with_foresight) {
+    // Tiny rebuild threshold: at sweep scale (dozens of ops) a realistic
+    // threshold would never republish, so hints would never be consulted.
+    // Forcing frequent rebuilds puts kill steps inside the walk/publish
+    // window and makes hint consultation the common path.
+    foresight = std::make_unique<core::ForesightIndex>(
+        gcfg.pool_chunks, /*stride=*/1, /*rebuild_threshold=*/1);
+  }
   core::Gfsl sl(gcfg, &mem, &sched, &leases,
                 cfg.with_epochs ? &epochs : nullptr, /*region=*/nullptr,
-                snaps.get());
+                snaps.get(), foresight.get());
 
   // Snapshot-held-across-kill: freeze a bulk-loaded prefill under a snapshot
   // before any scheduled team runs.  Every op of the workload — including
@@ -145,6 +154,7 @@ CrashRunResult run_crash_at(const CrashSweepConfig& cfg,
         {"with_epochs", cfg.with_epochs ? "1" : "0"},
         {"with_snapshots", cfg.with_snapshots ? "1" : "0"},
         {"batched", cfg.batched ? "1" : "0"},
+        {"with_foresight", cfg.with_foresight ? "1" : "0"},
     };
     const std::string stem =
         "postmortem_crash_k" +

@@ -68,6 +68,13 @@ struct CrashSweepConfig {
   // unexecuted ops were never logged).
   bool batched = false;
   std::size_t batch_shard_ops = 0;  // plan_shards granularity; 0 = auto
+  // Attach a core::ForesightIndex (DESIGN.md §14): searches jump through
+  // published hints, so kills land between a hint's publication and its
+  // consultation, inside rebuild walks, and between mark_dirty sites and the
+  // republish they schedule.  Correctness must not depend on hint freshness —
+  // every stale hint has to fall back to the classic descent, and the sweep's
+  // validate + linearizability checks run unchanged.
+  bool with_foresight = false;
   // Non-empty: arm clockless flight-recorder rings on every team (including
   // the medic) and, when a run fails — watchdog stall, validate failure,
   // history violation — drop a gfsl-postmortem-v1 bundle into this

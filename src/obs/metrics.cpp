@@ -107,6 +107,10 @@ std::string_view counter_name(CounterId id) {
     case kVersionRecordsCreated: return "version_records_created";
     case kVersionRecordsPruned: return "version_records_pruned";
     case kVersionRecordCopies: return "version_record_copies";
+    case kForesightHits: return "foresight_hits";
+    case kForesightFallbacks: return "foresight_fallbacks";
+    case kForesightStaleHints: return "foresight_stale_hints";
+    case kForesightRebuilds: return "foresight_rebuilds";
     case kInstructions: return "instructions";
     case kBallots: return "ballots";
     case kShfls: return "shfls";
@@ -150,6 +154,8 @@ std::string_view gauge_name(GaugeId id) {
     case kActiveSnapshots: return "active_snapshots";
     case kSnapshotAgeRevs: return "snapshot_age_revs";
     case kVersionRecordsLive: return "version_records_live";
+    case kForesightEntries: return "foresight_entries";
+    case kForesightDirty: return "foresight_dirty";
     case kGaugeIdCount: break;
   }
   return "unknown";

@@ -130,6 +130,12 @@ enum CounterId : int {
   kVersionRecordsCreated,  // version records stamped by this team
   kVersionRecordsPruned,   // records unlinked by chain pruning / purges
   kVersionRecordCopies,    // records copied along split/merge key movement
+  kForesightHits,        // hint consults whose hinted chunk validated
+  kForesightFallbacks,   // hint consults that took the classic descent
+                         // (invariant: hits + fallbacks == consults)
+  kForesightStaleHints,  // fallbacks where a published hint existed but
+                         // failed validation (gen mismatch or zombie)
+  kForesightRebuilds,    // hint-table republishes completed by this team
   kInstructions,
   kBallots,
   kShfls,
@@ -167,6 +173,8 @@ enum GaugeId : int {
   kActiveSnapshots,     // registered snapshots at report time
   kSnapshotAgeRevs,     // current revision minus the oldest snapshot's
   kVersionRecordsLive,  // version records resident in chunk chains
+  kForesightEntries,    // hints in the currently published table
+  kForesightDirty,      // dirty events pending since the last publish
   kGaugeIdCount,
 };
 

@@ -461,4 +461,73 @@ TEST(CrashSweepSnapshots, HeldSnapshotSurvivesBatchedKillsWithEpochs) {
       << "sweep never actually verified the held snapshot";
 }
 
+// ---------------------------------------------------------------------------
+// Foresight sweeps (DESIGN.md §14): the sweep attaches a ForesightIndex with
+// stride 1 / threshold 1, so hints are consulted on essentially every op and
+// kills land between a hint's publication and its consultation, inside the
+// rebuild walk itself, and between a mark_dirty site and the republish it
+// schedules.  Correctness must never depend on hint freshness: stale hints
+// fall back, an abandoned rebuild leaves the table unpublished, and the
+// validate + per-key linearizability checks run unchanged.
+
+TEST(CrashSweepForesight, BoundedSweepWithHintedDescents) {
+  CrashSweepConfig cfg;
+  cfg.workers = 3;
+  cfg.team_size = 8;
+  cfg.ops = 48;
+  cfg.key_range = 24;
+  cfg.wl_seed = 71;
+  cfg.sched_seed = 72;
+  cfg.stride = 5;
+  cfg.with_foresight = true;
+  const auto res = run_crash_sweep(cfg);
+  EXPECT_TRUE(res.ok) << "kill step " << res.failed_at_step << ": "
+                      << res.error;
+  EXPECT_GT(res.baseline_steps, 0u);
+  EXPECT_GT(res.kills_landed, 0u);
+}
+
+TEST(CrashSweepForesight, HintedSweepWithEpochReclaim) {
+  // Epoch reclamation recycles merged-away chunks under the sweep, so
+  // published hints go stale through real generation bumps (not just
+  // zombies) while victims die at every step — including inside the rebuild
+  // walk, which must release its single-writer claim on unwind.
+  CrashSweepConfig cfg;
+  cfg.workers = 3;
+  cfg.team_size = 8;
+  cfg.ops = 48;
+  cfg.key_range = 16;  // tight range: constant merge/split churn
+  cfg.wl_seed = 81;
+  cfg.sched_seed = 82;
+  cfg.stride = 7;
+  cfg.with_epochs = true;
+  cfg.with_foresight = true;
+  const auto res = run_crash_sweep(cfg);
+  EXPECT_TRUE(res.ok) << "kill step " << res.failed_at_step << ": "
+                      << res.error;
+  EXPECT_GT(res.kills_landed, 0u);
+}
+
+TEST(CrashSweepForesight, HintedBatchedSweepWithEpochs) {
+  // Batched dispatch consults hints on every cold shard descent; combine
+  // with epochs so kills land mid-shard while reclaim churns the very
+  // chunks the cursor and the hint table both name.
+  CrashSweepConfig cfg;
+  cfg.workers = 3;
+  cfg.team_size = 8;
+  cfg.ops = 48;
+  cfg.key_range = 16;
+  cfg.wl_seed = 91;
+  cfg.sched_seed = 92;
+  cfg.stride = 7;
+  cfg.batched = true;
+  cfg.batch_shard_ops = 6;
+  cfg.with_epochs = true;
+  cfg.with_foresight = true;
+  const auto res = run_crash_sweep(cfg);
+  EXPECT_TRUE(res.ok) << "kill step " << res.failed_at_step << ": "
+                      << res.error;
+  EXPECT_GT(res.kills_landed, 0u);
+}
+
 }  // namespace

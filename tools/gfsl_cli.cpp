@@ -18,6 +18,10 @@
 //   --warmup N                      untimed warmup ops [ops/4]
 //   --batch-size N                  kernel-style batched dispatch with N ops
 //                                   per launch (gfsl only; 0 = per-op) [0]
+//   --foresight                     attach a ForesightIndex (DESIGN.md §14):
+//                                   point ops and cold batch descents jump to
+//                                   a hinted bottom chunk; hit/stale counters
+//                                   land in --metrics-json (gfsl only)
 //   --snapshot-scan                 attach a SnapshotManager to the detail run
 //                                   and drive a concurrent scanner thread
 //                                   through snapshot() + scan_at(); scan
@@ -84,7 +88,7 @@ int usage() {
                "[--range N] [--ops N] [--reps N] [--seed N] [--team-size N] "
                "[--p-chunk F] [--warps-per-block N] [--workers N] "
                "[--prefill empty|half|full] [--warmup N] [--batch-size N] "
-               "[--snapshot-scan] [--csv] [--metrics-json PATH] "
+               "[--foresight] [--snapshot-scan] [--csv] [--metrics-json PATH] "
                "[--trace-out PATH] [--postmortem-out PATH] [--persist PATH] "
                "[--recover]\n");
   return 2;
@@ -148,7 +152,7 @@ int main(int argc, char** argv) {
       "seed",      "team-size", "p-chunk",       "warps-per-block",
       "workers",   "prefill", "warmup",          "csv",    "help",
       "metrics-json", "trace-out", "batch-size", "postmortem-out",
-      "persist",   "recover", "snapshot-scan"};
+      "persist",   "recover", "snapshot-scan", "foresight"};
   if (opt.get_bool("help")) return usage();
   for (const auto& u : opt.unknown(known)) {
     std::fprintf(stderr, "error: unknown option --%s\n", u.c_str());
@@ -194,6 +198,10 @@ int main(int argc, char** argv) {
     }
     if (opt.get_bool("snapshot-scan") && structure != "gfsl") {
       throw std::invalid_argument("--snapshot-scan requires --structure gfsl");
+    }
+    setup.foresight = opt.get_bool("foresight");
+    if (setup.foresight && structure != "gfsl") {
+      throw std::invalid_argument("--foresight requires --structure gfsl");
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
@@ -261,6 +269,7 @@ int main(int argc, char** argv) {
     metrics.set_info("warmup_ops", std::to_string(setup.warmup_ops));
     metrics.set_info("batch_size", std::to_string(setup.batch_size));
     metrics.set_info("snapshot_scan", snapshot_scan ? "1" : "0");
+    metrics.set_info("foresight", setup.foresight ? "1" : "0");
     std::ofstream out(metrics_path);
     if (!out) {
       std::fprintf(stderr, "error: cannot open %s\n", metrics_path.c_str());
@@ -327,6 +336,20 @@ int main(int argc, char** argv) {
                                       static_cast<double>(searches)
                                 : 0.0)});
     t.add_row({"epoch pins", std::to_string(b.epoch_pins)});
+  }
+  if (setup.foresight && detail_setup.metrics != nullptr) {
+    // Hint-path effectiveness of the one armed detail run.
+    const obs::MetricsShard all = metrics.merged();
+    const double hits = static_cast<double>(all.counter(obs::kForesightHits));
+    const double falls =
+        static_cast<double>(all.counter(obs::kForesightFallbacks));
+    const double consults = hits + falls;
+    t.add_row({"foresight hit rate",
+               fmt_pct(consults > 0.0 ? hits / consults : 0.0)});
+    t.add_row({"foresight stale hints",
+               std::to_string(all.counter(obs::kForesightStaleHints))});
+    t.add_row({"foresight rebuilds",
+               std::to_string(all.counter(obs::kForesightRebuilds))});
   }
   if (snapshot_scan) {
     t.add_row({"snapshot scans", std::to_string(detail.snapshot_scans)});

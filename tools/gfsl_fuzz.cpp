@@ -1,12 +1,17 @@
 // gfsl_fuzz — randomized concurrency fuzzing under deterministic schedules.
 //
 //   gfsl_fuzz [--rounds N] [--workers N] [--ops N] [--range N] [--team-size N]
+//             [--with-foresight]
 //
 // Each round draws a fresh workload seed and scheduler seed, runs a
 // multi-team history under StepScheduler::Deterministic, then checks
 // (a) structural invariants, (b) per-key sequential consistency of the
 // recorded history.  Any violation prints the reproduction parameters —
 // plug them into gfsl_replay to debug.  Exits non-zero on the first failure.
+// --with-foresight attaches an aggressively-rebuilt hint table (DESIGN.md
+// §14) so hinted descents race the mix's splits/merges, and adds a
+// full-range contains() differential against collect() after each round
+// (failures dump `foresight_mismatch` postmortem bundles).
 //
 // Observability (every mode):
 //
@@ -24,7 +29,7 @@
 //
 //   gfsl_fuzz --crash-sweep [--crash-seed S] [--crash-stride N]
 //             [--workers N] [--team-size N] [--ops N] [--range N]
-//             [--metrics-out FILE] [--with-snapshots]
+//             [--metrics-out FILE] [--with-snapshots] [--with-foresight]
 //       Exhaustive crash-point sweep: kill the victim team at every yield
 //       step of the seeded reference run; every run must recover (no hang,
 //       valid structure, linearizable history with the crashed op optional).
@@ -78,6 +83,7 @@
 #include <cstdio>
 #include <fstream>
 #include <memory>
+#include <set>
 #include <thread>
 
 #include "common/random.h"
@@ -112,6 +118,7 @@ struct RoundParams {
   std::uint64_t ops;
   std::uint64_t range;
   std::uint64_t round = 0;
+  bool with_foresight = false;  // attach a hint table, verify the hinted path
   std::string postmortem_dir;  // non-empty: arm rings, dump on failure
 };
 
@@ -122,7 +129,15 @@ bool run_round(const RoundParams& p, std::string* err) {
   core::GfslConfig cfg;
   cfg.team_size = p.team_size;
   cfg.pool_chunks = 1u << 14;
-  core::Gfsl sl(cfg, &mem, &sched);
+  // Threshold 1 keeps the table churning, so hinted descents race every
+  // split/merge the mix produces instead of settling into a stale no-op.
+  std::unique_ptr<core::ForesightIndex> foresight;
+  if (p.with_foresight) {
+    foresight = std::make_unique<core::ForesightIndex>(
+        cfg.pool_chunks, /*stride=*/1, /*rebuild_threshold=*/1);
+  }
+  core::Gfsl sl(cfg, &mem, &sched, nullptr, nullptr, nullptr, nullptr,
+                foresight.get());
 
   WorkloadConfig wl;
   wl.mix = kMix_20_20_60;  // update-heavy: maximum structural churn
@@ -154,7 +169,8 @@ bool run_round(const RoundParams& p, std::string* err) {
                 {"workers", std::to_string(p.workers)},
                 {"team_size", std::to_string(p.team_size)},
                 {"ops", std::to_string(p.ops)},
-                {"range", std::to_string(p.range)}};
+                {"range", std::to_string(p.range)},
+                {"with_foresight", p.with_foresight ? "1" : "0"}};
     (void)dump_postmortem(p.postmortem_dir,
                           "postmortem_round_" + std::to_string(p.round), ctx);
   };
@@ -197,6 +213,24 @@ bool run_round(const RoundParams& p, std::string* err) {
     dump_failure("history_violation", *err);
     return false;
   }
+  // Hinted-read differential: with the table attached, a quiescent contains()
+  // over every key in range — most consults land on a published hint — must
+  // agree exactly with the structure walk collect() just did.  Any divergence
+  // means a hint steered a search past its key: the one failure mode the
+  // generation/zombie validation exists to make impossible.
+  if (p.with_foresight) {
+    std::set<Key> live(final_keys.begin(), final_keys.end());
+    simt::Team verifier(p.team_size, p.workers, 3);  // medic-style fresh id
+    for (std::uint64_t k = 1; k <= p.range; ++k) {
+      const Key key = static_cast<Key>(k);
+      if (sl.contains(verifier, key) != (live.count(key) != 0)) {
+        *err = "foresight mismatch: contains(" + std::to_string(k) +
+               ") disagrees with collect()";
+        dump_failure("foresight_mismatch", *err);
+        return false;
+      }
+    }
+  }
   return true;
 }
 
@@ -217,6 +251,7 @@ int run_crash_mode(const Options& opt) {
   cfg.stride = opt.get_u64("crash-stride", 1);
   cfg.with_epochs = opt.get_bool("with-epochs");
   cfg.with_snapshots = opt.get_bool("with-snapshots");
+  cfg.with_foresight = opt.get_bool("with-foresight");
   cfg.prefill = opt.get_u64("prefill", cfg.key_range / 2);
   const auto seed = opt.get_u64("crash-seed", 0xC4A5);
   cfg.wl_seed = seed;
@@ -287,7 +322,9 @@ int run_crash_mode(const Options& opt) {
       cfg.team_size, static_cast<unsigned long long>(cfg.ops),
       static_cast<unsigned long long>(cfg.key_range),
       static_cast<unsigned long long>(seed),
-      cfg.with_snapshots ? " --with-snapshots" : "");
+      (std::string(cfg.with_snapshots ? " --with-snapshots" : "") +
+       (cfg.with_foresight ? " --with-foresight" : ""))
+          .c_str());
   return 0;
 }
 
@@ -645,6 +682,7 @@ int main(int argc, char** argv) {
   p.team_size = static_cast<int>(opt.get_u64("team-size", 8));
   p.ops = opt.get_u64("ops", 600);
   p.range = opt.get_u64("range", 60);
+  p.with_foresight = opt.get_bool("with-foresight");
   p.postmortem_dir = opt.get("postmortem-dir", "");
   const auto master = opt.get_u64("seed", 0xF022);
 
@@ -658,12 +696,13 @@ int main(int argc, char** argv) {
       std::printf(
           "FAIL round %llu: %s\n"
           "  repro: wl_seed=%llu sched_seed=%llu workers=%d team_size=%d "
-          "ops=%llu range=%llu\n",
+          "ops=%llu range=%llu%s\n",
           static_cast<unsigned long long>(round), err.c_str(),
           static_cast<unsigned long long>(p.wl_seed),
           static_cast<unsigned long long>(p.sched_seed), p.workers,
           p.team_size, static_cast<unsigned long long>(p.ops),
-          static_cast<unsigned long long>(p.range));
+          static_cast<unsigned long long>(p.range),
+          p.with_foresight ? " --with-foresight" : "");
       return 1;
     }
     if ((round + 1) % 10 == 0) {
