@@ -142,6 +142,16 @@ class ChunkArena {
   /// normalized back to even by the next alloc of that index.
   void reset();
 
+  /// Quiescent (recovery only): normalize a reachable chunk's stamp back to
+  /// even.  A reachable odd stamp cannot arise from any legal crash
+  /// interleaving (alloc flips the stamp even before the link that makes
+  /// the chunk reachable publishes); it is damage in the stamp word itself,
+  /// and bumping it keeps the index off the rebuilt free-list.
+  void force_even_generation(ChunkRef ref) {
+    const auto g = gen_[ref].load(std::memory_order_relaxed);
+    if ((g & 1u) != 0) gen_[ref].store(g + 1, std::memory_order_release);
+  }
+
   /// Quiescent (recovery only): replace the free-list wholesale.  Every ref
   /// in `free_refs` gets an odd generation (bumped if currently even) and is
   /// pushed in order — the last element ends up at the head — with the head

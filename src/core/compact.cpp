@@ -132,6 +132,10 @@ void Gfsl::rebuild(const std::vector<std::pair<Key, Value>>& pairs) {
     if (raised.size() <= 1 || level + 1 >= max_levels()) break;
     current = std::move(raised);
   }
+
+  // Every chunk above was published unlocked by direct stores, not through
+  // unlock(): give the rebuilt structure its integrity baseline.
+  reseal_all();
 }
 
 }  // namespace gfsl::core

@@ -22,7 +22,8 @@ static_assert(sizeof(std::atomic<ChunkRef>) == sizeof(ChunkRef));
 Gfsl::Gfsl(const GfslConfig& cfg, device::DeviceMemory* mem,
            sched::StepScheduler* scheduler, sched::LeaseTable* leases,
            device::EpochManager* epochs, device::PersistRegion* region,
-           SnapshotManager* snaps, ForesightIndex* foresight)
+           SnapshotManager* snaps, ForesightIndex* foresight,
+           IntegritySidecar* integrity)
     : cfg_(cfg),
       mem_(mem),
       sched_(scheduler),
@@ -31,8 +32,12 @@ Gfsl::Gfsl(const GfslConfig& cfg, device::DeviceMemory* mem,
       region_(region),
       snaps_(snaps),
       foresight_(foresight),
-      chunk_level_(snaps == nullptr ? nullptr
-                                    : new std::uint8_t[cfg.pool_chunks]()),
+      integrity_(integrity),
+      // The per-chunk level byte gates version stamping (snapshots) and
+      // tells the integrity scrub which repair strategy applies.
+      chunk_level_((snaps == nullptr && integrity == nullptr)
+                       ? nullptr
+                       : new std::uint8_t[cfg.pool_chunks]()),
       commit_ctx_(snaps == nullptr
                       ? nullptr
                       : new CommitCtx[SnapshotManager::kCommitSlots]()),
@@ -54,6 +59,7 @@ Gfsl::Gfsl(const GfslConfig& cfg, device::DeviceMemory* mem,
     // recovery pass may ever steal.
     throw std::invalid_argument("a persist region requires a LeaseTable");
   }
+  if (integrity_ != nullptr) integrity_->bind(arena_.capacity());
   if (snaps_ != nullptr) {
     if (snaps_->pool_chunks() < cfg_.pool_chunks) {
       // The per-chunk chain-head array must cover every ChunkRef.
@@ -120,6 +126,9 @@ Gfsl::Gfsl(const GfslConfig& cfg, device::DeviceMemory* mem,
     level_chunks_[static_cast<std::size_t>(level)].store(
         0, std::memory_order_relaxed);
   }
+  // The head chunks above were published unlocked by direct stores, not
+  // through unlock() — give them their initial seals.
+  reseal_all();
 }
 
 void Gfsl::sync_point(Team& team) {
@@ -235,6 +244,9 @@ void Gfsl::unlock(Team& team, ChunkRef ref) {
   team.note_lock_released(ref);
   team.record(simt::TraceEvent::kUnlock, ref);
   sync_point(team);
+  // Seal before the releasing store: every data-slot mutation happens under
+  // this lock, so "unlocked" must imply "seal matches contents".
+  stamp_seal(team, ref);
   mem_->lane_write(arena_.entry_address(ref, arena_.lock_slot()), 8);
   arena_.entry(ref, arena_.lock_slot())
       .store(make_lock_entry(kUnlocked), std::memory_order_release);

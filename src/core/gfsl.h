@@ -30,6 +30,7 @@
 #include "core/batch.h"
 #include "core/chunk.h"
 #include "core/foresight.h"
+#include "core/integrity.h"
 #include "core/intent.h"
 #include "core/snapshot.h"
 #include "device/device_memory.h"
@@ -75,7 +76,27 @@ struct RecoveryReport {
   std::uint64_t chunks_freed = 0;    // indices moved to the rebuilt free-list
   std::uint64_t stale_keys_scrubbed = 0;  // upper-level keys with no home below
   std::uint64_t chunks_unlinked = 0;      // upper chunks emptied by the scrub
+  std::uint64_t generations_repaired = 0;  // reachable odd stamps bumped even
   ValidationReport validation;  // the strict post-recovery check
+};
+
+/// Exact key range a quarantine lost: every key in (lo_exclusive,
+/// hi_inclusive] that was resident in the damaged chunk is gone from the
+/// structure.  Reported instead of a silent wrong answer.
+struct LostRange {
+  ChunkRef ref = NULL_CHUNK;
+  Key lo_exclusive = KEY_NEG_INF;
+  Key hi_inclusive = KEY_NEG_INF;
+};
+
+/// Result of one Gfsl::scrub_pass() (scrub.cpp; DESIGN.md §15).
+struct ScrubReport {
+  std::uint64_t chunks_scanned = 0;   // sealed chunks visited
+  std::uint64_t mismatches = 0;       // seal failures confirmed under lock
+  std::uint64_t repaired = 0;         // damaged chunks rebuilt in place
+  std::uint64_t quarantined = 0;      // damaged chunks zombified/evacuated
+  std::uint64_t skipped_busy = 0;     // suspects left for a later pass (lock contention)
+  std::vector<LostRange> lost;        // blast radii of irreparable damage
 };
 
 class Gfsl {
@@ -114,13 +135,19 @@ class Gfsl {
   /// or zombie hit (DESIGN.md §14).  The table is rebuilt lazily, under the
   /// consulting operation's epoch pin, once enough split/merge/recycle
   /// events have accumulated.
+  /// `integrity` may be null: no seal is ever computed or checked
+  /// (bit-identical to the seed).  With an IntegritySidecar attached every
+  /// lock release restamps the chunk's data-slot checksum, checked reads
+  /// verify it on their cold path, and scrub_pass() detects, repairs or
+  /// quarantines damaged chunks online (DESIGN.md §15).
   Gfsl(const GfslConfig& cfg, device::DeviceMemory* mem,
        sched::StepScheduler* scheduler = nullptr,
        sched::LeaseTable* leases = nullptr,
        device::EpochManager* epochs = nullptr,
        device::PersistRegion* region = nullptr,
        SnapshotManager* snaps = nullptr,
-       ForesightIndex* foresight = nullptr);
+       ForesightIndex* foresight = nullptr,
+       IntegritySidecar* integrity = nullptr);
 
   Gfsl(const Gfsl&) = delete;
   Gfsl& operator=(const Gfsl&) = delete;
@@ -268,6 +295,27 @@ class Gfsl {
   device::EpochManager* epochs() const { return epochs_; }
   device::PersistRegion* region() const { return region_; }
   ForesightIndex* foresight() const { return foresight_; }
+  IntegritySidecar* integrity() const { return integrity_; }
+
+  // --- Integrity scrub (scrub.cpp; DESIGN.md §15) ---------------------------
+
+  /// One online scrub pass under an epoch pin (modeled on reclaim_pass):
+  /// walk up to `max_chunks` in-use sealed chunks (0 = the whole arena),
+  /// re-verify each suspect or visited seal under try_lock — where the
+  /// unlocked-implies-sealed invariant is exact — and resolve every
+  /// confirmed mismatch: repair in place (upper chunks rebuild from the
+  /// level below; bottom chunks restore from the version-record chain iff
+  /// the restored image re-hashes to the stored seal) or quarantine
+  /// (zombify + unseal + lazy unlink through the §9 retire machinery) with
+  /// an exact blast-radius entry in the report.  A chunk that fails its
+  /// seal again after a prior repair (a stuck-at cell) is quarantined, not
+  /// re-repaired.  No-op without an attached sidecar.
+  ScrubReport scrub_pass(simt::Team& team, std::uint32_t max_chunks = 0);
+
+  /// Quiescent full restamp: seal every unlocked in-use chunk, unseal free
+  /// and zombie ones.  Run after any offline rewrite (construction,
+  /// bulk_load, compact, recover).  No-op without a sidecar.
+  void reseal_all();
 
   /// Build and publish the foresight hint table now (quiescent; e.g. right
   /// after bulk_load) so measured traffic starts hinted instead of paying
@@ -683,6 +731,33 @@ class Gfsl {
   /// through the report fields.
   void scrub_upper_levels(RecoveryReport& rep);
 
+  // ---- integrity scrub internals (scrub.cpp; DESIGN.md §15) ----
+  /// Stamp `ref`'s seal for its current contents (call sites: every lock
+  /// release, with the lock still held).  One pointer test when detached.
+  void stamp_seal(simt::Team& team, ChunkRef ref) {
+    if (integrity_ != nullptr) {
+      integrity_->stamp(ref, arena_.generation(ref, std::memory_order_relaxed),
+                        arena_.entries(ref), arena_.dsize());
+      team.metric(obs::kCorruptionSealsStamped);
+    }
+  }
+  /// Verify + resolve one chunk: re-check its seal under try_lock and
+  /// repair/quarantine on confirmed damage.  Returns false only when the
+  /// chunk was busy (suspect flag left set for a later pass).  `rep` may be
+  /// null (inline read-path resolution).
+  bool scrub_chunk(simt::Team& team, ChunkRef ref, ScrubReport* rep);
+  /// Rebuild a damaged upper-level chunk (lock held) from the level below:
+  /// keep entries whose key exists below, re-home unverifiable down
+  /// pointers, drop the rest.  True unless the chunk must be quarantined.
+  bool repair_upper_chunk(simt::Team& team, ChunkRef ref, int level);
+  /// Restore a damaged bottom chunk (lock held) from its version-record
+  /// chain; succeeds iff the restored slots re-hash to the stored seal.
+  bool repair_bottom_chunk(simt::Team& team, ChunkRef ref);
+  /// Quarantine `ref` (lock held): compute the blast radius, zombify (or,
+  /// for a level head, evacuate in place), unseal, report.
+  void quarantine_chunk(simt::Team& team, ChunkRef ref, int level,
+                        ScrubReport* rep);
+
   // ---- data ----
   GfslConfig cfg_;
   device::DeviceMemory* mem_;
@@ -692,6 +767,7 @@ class Gfsl {
   device::PersistRegion* region_;
   SnapshotManager* snaps_;
   ForesightIndex* foresight_;
+  IntegritySidecar* integrity_;
   /// Level of every allocated chunk (versioning only stamps level 0);
   /// allocated iff snaps_ != nullptr.  Written under the chunk's lock (or
   /// quiescently); racing readers only ever see it for refs they hold.

@@ -1,0 +1,182 @@
+// Per-chunk integrity seals — the memory-corruption armor (DESIGN.md §15).
+//
+// The paper's target device is ECC-less: a flipped bit in an idle sealed
+// chunk is served back to callers as a correct answer.  The IntegritySidecar
+// closes that hole the same way the PR 8 version sidecar added MVCC: a
+// host-resident table *beside* the untouched 8-byte chunk format.  One
+// 64-bit seal word per chunk ref:
+//
+//     { crc:32 | gen:31 | sealed:1 }
+//
+// The crc half is a CRC32C (or XOR-fold, selectable) over the chunk's DATA
+// slots only — [0, dsize).  The NEXT entry is deliberately excluded: lazy
+// zombie unlinking (§4.2.2) rewrites a predecessor's NEXT *without holding
+// its lock*, so any NEXT-covering checksum would race its own protocol.
+// NEXT and LOCK are protocol words whose sanity the structural validators
+// already check; the seal guards the payload, which nothing cross-checks
+// otherwise.  The gen half ties the seal to one arena lifetime of the index
+// (generation stamps, DESIGN.md §9) so a recycled chunk can never verify
+// against its previous incarnation's seal.
+//
+// Write discipline: data slots of a live chunk change only while its lock is
+// held, and every lock release funnels through Gfsl::unlock (or the medic's
+// release_if_owned).  Stamping there — before the releasing store — makes
+// the invariant exact: *an unlocked live chunk always matches its seal*,
+// and any mismatch observed under the chunk's own lock is memory damage,
+// not a racing writer.
+//
+// Verify discipline (two tiers, no false quarantines):
+//   * read path (read_chunk_checked cold path): recompute over the lane
+//     snapshot the reader already holds, only when that snapshot shows the
+//     chunk unlocked.  A mismatch only *flags the chunk suspect* — a racing
+//     lock/modify/unlock between the lane reads can produce a stale view —
+//     and restarts the traversal.
+//   * scrub path (Gfsl::scrub_pass): re-verify under try_lock, where the
+//     invariant is exact.  Only scrub quarantines or repairs.
+//
+// Detached (`IntegritySidecar* == nullptr` in the Gfsl ctor) not a byte of
+// this runs — the same bit-identical contract as leases/epochs/region/
+// snapshots/foresight.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "common/types.h"
+
+namespace gfsl::core {
+
+enum class SealAlgo : std::uint8_t {
+  kCrc32c,   // iSCSI polynomial, table-driven; detects all <= 3-bit bursts
+  kXorFold,  // position-salted XOR fold; cheaper, weaker multi-bit coverage
+};
+
+class IntegritySidecar {
+ public:
+  explicit IntegritySidecar(SealAlgo algo = SealAlgo::kCrc32c) : algo_(algo) {}
+  IntegritySidecar(const IntegritySidecar&) = delete;
+  IntegritySidecar& operator=(const IntegritySidecar&) = delete;
+
+  /// Size the tables for an arena of `capacity` chunks.  The Gfsl ctor calls
+  /// this; re-binding to the same capacity is a no-op, so one sidecar can be
+  /// handed to successive structures over the same pool.
+  void bind(std::uint32_t capacity);
+  std::uint32_t capacity() const { return capacity_; }
+  SealAlgo algo() const { return algo_; }
+
+  // --- Seals ----------------------------------------------------------------
+
+  /// Recompute and publish the seal for `ref`'s current data slots.  Caller
+  /// must hold the chunk's lock or be quiescent; `gen` is the chunk's
+  /// current (even) generation stamp.
+  void stamp(ChunkRef ref, std::uint32_t gen, const std::atomic<KV>* entries,
+             int dsize);
+  /// Drop `ref`'s seal (recycle / zombify-by-quarantine).
+  void unseal(ChunkRef ref);
+  /// True when `ref` carries a seal stamped for generation `gen`.
+  bool sealed(ChunkRef ref, std::uint32_t gen) const {
+    const std::uint64_t s = seal_[ref].load(std::memory_order_acquire);
+    return (s & 1u) != 0 && seal_gen(s) == (gen & kGenMask);
+  }
+
+  /// Exact check (caller holds the lock / is quiescent): recompute from the
+  /// live entries and compare.  True = clean OR not sealed for this gen;
+  /// false = sealed and damaged.  Counts verified/mismatch.
+  bool verify_exact(ChunkRef ref, std::uint32_t gen,
+                    const std::atomic<KV>* entries, int dsize);
+
+  /// Racy check over a reader's lane snapshot (data slots only,
+  /// `data[0..dsize)`).  True = clean or unsealed; false = mismatch, which
+  /// the caller must treat as *suspicion*, not proof.  Counts verified (and
+  /// mismatch on failure).
+  bool verify_snapshot(ChunkRef ref, std::uint32_t gen, const KV* data,
+                       int dsize);
+
+  // --- Read-path sampling ---------------------------------------------------
+
+  /// Verify one in `n` checked reads (1 = every read, 0 = scrub-patrol
+  /// only).  The read-path check is opportunistic — exhaustive coverage
+  /// belongs to scrub_pass — so sampling amortizes the checksum cost over
+  /// the hot path without giving up drive-by detection.
+  void set_verify_period(std::uint32_t n) {
+    verify_period_.store(n, std::memory_order_relaxed);
+  }
+  std::uint32_t verify_period() const {
+    return verify_period_.load(std::memory_order_relaxed);
+  }
+  /// Ticket the sampler; true when this checked read should verify.
+  bool should_verify_read() {
+    const std::uint32_t p = verify_period_.load(std::memory_order_relaxed);
+    if (p == 0) return false;
+    if (p == 1) return true;
+    return read_tick_.fetch_add(1, std::memory_order_relaxed) % p == 0;
+  }
+
+  // --- Suspects (read path -> scrub handoff) --------------------------------
+
+  /// Returns true on the 0->1 transition (first flagger owns reporting).
+  bool flag_suspect(ChunkRef ref);
+  void clear_suspect(ChunkRef ref);
+  bool suspect(ChunkRef ref) const {
+    return suspect_[ref].load(std::memory_order_acquire) != 0;
+  }
+  std::uint64_t suspect_count() const {
+    return suspects_.load(std::memory_order_relaxed);
+  }
+
+  // --- Repair escalation ----------------------------------------------------
+
+  /// Count a repair attempt on `ref`; returns the new total for this
+  /// lifetime.  A second mismatch after a successful repair (a stuck-at
+  /// cell re-asserting itself) escalates to quarantine instead of burning
+  /// scrub passes re-repairing unrepairable memory.
+  std::uint32_t note_repair(ChunkRef ref) {
+    return repairs_[ref].fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+  void reset_repairs(ChunkRef ref) {
+    repairs_[ref].store(0, std::memory_order_relaxed);
+  }
+
+  // --- Aggregate stats (quiescent reporting; the per-team metrics shards
+  // carry the same events for gfsl-metrics-v1) ------------------------------
+
+  std::uint64_t seals_stamped() const { return stamped_.load(std::memory_order_relaxed); }
+  std::uint64_t seals_verified() const { return verified_.load(std::memory_order_relaxed); }
+  std::uint64_t seal_mismatches() const { return mismatched_.load(std::memory_order_relaxed); }
+  std::uint64_t sealed_count() const { return sealed_count_.load(std::memory_order_relaxed); }
+
+  /// Raw checksum over `words[0..count)`, exposed for tests and for the
+  /// durable-image cross-checks.
+  std::uint32_t checksum(const std::uint64_t* words, std::size_t count) const;
+
+ private:
+  static constexpr std::uint32_t kGenMask = 0x7fffffffu;
+  static constexpr std::uint64_t pack_seal(std::uint32_t gen, std::uint32_t crc) {
+    return (static_cast<std::uint64_t>(crc) << 32) |
+           (static_cast<std::uint64_t>(gen & kGenMask) << 1) | 1u;
+  }
+  static constexpr std::uint32_t seal_gen(std::uint64_t s) {
+    return static_cast<std::uint32_t>(s >> 1) & kGenMask;
+  }
+  static constexpr std::uint32_t seal_crc(std::uint64_t s) {
+    return static_cast<std::uint32_t>(s >> 32);
+  }
+
+  std::uint32_t compute(const std::atomic<KV>* entries, int dsize) const;
+
+  SealAlgo algo_;
+  std::uint32_t capacity_ = 0;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> seal_;
+  std::unique_ptr<std::atomic<std::uint8_t>[]> suspect_;
+  std::unique_ptr<std::atomic<std::uint32_t>[]> repairs_;
+  std::atomic<std::uint32_t> verify_period_{8};
+  std::atomic<std::uint64_t> read_tick_{0};
+  std::atomic<std::uint64_t> stamped_{0};
+  std::atomic<std::uint64_t> verified_{0};
+  std::atomic<std::uint64_t> mismatched_{0};
+  std::atomic<std::int64_t> sealed_count_{0};
+  std::atomic<std::uint64_t> suspects_{0};
+};
+
+}  // namespace gfsl::core

@@ -203,6 +203,18 @@ RecoveryReport Gfsl::recover() {
     fail("recover() requires a persist region");
     return rep;
   }
+  // 0. Distrust the adopted image's superblock before dereferencing any
+  // geometry derived from it: attach() validated the file once, but the
+  // mapping is live memory — damage after attach (or a fault-plane
+  // injection) would otherwise steer every section pointer below.  A typed
+  // failure here beats undefined behavior three steps later.
+  {
+    std::string sb_err;
+    if (!region_->verify_superblock(&sb_err)) {
+      fail("superblock rejected: " + sb_err);
+      return rep;
+    }
+  }
   // The constructor enforces region => leases, so leases_ is non-null here.
   // The hint table is process-local and describes the pre-crash image;
   // unpublish it before any repair so no post-recovery op trusts it.
@@ -237,7 +249,17 @@ RecoveryReport Gfsl::recover() {
     }
   }
   for (int id = 0; id < sched::LeaseTable::kMaxTeams; ++id) {
-    if (intents_[id].word.load(std::memory_order_acquire) != 0) {
+    const std::uint32_t iw =
+        intents_[id].word.load(std::memory_order_acquire);
+    if (iw == 0) continue;
+    // The expiry-gated sweep above skips a word whose encoded team/epoch
+    // decodes to nothing expirable — but every lease except the medic's was
+    // just marked crashed, so no live publisher can exist: a surviving
+    // claim is a corrupted word, not an open intent.  Force-claim it; the
+    // payload triage inside recover_intent replays a genuine record and
+    // rolls garbage back.
+    if (!recover_intent(medic, intents_[id], iw) ||
+        intents_[id].word.load(std::memory_order_acquire) != 0) {
       fail("intent slot " + std::to_string(id) +
            " still claimed after the medic sweep");
       return rep;
@@ -281,6 +303,21 @@ RecoveryReport Gfsl::recover() {
         0, std::memory_order_relaxed);
   }
 
+  // 4b. Generation triage: a *reachable* chunk with an odd stamp cannot
+  // arise from any legal crash interleaving — alloc_locked flips the stamp
+  // even before the link that makes the chunk reachable is published, and
+  // recycle only runs after the unlink.  It is memory damage in the stamp
+  // word itself; left alone, step 5 would push a still-linked chunk onto
+  // the free-list and hand its index out for reuse.  Normalize it back to
+  // even (the chunk's contents were already vetted by the scrub above).
+  for (const ChunkRef ref : reachable) {
+    if ((arena_.generation(ref) & 1u) != 0) {
+      arena_.force_even_generation(ref);
+      persist_point();
+      ++rep.generations_repaired;
+    }
+  }
+
   // 5. Rebuild the free-list from the classification: an index is free iff
   // its generation is odd (a completed recycle, or an allocation killed
   // inside its init window — the stamp goes even only after the last init
@@ -319,6 +356,10 @@ RecoveryReport Gfsl::recover() {
         static_cast<std::atomic<std::uint64_t>*>(region_->durable_rev())
             ->load(std::memory_order_relaxed));
   }
+
+  // Fresh seals over the repaired image: every surviving chunk was rewritten
+  // or vetted above, so the recovered state is the new integrity baseline.
+  reseal_all();
 
   rep.validation = validate(/*strict=*/true);
   if (!rep.validation.ok) {

@@ -52,23 +52,57 @@ using simt::LaneVec;
 using simt::Team;
 
 LaneVec<KV> Gfsl::read_chunk_checked(Team& team, Guarded g, bool* stale) {
-  if (epochs_ == nullptr) {
+  if (epochs_ == nullptr && integrity_ == nullptr) {
     *stale = false;
     return read_chunk(team, g.ref);
   }
-  // Seqlock read validated against the acquisition-time sample: the stamp
-  // must equal g.gen both before and after the contents read.  Comparing
-  // only pre vs. post would miss a *completed* recycle+reuse (the new
-  // lifetime's stamp is even and internally consistent); comparing against
-  // the sample taken when the ref was acquired catches it.  The stamp loads
-  // piggyback on the chunk's cache line and add no lockstep instruction of
-  // their own.
-  const auto g1 = arena_.generation(g.ref, std::memory_order_acquire);
-  LaneVec<KV> kv = read_chunk(team, g.ref);
-  std::atomic_thread_fence(std::memory_order_acquire);
-  const auto g2 = arena_.generation(g.ref, std::memory_order_relaxed);
-  *stale = g1 != g.gen || g2 != g.gen || (g.gen & 1u) != 0;
-  if (*stale) {
+  bool restart = false;
+  LaneVec<KV> kv;
+  if (epochs_ != nullptr) {
+    // Seqlock read validated against the acquisition-time sample: the stamp
+    // must equal g.gen both before and after the contents read.  Comparing
+    // only pre vs. post would miss a *completed* recycle+reuse (the new
+    // lifetime's stamp is even and internally consistent); comparing against
+    // the sample taken when the ref was acquired catches it.  The stamp loads
+    // piggyback on the chunk's cache line and add no lockstep instruction of
+    // their own.
+    const auto g1 = arena_.generation(g.ref, std::memory_order_acquire);
+    kv = read_chunk(team, g.ref);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    const auto g2 = arena_.generation(g.ref, std::memory_order_relaxed);
+    restart = g1 != g.gen || g2 != g.gen || (g.gen & 1u) != 0;
+  } else {
+    kv = read_chunk(team, g.ref);
+  }
+  if (!restart && integrity_ != nullptr &&
+      lock_entry_state(team.shfl(kv, team.lock_lane())) == kUnlocked) {
+    // Seal check over the snapshot this team already holds — only meaningful
+    // when the snapshot shows the chunk unlocked (an in-flight writer
+    // legitimately diverges from the last stamp).  Detached epochs the stamp
+    // never leaves 0, matching g.gen's default.  The check is sampled
+    // (sidecar verify period): drive-by detection at a bounded hot-path
+    // cost, with exhaustive coverage owned by scrub_pass.
+    if (integrity_->sealed(g.ref, g.gen) &&
+        integrity_->should_verify_read()) {
+      team.metric(obs::kCorruptionSealsVerified);
+      KV data[simt::kWarpSize];
+      for (int i = 0; i < team.dsize(); ++i) data[i] = kv[i];
+      if (!integrity_->verify_snapshot(g.ref, g.gen, data, team.dsize())) {
+        // Suspicion only: a racing lock/modify/unlock between the lane loads
+        // can fake a mismatch.  The first flagger resolves inline under
+        // try_lock (busy leaves the flag for scrub_pass) and restarts once;
+        // later observers proceed on the already-flagged chunk, so a real
+        // mismatch can never livelock the read path.
+        team.metric(obs::kCorruptionSealMismatches);
+        if (integrity_->flag_suspect(g.ref)) {
+          scrub_chunk(team, g.ref, nullptr);
+          restart = true;
+        }
+      }
+    }
+  }
+  *stale = restart;
+  if (restart) {
     team.metric(obs::kStaleChunkReads);
     ++team.counters().restarts;
     team.record(simt::TraceEvent::kRestart, g.ref);
@@ -207,6 +241,7 @@ std::size_t Gfsl::reclaim_pass(Team& team) {
       // head; a parked one fails the generation re-check), so the record
       // indices return to the arena immediately.
       purge_version_records(ref);
+      if (integrity_ != nullptr) integrity_->unseal(ref);
       arena_.recycle(ref);
       persist_point();  // the generation flip + free-list push just hit disk
       // Belt-and-braces erosion mark: a hint naming this index already fails

@@ -88,6 +88,11 @@ bool Gfsl::release_if_owned(Team& team, ChunkRef ref,
   }
   KV expected = make_lock_entry(kLocked, owner_word);
   sync_point(team);
+  // The release below publishes "unlocked", which must imply a current seal
+  // (the dead owner's mutation was already repaired, or never started).
+  // Stamp while the lock word still names the dead owner — the contents are
+  // frozen under its held lock, so the hash is computed over a stable image.
+  if (locked_by(ref, owner_word)) stamp_seal(team, ref);
   mem_->atomic_rmw(arena_.entry_address(ref, arena_.lock_slot()));
   const bool ok = arena_.entry(ref, arena_.lock_slot())
                       .compare_exchange_strong(
@@ -149,12 +154,26 @@ bool Gfsl::recover_intent(Team& team, IntentSlot& slot, std::uint32_t iw) {
   CommitScope commit(*this, team);
 
   const std::uint32_t owner = slot.owner.load(std::memory_order_relaxed);
-  const auto kind =
-      static_cast<IntentKind>(slot.kind.load(std::memory_order_relaxed));
+  const std::uint32_t kind_raw = slot.kind.load(std::memory_order_relaxed);
+  const auto kind = static_cast<IntentKind>(kind_raw);
   const Key k = slot.key.load(std::memory_order_relaxed);
   const ChunkRef a = slot.a.load(std::memory_order_relaxed);
   const ChunkRef b = slot.b.load(std::memory_order_relaxed);
   const ChunkRef fresh = slot.fresh.load(std::memory_order_relaxed);
+
+  // An intent slot adopted from a persisted (or damaged) image is untrusted
+  // input: a ref outside the pool would index the repairs out of bounds, and
+  // an unknown kind has no defined replay.  Such an intent is dropped — the
+  // arena lock sweep still releases whatever the dead team held in-pool.
+  const auto in_pool = [this](ChunkRef r) {
+    return r == NULL_CHUNK || r < arena_.capacity();
+  };
+  if (!in_pool(a) || !in_pool(b) || !in_pool(fresh) ||
+      kind_raw > static_cast<std::uint32_t>(IntentKind::kDownSwing)) {
+    team.metric(obs::kRecoveryRollBack);
+    slot.word.store(0, std::memory_order_release);
+    return true;
+  }
 
   bool forward = true;
   if (owner != 0 && leases_->expired(owner)) {

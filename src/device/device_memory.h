@@ -24,6 +24,7 @@
 #include <memory>
 
 #include "device/cache_sim.h"
+#include "device/fault_plane.h"
 
 namespace gfsl::device {
 
@@ -54,12 +55,14 @@ class DeviceMemory {
     record_contiguous(addr, bytes, &warp_reads_);
   }
   void warp_write(std::uint64_t addr, std::uint32_t bytes) {
+    if (fault_plane_ != nullptr) fault_plane_->on_traffic();
     record_contiguous(addr, bytes, &warp_writes_);
   }
   void lane_read(std::uint64_t addr, std::uint32_t bytes) {
     record_contiguous(addr, bytes, &lane_reads_);
   }
   void lane_write(std::uint64_t addr, std::uint32_t bytes) {
+    if (fault_plane_ != nullptr) fault_plane_->on_traffic();
     record_contiguous(addr, bytes, &lane_writes_);
   }
   void atomic_rmw(std::uint64_t addr);
@@ -81,11 +84,18 @@ class DeviceMemory {
 
   const CacheSim& cache() const { return cache_; }
 
+  /// Attaches a fault plane: write traffic ticks it so stuck-at cells
+  /// re-assert themselves under load.  Null (the default) is the detached
+  /// path — one pointer test per store, no behavior change.
+  void attach_fault_plane(FaultPlane* plane) { fault_plane_ = plane; }
+  FaultPlane* fault_plane() const { return fault_plane_; }
+
  private:
   void record_contiguous(std::uint64_t addr, std::uint32_t bytes,
                          std::atomic<std::uint64_t>* class_counter);
 
   CacheSim cache_;
+  FaultPlane* fault_plane_ = nullptr;
   std::atomic<bool> accounting_;
   // Relaxed atomics: counters are aggregated, never used for synchronization.
   std::atomic<std::uint64_t> warp_reads_{0};

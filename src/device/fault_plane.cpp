@@ -1,0 +1,173 @@
+#include "device/fault_plane.h"
+
+#include <cstdio>
+
+namespace gfsl::device {
+
+namespace {
+
+/// splitmix64: the canonical seed-expansion PRNG — every output is a pure
+/// function of the seed, no shared state between draws.
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+const char* fault_section_name(FaultSection s) {
+  switch (s) {
+    case FaultSection::kChunkData: return "chunk";
+    case FaultSection::kFreeList: return "freelist";
+    case FaultSection::kIntents: return "intent";
+    case FaultSection::kSuperblock: return "superblock";
+    case FaultSection::kGenerations: return "generation";
+  }
+  return "?";
+}
+
+const char* fault_kind_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::kBitFlip: return "flip";
+    case FaultKind::kMultiBitFlip: return "multiflip";
+    case FaultKind::kTornEntry: return "torn";
+    case FaultKind::kStuckWord: return "stuck";
+    case FaultKind::kDroppedBarrier: return "dropbarrier";
+  }
+  return "?";
+}
+
+bool parse_fault_section(const std::string& s, FaultSection* out) {
+  for (int i = 0; i < kFaultSectionCount; ++i) {
+    const auto sec = static_cast<FaultSection>(i);
+    if (s == fault_section_name(sec)) {
+      *out = sec;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool parse_fault_kind(const std::string& s, FaultKind* out) {
+  for (int i = 0; i < kFaultKindCount; ++i) {
+    const auto kind = static_cast<FaultKind>(i);
+    if (s == fault_kind_name(kind)) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string FaultReport::describe() const {
+  char buf[160];
+  if (!injected) {
+    std::snprintf(buf, sizeof(buf), "%s:%s:%llu (not injected)",
+                  fault_section_name(section), fault_kind_name(kind),
+                  static_cast<unsigned long long>(seed));
+    return buf;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "%s:%s:%llu @ +0x%llx  %016llx -> %016llx",
+                fault_section_name(section), fault_kind_name(kind),
+                static_cast<unsigned long long>(seed),
+                static_cast<unsigned long long>(offset),
+                static_cast<unsigned long long>(before),
+                static_cast<unsigned long long>(after));
+  return buf;
+}
+
+void FaultPlane::map_section(FaultSection s, void* base, std::size_t bytes) {
+  auto& w = windows_[static_cast<int>(s)];
+  w.base = base;
+  w.words = bytes / 8;
+}
+
+bool FaultPlane::armed(FaultSection s) const {
+  return windows_[static_cast<int>(s)].words != 0;
+}
+
+FaultReport FaultPlane::inject(const FaultSpec& spec) {
+  FaultReport rep;
+  rep.section = spec.section;
+  rep.kind = spec.kind;
+  rep.seed = spec.seed;
+  if (spec.kind == FaultKind::kDroppedBarrier) {
+    // Barriers are events, not words: arm 1-3 drops from the seed.
+    std::uint64_t st = spec.seed;
+    arm_barrier_drops(1 + splitmix64(st) % 3);
+    rep.injected = true;
+    return rep;
+  }
+  const Window& w = windows_[static_cast<int>(spec.section)];
+  if (w.words == 0) return rep;
+  std::uint64_t st = spec.seed ^ (static_cast<std::uint64_t>(spec.section) << 56);
+  auto* word = static_cast<std::uint64_t*>(w.base) + splitmix64(st) % w.words;
+  FaultReport r = inject_at(spec.kind, word, st);
+  r.section = spec.section;
+  r.seed = spec.seed;
+  r.offset = static_cast<std::uint64_t>(
+      reinterpret_cast<const char*>(word) - static_cast<const char*>(w.base));
+  return r;
+}
+
+FaultReport FaultPlane::inject_at(FaultKind kind, void* word,
+                                  std::uint64_t seed) {
+  FaultReport rep;
+  rep.kind = kind;
+  rep.seed = seed;
+  rep.address = word;
+  auto* p = static_cast<std::uint64_t*>(word);
+  std::uint64_t st = seed * 0x2545f4914f6cdd1dull + 0x9e3779b97f4a7c15ull;
+  const std::uint64_t before = *p;
+  std::uint64_t after = before;
+  switch (kind) {
+    case FaultKind::kBitFlip:
+      after ^= 1ull << (splitmix64(st) % 64);
+      break;
+    case FaultKind::kMultiBitFlip: {
+      const int bits = 2 + static_cast<int>(splitmix64(st) % 3);  // 2..4
+      for (int i = 0; i < bits; ++i) after ^= 1ull << (splitmix64(st) % 64);
+      if (after == before) after ^= 1ull;  // flips may cancel; never a no-op
+      break;
+    }
+    case FaultKind::kTornEntry: {
+      // A 32-bit-granular store torn mid-entry: one half keeps its old
+      // bytes, the other takes a plausible-but-wrong value.
+      const std::uint64_t garbage = splitmix64(st);
+      if ((splitmix64(st) & 1) != 0) {
+        after = (before & 0xffffffff00000000ull) | (garbage & 0xffffffffull);
+      } else {
+        after = (before & 0xffffffffull) | (garbage & 0xffffffff00000000ull);
+      }
+      if (after == before) after ^= 1ull;
+      break;
+    }
+    case FaultKind::kStuckWord:
+      after ^= 1ull << (splitmix64(st) % 64);
+      stuck_.push_back(Stuck{p, after});
+      break;
+    case FaultKind::kDroppedBarrier:
+      return rep;  // not a word fault; inject() handles it
+  }
+  *p = after;
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  rep.injected = true;
+  rep.before = before;
+  rep.after = after;
+  injected_.fetch_add(1, std::memory_order_relaxed);
+  return rep;
+}
+
+void FaultPlane::reassert() {
+  for (const Stuck& s : stuck_) {
+    *s.addr = s.value;
+  }
+  if (!stuck_.empty()) {
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+  }
+}
+
+}  // namespace gfsl::device

@@ -50,21 +50,36 @@ PersistRegion::PersistRegion(const std::string& path, Mode mode,
     const ssize_t got = ::pread(fd_, &sb, sizeof(sb), 0);
     if (got != static_cast<ssize_t>(sizeof(sb))) {
       ::close(fd_);
-      throw std::runtime_error("persist region: " + path +
-                               " is too short to hold a superblock");
+      throw RegionFormatError(
+          RegionFormatError::Code::kTruncated,
+          "persist region: " + path + " is too short to hold a superblock");
     }
-    if (sb.magic != kMagic || sb.version != kVersion) {
+    if (sb.magic != kMagic) {
       ::close(fd_);
-      throw std::runtime_error("persist region: " + path +
-                               " has a bad magic/version (not a gfsl region, "
-                               "or written by an incompatible build)");
+      throw RegionFormatError(
+          RegionFormatError::Code::kBadMagic,
+          "persist region: " + path + " has a bad magic (not a gfsl region, "
+          "or its superblock was corrupted)");
     }
+    if (sb.version != kVersion) {
+      ::close(fd_);
+      throw RegionFormatError(
+          RegionFormatError::Code::kBadVersion,
+          "persist region: " + path + " was written by an incompatible build "
+          "(version " + std::to_string(sb.version) + ", expected " +
+          std::to_string(kVersion) + ")");
+    }
+    // kMaxCapacity bounds the section extents: capacity <= 2^28 chunks of
+    // <= 32 entries keeps every offset computation far below uint64 overflow
+    // and rejects a flipped high bit in the capacity word before it turns
+    // into a terabyte ftruncate/mmap.
     if (sb.max_levels != kMaxLevels || sb.max_teams != kMaxTeams ||
         sb.entries_per_chunk < 8 || sb.entries_per_chunk > 32 ||
-        sb.capacity == 0) {
+        sb.capacity == 0 || sb.capacity > kMaxCapacity) {
       ::close(fd_);
-      throw std::runtime_error("persist region: " + path +
-                               " superblock geometry is invalid");
+      throw RegionFormatError(
+          RegionFormatError::Code::kBadGeometry,
+          "persist region: " + path + " superblock geometry is invalid");
     }
     geom_.entries_per_chunk = sb.entries_per_chunk;
     geom_.capacity = sb.capacity;
@@ -111,9 +126,10 @@ PersistRegion::PersistRegion(const std::string& path, Mode mode,
     if (::fstat(fd_, &st) != 0 ||
         st.st_size < static_cast<off_t>(bytes_)) {
       ::close(fd_);
-      throw std::runtime_error("persist region: " + path +
-                               " is shorter than its superblock geometry "
-                               "implies (truncated image)");
+      throw RegionFormatError(
+          RegionFormatError::Code::kTruncated,
+          "persist region: " + path + " is shorter than its superblock "
+          "geometry implies (truncated image)");
     }
   }
 
@@ -164,6 +180,42 @@ void PersistRegion::mark_recovered() {
 
 void PersistRegion::sync() {
   if (base_ != nullptr) ::msync(base_, bytes_, MS_SYNC);
+}
+
+bool PersistRegion::verify_superblock(std::string* error) const {
+  const auto* sb = static_cast<const Super*>(base_);
+  auto fail = [error](const std::string& msg) {
+    if (error != nullptr) *error = "superblock: " + msg;
+    return false;
+  };
+  // Re-read the live words: a fault injected after attach can have changed
+  // any of them, and every section pointer recover() hands out is derived
+  // from this geometry.
+  if (sb->magic != kMagic) return fail("bad magic");
+  if (sb->version != kVersion) return fail("bad version");
+  if (sb->max_levels != kMaxLevels || sb->max_teams != kMaxTeams) {
+    return fail("max_levels/max_teams mismatch");
+  }
+  if (sb->entries_per_chunk != geom_.entries_per_chunk ||
+      sb->capacity != geom_.capacity) {
+    return fail("geometry drifted from the attached mapping (entries " +
+                std::to_string(sb->entries_per_chunk) + ", capacity " +
+                std::to_string(sb->capacity) + ")");
+  }
+  return true;
+}
+
+void PersistRegion::arm_fault_sections(FaultPlane& plane) {
+  plane.map_section(FaultSection::kSuperblock, base_, sizeof(Super));
+  plane.map_section(FaultSection::kChunkData, chunk_slots(),
+                    static_cast<std::size_t>(geom_.capacity) *
+                        geom_.entries_per_chunk * 8);
+  plane.map_section(FaultSection::kGenerations, generations(),
+                    static_cast<std::size_t>(geom_.capacity) * 4);
+  plane.map_section(FaultSection::kFreeList, free_links(),
+                    static_cast<std::size_t>(geom_.capacity) * 4);
+  plane.map_section(FaultSection::kIntents, intent_slots(),
+                    static_cast<std::size_t>(kMaxTeams) * kIntentSlotBytes);
 }
 
 void PersistRegion::kill_self() {

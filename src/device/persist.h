@@ -36,13 +36,36 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <stdexcept>
 #include <string>
+
+#include "device/fault_plane.h"
 
 namespace gfsl::device {
 
 struct PersistGeometry {
   std::uint32_t entries_per_chunk = 0;  // chunk size N (== team size)
   std::uint32_t capacity = 0;           // total chunks in the pool
+};
+
+/// Typed rejection of a region file that is not a sane gfsl image.  Derives
+/// from std::runtime_error so pre-existing catch sites keep working, but
+/// callers that care (recover-under-corruption tests, the CLI) can switch on
+/// the code instead of string-matching `what()`.
+class RegionFormatError : public std::runtime_error {
+ public:
+  enum class Code {
+    kTruncated,    // file too short for a superblock or its implied extent
+    kBadMagic,     // not a gfsl region at all
+    kBadVersion,   // written by an incompatible build
+    kBadGeometry,  // N / capacity / max_levels / max_teams out of range
+  };
+  RegionFormatError(Code code, const std::string& msg)
+      : std::runtime_error(msg), code_(code) {}
+  Code code() const { return code_; }
+
+ private:
+  Code code_;
 };
 
 class PersistRegion {
@@ -60,6 +83,11 @@ class PersistRegion {
   static constexpr std::uint32_t kIntentSlotBytes = 64;
   /// Arena control section: bump pointer, free count, tagged free head.
   static constexpr std::uint32_t kArenaControlBytes = 64;
+  /// Extent-sanity bound on superblock capacity: 2^28 chunks of <= 32
+  /// entries keeps every section-offset computation far below uint64
+  /// overflow and rejects a flipped high bit in the capacity word before it
+  /// turns into a terabyte mapping.
+  static constexpr std::uint32_t kMaxCapacity = 1u << 28;
 
   enum class Mode {
     kCreate,  // truncate/extend the file and zero-initialize the region
@@ -100,8 +128,13 @@ class PersistRegion {
 
   // --- Persist points -------------------------------------------------------
 
-  /// One persist point: full fence + count + (armed) self-SIGKILL.
+  /// One persist point: full fence + count + (armed) self-SIGKILL.  An
+  /// attached FaultPlane may silently drop the whole point (no fence, no
+  /// count, no sync) — the kDroppedBarrier fault model.
   void barrier() {
+    if (fault_plane_ != nullptr && fault_plane_->consume_barrier_drop()) {
+      return;
+    }
     std::atomic_thread_fence(std::memory_order_seq_cst);
     const std::uint64_t n = points_.fetch_add(1, std::memory_order_relaxed) + 1;
     if (kill_at_ != 0 && n >= kill_at_) kill_self();
@@ -136,6 +169,25 @@ class PersistRegion {
   /// msync the whole mapping (synchronous).
   void sync();
 
+  // --- Integrity / fault injection ------------------------------------------
+
+  /// Re-checks the *live* superblock in the mapping against the geometry the
+  /// region was opened with — the words a corruption could have changed
+  /// since attach.  Returns false and fills `error` on mismatch; recover()
+  /// calls this before trusting any section pointer.
+  bool verify_superblock(std::string* error) const;
+
+  /// Attaches a fault plane: barrier() consults it for dropped persist
+  /// points.  Null (the default) is the detached path.
+  void attach_fault_plane(FaultPlane* plane) { fault_plane_ = plane; }
+  FaultPlane* fault_plane() const { return fault_plane_; }
+
+  /// Registers every durable section's byte window with `plane` so seeded
+  /// injections can target them independently (the region owns the layout;
+  /// callers should not re-derive offsets).  The superblock window covers
+  /// only the meaningful header words, not the zero padding of the page.
+  void arm_fault_sections(FaultPlane& plane);
+
  private:
   void* at(std::uint64_t off) const {
     return static_cast<char*>(base_) + off;
@@ -162,6 +214,7 @@ class PersistRegion {
   std::atomic<std::uint64_t> points_{0};
   std::uint64_t kill_at_ = 0;
   bool sync_on_barrier_ = false;
+  FaultPlane* fault_plane_ = nullptr;
 };
 
 }  // namespace gfsl::device

@@ -823,6 +823,173 @@ BenchReport run_persist_overhead(const CampaignOptions& opts) {
 }
 
 // ---------------------------------------------------------------------------
+// Integrity armor micro suite — host ns/op A/B with the IntegritySidecar
+// detached (the seed path: no seals, no checks, bit-identical behavior) vs
+// armed with each seal algorithm (every lock release restamps the chunk's
+// data-slot seal; checked reads verify on their cold path).  Raw nanoseconds
+// are machine-speed-bound and stay informational; the gated metrics are the
+// per-rep armed/detached ratios, which cancel the machine out.  A quiescent
+// full-pool scrub pass is timed per scanned chunk (informational): the
+// steady-state cost of patrolling an undamaged structure.
+
+enum class IntegrityMode { kDetached, kCrc32c, kXorFold };
+
+const char* integrity_mode_key(IntegrityMode m) {
+  switch (m) {
+    case IntegrityMode::kDetached: return "detached";
+    case IntegrityMode::kCrc32c: return "crc32c";
+    case IntegrityMode::kXorFold: return "xorfold";
+  }
+  return "detached";
+}
+
+struct IntegrityFixture {
+  IntegrityFixture(int team_size, Key prefill, IntegrityMode mode)
+      : team(team_size, 0, 1) {
+    if (mode != IntegrityMode::kDetached) {
+      sidecar = std::make_unique<core::IntegritySidecar>(
+          mode == IntegrityMode::kCrc32c ? core::SealAlgo::kCrc32c
+                                         : core::SealAlgo::kXorFold);
+    }
+    core::GfslConfig cfg;
+    cfg.team_size = team_size;
+    cfg.pool_chunks = 1u << 16;
+    sl = std::make_unique<core::Gfsl>(cfg, &mem, nullptr, nullptr, nullptr,
+                                      nullptr, nullptr, nullptr,
+                                      sidecar.get());
+    std::vector<std::pair<Key, Value>> pairs;
+    for (Key k = 1; k <= prefill; ++k) pairs.emplace_back(k * 2, k);
+    sl->bulk_load(pairs);
+  }
+  device::DeviceMemory mem;
+  simt::Team team;
+  std::unique_ptr<core::IntegritySidecar> sidecar;
+  std::unique_ptr<core::Gfsl> sl;
+};
+
+double integrity_contains_ns(IntegrityMode mode, std::uint64_t iters) {
+  IntegrityFixture f(32, 10'000, mode);
+  Key k = 1;
+  bool sink = false;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    sink ^= f.sl->contains(f.team, k);
+    k = (k % 20'000) + 1;
+  }
+  const auto dt = std::chrono::steady_clock::now() - t0;
+  if (sink) std::fputs("", stdout);
+  return static_cast<double>(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(dt).count()) /
+         static_cast<double>(iters);
+}
+
+double integrity_insert_erase_ns(IntegrityMode mode, std::uint64_t iters) {
+  IntegrityFixture f(32, 10'000, mode);
+  Key k = 50'001;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    f.sl->insert(f.team, k, 0);
+    f.sl->erase(f.team, k);
+    ++k;
+  }
+  const auto dt = std::chrono::steady_clock::now() - t0;
+  return static_cast<double>(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(dt).count()) /
+         static_cast<double>(iters * 2);
+}
+
+double integrity_scrub_ns_per_chunk(IntegrityMode mode) {
+  IntegrityFixture f(32, 10'000, mode);
+  const auto t0 = std::chrono::steady_clock::now();
+  const core::ScrubReport rep = f.sl->scrub_pass(f.team);
+  const auto dt = std::chrono::steady_clock::now() - t0;
+  if (rep.chunks_scanned == 0) return 0.0;
+  return static_cast<double>(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(dt).count()) /
+         static_cast<double>(rep.chunks_scanned);
+}
+
+BenchReport run_integrity_overhead(const CampaignOptions& opts) {
+  const Scale sc = campaign_scale(opts);
+  BenchReport report;
+  report.campaign = "integrity_overhead";
+  stamp_scale(report, sc, opts);
+
+  const std::uint64_t iters = opts.quick ? 20'000 : 50'000;
+  const int reps = static_cast<int>(sc.reps);
+  report.set_config("iters", std::to_string(iters));
+
+  std::printf(
+      "# integrity_overhead: host ns/op with the integrity sidecar detached "
+      "(seed path) / armed crc32c / armed xorfold\n"
+      "# (%d reps x %llu iters; gated on the per-rep armed/detached ratios, "
+      "which cancel machine speed)\n\n",
+      reps, static_cast<unsigned long long>(iters));
+
+  const IntegrityMode modes[] = {IntegrityMode::kDetached,
+                                 IntegrityMode::kCrc32c,
+                                 IntegrityMode::kXorFold};
+  Table t({"loop", "mode", "ns/op (mean ±stddev)", "vs detached"});
+  // Interleave the modes within each rep so machine drift hits all arms of
+  // rep r alike; the gated per-rep ratios then carry a real spread for
+  // bench_compare's k·σ band.
+  std::vector<double> ns_c[3], ns_ie[3], ns_scrub;
+  for (int r = 0; r < reps; ++r) {
+    for (int mi = 0; mi < 3; ++mi) {
+      ns_c[mi].push_back(integrity_contains_ns(modes[mi], iters));
+      ns_ie[mi].push_back(integrity_insert_erase_ns(modes[mi], iters));
+    }
+    ns_scrub.push_back(integrity_scrub_ns_per_chunk(IntegrityMode::kCrc32c));
+  }
+  for (int mi = 0; mi < 3; ++mi) {
+    BenchMetric c;
+    c.samples = ns_c[mi];
+    BenchMetric ie;
+    ie.samples = ns_ie[mi];
+    const bool base = mi == 0;
+    const std::string mk = integrity_mode_key(modes[mi]);
+    std::vector<double> ratio_c, ratio_ie;
+    for (int r = 0; r < reps; ++r) {
+      ratio_c.push_back(ns_c[mi][static_cast<std::size_t>(r)] /
+                        ns_c[0][static_cast<std::size_t>(r)]);
+      ratio_ie.push_back(ns_ie[mi][static_cast<std::size_t>(r)] /
+                         ns_ie[0][static_cast<std::size_t>(r)]);
+    }
+    BenchMetric rc;
+    rc.samples = ratio_c;
+    BenchMetric rie;
+    rie.samples = ratio_ie;
+    t.add_row({"contains", mk, fmt_mean_stddev(c.mean(), c.stddev(), 1),
+               base ? "1.00x" : fmt(rc.mean(), 2) + "x"});
+    t.add_row({"insert_erase", mk, fmt_mean_stddev(ie.mean(), ie.stddev(), 1),
+               base ? "1.00x" : fmt(rie.mean(), 2) + "x"});
+    add_metric(report, "contains_ns." + mk, "ns", Better::kLower, false,
+               ns_c[mi]);
+    add_metric(report, "insert_erase_ns." + mk, "ns", Better::kLower, false,
+               ns_ie[mi]);
+    if (!base) {
+      add_metric(report, "contains_ratio." + mk, "x", Better::kLower, true,
+                 std::move(ratio_c));
+      add_metric(report, "insert_erase_ratio." + mk, "x", Better::kLower, true,
+                 std::move(ratio_ie));
+    }
+  }
+  BenchMetric scrub;
+  scrub.samples = ns_scrub;
+  t.add_row({"scrub_pass", "crc32c",
+             fmt_mean_stddev(scrub.mean(), scrub.stddev(), 1) + " /chunk",
+             "-"});
+  add_metric(report, "scrub_ns_per_chunk.crc32c", "ns", Better::kLower, false,
+             std::move(ns_scrub));
+  t.print(std::cout);
+  std::printf(
+      "\nacceptance: the detached path pays nothing (every seal call starts "
+      "with one null test); the armed ratios are the price of tamper-evident "
+      "chunks and must not creep.\n");
+  return report;
+}
+
+// ---------------------------------------------------------------------------
 // Scan-mixed — MVCC snapshot scans concurrent with a mutating mix
 // (DESIGN.md §13).  A/B: the same mutator workload runs once with no
 // SnapshotManager attached (seed path; the scanner uses the best-effort
@@ -1110,6 +1277,9 @@ const std::vector<Campaign>& campaigns() {
       {"persist_overhead",
        "host ns/op with the durable region detached / leased / armed",
        run_persist_overhead},
+      {"integrity_overhead",
+       "host ns/op with the integrity sidecar detached / crc32c / xorfold",
+       run_integrity_overhead},
       {"scan_mixed",
        "mutator mix vs a full-range scanner, legacy scan / mvcc scan_at A/B",
        run_scan_mixed},

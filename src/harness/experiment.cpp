@@ -141,6 +141,11 @@ void sample_structure_gauges(obs::MetricsRegistry& reg, const core::Gfsl& sl) {
     reg.set_gauge(obs::kForesightDirty,
                   static_cast<double>(fs->dirty_pending()));
   }
+  if (const core::IntegritySidecar* ic = sl.integrity(); ic != nullptr) {
+    reg.set_gauge(obs::kSealedChunks, static_cast<double>(ic->sealed_count()));
+    reg.set_gauge(obs::kScrubSuspects,
+                  static_cast<double>(ic->suspect_count()));
+  }
 }
 
 void apply_gfsl_contention(model::KernelRun& k,
@@ -222,8 +227,12 @@ Measurement measure_gfsl(const WorkloadConfig& wl,
   if (setup.foresight) {
     foresight = std::make_unique<core::ForesightIndex>(cfg.pool_chunks);
   }
+  std::unique_ptr<core::IntegritySidecar> integrity;
+  if (setup.integrity || setup.scrub_passes > 0) {
+    integrity = std::make_unique<core::IntegritySidecar>();
+  }
   core::Gfsl sl(cfg, &mem, nullptr, leases.get(), epochs.get(), region.get(),
-                snaps.get(), foresight.get());
+                snaps.get(), foresight.get(), integrity.get());
 
   sl.bulk_load(generate_prefill(wl));
   if (setup.foresight) {
@@ -319,6 +328,26 @@ Measurement measure_gfsl(const WorkloadConfig& wl,
   if (scanner.joinable()) {
     scan_stop.store(true, std::memory_order_release);
     scanner.join();
+  }
+  if (integrity) {
+    // Post-run online scrub: a medic team walks every sealed chunk.  On an
+    // undamaged run every pass is a full-verify no-op — the per-pass cost,
+    // not the findings, is the datum.  The medic's team id sits past the
+    // workers (and the scanner thread, when armed).
+    const int medic_id = setup.num_workers + (setup.snapshot_scan ? 1 : 0);
+    simt::Team medic(sl.team_size(), medic_id, derive_seed(wl.seed, 0x5C2B));
+    if (setup.metrics != nullptr && setup.metrics->shards() > medic_id) {
+      medic.set_metrics(&setup.metrics->shard(medic_id));
+    }
+    for (int p = 0; p < setup.scrub_passes; ++p) {
+      const core::ScrubReport sr = sl.scrub_pass(medic);
+      m.scrub_chunks_scanned += sr.chunks_scanned;
+      m.scrub_mismatches += sr.mismatches;
+      m.scrub_repaired += sr.repaired;
+      m.scrub_quarantined += sr.quarantined;
+    }
+    m.sealed_chunks = integrity->sealed_count();
+    m.scrub_suspects = integrity->suspect_count();
   }
   if (setup.metrics != nullptr) sample_structure_gauges(*setup.metrics, sl);
 

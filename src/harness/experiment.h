@@ -57,6 +57,15 @@ struct StructureSetup {
   /// descending from the head.  Hit/fallback/staleness counters land in the
   /// metrics registry when one is attached.  GFSL only.
   bool foresight = false;
+  /// Attach a core::IntegritySidecar (DESIGN.md §15): every lock release
+  /// restamps the chunk's data-slot seal and checked reads verify it on
+  /// their cold path — the armed cost the integrity_overhead campaign
+  /// measures.  GFSL only.
+  bool integrity = false;
+  /// With integrity: run this many online scrub passes after the measured
+  /// run (a medic team walking every sealed chunk) and accumulate their
+  /// reports into Measurement::scrub_*.
+  int scrub_passes = 0;
 };
 
 struct Measurement {
@@ -72,6 +81,14 @@ struct Measurement {
   std::uint64_t snapshot_scans = 0;          // scans that completed kOk
   std::uint64_t snapshot_scan_items = 0;     // pairs harvested across them
   std::uint64_t snapshot_scans_expired = 0;  // snapshots expired mid-scan
+  // Populated when setup.integrity: sidecar state at teardown plus the
+  // accumulated post-run scrub results (zero passes => zeros).
+  std::uint64_t sealed_chunks = 0;           // chunks carrying a valid seal
+  std::uint64_t scrub_suspects = 0;          // suspect flags still pending
+  std::uint64_t scrub_chunks_scanned = 0;
+  std::uint64_t scrub_mismatches = 0;
+  std::uint64_t scrub_repaired = 0;
+  std::uint64_t scrub_quarantined = 0;
 };
 
 /// One measured GFSL launch: fresh structure + prefill + warmup + timed run.

@@ -111,6 +111,14 @@ std::string_view counter_name(CounterId id) {
     case kForesightFallbacks: return "foresight_fallbacks";
     case kForesightStaleHints: return "foresight_stale_hints";
     case kForesightRebuilds: return "foresight_rebuilds";
+    case kCorruptionSealsStamped: return "corruption_seals_stamped";
+    case kCorruptionSealsVerified: return "corruption_seals_verified";
+    case kCorruptionSealMismatches: return "corruption_seal_mismatches";
+    case kCorruptionChunksQuarantined: return "corruption_chunks_quarantined";
+    case kCorruptionChunksRepaired: return "corruption_chunks_repaired";
+    case kCorruptionChunksLost: return "corruption_chunks_lost";
+    case kScrubPasses: return "scrub_passes";
+    case kScrubChunksScanned: return "scrub_chunks_scanned";
     case kInstructions: return "instructions";
     case kBallots: return "ballots";
     case kShfls: return "shfls";
@@ -156,6 +164,8 @@ std::string_view gauge_name(GaugeId id) {
     case kVersionRecordsLive: return "version_records_live";
     case kForesightEntries: return "foresight_entries";
     case kForesightDirty: return "foresight_dirty";
+    case kSealedChunks: return "sealed_chunks";
+    case kScrubSuspects: return "scrub_suspects";
     case kGaugeIdCount: break;
   }
   return "unknown";

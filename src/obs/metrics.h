@@ -136,6 +136,14 @@ enum CounterId : int {
   kForesightStaleHints,  // fallbacks where a published hint existed but
                          // failed validation (gen mismatch or zombie)
   kForesightRebuilds,    // hint-table republishes completed by this team
+  kCorruptionSealsStamped,      // chunk seals (re)computed at unlock/commit edges
+  kCorruptionSealsVerified,     // seal checks that ran against a sealed chunk
+  kCorruptionSealMismatches,    // checks that caught damaged data slots
+  kCorruptionChunksQuarantined, // damaged chunks zombified + unlinked by scrub
+  kCorruptionChunksRepaired,    // damaged chunks rebuilt in place by scrub
+  kCorruptionChunksLost,        // quarantines that lost a key range (blast radius)
+  kScrubPasses,                 // scrub passes completed
+  kScrubChunksScanned,          // sealed chunks visited by scrub passes
   kInstructions,
   kBallots,
   kShfls,
@@ -175,6 +183,8 @@ enum GaugeId : int {
   kVersionRecordsLive,  // version records resident in chunk chains
   kForesightEntries,    // hints in the currently published table
   kForesightDirty,      // dirty events pending since the last publish
+  kSealedChunks,        // chunks carrying a valid integrity seal
+  kScrubSuspects,       // chunks flagged suspect, awaiting a scrub pass
   kGaugeIdCount,
 };
 

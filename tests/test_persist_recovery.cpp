@@ -32,6 +32,7 @@
 #include "core/chunk.h"
 #include "core/gfsl.h"
 #include "device/device_memory.h"
+#include "device/fault_plane.h"
 #include "device/persist.h"
 #include "sched/lease.h"
 #include "sched/step_scheduler.h"
@@ -482,6 +483,134 @@ TEST(PersistTorn, SplitPublishRollsForwardOrBack) {
   }
   EXPECT_TRUE(outcomes.count(with) == 1)
       << "no kill point rolled the split forward";
+}
+
+// ---------------------------------------------------------------------------
+// FaultPlane-driven corruption of a closed image (DESIGN.md §15): recovery
+// must either converge to the pre-close contents or refuse with a typed
+// error — never serve a silently wrong answer.  These are the unit-sized
+// companions to `gfsl_fuzz --corrupt-sweep`, pinned to specific sections.
+
+/// Writes the reference workload into a fresh region and closes it clean.
+std::set<Key> make_clean_image(const std::string& path) {
+  PersistRegion region(path, PersistRegion::Mode::kCreate,
+                       PersistGeometry{8, 1u << 12});
+  sched::LeaseTable leases;
+  leases.attach(static_cast<std::atomic<std::uint32_t>*>(region.lease_slots()),
+                /*adopt=*/false);
+  device::DeviceMemory mem;
+  Gfsl sl(small_cfg(), &mem, nullptr, &leases, nullptr, &region);
+  simt::Team team(8, 0, 3);
+  run_small_workload(sl, team);
+  region.mark_clean();
+  return small_workload_expected();
+}
+
+TEST(PersistCorrupt, FlippedSuperblockIsTypedRejection) {
+  // A flip landing in the superblock's covered bytes must surface as a typed
+  // recover() refusal (verify_superblock), never as a converged-but-wrong
+  // structure.  Flips into don't-care padding may legitimately recover; the
+  // seed sweep must observe at least one actual rejection.
+  const auto path = tmp_region("corrupt_superblock");
+  bool saw_rejection = false;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const auto expected = make_clean_image(path);
+    device::FaultPlane plane;
+    device::DeviceMemory mem;
+    PersistRegion region(path, PersistRegion::Mode::kAttach);
+    region.attach_fault_plane(&plane);
+    region.arm_fault_sections(plane);
+    const auto frep = plane.inject(
+        {device::FaultSection::kSuperblock, device::FaultKind::kBitFlip, seed});
+    ASSERT_TRUE(frep.injected);
+    sched::LeaseTable leases;
+    leases.attach(
+        static_cast<std::atomic<std::uint32_t>*>(region.lease_slots()),
+        /*adopt=*/true);
+    Gfsl sl(small_cfg(), &mem, nullptr, &leases, nullptr, &region);
+    const auto rep = sl.recover();
+    if (!rep.ok) {
+      saw_rejection = true;
+      EXPECT_FALSE(rep.error.empty());
+    } else {
+      std::set<Key> keys;
+      for (const auto& [k, v] : sl.collect()) keys.insert(k);
+      EXPECT_EQ(keys, expected) << "seed " << seed
+                                << ": recovery accepted a flipped superblock "
+                                   "but served different contents";
+    }
+  }
+  EXPECT_TRUE(saw_rejection)
+      << "no superblock flip in 8 seeds was rejected — the typed-refusal "
+         "path never ran";
+}
+
+TEST(PersistCorrupt, TornTrailingIntentRollsBackAndConverges) {
+  // A torn write into the (quiescent) intent table models a descriptor that
+  // was half-published at the crash.  recover()'s triage must claim and roll
+  // back the garbage slot; a second pass over the repaired image must be a
+  // bit-identical no-op.
+  const auto path = tmp_region("corrupt_intent");
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const auto expected = make_clean_image(path);
+    device::FaultPlane plane;
+    device::DeviceMemory mem;
+    PersistRegion region(path, PersistRegion::Mode::kAttach);
+    region.attach_fault_plane(&plane);
+    region.arm_fault_sections(plane);
+    (void)plane.inject({device::FaultSection::kIntents,
+                        device::FaultKind::kTornEntry, seed});
+    sched::LeaseTable leases;
+    leases.attach(
+        static_cast<std::atomic<std::uint32_t>*>(region.lease_slots()),
+        /*adopt=*/true);
+    Gfsl sl(small_cfg(), &mem, nullptr, &leases, nullptr, &region);
+    const auto rep = sl.recover();
+    ASSERT_TRUE(rep.ok) << "seed " << seed << ": " << rep.error;
+    std::set<Key> keys;
+    for (const auto& [k, v] : sl.collect()) keys.insert(k);
+    EXPECT_EQ(keys, expected) << "seed " << seed;
+    const auto first = snapshot(region);
+    const auto rep2 = sl.recover();
+    ASSERT_TRUE(rep2.ok) << "seed " << seed << ": " << rep2.error;
+    EXPECT_EQ(rep2.intents_repaired, 0) << "seed " << seed;
+    EXPECT_TRUE(snapshot(region) == first)
+        << "seed " << seed << ": second recovery changed the image";
+  }
+}
+
+TEST(PersistCorrupt, GenerationWordCorruptionRecoversIdempotently) {
+  // Generation stamps are derived bookkeeping: any damage must be rebuilt by
+  // recover() without touching user data, and recover-twice must converge.
+  const auto path = tmp_region("corrupt_generation");
+  for (const device::FaultKind kind : {device::FaultKind::kBitFlip,
+                                       device::FaultKind::kMultiBitFlip,
+                                       device::FaultKind::kTornEntry}) {
+    const auto expected = make_clean_image(path);
+    device::FaultPlane plane;
+    device::DeviceMemory mem;
+    PersistRegion region(path, PersistRegion::Mode::kAttach);
+    region.attach_fault_plane(&plane);
+    region.arm_fault_sections(plane);
+    (void)plane.inject({device::FaultSection::kGenerations, kind, 7});
+    sched::LeaseTable leases;
+    leases.attach(
+        static_cast<std::atomic<std::uint32_t>*>(region.lease_slots()),
+        /*adopt=*/true);
+    Gfsl sl(small_cfg(), &mem, nullptr, &leases, nullptr, &region);
+    const auto rep = sl.recover();
+    ASSERT_TRUE(rep.ok) << device::fault_kind_name(kind) << ": " << rep.error;
+    std::set<Key> keys;
+    for (const auto& [k, v] : sl.collect()) keys.insert(k);
+    EXPECT_EQ(keys, expected) << device::fault_kind_name(kind);
+    const auto first = snapshot(region);
+    const auto rep2 = sl.recover();
+    ASSERT_TRUE(rep2.ok) << device::fault_kind_name(kind) << ": "
+                         << rep2.error;
+    EXPECT_TRUE(snapshot(region) == first)
+        << device::fault_kind_name(kind)
+        << ": second recovery changed the image";
+  }
 }
 
 TEST(PersistTorn, MergeRollsForwardOrBack) {

@@ -55,6 +55,25 @@
 //       the recovered contents and its revision must not regress below the
 //       durable clock.
 //
+// Corruption modes (harness/corrupt_sweep.h; DESIGN.md §15):
+//
+//   gfsl_fuzz --corrupt-sweep [--corrupt-seeds N] [--seed S] [--team-size N]
+//             [--ops N] [--range N] [--pool N] [--work-dir DIR]
+//             [--postmortem-dir DIR]
+//       One injected fault per run, swept across every durable section x
+//       fault kind x N seeds.  Chunk-data faults must be detected by the
+//       seal machinery and repaired (exact contents restored) or
+//       quarantined (every missing key inside a reported blast radius);
+//       durable-section faults must recover() to the exact pre-close image
+//       or be refused with a typed superblock rejection; dropped barriers
+//       must change nothing.  Any silent wrong answer fails the sweep with
+//       a one-line `--corrupt section:kind:seed` repro.
+//
+//   gfsl_fuzz --corrupt SECTION:KIND:SEED [...]
+//       Replay a single matrix cell — the repro form printed on failure.
+//       Sections: chunk freelist intent superblock generation.
+//       Kinds: flip multiflip torn stuck dropbarrier.
+//
 // Churn mode (the bounded-memory soak, DESIGN.md §9):
 //
 //   gfsl_fuzz --churn [--workers N] [--ops N] [--range N] [--team-size N]
@@ -81,6 +100,7 @@
 //       reuse is fuzzed against concurrent reclamation too.
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <memory>
 #include <set>
@@ -91,6 +111,7 @@
 #include "device/device_memory.h"
 #include "device/epoch.h"
 #include "device/persist.h"
+#include "harness/corrupt_sweep.h"
 #include "harness/crash_sweep.h"
 #include "harness/experiment.h"
 #include "harness/proc_crash_sweep.h"
@@ -377,6 +398,63 @@ int run_proc_crash_mode(const Options& opt) {
       (std::string(cfg.with_epochs ? " epochs" : "") +
        (cfg.with_snapshots ? " snapshots" : ""))
           .c_str());
+  return 0;
+}
+
+int run_corrupt_mode(const Options& opt) {
+  CorruptSweepConfig cfg;
+  cfg.team_size = static_cast<int>(opt.get_u64("team-size", 8));
+  cfg.ops = opt.get_u64("ops", 400);
+  cfg.key_range = opt.get_u64("range", 96);
+  cfg.seeds = opt.get_u64("corrupt-seeds", 6);
+  cfg.base_seed = opt.get_u64("seed", 0x5EED5EEDull);
+  cfg.pool_chunks = static_cast<std::uint32_t>(opt.get_u64("pool", 1u << 12));
+  cfg.work_dir = opt.get("work-dir", ".");
+  cfg.postmortem_dir = opt.get("postmortem-dir", "");
+
+  // --corrupt SECTION:KIND:SEED narrows the matrix to one cell.
+  const std::string cell = opt.get("corrupt", "");
+  if (!cell.empty()) {
+    const auto c1 = cell.find(':');
+    const auto c2 = cell.find(':', c1 == std::string::npos ? c1 : c1 + 1);
+    device::FaultSection section;
+    device::FaultKind kind;
+    if (c1 == std::string::npos || c2 == std::string::npos ||
+        !device::parse_fault_section(cell.substr(0, c1), &section) ||
+        !device::parse_fault_kind(cell.substr(c1 + 1, c2 - c1 - 1), &kind)) {
+      std::printf("bad --corrupt spec '%s' (want SECTION:KIND:SEED)\n",
+                  cell.c_str());
+      return 2;
+    }
+    cfg.sections = {section};
+    cfg.kinds = {kind};
+    cfg.first_seed = std::strtoull(cell.c_str() + c2 + 1, nullptr, 10);
+    cfg.seeds = 1;
+  }
+
+  const auto res = run_corrupt_sweep(cfg, stdout);
+  if (!res.ok) {
+    std::printf("FAIL corrupt-sweep: %s\n", res.error.c_str());
+    return 1;
+  }
+  std::printf(
+      "corrupt-sweep clean: %llu runs, %llu faults injected, %llu detected, "
+      "%llu repaired, %llu quarantined (%llu keys lost, all reported), "
+      "%llu typed rejections, %llu recoveries, %llu barriers dropped "
+      "(team=%d ops=%llu range=%llu seeds=%llu base=%llu)\n",
+      static_cast<unsigned long long>(res.runs),
+      static_cast<unsigned long long>(res.injected),
+      static_cast<unsigned long long>(res.detected),
+      static_cast<unsigned long long>(res.repaired),
+      static_cast<unsigned long long>(res.quarantined),
+      static_cast<unsigned long long>(res.keys_lost),
+      static_cast<unsigned long long>(res.rejected_typed),
+      static_cast<unsigned long long>(res.recoveries),
+      static_cast<unsigned long long>(res.barriers_dropped), cfg.team_size,
+      static_cast<unsigned long long>(cfg.ops),
+      static_cast<unsigned long long>(cfg.key_range),
+      static_cast<unsigned long long>(cfg.seeds),
+      static_cast<unsigned long long>(cfg.base_seed));
   return 0;
 }
 
@@ -669,6 +747,9 @@ int main(int argc, char** argv) {
   }
   if (opt.get_bool("crash-sweep") || opt.has("crash-at")) {
     return run_crash_mode(opt);
+  }
+  if (opt.get_bool("corrupt-sweep") || opt.has("corrupt")) {
+    return run_corrupt_mode(opt);
   }
   if (opt.get_bool("churn")) {
     return run_churn_mode(opt);
